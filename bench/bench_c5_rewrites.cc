@@ -1,0 +1,230 @@
+// C5 — ablation of the MQP-specific optimizations (§2 and §6):
+//   * consolidation/absorption — (A ⋈ X) ⋈ B → (A ⋈ B) ⋈ X when A, B are
+//     local and |A ⋈ B| ≤ |A| (ship a small intermediate, not raw inputs);
+//   * select pushdown — Figure 4(a)'s select-through-union;
+//   * deferment — don't evaluate result-growing operators before routing.
+//
+// Metric: bytes the migrating plan puts on the wire — the quantity §2 says
+// MQP optimization must mind ("their size matters").
+#include "bench_util.h"
+
+using namespace mqp;
+
+namespace {
+
+struct Toggles {
+  bool pushdown = true;
+  bool consolidation = true;
+  bool absorption = true;
+  bool deferment = true;
+};
+
+struct RunStats {
+  bool ok = false;
+  size_t results = 0;
+  uint64_t bytes = 0;
+  uint64_t messages = 0;
+};
+
+peer::PeerOptions BaseOpts(const std::string& name, const Toggles& t) {
+  peer::PeerOptions o;
+  o.name = name;
+  o.roles.base = true;
+  o.enable_select_pushdown = t.pushdown;
+  o.enable_consolidation = t.consolidation;
+  o.enable_absorption = t.absorption;
+  o.policy.enable_deferment = t.deferment;
+  return o;
+}
+
+algebra::ItemSet PaddedRows(const char* tag, const char* key, size_t n,
+                            int key_mod, size_t pad, Rng* rng) {
+  algebra::ItemSet out;
+  for (size_t i = 0; i < n; ++i) {
+    auto e = xml::Node::Element(tag);
+    e->AddElementWithText(key,
+                          std::to_string(static_cast<int>(i) % key_mod));
+    e->AddElementWithText("pad", rng->NextWord(static_cast<int>(pad)));
+    out.push_back(algebra::Item(e.release()));
+  }
+  return out;
+}
+
+// Scenario 1: (A ⋈ X) ⋈ B with A (12 wide rows) and B (3 caps) local to
+// the submitting peer, X (400 rows) remote. Consolidation/absorption let
+// the peer ship the 3-row A ⋈ B instead of A and B raw.
+RunStats RunJoinScenario(const Toggles& t) {
+  net::Simulator sim;
+  Rng rng(42);
+  peer::Peer p1(&sim, BaseOpts("p1", t));
+  peer::Peer p2(&sim, BaseOpts("p2", t));
+
+  algebra::ItemSet a_items = PaddedRows("want", "k", 12, 1000, 80, &rng);
+  algebra::ItemSet b_items;
+  for (int i = 0; i < 3; ++i) {
+    auto e = xml::Node::Element("cap");
+    e->AddElementWithText("bk", std::to_string(i));
+    e->AddElementWithText("limit", std::to_string(50 + i));
+    b_items.push_back(algebra::Item(e.release()));
+  }
+  algebra::ItemSet x_items = PaddedRows("inv", "xk", 400, 200, 20, &rng);
+  p1.PublishNamed("urn:P1:A", "a", a_items);
+  p1.PublishNamed("urn:P1:B", "b", b_items);
+  p2.PublishNamed("urn:P2:X", "x", x_items);
+  p1.catalog().AddNamedReferral("urn:P2:X", p2.address());
+
+  using algebra::PlanNode;
+  auto inner = PlanNode::Join(algebra::JoinEq("k", "xk"),
+                              PlanNode::UrnRef("urn:P1:A"),
+                              PlanNode::UrnRef("urn:P2:X"));
+  auto outer = PlanNode::Join(algebra::JoinEq("k", "bk"), inner,
+                              PlanNode::UrnRef("urn:P1:B"));
+  algebra::Plan plan(PlanNode::Display("", outer));
+
+  sim.stats().Clear();
+  RunStats r;
+  p1.SubmitQuery(std::move(plan), [&](const peer::QueryOutcome& o) {
+    r.ok = true;
+    r.results = o.items.size();
+  });
+  sim.Run();
+  r.bytes = sim.stats().bytes;
+  r.messages = sim.stats().messages;
+  return r;
+}
+
+// Scenario 2: select over a URN resolving to two sellers' collections.
+// With pushdown the selects travel to the sellers (Figure 4(a)); without
+// it the first seller ships its raw collection onward.
+RunStats RunPushdownScenario(const Toggles& t) {
+  net::Simulator sim;
+  Rng rng(43);
+  peer::Peer s1(&sim, BaseOpts("s1", t));
+  peer::Peer s2(&sim, BaseOpts("s2", t));
+  peer::PeerOptions ropts;
+  ropts.name = "resolver";
+  ropts.roles.index = true;
+  ropts.enable_select_pushdown = t.pushdown;
+  peer::Peer resolver(&sim, ropts);
+  s1.PublishNamed("urn:Sale:CDs", "c",
+                  PaddedRows("cd", "price", 120, 100, 40, &rng));
+  s2.PublishNamed("urn:Sale:CDs", "c",
+                  PaddedRows("cd", "price", 120, 100, 40, &rng));
+  for (peer::Peer* p : {&s1, &s2}) {
+    p->AddBootstrap(resolver.address());
+    p->JoinNetwork();
+  }
+  sim.Run();
+  peer::PeerOptions copts = BaseOpts("client", t);
+  copts.roles.base = false;
+  peer::Peer client(&sim, copts);
+  client.AddBootstrap(resolver.address());
+
+  using algebra::PlanNode;
+  algebra::Plan plan(PlanNode::Display(
+      "", PlanNode::Select(algebra::FieldLess("price", "5"),
+                           PlanNode::UrnRef("urn:Sale:CDs"))));
+  sim.stats().Clear();
+  RunStats r;
+  client.SubmitQuery(std::move(plan), [&](const peer::QueryOutcome& o) {
+    r.ok = true;
+    r.results = o.items.size();
+  });
+  sim.Run();
+  r.bytes = sim.stats().bytes;
+  r.messages = sim.stats().messages;
+  return r;
+}
+
+// Scenario 3: join(join(big1, big2), X) where big1 ⋈ big2 fans out 20×.
+// Deferment ships the raw inputs (400 rows) instead of the 4000-row join
+// result; without it the plan bloats before travelling to X.
+RunStats RunDefermentScenario(const Toggles& t) {
+  net::Simulator sim;
+  Rng rng(44);
+  peer::Peer p1(&sim, BaseOpts("p1", t));
+  peer::Peer p2(&sim, BaseOpts("p2", t));
+  p1.PublishNamed("urn:P1:Big1", "b1",
+                  PaddedRows("l", "k", 200, 10, 30, &rng));
+  p1.PublishNamed("urn:P1:Big2", "b2",
+                  PaddedRows("r", "rk", 200, 10, 30, &rng));
+  p2.PublishNamed("urn:P2:X", "x", PaddedRows("inv", "xk", 10, 10, 20, &rng));
+  p1.catalog().AddNamedReferral("urn:P2:X", p2.address());
+
+  using algebra::PlanNode;
+  auto big_join = PlanNode::Join(algebra::JoinEq("k", "rk"),
+                                 PlanNode::UrnRef("urn:P1:Big1"),
+                                 PlanNode::UrnRef("urn:P1:Big2"));
+  auto outer = PlanNode::Join(algebra::JoinEq("k", "xk"), big_join,
+                              PlanNode::UrnRef("urn:P2:X"));
+  algebra::Plan plan(PlanNode::Display("", outer));
+
+  sim.stats().Clear();
+  RunStats r;
+  p1.SubmitQuery(std::move(plan), [&](const peer::QueryOutcome& o) {
+    r.ok = true;
+    r.results = o.items.size();
+  });
+  sim.Run();
+  r.bytes = sim.stats().bytes;
+  r.messages = sim.stats().messages;
+  return r;
+}
+
+void Print(const char* label, const RunStats& r) {
+  if (!r.ok) {
+    bench::Row("%-34s  QUERY DID NOT RETURN", label);
+    return;
+  }
+  bench::Row("%-34s %8zu %8llu %9llu", label, r.results,
+             static_cast<unsigned long long>(r.messages),
+             static_cast<unsigned long long>(r.bytes));
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("C5", "optimizer rewrite ablation");
+  Toggles all;
+
+  bench::Row("\n-- consolidation/absorption: (A JOIN X) JOIN B, A+B local, "
+             "X remote --");
+  bench::Row("%-34s %8s %8s %9s", "configuration", "results", "msgs",
+             "bytes");
+  Print("consolidation+absorption on", RunJoinScenario(all));
+  {
+    Toggles t = all;
+    t.consolidation = false;
+    t.absorption = false;
+    Print("consolidation/absorption off", RunJoinScenario(t));
+  }
+
+  bench::Row("\n-- select pushdown: select(price<5) over union of two "
+             "sellers --");
+  bench::Row("%-34s %8s %8s %9s", "configuration", "results", "msgs",
+             "bytes");
+  Print("pushdown on", RunPushdownScenario(all));
+  {
+    Toggles t = all;
+    t.pushdown = false;
+    Print("pushdown off", RunPushdownScenario(t));
+  }
+
+  bench::Row("\n-- deferment: 20x-fanout join local, X remote --");
+  bench::Row("%-34s %8s %8s %9s", "configuration", "results", "msgs",
+             "bytes");
+  Print("deferment on", RunDefermentScenario(all));
+  {
+    Toggles t = all;
+    t.deferment = false;
+    Print("deferment off", RunDefermentScenario(t));
+  }
+
+  bench::Row(
+      "\nShape check (paper §2/§6): consolidation ships the selective local "
+      "join\ninstead of raw collections; pushdown filters at the sellers "
+      "(Figure 4(a));\ndeferment ships a growing join's inputs, not its "
+      "bloated result. Results are\nidentical in every configuration — only "
+      "the wire cost moves.");
+  return 0;
+}

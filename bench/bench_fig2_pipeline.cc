@@ -1,0 +1,125 @@
+// F2 — Figure 2: per-stage cost of the mutant-query-processing loop.
+//
+// The figure names the stages: parse (XML → plan graph), catalog/resolve
+// (URN binding), optimize (rewrites + evaluable-sub-plan detection),
+// policy (deferment decisions), query engine (evaluation), and the final
+// serialization of the mutated plan. We measure each stage against plan
+// data size (items embedded in the plan).
+#include <benchmark/benchmark.h>
+
+#include "mqp/mqp.h"
+
+using namespace mqp;
+
+namespace {
+
+algebra::Plan MakePlanWithItems(size_t items) {
+  workload::GarageSaleGenerator gen(7);
+  auto sellers = gen.MakeSellers(1);
+  algebra::ItemSet data = gen.MakeItems(sellers[0], items);
+  auto sel = algebra::PlanNode::Select(
+      algebra::FieldLess("price", "100"),
+      algebra::PlanNode::Union(
+          {algebra::PlanNode::XmlData(std::move(data)),
+           algebra::PlanNode::UrnRef(
+               "urn:InterestArea:(USA.OR.Portland,Music.CDs)")}));
+  return algebra::Plan(algebra::PlanNode::Display("client:1", sel));
+}
+
+void BM_ParsePlan(benchmark::State& state) {
+  const std::string wire =
+      algebra::SerializePlan(MakePlanWithItems(state.range(0)));
+  for (auto _ : state) {
+    auto plan = algebra::ParsePlan(wire);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_ParsePlan)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ResolveUrn(benchmark::State& state) {
+  catalog::Catalog cat;
+  Rng rng(3);
+  workload::GarageSaleGenerator gen(3);
+  auto sellers = gen.MakeSellers(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < sellers.size(); ++i) {
+    catalog::IndexEntry e;
+    e.level = catalog::HoldingLevel::kBase;
+    e.area = ns::InterestArea(sellers[i].cell);
+    e.server = "10.0.0." + std::to_string(i) + ":9020";
+    e.xpath = "/data[id=c" + std::to_string(i) + "]";
+    cat.AddEntry(std::move(e));
+  }
+  cat.SetAuthority(ns::InterestArea(ns::InterestCell(
+                       {ns::CategoryPath(), ns::CategoryPath()})),
+                   true);
+  const std::string urn = "urn:InterestArea:(USA.OR,*)";
+  for (auto _ : state) {
+    auto binding = cat.Resolve(urn);
+    benchmark::DoNotOptimize(binding);
+  }
+}
+BENCHMARK(BM_ResolveUrn)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_OptimizeRewrites(benchmark::State& state) {
+  auto plan = MakePlanWithItems(static_cast<size_t>(state.range(0)));
+  optimizer::CostModel cost;
+  optimizer::Locality locality;
+  for (auto _ : state) {
+    auto copy = plan.root()->Clone();
+    optimizer::PushSelectThroughUnion(copy.get());
+    optimizer::EliminateOrNodes(copy.get(), locality, cost,
+                                optimizer::OrPreference::kPreferLocal);
+    optimizer::ConsolidateJoins(copy.get(), locality);
+    auto subs = optimizer::MaximalEvaluableSubplans(copy.get(), locality);
+    benchmark::DoNotOptimize(subs);
+  }
+}
+BENCHMARK(BM_OptimizeRewrites)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PolicyDecide(benchmark::State& state) {
+  auto plan = MakePlanWithItems(static_cast<size_t>(state.range(0)));
+  optimizer::CostModel cost;
+  optimizer::Locality locality;
+  optimizer::PolicyManager pm;
+  auto subs =
+      optimizer::MaximalEvaluableSubplans(plan.root().get(), locality);
+  for (auto _ : state) {
+    auto decisions = pm.Decide(subs, cost);
+    benchmark::DoNotOptimize(decisions);
+  }
+}
+BENCHMARK(BM_PolicyDecide)->Arg(100);
+
+void BM_EngineEvaluate(benchmark::State& state) {
+  workload::GarageSaleGenerator gen(11);
+  auto sellers = gen.MakeSellers(1);
+  algebra::ItemSet data =
+      gen.MakeItems(sellers[0], static_cast<size_t>(state.range(0)));
+  auto plan = algebra::PlanNode::Select(algebra::FieldLess("price", "50"),
+                                        algebra::PlanNode::XmlData(data));
+  for (auto _ : state) {
+    auto items = engine::Evaluate(*plan);
+    benchmark::DoNotOptimize(items);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EngineEvaluate)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SerializePlan(benchmark::State& state) {
+  auto plan = MakePlanWithItems(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string wire = algebra::SerializePlan(plan);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(algebra::PlanWireSize(plan)));
+}
+BENCHMARK(BM_SerializePlan)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

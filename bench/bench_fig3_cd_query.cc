@@ -1,0 +1,97 @@
+// F3 — Figure 3: the CD query, end to end.
+//
+// "Suppose we are looking for CDs for $10 or less in the Portland area" —
+// favorite songs ⋈ track listings ⋈ cheap for-sale CDs. We sweep the
+// number of sellers and the price cut-off (selectivity) and report result
+// counts, simulated latency, hops and bytes moved by the migrating plan.
+#include "bench_util.h"
+
+using namespace mqp;
+
+namespace {
+
+struct Run {
+  size_t results = 0;
+  size_t hops = 0;
+  double latency = 0;
+  uint64_t bytes = 0;
+  bool complete = false;
+};
+
+Run Execute(size_t sellers, const char* max_price) {
+  net::Simulator sim;
+  workload::CdMarketGenerator gen(2026);
+  auto titles = gen.MakeTitles(60);
+
+  peer::PeerOptions idx_opts;
+  idx_opts.name = "resolver";
+  idx_opts.roles.index = true;
+  peer::Peer resolver(&sim, idx_opts);
+
+  std::vector<std::unique_ptr<peer::Peer>> peers;
+  for (size_t i = 0; i < sellers; ++i) {
+    peer::PeerOptions o;
+    o.name = "seller" + std::to_string(i);
+    o.roles.base = true;
+    peers.push_back(std::make_unique<peer::Peer>(&sim, o));
+    peers.back()->PublishNamed("urn:ForSale:Portland-CDs", "cds",
+                               gen.MakeSellerCds(titles, o.name, 25));
+    peers.back()->AddBootstrap(resolver.address());
+    peers.back()->JoinNetwork();
+  }
+  peer::PeerOptions tl_opts;
+  tl_opts.name = "cddb";
+  tl_opts.roles.base = true;
+  peer::Peer tracklist(&sim, tl_opts);
+  auto listings = gen.MakeTrackListings(titles, 4);
+  tracklist.PublishNamed("urn:CD:TrackListings", "listings", listings);
+  tracklist.AddBootstrap(resolver.address());
+  tracklist.JoinNetwork();
+  sim.Run();
+
+  peer::PeerOptions copts;
+  copts.name = "client";
+  peer::Peer client(&sim, copts);
+  client.AddBootstrap(resolver.address());
+  auto favorites = gen.MakeFavoriteSongs(listings, 15);
+
+  sim.stats().Clear();
+  Run run;
+  bool done = false;
+  client.SubmitQuery(
+      workload::MakeFigure3Plan(favorites, "urn:ForSale:Portland-CDs",
+                                "urn:CD:TrackListings", "", max_price),
+      [&](const peer::QueryOutcome& o) {
+        run.results = o.items.size();
+        run.hops = o.provenance.HopCount();
+        run.latency = o.completed_at - o.submitted_at;
+        run.complete = o.complete;
+        done = true;
+      });
+  sim.Run();
+  run.bytes = sim.stats().bytes;
+  if (!done) run.complete = false;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("F3", "Figure 3 CD query (favorites x listings x cheap CDs)");
+  bench::Row("%8s %10s %9s %6s %9s %10s %9s", "sellers", "max-price",
+             "results", "hops", "latency", "bytes", "complete");
+  for (size_t sellers : {2, 4, 8, 16}) {
+    for (const char* price : {"6", "10", "20"}) {
+      Run r = Execute(sellers, price);
+      bench::Row("%8zu %10s %9zu %6zu %8.2fs %10llu %9s", sellers, price,
+                 r.results, r.hops, r.latency,
+                 static_cast<unsigned long long>(r.bytes),
+                 r.complete ? "yes" : "NO");
+    }
+  }
+  bench::Row("\nShape check (paper): latency and bytes grow with the number "
+             "of sellers the plan\nmust visit (MQPs trade pipelining for "
+             "coordination freedom); higher price cut-offs\ncarry more "
+             "matching CDs in the migrating plan.");
+  return 0;
+}

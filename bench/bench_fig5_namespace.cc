@@ -1,0 +1,136 @@
+// F5 — Figure 5: the multi-hierarchic namespace machinery itself.
+//
+// Interest-area cover/overlap/intersection throughput and catalog
+// resolution latency as the number of registered areas grows — the paper's
+// scalability argument rests on these being cheap.
+#include <benchmark/benchmark.h>
+
+#include "mqp/mqp.h"
+
+using namespace mqp;
+
+namespace {
+
+std::vector<ns::InterestCell> RandomCells(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  auto hierarchy = ns::MakeGarageSaleNamespace();
+  auto locs = hierarchy.dimension(0).AllCategories();
+  auto cats = hierarchy.dimension(1).AllCategories();
+  std::vector<ns::InterestCell> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ns::InterestCell({locs[rng.NextBelow(locs.size())],
+                                    cats[rng.NextBelow(cats.size())]}));
+  }
+  return out;
+}
+
+void BM_CellCovers(benchmark::State& state) {
+  auto cells = RandomCells(1024, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    const bool c = cells[i % 1024].Covers(cells[(i * 7 + 3) % 1024]);
+    benchmark::DoNotOptimize(c);
+    ++i;
+  }
+}
+BENCHMARK(BM_CellCovers);
+
+void BM_CellOverlaps(benchmark::State& state) {
+  auto cells = RandomCells(1024, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const bool c = cells[i % 1024].Overlaps(cells[(i * 7 + 3) % 1024]);
+    benchmark::DoNotOptimize(c);
+    ++i;
+  }
+}
+BENCHMARK(BM_CellOverlaps);
+
+void BM_AreaIntersect(benchmark::State& state) {
+  auto cells = RandomCells(256, 3);
+  std::vector<ns::InterestArea> areas;
+  for (size_t i = 0; i + 1 < cells.size(); i += 2) {
+    areas.push_back(ns::InterestArea({cells[i], cells[i + 1]}));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto inter =
+        areas[i % areas.size()].Intersect(areas[(i * 5 + 1) % areas.size()]);
+    benchmark::DoNotOptimize(inter);
+    ++i;
+  }
+}
+BENCHMARK(BM_AreaIntersect);
+
+void BM_AreaNormalize(benchmark::State& state) {
+  auto cells = RandomCells(static_cast<size_t>(state.range(0)), 4);
+  ns::InterestArea area{std::vector<ns::InterestCell>(cells.begin(),
+                                                      cells.end())};
+  for (auto _ : state) {
+    auto norm = area.Normalized();
+    benchmark::DoNotOptimize(norm);
+  }
+}
+BENCHMARK(BM_AreaNormalize)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_UrnRoundTrip(benchmark::State& state) {
+  auto cells = RandomCells(2, 5);
+  ns::InterestArea area{std::vector<ns::InterestCell>(cells.begin(),
+                                                      cells.end())};
+  const std::string urn = ns::AreaToUrn(area).ToString();
+  for (auto _ : state) {
+    auto parsed = ns::Urn::Parse(urn);
+    auto back = parsed->ToInterestArea();
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_UrnRoundTrip);
+
+// Catalog resolution against K registered areas (the index-server hot
+// path). Linear scan today; the measured curve documents the cost.
+void BM_CatalogResolveArea(benchmark::State& state) {
+  const size_t entries = static_cast<size_t>(state.range(0));
+  auto cells = RandomCells(entries, 6);
+  catalog::Catalog cat;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    catalog::IndexEntry e;
+    e.level = catalog::HoldingLevel::kBase;
+    e.area = ns::InterestArea(cells[i]);
+    e.server = "10.0.0." + std::to_string(i % 250) + ":9020";
+    e.xpath = "/data[id=c" + std::to_string(i) + "]";
+    cat.AddEntry(std::move(e));
+  }
+  cat.SetAuthority(ns::InterestArea(ns::InterestCell(
+                       {ns::CategoryPath(), ns::CategoryPath()})),
+                   true);
+  auto request = *ns::InterestArea::Parse("(USA.OR,*)");
+  for (auto _ : state) {
+    auto binding = cat.ResolveArea(request, "urn:InterestArea:(USA.OR,*)");
+    benchmark::DoNotOptimize(binding);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(entries));
+}
+BENCHMARK(BM_CatalogResolveArea)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RegistrationIngest(benchmark::State& state) {
+  auto cells = RandomCells(static_cast<size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    catalog::Catalog cat;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      catalog::IndexEntry e;
+      e.level = catalog::HoldingLevel::kBase;
+      e.area = ns::InterestArea(cells[i]);
+      e.server = "10.0.0.9:9020";
+      e.xpath = "/data[id=c" + std::to_string(i) + "]";
+      cat.AddEntry(std::move(e));
+    }
+    benchmark::DoNotOptimize(cat);
+  }
+}
+BENCHMARK(BM_RegistrationIngest)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Shared helpers for the paper-reproduction bench harness.
+//
+// Each bench binary regenerates one figure or claim of the paper (see
+// DESIGN.md §4 for the experiment index) and prints paper-style rows.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "mqp/mqp.h"
+
+namespace mqp::bench {
+
+/// Prints a bench header naming the experiment and the paper artifact.
+inline void Header(const char* experiment_id, const char* description) {
+  std::printf("\n=== %s: %s ===\n", experiment_id, description);
+}
+
+/// printf-style row output (stdout, flushed so `tee` captures order).
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+/// Runs one interest-area query against a garage-sale network and waits
+/// for the result. Returns the outcome; `ok` is false if the query never
+/// returned.
+struct QueryRun {
+  bool ok = false;
+  peer::QueryOutcome outcome;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+inline QueryRun RunAreaQuery(net::Simulator* sim, peer::Peer* client,
+                             const ns::InterestArea& area,
+                             algebra::ExprPtr predicate = nullptr) {
+  QueryRun run;
+  const uint64_t msgs0 = sim->stats().messages;
+  const uint64_t bytes0 = sim->stats().bytes;
+  client->SubmitQuery(workload::MakeAreaQueryPlan(area, predicate),
+                      [&](const peer::QueryOutcome& o) {
+                        run.outcome = o;
+                        run.ok = true;
+                      });
+  sim->Run();
+  run.messages = sim->stats().messages - msgs0;
+  run.bytes = sim->stats().bytes - bytes0;
+  return run;
+}
+
+}  // namespace mqp::bench

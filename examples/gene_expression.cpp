@@ -1,0 +1,110 @@
+// "Of Mice and Men" (paper Figure 1): biomedical research groups host
+// gene-expression repositories and describe their holdings with interest
+// areas over Organism × CellType hierarchies. A query about cardiac muscle
+// cells in mammals is routed to the rodent and human groups and never
+// touches the fruit-fly group.
+//
+// Build & run:  ./build/examples/gene_expression
+#include <cstdio>
+
+#include "mqp/mqp.h"
+
+using namespace mqp;
+
+int main() {
+  net::Simulator sim;
+  workload::GeneExpressionGenerator gen(/*seed=*/7);
+  const std::vector<std::string> fields = {"organism", "celltype"};
+
+  // The NIH-style meta-index service (paper §6 envisions government
+  // agencies providing meta-index services).
+  peer::PeerOptions meta_opts;
+  meta_opts.name = "nih-meta";
+  meta_opts.roles.meta_index = true;
+  meta_opts.roles.index = true;  // groups register here directly
+  meta_opts.roles.authoritative = true;
+  meta_opts.dimension_fields = fields;
+  meta_opts.interest = ns::InterestArea(
+      ns::InterestCell({ns::CategoryPath(), ns::CategoryPath()}));
+  peer::Peer meta(&sim, meta_opts);
+
+  // A category server managing the two hierarchies (§3.5).
+  auto hierarchy = ns::MakeGeneExpressionNamespace();
+  peer::PeerOptions cat_opts;
+  cat_opts.name = "ontology-server";
+  cat_opts.roles.category = true;
+  peer::Peer cat_server(&sim, cat_opts);
+  cat_server.ServeHierarchies(&hierarchy);
+
+  // The three Figure-1 groups.
+  std::vector<std::unique_ptr<peer::Peer>> groups;
+  std::printf("Research groups and their interest areas:\n");
+  for (const auto& g : gen.FigureOneGroups()) {
+    std::printf("  %-12s %s\n", g.name.c_str(), g.area.ToString().c_str());
+    peer::PeerOptions o;
+    o.name = g.name;
+    o.interest = g.area;
+    o.roles.base = true;
+    o.dimension_fields = fields;
+    auto p = std::make_unique<peer::Peer>(&sim, o);
+    p->PublishCollection("expr", g.area, gen.MakeExperiments(g, 60));
+    p->AddBootstrap(meta.address());
+    groups.push_back(std::move(p));
+  }
+  for (auto& g : groups) g->JoinNetwork();
+  sim.Run();
+
+  peer::PeerOptions copts;
+  copts.name = "lab-client";
+  copts.dimension_fields = fields;
+  peer::Peer client(&sim, copts);
+  client.AddBootstrap(meta.address());
+
+  // Ask the category server what cardiac subtypes exist (§3.5).
+  std::printf("\nCategory query: subcategories of Muscle/Cardiac:\n");
+  client.RequestCategories(cat_server.address(), "CellType",
+                           "Muscle/Cardiac",
+                           [](const std::vector<std::string>& cats) {
+                             for (const auto& c : cats) {
+                               std::printf("  %s\n", c.c_str());
+                             }
+                           });
+  sim.Run();
+
+  // The paper's query: cardiac muscle cells in mammals.
+  auto area = *ns::InterestArea::Parse(
+      "(Coelomata.Deuterostomia.Mammalia,Muscle.Cardiac)");
+  std::printf("\nQuery area: %s\n", area.ToString().c_str());
+
+  peer::QueryOutcome outcome;
+  bool done = false;
+  client.SubmitQuery(workload::MakeAreaQueryPlan(area),
+                     [&](const peer::QueryOutcome& o) {
+                       outcome = o;
+                       done = true;
+                     });
+  sim.Run();
+  if (!done) {
+    std::printf("query never returned!\n");
+    return 1;
+  }
+  std::printf("results: %zu experiments, complete=%s\n",
+              outcome.items.size(), outcome.complete ? "yes" : "no");
+  for (size_t i = 0; i < outcome.items.size() && i < 6; ++i) {
+    const auto& e = outcome.items[i];
+    std::printf("  %-10s %-55s %s\n", e->ChildText("gene").c_str(),
+                e->ChildText("organism").c_str(),
+                e->ChildText("lab").c_str());
+  }
+
+  std::printf("\nCoverage routing (who the MQP visited):\n");
+  for (auto& g : groups) {
+    std::printf("  %-12s visited=%s\n", g->options().name.c_str(),
+                outcome.provenance.Visited(g->address()) ? "yes"
+                                                         : "no (pruned)");
+  }
+  std::printf(
+      "\nThe fruit-fly group is pruned: its interest area cannot overlap a "
+      "mammalian query.\n");
+  return 0;
+}

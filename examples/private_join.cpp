@@ -1,0 +1,140 @@
+// The §5.2 scenario: a law-enforcement agency wants the employees of a
+// company whose charitable contributions over $5000 went to suspected
+// front organizations. The IRS will not hand raw returns to the agency and
+// the State Department will not publish its watch list — but the IRS will
+// pass data to the State Department. An MQP routed IRS → State makes the
+// query answerable: each agency only discloses what the next hop may see.
+//
+// Demonstrates: route allowlists and bind-after ordering carried in the
+// MQP itself.
+//
+// Build & run:  ./build/examples/private_join
+#include <cstdio>
+
+#include "mqp/mqp.h"
+
+using namespace mqp;
+
+namespace {
+
+algebra::ItemSet MakeReturns() {
+  // W-2 + Schedule A extracts: employee, employer, charity, amount.
+  struct Row {
+    const char* person;
+    const char* employer;
+    const char* charity;
+    const char* amount;
+  };
+  const Row rows[] = {
+      {"alice", "acme", "honest-helpers", "6000"},
+      {"bob", "acme", "shady-trust", "7500"},
+      {"carol", "acme", "shady-trust", "900"},
+      {"dave", "acme", "global-front", "12000"},
+      {"erin", "other-co", "shady-trust", "9000"},
+      {"frank", "acme", "red-cross", "5200"},
+  };
+  algebra::ItemSet out;
+  for (const auto& r : rows) {
+    auto e = xml::Node::Element("return");
+    e->AddElementWithText("person", r.person);
+    e->AddElementWithText("employer", r.employer);
+    e->AddElementWithText("charity", r.charity);
+    e->AddElementWithText("amount", r.amount);
+    out.push_back(algebra::Item(e.release()));
+  }
+  return out;
+}
+
+algebra::ItemSet MakeWatchlist() {
+  algebra::ItemSet out;
+  for (const char* org : {"shady-trust", "global-front"}) {
+    auto e = xml::Node::Element("front");
+    e->AddElementWithText("org", org);
+    out.push_back(algebra::Item(e.release()));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  net::Simulator sim;
+
+  peer::PeerOptions irs_opts;
+  irs_opts.name = "irs";
+  irs_opts.roles.base = true;
+  peer::Peer irs(&sim, irs_opts);
+  irs.PublishNamed("urn:IRS:Returns", "returns", MakeReturns());
+
+  peer::PeerOptions state_opts;
+  state_opts.name = "state-dept";
+  state_opts.roles.base = true;
+  peer::Peer state(&sim, state_opts);
+  state.PublishNamed("urn:State:FrontOrgs", "fronts", MakeWatchlist());
+
+  peer::PeerOptions agency_opts;
+  agency_opts.name = "agency";
+  agency_opts.retain_original = true;
+  peer::Peer agency(&sim, agency_opts);
+  // The agency knows both URN homes out of band; no index tier needed.
+  agency.catalog().AddNamedReferral("urn:IRS:Returns", irs.address());
+  agency.catalog().AddNamedReferral("urn:State:FrontOrgs", state.address());
+  agency.AddBootstrap(irs.address());
+  // The IRS knows where the State Department lives, so the plan can be
+  // routed onward once the IRS data is bound.
+  irs.catalog().AddNamedReferral("urn:State:FrontOrgs", state.address());
+
+  // Plan: π(person)( σ(amount>5000 ∧ employer=acme)(Returns) ⋈ FrontOrgs )
+  using algebra::Expr;
+  using algebra::PlanNode;
+  auto filtered = PlanNode::Select(
+      Expr::And(algebra::FieldGreater("amount", "5000"),
+                algebra::FieldEquals("employer", "acme")),
+      PlanNode::UrnRef("urn:IRS:Returns"));
+  auto joined = PlanNode::Join(algebra::JoinEq("charity", "org"), filtered,
+                               PlanNode::UrnRef("urn:State:FrontOrgs"));
+  auto named = PlanNode::Project({"person"}, joined);
+  algebra::Plan plan(PlanNode::Display("", named));
+
+  // §5.2 policies carried by the MQP itself:
+  //  * only the IRS, the State Department and the agency may see it;
+  //  * the watch list must not be bound before the IRS data (the State
+  //    Department reveals matches only against concrete IRS rows).
+  plan.policy().route_allow = {irs.address(), state.address(),
+                               agency.address()};
+  plan.policy().bind_after = {{"urn:IRS:Returns", "urn:State:FrontOrgs"}};
+
+  std::printf("Plan:\n%s\n", plan.root()->ToDebugString().c_str());
+
+  peer::QueryOutcome outcome;
+  bool done = false;
+  agency.SubmitQuery(std::move(plan), [&](const peer::QueryOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  sim.Run();
+
+  if (!done) {
+    std::printf("query never returned!\n");
+    return 1;
+  }
+  std::printf("Suspects (complete=%s):\n", outcome.complete ? "yes" : "no");
+  for (const auto& item : outcome.items) {
+    std::printf("  %s\n", item->ChildText("person").c_str());
+  }
+
+  std::printf("\nThe MQP's route (provenance):\n");
+  for (const auto& e : outcome.provenance.entries()) {
+    const char* who = e.server == irs.address()     ? "IRS"
+                      : e.server == state.address() ? "State Dept"
+                                                    : "agency";
+    std::printf("  t=%.3fs  %-10s %-12s %s\n", e.time, who,
+                std::string(algebra::ProvenanceActionName(e.action)).c_str(),
+                e.detail.c_str());
+  }
+  std::printf(
+      "\nNeither agency disclosed its raw data to the requester: the IRS\n"
+      "rows traveled only to the State Department, which joined and\n"
+      "projected them down to names before the plan returned.\n");
+  return 0;
+}

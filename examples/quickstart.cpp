@@ -1,0 +1,106 @@
+// Quickstart: the paper's Figure-3 query, end to end.
+//
+// We are looking for CDs for $10 or less in the Portland area. Sellers
+// publish for-sale lists; a track-listing service (the CDDB/FreeDB stand-
+// in) maps CD titles to songs; our client has a list of favorite songs.
+// The query plan joins all three and migrates through the network as a
+// mutant query plan.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "mqp/mqp.h"
+
+using namespace mqp;
+
+int main() {
+  net::Simulator sim;
+
+  // --- participants ---------------------------------------------------------
+  peer::PeerOptions base;
+  base.roles.base = true;
+
+  auto mk = [&](const char* name) {
+    peer::PeerOptions o = base;
+    o.name = name;
+    return o;
+  };
+  peer::Peer seller1(&sim, mk("seller1"));
+  peer::Peer seller2(&sim, mk("seller2"));
+  peer::Peer cddb(&sim, mk("cddb"));
+
+  peer::PeerOptions ropts;
+  ropts.name = "resolver";
+  ropts.roles.index = true;
+  peer::Peer resolver(&sim, ropts);
+
+  peer::PeerOptions copts;
+  copts.name = "client";
+  peer::Peer client(&sim, copts);
+
+  // --- data -----------------------------------------------------------------
+  workload::CdMarketGenerator gen(/*seed=*/2026);
+  auto titles = gen.MakeTitles(50);
+  seller1.PublishNamed("urn:ForSale:Portland-CDs", "cds",
+                       gen.MakeSellerCds(titles, "seller1", 40));
+  seller2.PublishNamed("urn:ForSale:Portland-CDs", "cds",
+                       gen.MakeSellerCds(titles, "seller2", 40));
+  auto listings = gen.MakeTrackListings(titles, 4);
+  cddb.PublishNamed("urn:CD:TrackListings", "listings", listings);
+  auto favorites = gen.MakeFavoriteSongs(listings, 12);
+
+  // Everyone registers with the resolver; the client knows only it.
+  for (peer::Peer* p : {&seller1, &seller2, &cddb}) {
+    p->AddBootstrap(resolver.address());
+    p->JoinNetwork();
+  }
+  sim.Run();
+  client.AddBootstrap(resolver.address());
+
+  // --- the Figure-3 plan ------------------------------------------------------
+  algebra::Plan plan = workload::MakeFigure3Plan(
+      favorites, "urn:ForSale:Portland-CDs", "urn:CD:TrackListings",
+      /*target=*/"", /*max_price=*/"10");
+  std::printf("Submitting Figure-3 plan:\n%s\n",
+              plan.root()->ToDebugString().c_str());
+
+  peer::QueryOutcome outcome;
+  bool done = false;
+  client.SubmitQuery(std::move(plan), [&](const peer::QueryOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  sim.Run();
+
+  if (!done) {
+    std::printf("query never returned!\n");
+    return 1;
+  }
+  std::printf("complete=%s  results=%zu  latency=%.3fs  wire=%zu bytes\n",
+              outcome.complete ? "yes" : "no", outcome.items.size(),
+              outcome.completed_at - outcome.submitted_at,
+              outcome.result_bytes);
+  std::printf("\nMatching cheap CDs carrying favorite songs:\n");
+  for (size_t i = 0; i < outcome.items.size() && i < 8; ++i) {
+    const auto& item = outcome.items[i];
+    std::printf("  $%-6s %-28s (%s) via %s\n",
+                item->ChildText("price").c_str(),
+                item->ChildText("title").c_str(),
+                item->ChildText("song").c_str(),
+                item->ChildText("seller").c_str());
+  }
+  if (outcome.items.size() > 8) {
+    std::printf("  ... and %zu more\n", outcome.items.size() - 8);
+  }
+
+  std::printf("\nProvenance (the MQP's travel diary, paper §5.1):\n");
+  for (const auto& e : outcome.provenance.entries()) {
+    std::printf("  t=%.3fs  %-18s %-12s %s\n", e.time, e.server.c_str(),
+                std::string(algebra::ProvenanceActionName(e.action)).c_str(),
+                e.detail.c_str());
+  }
+  std::printf("\nNetwork totals: %llu messages, %llu bytes\n",
+              static_cast<unsigned long long>(sim.stats().messages),
+              static_cast<unsigned long long>(sim.stats().bytes));
+  return 0;
+}

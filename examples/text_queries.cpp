@@ -1,0 +1,86 @@
+// The query-language front-end (paper §1: general P2P applications
+// "require a richer query model ... a full-featured query language").
+//
+// Text queries compile to mutant query plans and migrate through the same
+// garage-sale network the other examples use.
+//
+// Build & run:  ./build/examples/text_queries
+#include <cstdio>
+
+#include "mqp/mqp.h"
+
+using namespace mqp;
+
+namespace {
+
+void RunText(net::Simulator* sim, peer::Peer* client, const char* text) {
+  std::printf("\nmqp> %s\n", text);
+  auto plan = query::Parse(text);
+  if (!plan.ok()) {
+    std::printf("  parse error: %s\n", plan.status().ToString().c_str());
+    return;
+  }
+  peer::QueryOutcome outcome;
+  bool done = false;
+  client->SubmitQuery(std::move(plan).value(),
+                      [&](const peer::QueryOutcome& o) {
+                        outcome = o;
+                        done = true;
+                      });
+  sim->Run();
+  if (!done) {
+    std::printf("  (no answer)\n");
+    return;
+  }
+  std::printf("  %zu row(s)%s in %.3fs over %zu hops\n",
+              outcome.items.size(), outcome.complete ? "" : " (partial)",
+              outcome.completed_at - outcome.submitted_at,
+              outcome.provenance.HopCount());
+  for (size_t i = 0; i < outcome.items.size() && i < 6; ++i) {
+    std::string row = "  | ";
+    for (const auto& child : outcome.items[i]->children()) {
+      if (!child->is_element()) continue;
+      row += child->name() + "=" + child->InnerText() + "  ";
+    }
+    std::printf("%s\n", row.c_str());
+  }
+  if (outcome.items.size() > 6) {
+    std::printf("  | ... %zu more\n", outcome.items.size() - 6);
+  }
+}
+
+}  // namespace
+
+int main() {
+  net::Simulator sim;
+  workload::GarageSaleNetworkParams params;
+  params.num_sellers = 30;
+  params.items_per_seller = 12;
+  params.seed = 99;
+  auto net = workload::BuildGarageSaleNetwork(&sim, params);
+  std::printf("garage-sale network: %zu sellers, %zu items\n",
+              net.sellers.size(), net.all_items.size());
+
+  RunText(&sim, net.client,
+          "select name, price, location from area(\"(USA.OR,*)\") "
+          "where price < 20 order by price asc limit 5");
+
+  RunText(&sim, net.client,
+          "select count(*) from area(\"(USA,*)\") group by category");
+
+  RunText(&sim, net.client,
+          "select avg(price) from area(\"(USA.OR.Portland,*)\")");
+
+  RunText(&sim, net.client,
+          "select name, condition from area(\"(*,Furniture)\") "
+          "where condition = 'like-new' or condition = 'new'");
+
+  RunText(&sim, net.client,
+          "select name from area(\"(USA,*)\") "
+          "where location within 'USA/WA' and exists(image) "
+          "order by name asc limit 4");
+
+  // A parse error is reported, not executed.
+  RunText(&sim, net.client, "select from nowhere");
+  return 0;
+}

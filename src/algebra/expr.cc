@@ -1,0 +1,363 @@
+#include "algebra/expr.h"
+
+#include "common/strings.h"
+#include "xml/xpath.h"
+
+namespace mqp::algebra {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "eq";
+    case CompareOp::kNe:
+      return "ne";
+    case CompareOp::kLt:
+      return "lt";
+    case CompareOp::kLe:
+      return "le";
+    case CompareOp::kGt:
+      return "gt";
+    case CompareOp::kGe:
+      return "ge";
+    case CompareOp::kHasPrefix:
+      return "prefix";
+  }
+  return "eq";
+}
+
+Result<CompareOp> CompareOpFromName(std::string_view name) {
+  if (name == "eq") return CompareOp::kEq;
+  if (name == "ne") return CompareOp::kNe;
+  if (name == "lt") return CompareOp::kLt;
+  if (name == "le") return CompareOp::kLe;
+  if (name == "gt") return CompareOp::kGt;
+  if (name == "ge") return CompareOp::kGe;
+  if (name == "prefix") return CompareOp::kHasPrefix;
+  return Status::ParseError("unknown comparison op '" + std::string(name) +
+                            "'");
+}
+
+int Value::Compare(const Value& other) const {
+  double a, b;
+  if (mqp::ParseDouble(text, &a) && mqp::ParseDouble(other.text, &b)) {
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  return text.compare(other.text);
+}
+
+ExprPtr Expr::Field(std::string path, Side side) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kField));
+  e->text_ = std::move(path);
+  e->side_ = side;
+  return e;
+}
+
+ExprPtr Expr::Literal(std::string value) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kLiteral));
+  e->text_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kCompare));
+  e->op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kAnd));
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kOr));
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr inner) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kNot));
+  e->children_ = {std::move(inner)};
+  return e;
+}
+
+ExprPtr Expr::Exists(std::string path, Side side) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kExists));
+  e->text_ = std::move(path);
+  e->side_ = side;
+  return e;
+}
+
+namespace {
+// Resolves a field path against an item; returns first match's text.
+std::optional<std::string> LookupField(const std::string& path,
+                                       const xml::Node& item) {
+  // Fast path: single child element name.
+  if (path.find('/') == std::string::npos &&
+      path.find('[') == std::string::npos &&
+      path.find('@') == std::string::npos) {
+    const xml::Node* c = item.Child(path);
+    if (c != nullptr) return c->InnerText();
+    return std::nullopt;
+  }
+  auto xp = xml::XPath::Parse(path);
+  if (!xp.ok()) return std::nullopt;
+  auto values = xp->EvalStrings(item);
+  if (values.empty()) return std::nullopt;
+  return values.front();
+}
+}  // namespace
+
+std::optional<Value> Expr::EvalValue(const xml::Node& left,
+                                     const xml::Node* right) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return Value{text_};
+    case Kind::kField: {
+      const xml::Node* item = (side_ == Side::kLeft) ? &left : right;
+      if (item == nullptr) return std::nullopt;
+      auto v = LookupField(text_, *item);
+      if (!v) return std::nullopt;
+      return Value{std::move(*v)};
+    }
+    default:
+      // Boolean expressions evaluated as scalars yield "true"/"false".
+      return Value{EvalBool(left, right) ? "true" : "false"};
+  }
+}
+
+bool Expr::EvalBool(const xml::Node& left, const xml::Node* right) const {
+  switch (kind_) {
+    case Kind::kCompare: {
+      auto a = children_[0]->EvalValue(left, right);
+      auto b = children_[1]->EvalValue(left, right);
+      if (!a || !b) return false;  // missing field: predicate fails
+      if (op_ == CompareOp::kHasPrefix) {
+        // rhs is the category path; lhs the item's (deeper) coordinate.
+        const std::string& prefix = b->text;
+        const std::string& value = a->text;
+        if (prefix.empty()) return true;  // top category covers all
+        if (value.size() < prefix.size() ||
+            value.compare(0, prefix.size(), prefix) != 0) {
+          return false;
+        }
+        return value.size() == prefix.size() ||
+               value[prefix.size()] == '/';
+      }
+      const int cmp = a->Compare(*b);
+      switch (op_) {
+        case CompareOp::kEq:
+          return cmp == 0;
+        case CompareOp::kNe:
+          return cmp != 0;
+        case CompareOp::kLt:
+          return cmp < 0;
+        case CompareOp::kLe:
+          return cmp <= 0;
+        case CompareOp::kGt:
+          return cmp > 0;
+        case CompareOp::kGe:
+          return cmp >= 0;
+        case CompareOp::kHasPrefix:
+          break;  // handled above
+      }
+      return false;
+    }
+    case Kind::kAnd:
+      return children_[0]->EvalBool(left, right) &&
+             children_[1]->EvalBool(left, right);
+    case Kind::kOr:
+      return children_[0]->EvalBool(left, right) ||
+             children_[1]->EvalBool(left, right);
+    case Kind::kNot:
+      return !children_[0]->EvalBool(left, right);
+    case Kind::kExists: {
+      const xml::Node* item = (side_ == Side::kLeft) ? &left : right;
+      if (item == nullptr) return false;
+      return LookupField(text_, *item).has_value();
+    }
+    case Kind::kField:
+    case Kind::kLiteral: {
+      auto v = EvalValue(left, right);
+      return v && !v->text.empty() && v->text != "false" && v->text != "0";
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<xml::Node> Expr::ToXml() const {
+  switch (kind_) {
+    case Kind::kField: {
+      auto n = xml::Node::Element("field");
+      n->SetAttr("path", text_);
+      if (side_ == Side::kRight) n->SetAttr("side", "right");
+      return n;
+    }
+    case Kind::kLiteral: {
+      auto n = xml::Node::Element("literal");
+      n->SetAttr("value", text_);
+      return n;
+    }
+    case Kind::kCompare: {
+      auto n = xml::Node::Element("compare");
+      n->SetAttr("op", std::string(CompareOpName(op_)));
+      n->AddChild(children_[0]->ToXml());
+      n->AddChild(children_[1]->ToXml());
+      return n;
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      auto n = xml::Node::Element(kind_ == Kind::kAnd ? "and" : "or-expr");
+      n->AddChild(children_[0]->ToXml());
+      n->AddChild(children_[1]->ToXml());
+      return n;
+    }
+    case Kind::kNot: {
+      auto n = xml::Node::Element("not");
+      n->AddChild(children_[0]->ToXml());
+      return n;
+    }
+    case Kind::kExists: {
+      auto n = xml::Node::Element("exists");
+      n->SetAttr("path", text_);
+      if (side_ == Side::kRight) n->SetAttr("side", "right");
+      return n;
+    }
+  }
+  return xml::Node::Element("invalid");
+}
+
+Result<ExprPtr> Expr::FromXml(const xml::Node& node) {
+  const std::string& tag = node.name();
+  auto parse_child = [&](size_t i) -> Result<ExprPtr> {
+    size_t seen = 0;
+    for (const auto& c : node.children()) {
+      if (!c->is_element()) continue;
+      if (seen == i) return FromXml(*c);
+      ++seen;
+    }
+    return Status::ParseError("expression <" + tag + "> missing operand " +
+                              std::to_string(i));
+  };
+  if (tag == "field") {
+    return Field(node.AttrOr("path", ""),
+                 node.AttrOr("side", "left") == "right" ? Side::kRight
+                                                        : Side::kLeft);
+  }
+  if (tag == "literal") {
+    return Literal(node.AttrOr("value", ""));
+  }
+  if (tag == "compare") {
+    MQP_ASSIGN_OR_RETURN(auto op, CompareOpFromName(node.AttrOr("op", "")));
+    MQP_ASSIGN_OR_RETURN(auto lhs, parse_child(0));
+    MQP_ASSIGN_OR_RETURN(auto rhs, parse_child(1));
+    return Compare(op, std::move(lhs), std::move(rhs));
+  }
+  if (tag == "and" || tag == "or-expr") {
+    MQP_ASSIGN_OR_RETURN(auto lhs, parse_child(0));
+    MQP_ASSIGN_OR_RETURN(auto rhs, parse_child(1));
+    return tag == "and" ? And(std::move(lhs), std::move(rhs))
+                        : Or(std::move(lhs), std::move(rhs));
+  }
+  if (tag == "not") {
+    MQP_ASSIGN_OR_RETURN(auto inner, parse_child(0));
+    return Not(std::move(inner));
+  }
+  if (tag == "exists") {
+    return Exists(node.AttrOr("path", ""),
+                  node.AttrOr("side", "left") == "right" ? Side::kRight
+                                                         : Side::kLeft);
+  }
+  return Status::ParseError("unknown expression element <" + tag + ">");
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kField:
+      return (side_ == Side::kRight ? "right." : "") + text_;
+    case Kind::kLiteral:
+      return "'" + text_ + "'";
+    case Kind::kCompare: {
+      const char* sym = "=";
+      switch (op_) {
+        case CompareOp::kEq:
+          sym = "=";
+          break;
+        case CompareOp::kNe:
+          sym = "!=";
+          break;
+        case CompareOp::kLt:
+          sym = "<";
+          break;
+        case CompareOp::kLe:
+          sym = "<=";
+          break;
+        case CompareOp::kGt:
+          sym = ">";
+          break;
+        case CompareOp::kGe:
+          sym = ">=";
+          break;
+        case CompareOp::kHasPrefix:
+          sym = "within";
+          break;
+      }
+      return children_[0]->ToString() + " " + sym + " " +
+             children_[1]->ToString();
+    }
+    case Kind::kAnd:
+      return "(" + children_[0]->ToString() + " AND " +
+             children_[1]->ToString() + ")";
+    case Kind::kOr:
+      return "(" + children_[0]->ToString() + " OR " +
+             children_[1]->ToString() + ")";
+    case Kind::kNot:
+      return "NOT (" + children_[0]->ToString() + ")";
+    case Kind::kExists:
+      return "EXISTS(" + text_ + ")";
+  }
+  return "?";
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_ || text_ != other.text_ || side_ != other.side_ ||
+      op_ != other.op_ || children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+ExprPtr FieldLess(std::string path, std::string value) {
+  return Expr::Compare(CompareOp::kLt, Expr::Field(std::move(path)),
+                       Expr::Literal(std::move(value)));
+}
+
+ExprPtr FieldLessEq(std::string path, std::string value) {
+  return Expr::Compare(CompareOp::kLe, Expr::Field(std::move(path)),
+                       Expr::Literal(std::move(value)));
+}
+
+ExprPtr FieldGreater(std::string path, std::string value) {
+  return Expr::Compare(CompareOp::kGt, Expr::Field(std::move(path)),
+                       Expr::Literal(std::move(value)));
+}
+
+ExprPtr FieldEquals(std::string path, std::string value) {
+  return Expr::Compare(CompareOp::kEq, Expr::Field(std::move(path)),
+                       Expr::Literal(std::move(value)));
+}
+
+ExprPtr JoinEq(std::string left_path, std::string right_path) {
+  return Expr::Compare(CompareOp::kEq,
+                       Expr::Field(std::move(left_path), Side::kLeft),
+                       Expr::Field(std::move(right_path), Side::kRight));
+}
+
+}  // namespace mqp::algebra

@@ -1,0 +1,381 @@
+#include "algebra/plan.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace mqp::algebra {
+
+Item MakeItem(const xml::Node& node) {
+  return Item(node.Clone().release());
+}
+
+std::string_view OpTypeName(OpType t) {
+  switch (t) {
+    case OpType::kXmlData:
+      return "data";
+    case OpType::kUrl:
+      return "url";
+    case OpType::kUrn:
+      return "urn";
+    case OpType::kSelect:
+      return "select";
+    case OpType::kProject:
+      return "project";
+    case OpType::kJoin:
+      return "join";
+    case OpType::kLeftOuterJoin:
+      return "leftouterjoin";
+    case OpType::kUnion:
+      return "union";
+    case OpType::kOr:
+      return "or";
+    case OpType::kDifference:
+      return "difference";
+    case OpType::kAggregate:
+      return "aggregate";
+    case OpType::kTopN:
+      return "topn";
+    case OpType::kDisplay:
+      return "display";
+  }
+  return "?";
+}
+
+std::string_view AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "count";
+}
+
+Result<AggFunc> AggFuncFromName(std::string_view name) {
+  if (name == "count") return AggFunc::kCount;
+  if (name == "sum") return AggFunc::kSum;
+  if (name == "min") return AggFunc::kMin;
+  if (name == "max") return AggFunc::kMax;
+  if (name == "avg") return AggFunc::kAvg;
+  return Status::ParseError("unknown aggregate function '" +
+                            std::string(name) + "'");
+}
+
+PlanNodePtr PlanNode::XmlData(ItemSet items) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kXmlData));
+  n->items_ = std::move(items);
+  return n;
+}
+
+PlanNodePtr PlanNode::Url(std::string url, std::string xpath) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kUrl));
+  n->str_ = std::move(url);
+  n->str2_ = std::move(xpath);
+  return n;
+}
+
+PlanNodePtr PlanNode::UrnRef(std::string urn, std::string hint) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kUrn));
+  n->str_ = std::move(urn);
+  n->str2_ = std::move(hint);
+  return n;
+}
+
+PlanNodePtr PlanNode::Select(ExprPtr predicate, PlanNodePtr input) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kSelect));
+  n->expr_ = std::move(predicate);
+  n->children_ = {std::move(input)};
+  return n;
+}
+
+PlanNodePtr PlanNode::Project(std::vector<std::string> fields,
+                              PlanNodePtr input) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kProject));
+  n->fields_ = std::move(fields);
+  n->children_ = {std::move(input)};
+  return n;
+}
+
+PlanNodePtr PlanNode::Join(ExprPtr condition, PlanNodePtr left,
+                           PlanNodePtr right) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kJoin));
+  n->expr_ = std::move(condition);
+  n->children_ = {std::move(left), std::move(right)};
+  return n;
+}
+
+PlanNodePtr PlanNode::LeftOuterJoin(ExprPtr condition, PlanNodePtr left,
+                                    PlanNodePtr right) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kLeftOuterJoin));
+  n->expr_ = std::move(condition);
+  n->children_ = {std::move(left), std::move(right)};
+  return n;
+}
+
+PlanNodePtr PlanNode::Union(std::vector<PlanNodePtr> inputs,
+                            bool distinct) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kUnion));
+  n->children_ = std::move(inputs);
+  n->distinct_ = distinct;
+  return n;
+}
+
+PlanNodePtr PlanNode::Or(std::vector<PlanNodePtr> alternatives) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kOr));
+  n->children_ = std::move(alternatives);
+  return n;
+}
+
+PlanNodePtr PlanNode::Difference(PlanNodePtr left, PlanNodePtr right) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kDifference));
+  n->children_ = {std::move(left), std::move(right)};
+  return n;
+}
+
+PlanNodePtr PlanNode::Aggregate(AggFunc func, std::string field,
+                                std::string group_by, PlanNodePtr input) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kAggregate));
+  n->agg_func_ = func;
+  n->str_ = std::move(field);
+  n->str2_ = std::move(group_by);
+  n->children_ = {std::move(input)};
+  return n;
+}
+
+PlanNodePtr PlanNode::TopN(uint64_t limit, std::string order_field,
+                           bool ascending, PlanNodePtr input) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kTopN));
+  n->limit_ = limit;
+  n->str_ = std::move(order_field);
+  n->ascending_ = ascending;
+  n->children_ = {std::move(input)};
+  return n;
+}
+
+PlanNodePtr PlanNode::Display(std::string target, PlanNodePtr input) {
+  auto n = PlanNodePtr(new PlanNode(OpType::kDisplay));
+  n->str_ = std::move(target);
+  n->children_ = {std::move(input)};
+  return n;
+}
+
+PlanNodePtr PlanNode::CloneInternal(
+    std::vector<std::pair<const PlanNode*, PlanNodePtr>>* memo) const {
+  for (const auto& [orig, copy] : *memo) {
+    if (orig == this) return copy;
+  }
+  auto n = PlanNodePtr(new PlanNode(type_));
+  n->items_ = items_;  // items are immutable shared_ptrs: shallow copy OK
+  n->str_ = str_;
+  n->str2_ = str2_;
+  n->expr_ = expr_;  // expressions immutable
+  n->fields_ = fields_;
+  n->agg_func_ = agg_func_;
+  n->limit_ = limit_;
+  n->ascending_ = ascending_;
+  n->distinct_ = distinct_;
+  n->annotations_ = annotations_;
+  memo->emplace_back(this, n);
+  n->children_.reserve(children_.size());
+  for (const auto& c : children_) {
+    n->children_.push_back(c->CloneInternal(memo));
+  }
+  return n;
+}
+
+PlanNodePtr PlanNode::Clone() const {
+  std::vector<std::pair<const PlanNode*, PlanNodePtr>> memo;
+  return CloneInternal(&memo);
+}
+
+void PlanNode::MorphToData(ItemSet items) {
+  const auto staleness = annotations_.staleness_minutes;
+  type_ = OpType::kXmlData;
+  items_ = std::move(items);
+  children_.clear();
+  str_.clear();
+  str2_.clear();
+  expr_.reset();
+  fields_.clear();
+  annotations_ = Annotations{};
+  annotations_.staleness_minutes = staleness;
+  annotations_.cardinality = items_.size();
+}
+
+void PlanNode::MorphTo(const PlanNode& other) {
+  PlanNodePtr copy = other.Clone();
+  type_ = copy->type_;
+  items_ = std::move(copy->items_);
+  children_ = std::move(copy->children_);
+  str_ = std::move(copy->str_);
+  str2_ = std::move(copy->str2_);
+  expr_ = std::move(copy->expr_);
+  fields_ = std::move(copy->fields_);
+  agg_func_ = copy->agg_func_;
+  limit_ = copy->limit_;
+  ascending_ = copy->ascending_;
+  distinct_ = copy->distinct_;
+  annotations_ = copy->annotations_;
+}
+
+namespace {
+void CollectNodes(const PlanNode* node,
+                  std::unordered_set<const PlanNode*>* seen,
+                  std::vector<const PlanNode*>* order) {
+  if (seen->count(node) != 0) return;
+  seen->insert(node);
+  order->push_back(node);
+  for (const auto& c : node->children()) {
+    CollectNodes(c.get(), seen, order);
+  }
+}
+}  // namespace
+
+size_t PlanNode::NodeCount() const {
+  std::unordered_set<const PlanNode*> seen;
+  std::vector<const PlanNode*> order;
+  CollectNodes(this, &seen, &order);
+  return order.size();
+}
+
+std::vector<const PlanNode*> PlanNode::UrnLeaves() const {
+  std::unordered_set<const PlanNode*> seen;
+  std::vector<const PlanNode*> order;
+  CollectNodes(this, &seen, &order);
+  std::vector<const PlanNode*> out;
+  for (const PlanNode* n : order) {
+    if (n->type() == OpType::kUrn) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<const PlanNode*> PlanNode::UrlLeaves() const {
+  std::unordered_set<const PlanNode*> seen;
+  std::vector<const PlanNode*> order;
+  CollectNodes(this, &seen, &order);
+  std::vector<const PlanNode*> out;
+  for (const PlanNode* n : order) {
+    if (n->type() == OpType::kUrl) out.push_back(n);
+  }
+  return out;
+}
+
+bool PlanNode::Equals(const PlanNode& other, bool compare_annotations) const {
+  if (type_ != other.type_ || str_ != other.str_ || str2_ != other.str2_ ||
+      fields_ != other.fields_ || agg_func_ != other.agg_func_ ||
+      limit_ != other.limit_ || ascending_ != other.ascending_ ||
+      distinct_ != other.distinct_ ||
+      children_.size() != other.children_.size() ||
+      items_.size() != other.items_.size()) {
+    return false;
+  }
+  if (compare_annotations && !(annotations_ == other.annotations_)) {
+    return false;
+  }
+  if ((expr_ == nullptr) != (other.expr_ == nullptr)) return false;
+  if (expr_ != nullptr && !expr_->Equals(*other.expr_)) return false;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (!items_[i]->Equals(*other.items_[i])) return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i], compare_annotations)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string PlanNode::Summary() const {
+  switch (type_) {
+    case OpType::kXmlData:
+      return "data[" + std::to_string(items_.size()) + " items]";
+    case OpType::kUrl:
+      return "url(" + str_ + (str2_.empty() ? "" : ", " + str2_) + ")";
+    case OpType::kUrn:
+      return "urn(" + str_ + ")";
+    case OpType::kSelect:
+      return "select(" + (expr_ ? expr_->ToString() : "?") + ")";
+    case OpType::kProject:
+      return "project(" + mqp::Join(fields_, ",") + ")";
+    case OpType::kJoin:
+      return "join(" + (expr_ ? expr_->ToString() : "?") + ")";
+    case OpType::kLeftOuterJoin:
+      return "left-outer-join(" + (expr_ ? expr_->ToString() : "?") + ")";
+    case OpType::kUnion:
+      return "union";
+    case OpType::kOr:
+      return "or";
+    case OpType::kDifference:
+      return "difference";
+    case OpType::kAggregate:
+      return std::string(AggFuncName(agg_func_)) + "(" + str_ + ")" +
+             (str2_.empty() ? "" : " group by " + str2_);
+    case OpType::kTopN:
+      return "top" + std::to_string(limit_) + " by " + str_ +
+             (ascending_ ? " asc" : " desc");
+    case OpType::kDisplay:
+      return "display(target=" + str_ + ")";
+  }
+  return "?";
+}
+
+std::string PlanNode::ToDebugString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Summary();
+  out += '\n';
+  for (const auto& c : children_) {
+    out += c->ToDebugString(indent + 1);
+  }
+  return out;
+}
+
+std::string Plan::target() const {
+  if (root_ != nullptr && root_->type() == OpType::kDisplay) {
+    return root_->target();
+  }
+  return "";
+}
+
+void Plan::SnapshotOriginal() {
+  if (root_ != nullptr) original_ = root_->Clone();
+}
+
+bool Plan::IsFullyEvaluated() const {
+  if (root_ == nullptr) return false;
+  const PlanNode* n = root_.get();
+  if (n->type() == OpType::kDisplay) {
+    if (n->children().empty()) return false;
+    n = n->child(0).get();
+  }
+  return n->IsConstant();
+}
+
+Result<ItemSet> Plan::ResultItems() const {
+  if (!IsFullyEvaluated()) {
+    return Status::InvalidArgument("plan is not fully evaluated");
+  }
+  const PlanNode* n = root_.get();
+  if (n->type() == OpType::kDisplay) n = n->child(0).get();
+  return n->items();
+}
+
+Plan Plan::Clone() const {
+  Plan p;
+  if (root_ != nullptr) p.root_ = root_->Clone();
+  if (original_ != nullptr) p.original_ = original_->Clone();
+  p.provenance_ = provenance_;
+  p.policy_ = policy_;
+  p.query_id_ = query_id_;
+  p.submitted_at_ = submitted_at_;
+  return p;
+}
+
+}  // namespace mqp::algebra

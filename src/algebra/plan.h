@@ -1,0 +1,317 @@
+// Mutant Query Plan representation (paper §2).
+//
+// A plan is a DAG of operator nodes whose leaves are verbatim XML data,
+// URLs, or abstract resource names (URNs). The plan carries a target (where
+// to deliver the final result), optional provenance, and optionally a copy
+// of the original query (§5.1). Plans mutate as servers resolve leaves and
+// reduce evaluable sub-plans to constant data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/histogram.h"
+#include "algebra/provenance.h"
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace mqp::algebra {
+
+// Item / ItemSet are defined in algebra/histogram.h.
+
+/// Deep-copies an xml::Node into an Item.
+Item MakeItem(const xml::Node& node);
+
+/// Operator vocabulary.
+enum class OpType {
+  // Leaves.
+  kXmlData,     ///< verbatim XML data (a constant)
+  kUrl,         ///< resource location (host:port + XPath collection id)
+  kUrn,         ///< abstract resource name
+  // Relational operators.
+  kSelect,      ///< filter by predicate
+  kProject,     ///< keep a subset of child fields
+  kJoin,        ///< theta/equi join, merging matched items
+  kLeftOuterJoin,  ///< join keeping unmatched left items (§2's A ⟖ B)
+  kUnion,       ///< bag union of n inputs
+  kOr,          ///< conjoint union: any one input suffices (§4.2)
+  kDifference,  ///< bag difference (2 inputs)
+  kAggregate,   ///< count/sum/min/max/avg, optional group-by
+  kTopN,        ///< order by a field, keep n
+  // Pseudo-operators.
+  kDisplay,     ///< tags the plan's target (§2, Figure 3)
+};
+
+std::string_view OpTypeName(OpType t);
+
+/// Aggregate functions for kAggregate.
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+std::string_view AggFuncName(AggFunc f);
+Result<AggFunc> AggFuncFromName(std::string_view name);
+
+/// \brief Optional statistics a server may attach to a node instead of
+/// evaluating it (paper §5.1 "accumulating catalog and statistics
+/// information"), plus the currency bound of §4.3.
+struct Annotations {
+  std::optional<uint64_t> cardinality;   ///< number of items
+  std::optional<uint64_t> bytes;         ///< serialized size of the data
+  std::optional<uint64_t> distinct_keys; ///< distinct join-key values
+  std::optional<int> staleness_minutes;  ///< data may be this many minutes old
+  std::vector<FieldHistogram> histograms;  ///< per-field distributions
+
+  /// The histogram for `field`, or nullptr.
+  const FieldHistogram* HistogramFor(std::string_view field) const {
+    for (const auto& h : histograms) {
+      if (h.field == field) return &h;
+    }
+    return nullptr;
+  }
+
+  bool Empty() const {
+    return !cardinality && !bytes && !distinct_keys &&
+           !staleness_minutes && histograms.empty();
+  }
+  bool operator==(const Annotations&) const = default;
+};
+
+class PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+/// \brief One operator node in an MQP graph. Nodes are mutable (plans
+/// mutate); sharing is allowed (DAG), and serialization preserves it.
+class PlanNode {
+ public:
+  // --- leaf factories ---------------------------------------------------------
+  static PlanNodePtr XmlData(ItemSet items);
+  static PlanNodePtr Url(std::string url, std::string xpath = "");
+
+  /// `hint` optionally names a server known to be able to resolve the URN
+  /// (used when a catalog binds a request to an *index-level* source: the
+  /// MQP must travel there to be bound further, paper §4.2 Example 2).
+  static PlanNodePtr UrnRef(std::string urn, std::string hint = "");
+
+  // --- operator factories -----------------------------------------------------
+  static PlanNodePtr Select(ExprPtr predicate, PlanNodePtr input);
+  static PlanNodePtr Project(std::vector<std::string> fields,
+                             PlanNodePtr input);
+  static PlanNodePtr Join(ExprPtr condition, PlanNodePtr left,
+                          PlanNodePtr right);
+
+  /// Left outer join: matched items merge as in Join; unmatched left
+  /// items pass through unchanged (the paper's §2 rewrite keeps all of A
+  /// while attaching B's fields where they exist).
+  static PlanNodePtr LeftOuterJoin(ExprPtr condition, PlanNodePtr left,
+                                   PlanNodePtr right);
+
+  /// Bag union by default; `distinct` deduplicates structurally equal
+  /// items (used for replica unions, where R ∪ S would otherwise return
+  /// every replicated item twice).
+  static PlanNodePtr Union(std::vector<PlanNodePtr> inputs,
+                           bool distinct = false);
+  static PlanNodePtr Or(std::vector<PlanNodePtr> alternatives);
+  static PlanNodePtr Difference(PlanNodePtr left, PlanNodePtr right);
+  static PlanNodePtr Aggregate(AggFunc func, std::string field,
+                               std::string group_by, PlanNodePtr input);
+  static PlanNodePtr TopN(uint64_t n, std::string order_field, bool ascending,
+                          PlanNodePtr input);
+  static PlanNodePtr Display(std::string target, PlanNodePtr input);
+
+  OpType type() const { return type_; }
+  bool is_leaf() const {
+    return type_ == OpType::kXmlData || type_ == OpType::kUrl ||
+           type_ == OpType::kUrn;
+  }
+
+  // --- children ---------------------------------------------------------------
+  const std::vector<PlanNodePtr>& children() const { return children_; }
+  std::vector<PlanNodePtr>& mutable_children() { return children_; }
+  const PlanNodePtr& child(size_t i) const { return children_[i]; }
+
+  // --- payload accessors ------------------------------------------------------
+  /// kXmlData: the constant items.
+  const ItemSet& items() const { return items_; }
+  ItemSet& mutable_items() { return items_; }
+
+  /// kUrl: "host:port" or "http://host:port/"; `xpath` is the collection id.
+  const std::string& url() const { return str_; }
+  const std::string& xpath() const { return str2_; }
+
+  /// kUrn: the URN text.
+  const std::string& urn() const { return str_; }
+  /// kUrn: the resolver-hint server address ("" when none).
+  const std::string& urn_hint() const { return str2_; }
+
+  /// kSelect / kJoin: the predicate / join condition.
+  const ExprPtr& expr() const { return expr_; }
+  void set_expr(ExprPtr e) { expr_ = std::move(e); }
+
+  /// kProject: retained field names.
+  const std::vector<std::string>& fields() const { return fields_; }
+
+  /// kAggregate.
+  AggFunc agg_func() const { return agg_func_; }
+  const std::string& agg_field() const { return str_; }
+  const std::string& group_by() const { return str2_; }
+
+  /// kTopN.
+  uint64_t limit() const { return limit_; }
+  const std::string& order_field() const { return str_; }
+  bool ascending() const { return ascending_; }
+
+  /// kUnion: set semantics?
+  bool distinct() const { return distinct_; }
+
+  /// kDisplay.
+  const std::string& target() const { return str_; }
+
+  Annotations& annotations() { return annotations_; }
+  const Annotations& annotations() const { return annotations_; }
+
+  // --- whole-graph helpers ----------------------------------------------------
+
+  /// Deep copy. Shared sub-DAGs remain shared in the copy.
+  PlanNodePtr Clone() const;
+
+  /// Morphs this node in place into constant data — the *reduction* step of
+  /// mutant query processing (§2: "substitutes the resulting XML fragments
+  /// ... in the place of the evaluated sub-plans"). Annotations are cleared
+  /// except staleness, which describes the data itself.
+  void MorphToData(ItemSet items);
+
+  /// Morphs this node in place into a copy of `other` — the *resolution*
+  /// step (URN replaced by its binding). Annotations on this node are
+  /// replaced by `other`'s.
+  void MorphTo(const PlanNode& other);
+
+  /// True iff the node is constant data (a fully evaluated plan).
+  bool IsConstant() const { return type_ == OpType::kXmlData; }
+
+  /// Number of distinct nodes in the DAG rooted here.
+  size_t NodeCount() const;
+
+  /// All distinct URN leaves in the DAG.
+  std::vector<const PlanNode*> UrnLeaves() const;
+
+  /// All distinct URL leaves in the DAG.
+  std::vector<const PlanNode*> UrlLeaves() const;
+
+  /// Structural equality (ignores annotations by default).
+  bool Equals(const PlanNode& other, bool compare_annotations = false) const;
+
+  /// One-line summary, e.g. "select(price < 10)".
+  std::string Summary() const;
+
+  /// Multi-line indented tree rendering for debugging.
+  std::string ToDebugString(int indent = 0) const;
+
+ private:
+  explicit PlanNode(OpType type) : type_(type) {}
+
+  PlanNodePtr CloneInternal(
+      std::vector<std::pair<const PlanNode*, PlanNodePtr>>* memo) const;
+
+  OpType type_;
+  std::vector<PlanNodePtr> children_;
+  ItemSet items_;
+  std::string str_;   // url / urn / agg field / order field / target
+  std::string str2_;  // xpath / group_by
+  ExprPtr expr_;
+  std::vector<std::string> fields_;
+  AggFunc agg_func_ = AggFunc::kCount;
+  uint64_t limit_ = 0;
+  bool ascending_ = true;
+  bool distinct_ = false;
+  Annotations annotations_;
+};
+
+/// User preference when latency, completeness and currency conflict
+/// (paper §4.3: "a binary preference for complete versus current answers").
+enum class AnswerPreference { kComplete, kCurrent };
+
+/// \brief Policies an MQP carries with it (paper §5.2: "do not bind
+/// preferences until playlist is bound", "only let this MQP pass
+/// through servers on this list"; §4.3: time budget + answer preference).
+struct PlanPolicy {
+  /// When non-empty, the MQP may only be routed to these addresses.
+  std::vector<std::string> route_allow;
+
+  /// Ordering constraints: each pair {first, then} means the URN `then`
+  /// must not be bound while the URN `first` is still unresolved in the
+  /// plan.
+  std::vector<std::pair<std::string, std::string>> bind_after;
+
+  /// Target evaluation time in seconds (0 = unconstrained).
+  double time_budget_seconds = 0;
+
+  AnswerPreference preference = AnswerPreference::kComplete;
+
+  bool Empty() const {
+    return route_allow.empty() && bind_after.empty() &&
+           time_budget_seconds == 0 &&
+           preference == AnswerPreference::kComplete;
+  }
+  bool operator==(const PlanPolicy&) const = default;
+};
+
+/// \brief A complete mutant query plan: operator graph + target +
+/// provenance + policy + (optionally) the original query retained for
+/// §5.1 uses.
+class Plan {
+ public:
+  Plan() = default;
+  explicit Plan(PlanNodePtr root) : root_(std::move(root)) {}
+
+  const PlanNodePtr& root() const { return root_; }
+  void set_root(PlanNodePtr root) { root_ = std::move(root); }
+
+  /// The delivery target (from the top-level display node, if any).
+  std::string target() const;
+
+  Provenance& provenance() { return provenance_; }
+  const Provenance& provenance() const { return provenance_; }
+
+  /// Optional copy of the original, unevaluated plan (§5.1). May be null.
+  const PlanNodePtr& original() const { return original_; }
+  void set_original(PlanNodePtr original) { original_ = std::move(original); }
+
+  /// Retains a snapshot of the current root as the original plan.
+  void SnapshotOriginal();
+
+  /// True iff the plan has been reduced to constant XML data
+  /// (below the display node, if present).
+  bool IsFullyEvaluated() const;
+
+  /// The result items of a fully evaluated plan.
+  Result<ItemSet> ResultItems() const;
+
+  /// Deep copy (root, original, provenance).
+  Plan Clone() const;
+
+  /// Client-assigned query identifier (correlates results with requests).
+  const std::string& query_id() const { return query_id_; }
+  void set_query_id(std::string id) { query_id_ = std::move(id); }
+
+  /// Simulation time at which the client submitted the query (seconds);
+  /// used with PlanPolicy::time_budget_seconds.
+  double submitted_at() const { return submitted_at_; }
+  void set_submitted_at(double t) { submitted_at_ = t; }
+
+  PlanPolicy& policy() { return policy_; }
+  const PlanPolicy& policy() const { return policy_; }
+
+ private:
+  PlanNodePtr root_;
+  PlanNodePtr original_;
+  Provenance provenance_;
+  PlanPolicy policy_;
+  std::string query_id_;
+  double submitted_at_ = 0;
+};
+
+}  // namespace mqp::algebra

@@ -1,0 +1,424 @@
+#include "algebra/plan_xml.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace mqp::algebra {
+
+namespace {
+
+bool IsExprTag(const std::string& tag) {
+  return tag == "field" || tag == "literal" || tag == "compare" ||
+         tag == "and" || tag == "or-expr" || tag == "not" || tag == "exists";
+}
+
+// Annotation child elements that are not operator inputs.
+bool IsAnnotationTag(const std::string& tag) { return tag == "histogram"; }
+
+// Counts how many times each node is referenced in the DAG.
+void CountRefs(const PlanNode* node,
+               std::unordered_map<const PlanNode*, int>* refs) {
+  if (++(*refs)[node] > 1) return;  // only descend on first visit
+  for (const auto& c : node->children()) {
+    CountRefs(c.get(), refs);
+  }
+}
+
+class Serializer {
+ public:
+  std::unique_ptr<xml::Node> NodeToXml(const PlanNode& node) {
+    CountRefs(&node, &refs_);
+    return Emit(node);
+  }
+
+ private:
+  std::unique_ptr<xml::Node> Emit(const PlanNode& node) {
+    auto it = ids_.find(&node);
+    if (it != ids_.end()) {
+      auto ref = xml::Node::Element("ref");
+      ref->SetAttr("id", std::to_string(it->second));
+      return ref;
+    }
+    auto out = xml::Node::Element(std::string(OpTypeName(node.type())));
+    if (refs_[&node] > 1) {
+      const int id = next_id_++;
+      ids_[&node] = id;
+      out->SetAttr("node-id", std::to_string(id));
+    }
+    // Annotations.
+    const Annotations& a = node.annotations();
+    if (a.cardinality) out->SetAttr("card", std::to_string(*a.cardinality));
+    if (a.bytes) out->SetAttr("bytes", std::to_string(*a.bytes));
+    if (a.distinct_keys) {
+      out->SetAttr("distinct", std::to_string(*a.distinct_keys));
+    }
+    if (a.staleness_minutes) {
+      out->SetAttr("staleness", std::to_string(*a.staleness_minutes));
+    }
+    for (const auto& h : a.histograms) {
+      out->AddChild(h.ToXml());
+    }
+    switch (node.type()) {
+      case OpType::kXmlData:
+        for (const Item& item : node.items()) {
+          out->AddChild(item->Clone());
+        }
+        break;
+      case OpType::kUrl:
+        out->SetAttr("href", node.url());
+        if (!node.xpath().empty()) out->SetAttr("xpath", node.xpath());
+        break;
+      case OpType::kUrn:
+        out->SetAttr("name", node.urn());
+        if (!node.urn_hint().empty()) out->SetAttr("hint", node.urn_hint());
+        break;
+      case OpType::kSelect:
+      case OpType::kJoin:
+      case OpType::kLeftOuterJoin:
+        if (node.expr() != nullptr) out->AddChild(node.expr()->ToXml());
+        break;
+      case OpType::kProject:
+        out->SetAttr("fields", mqp::Join(node.fields(), ","));
+        break;
+      case OpType::kAggregate:
+        out->SetAttr("func", std::string(AggFuncName(node.agg_func())));
+        if (!node.agg_field().empty()) {
+          out->SetAttr("field", node.agg_field());
+        }
+        if (!node.group_by().empty()) {
+          out->SetAttr("groupby", node.group_by());
+        }
+        break;
+      case OpType::kTopN:
+        out->SetAttr("n", std::to_string(node.limit()));
+        out->SetAttr("orderby", node.order_field());
+        out->SetAttr("order", node.ascending() ? "asc" : "desc");
+        break;
+      case OpType::kUnion:
+        if (node.distinct()) out->SetAttr("distinct", "1");
+        break;
+      case OpType::kDisplay:
+        out->SetAttr("target", node.target());
+        break;
+      default:
+        break;
+    }
+    for (const auto& c : node.children()) {
+      out->AddChild(Emit(*c));
+    }
+    return out;
+  }
+
+  std::unordered_map<const PlanNode*, int> refs_;
+  std::unordered_map<const PlanNode*, int> ids_;
+  int next_id_ = 1;
+};
+
+class Deserializer {
+ public:
+  Result<PlanNodePtr> Parse(const xml::Node& elem) {
+    const std::string& tag = elem.name();
+    if (tag == "ref") {
+      const std::string id = elem.AttrOr("id", "");
+      auto it = by_id_.find(id);
+      if (it == by_id_.end()) {
+        return Status::ParseError("dangling <ref id=\"" + id + "\"/>");
+      }
+      return it->second;
+    }
+
+    MQP_ASSIGN_OR_RETURN(auto node, ParseByTag(elem));
+
+    // Annotations.
+    Annotations& a = node->annotations();
+    int64_t v;
+    if (auto s = elem.Attr("card"); s && mqp::ParseInt64(*s, &v)) {
+      a.cardinality = static_cast<uint64_t>(v);
+    }
+    if (auto s = elem.Attr("bytes"); s && mqp::ParseInt64(*s, &v)) {
+      a.bytes = static_cast<uint64_t>(v);
+    }
+    if (auto s = elem.Attr("distinct"); s && mqp::ParseInt64(*s, &v)) {
+      a.distinct_keys = static_cast<uint64_t>(v);
+    }
+    if (auto s = elem.Attr("staleness"); s && mqp::ParseInt64(*s, &v)) {
+      a.staleness_minutes = static_cast<int>(v);
+    }
+    for (const xml::Node* h : elem.Children("histogram")) {
+      MQP_ASSIGN_OR_RETURN(auto hist, FieldHistogram::FromXml(*h));
+      a.histograms.push_back(std::move(hist));
+    }
+    if (auto id = elem.Attr("node-id")) {
+      by_id_[std::string(*id)] = node;
+    }
+    return node;
+  }
+
+ private:
+  // Child operator elements (skipping the leading expression, if any).
+  Result<std::vector<PlanNodePtr>> ParseInputs(const xml::Node& elem) {
+    std::vector<PlanNodePtr> inputs;
+    for (const auto& c : elem.children()) {
+      if (!c->is_element() || IsExprTag(c->name()) ||
+          IsAnnotationTag(c->name())) {
+        continue;
+      }
+      MQP_ASSIGN_OR_RETURN(auto input, Parse(*c));
+      inputs.push_back(std::move(input));
+    }
+    return inputs;
+  }
+
+  Result<ExprPtr> ParseExprChild(const xml::Node& elem) {
+    for (const auto& c : elem.children()) {
+      if (c->is_element() && IsExprTag(c->name())) {
+        return Expr::FromXml(*c);
+      }
+    }
+    return Status::ParseError("<" + elem.name() +
+                              "> is missing its expression");
+  }
+
+  Status RequireInputs(const std::string& tag,
+                       const std::vector<PlanNodePtr>& inputs, size_t n) {
+    if (inputs.size() != n) {
+      return Status::ParseError("<" + tag + "> expects " + std::to_string(n) +
+                                " input(s), found " +
+                                std::to_string(inputs.size()));
+    }
+    return Status::OK();
+  }
+
+  Result<PlanNodePtr> ParseByTag(const xml::Node& elem) {
+    const std::string& tag = elem.name();
+    if (tag == "data") {
+      ItemSet items;
+      for (const auto& c : elem.children()) {
+        if (c->is_element() && !IsAnnotationTag(c->name())) {
+          items.push_back(Item(c->Clone().release()));
+        }
+      }
+      return PlanNode::XmlData(std::move(items));
+    }
+    if (tag == "url") {
+      return PlanNode::Url(elem.AttrOr("href", ""), elem.AttrOr("xpath", ""));
+    }
+    if (tag == "urn") {
+      return PlanNode::UrnRef(elem.AttrOr("name", ""),
+                              elem.AttrOr("hint", ""));
+    }
+    if (tag == "select") {
+      MQP_ASSIGN_OR_RETURN(auto expr, ParseExprChild(elem));
+      MQP_ASSIGN_OR_RETURN(auto inputs, ParseInputs(elem));
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, inputs, 1));
+      return PlanNode::Select(std::move(expr), std::move(inputs[0]));
+    }
+    if (tag == "project") {
+      MQP_ASSIGN_OR_RETURN(auto inputs, ParseInputs(elem));
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, inputs, 1));
+      return PlanNode::Project(
+          mqp::SplitSkipEmpty(elem.AttrOr("fields", ""), ','),
+          std::move(inputs[0]));
+    }
+    if (tag == "join" || tag == "leftouterjoin") {
+      MQP_ASSIGN_OR_RETURN(auto expr, ParseExprChild(elem));
+      MQP_ASSIGN_OR_RETURN(auto inputs, ParseInputs(elem));
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, inputs, 2));
+      return tag == "join"
+                 ? PlanNode::Join(std::move(expr), std::move(inputs[0]),
+                                  std::move(inputs[1]))
+                 : PlanNode::LeftOuterJoin(std::move(expr),
+                                           std::move(inputs[0]),
+                                           std::move(inputs[1]));
+    }
+    if (tag == "union" || tag == "or") {
+      MQP_ASSIGN_OR_RETURN(auto inputs, ParseInputs(elem));
+      if (inputs.empty()) {
+        return Status::ParseError("<" + tag + "> needs at least one input");
+      }
+      return tag == "union"
+                 ? PlanNode::Union(std::move(inputs),
+                                   elem.AttrOr("distinct", "") == "1")
+                 : PlanNode::Or(std::move(inputs));
+    }
+    if (tag == "difference") {
+      MQP_ASSIGN_OR_RETURN(auto inputs, ParseInputs(elem));
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, inputs, 2));
+      return PlanNode::Difference(std::move(inputs[0]), std::move(inputs[1]));
+    }
+    if (tag == "aggregate") {
+      MQP_ASSIGN_OR_RETURN(auto func,
+                           AggFuncFromName(elem.AttrOr("func", "count")));
+      MQP_ASSIGN_OR_RETURN(auto inputs, ParseInputs(elem));
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, inputs, 1));
+      return PlanNode::Aggregate(func, elem.AttrOr("field", ""),
+                                 elem.AttrOr("groupby", ""),
+                                 std::move(inputs[0]));
+    }
+    if (tag == "topn") {
+      int64_t n = 0;
+      if (!mqp::ParseInt64(elem.AttrOr("n", ""), &n) || n < 0) {
+        return Status::ParseError("<topn> has a bad n attribute");
+      }
+      MQP_ASSIGN_OR_RETURN(auto inputs, ParseInputs(elem));
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, inputs, 1));
+      return PlanNode::TopN(static_cast<uint64_t>(n),
+                            elem.AttrOr("orderby", ""),
+                            elem.AttrOr("order", "asc") != "desc",
+                            std::move(inputs[0]));
+    }
+    return Status::ParseError("unknown operator element <" + tag + ">");
+  }
+
+  std::unordered_map<std::string, PlanNodePtr> by_id_;
+
+ public:
+  Result<PlanNodePtr> ParseOp(const xml::Node& elem) {
+    if (elem.name() == "display") {
+      std::vector<PlanNodePtr> inputs;
+      for (const auto& c : elem.children()) {
+        if (!c->is_element()) continue;
+        MQP_ASSIGN_OR_RETURN(auto input, Parse(*c));
+        inputs.push_back(std::move(input));
+      }
+      MQP_RETURN_IF_ERROR(RequireInputs("display", inputs, 1));
+      return PlanNode::Display(elem.AttrOr("target", ""),
+                               std::move(inputs[0]));
+    }
+    return Parse(elem);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<xml::Node> PlanToXml(const Plan& plan) {
+  auto root = xml::Node::Element("mqp");
+  if (!plan.query_id().empty()) root->SetAttr("query-id", plan.query_id());
+  if (plan.submitted_at() != 0) {
+    root->SetAttr("submitted", mqp::FormatDouble(plan.submitted_at()));
+  }
+  if (!plan.policy().Empty()) {
+    const PlanPolicy& pol = plan.policy();
+    auto p = xml::Node::Element("policy");
+    if (pol.time_budget_seconds != 0) {
+      p->SetAttr("time-budget", mqp::FormatDouble(pol.time_budget_seconds));
+    }
+    p->SetAttr("prefer", pol.preference == AnswerPreference::kCurrent
+                             ? "current"
+                             : "complete");
+    for (const auto& s : pol.route_allow) {
+      p->AddElement("route-allow")->SetAttr("server", s);
+    }
+    for (const auto& [first, then] : pol.bind_after) {
+      auto* ba = p->AddElement("bind-after");
+      ba->SetAttr("first", first);
+      ba->SetAttr("then", then);
+    }
+    root->AddChild(std::move(p));
+  }
+  if (!plan.provenance().empty()) {
+    root->AddChild(plan.provenance().ToXml());
+  }
+  if (plan.original() != nullptr) {
+    auto orig = xml::Node::Element("original");
+    Serializer s;
+    orig->AddChild(s.NodeToXml(*plan.original()));
+    root->AddChild(std::move(orig));
+  }
+  auto body = xml::Node::Element("plan");
+  if (plan.root() != nullptr) {
+    Serializer s;
+    if (plan.root()->type() == OpType::kDisplay) {
+      // display carries the target and one input.
+      auto disp = xml::Node::Element("display");
+      disp->SetAttr("target", plan.root()->target());
+      disp->AddChild(s.NodeToXml(*plan.root()->child(0)));
+      body->AddChild(std::move(disp));
+    } else {
+      body->AddChild(s.NodeToXml(*plan.root()));
+    }
+  }
+  root->AddChild(std::move(body));
+  return root;
+}
+
+std::string SerializePlan(const Plan& plan, bool indent) {
+  xml::WriteOptions opts;
+  opts.indent = indent;
+  return xml::Serialize(*PlanToXml(plan), opts);
+}
+
+Result<Plan> PlanFromXml(const xml::Node& root) {
+  if (root.name() != "mqp") {
+    return Status::ParseError("expected <mqp> root, found <" + root.name() +
+                              ">");
+  }
+  Plan plan;
+  plan.set_query_id(root.AttrOr("query-id", ""));
+  if (auto s = root.Attr("submitted")) {
+    double t = 0;
+    if (!mqp::ParseDouble(*s, &t)) {
+      return Status::ParseError("bad submitted timestamp");
+    }
+    plan.set_submitted_at(t);
+  }
+  if (const xml::Node* pol = root.Child("policy")) {
+    PlanPolicy& p = plan.policy();
+    if (auto tb = pol->Attr("time-budget")) {
+      if (!mqp::ParseDouble(*tb, &p.time_budget_seconds)) {
+        return Status::ParseError("bad time-budget");
+      }
+    }
+    p.preference = pol->AttrOr("prefer", "complete") == "current"
+                       ? AnswerPreference::kCurrent
+                       : AnswerPreference::kComplete;
+    for (const xml::Node* ra : pol->Children("route-allow")) {
+      p.route_allow.push_back(ra->AttrOr("server", ""));
+    }
+    for (const xml::Node* ba : pol->Children("bind-after")) {
+      p.bind_after.emplace_back(ba->AttrOr("first", ""),
+                                ba->AttrOr("then", ""));
+    }
+  }
+  if (const xml::Node* prov = root.Child("provenance")) {
+    MQP_ASSIGN_OR_RETURN(auto p, Provenance::FromXml(*prov));
+    plan.provenance() = std::move(p);
+  }
+  if (const xml::Node* orig = root.Child("original")) {
+    Deserializer d;
+    for (const auto& c : orig->children()) {
+      if (c->is_element()) {
+        MQP_ASSIGN_OR_RETURN(auto node, d.ParseOp(*c));
+        plan.set_original(std::move(node));
+        break;
+      }
+    }
+  }
+  const xml::Node* body = root.Child("plan");
+  if (body == nullptr) {
+    return Status::ParseError("<mqp> is missing its <plan>");
+  }
+  Deserializer d;
+  for (const auto& c : body->children()) {
+    if (c->is_element()) {
+      MQP_ASSIGN_OR_RETURN(auto node, d.ParseOp(*c));
+      plan.set_root(std::move(node));
+      return plan;
+    }
+  }
+  return Status::ParseError("<plan> is empty");
+}
+
+Result<Plan> ParsePlan(std::string_view text) {
+  MQP_ASSIGN_OR_RETURN(auto doc, xml::Parse(text));
+  return PlanFromXml(*doc);
+}
+
+size_t PlanWireSize(const Plan& plan) {
+  return xml::SerializedSize(*PlanToXml(plan));
+}
+
+}  // namespace mqp::algebra

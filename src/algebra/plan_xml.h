@@ -1,0 +1,55 @@
+// XML serialization of mutant query plans — the wire format peers exchange.
+//
+// Layout:
+//
+//   <mqp>
+//     <provenance>...</provenance>   (optional)
+//     <original>OP</original>        (optional, §5.1)
+//     <plan>OP</plan>
+//   </mqp>
+//
+// where OP is one operator element:
+//
+//   <data>ITEM*</data>
+//   <url href="10.1.2.3:9020" xpath="/data[id=245]"/>
+//   <urn name="urn:ForSale:Portland-CDs"/>
+//   <select>EXPR OP</select>
+//   <project fields="title,price">OP</project>
+//   <join>EXPR OP OP</join>
+//   <union>OP*</union>  <or>OP*</or>  <difference>OP OP</difference>
+//   <aggregate func="count" field="price" groupby="seller">OP</aggregate>
+//   <topn n="10" orderby="price" order="asc">OP</topn>
+//   <display target="129.95.50.105:9020">OP</display>
+//
+// Shared sub-DAGs serialize once with a node-id attribute; later references
+// appear as <ref id="..."/>. Annotations (§5.1/§4.3) appear as card=,
+// bytes=, distinct=, staleness= attributes on any operator element.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "algebra/plan.h"
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace mqp::algebra {
+
+/// \brief Serializes a plan to its XML wire form.
+std::string SerializePlan(const Plan& plan, bool indent = false);
+
+/// \brief Serializes to a DOM (for embedding in larger messages).
+std::unique_ptr<xml::Node> PlanToXml(const Plan& plan);
+
+/// \brief Parses the XML wire form back into a Plan.
+Result<Plan> ParsePlan(std::string_view text);
+
+/// \brief Parses a plan from a DOM node (<mqp> element).
+Result<Plan> PlanFromXml(const xml::Node& root);
+
+/// \brief Serialized size of the plan in bytes (what the network would
+/// carry); the quantity MQP optimization tries to keep small.
+size_t PlanWireSize(const Plan& plan);
+
+}  // namespace mqp::algebra

@@ -1,0 +1,112 @@
+#include "algebra/provenance.h"
+
+#include "common/strings.h"
+
+namespace mqp::algebra {
+
+std::string_view ProvenanceActionName(ProvenanceAction a) {
+  switch (a) {
+    case ProvenanceAction::kForwarded:
+      return "forwarded";
+    case ProvenanceAction::kBound:
+      return "bound";
+    case ProvenanceAction::kProvidedData:
+      return "provided-data";
+    case ProvenanceAction::kReoptimized:
+      return "reoptimized";
+    case ProvenanceAction::kEvaluated:
+      return "evaluated";
+    case ProvenanceAction::kSpoofed:
+      return "spoofed";
+  }
+  return "forwarded";
+}
+
+Result<ProvenanceAction> ProvenanceActionFromName(std::string_view name) {
+  if (name == "forwarded") return ProvenanceAction::kForwarded;
+  if (name == "bound") return ProvenanceAction::kBound;
+  if (name == "provided-data") return ProvenanceAction::kProvidedData;
+  if (name == "reoptimized") return ProvenanceAction::kReoptimized;
+  if (name == "evaluated") return ProvenanceAction::kEvaluated;
+  if (name == "spoofed") return ProvenanceAction::kSpoofed;
+  return Status::ParseError("unknown provenance action '" +
+                            std::string(name) + "'");
+}
+
+bool Provenance::Visited(std::string_view server) const {
+  for (const auto& e : entries_) {
+    if (e.server == server) return true;
+  }
+  return false;
+}
+
+size_t Provenance::HopCount() const {
+  size_t hops = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].server != entries_[i - 1].server) ++hops;
+  }
+  return hops;
+}
+
+size_t Provenance::DistinctServers() const {
+  std::vector<std::string_view> seen;
+  for (const auto& e : entries_) {
+    bool found = false;
+    for (auto s : seen) {
+      if (s == e.server) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) seen.push_back(e.server);
+  }
+  return seen.size();
+}
+
+int Provenance::MaxStalenessMinutes() const {
+  int max = 0;
+  for (const auto& e : entries_) {
+    if (e.staleness_minutes > max) max = e.staleness_minutes;
+  }
+  return max;
+}
+
+std::unique_ptr<xml::Node> Provenance::ToXml() const {
+  auto node = xml::Node::Element("provenance");
+  for (const auto& e : entries_) {
+    xml::Node* v = node->AddElement("visit");
+    v->SetAttr("server", e.server);
+    v->SetAttr("time", mqp::FormatDouble(e.time));
+    v->SetAttr("action", std::string(ProvenanceActionName(e.action)));
+    if (!e.detail.empty()) v->SetAttr("detail", e.detail);
+    if (e.staleness_minutes != 0) {
+      v->SetAttr("staleness", std::to_string(e.staleness_minutes));
+    }
+  }
+  return node;
+}
+
+Result<Provenance> Provenance::FromXml(const xml::Node& node) {
+  Provenance prov;
+  for (const xml::Node* v : node.Children("visit")) {
+    ProvenanceEntry e;
+    e.server = v->AttrOr("server", "");
+    if (!mqp::ParseDouble(v->AttrOr("time", "0"), &e.time)) {
+      return Status::ParseError("bad provenance time");
+    }
+    MQP_ASSIGN_OR_RETURN(e.action,
+                         ProvenanceActionFromName(v->AttrOr("action", "")));
+    e.detail = v->AttrOr("detail", "");
+    int64_t staleness = 0;
+    if (auto s = v->Attr("staleness")) {
+      if (!mqp::ParseInt64(*s, &staleness)) {
+        return Status::ParseError("bad provenance staleness");
+      }
+    }
+    e.staleness_minutes = static_cast<int>(staleness);
+    prov.Add(std::move(e));
+  }
+  return prov;
+}
+
+}  // namespace mqp::algebra

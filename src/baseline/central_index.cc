@@ -1,0 +1,113 @@
+#include "baseline/central_index.h"
+
+#include "engine/operator.h"
+#include "peer/peer.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace mqp::baseline {
+
+using algebra::PlanNode;
+
+CentralIndexServer::CentralIndexServer(net::Simulator* sim) : sim_(sim) {
+  id_ = sim_->Register(this);
+}
+
+void CentralIndexServer::AddEntry(const ns::InterestArea& area,
+                                  const std::string& server,
+                                  const std::string& xpath) {
+  entries_.push_back({area, server, xpath});
+}
+
+void CentralIndexServer::HandleMessage(const net::Message& msg) {
+  if (msg.kind != "lookup") return;
+  auto doc = xml::Parse(msg.payload);
+  if (!doc.ok()) return;
+  auto area = ns::InterestArea::Parse((*doc)->AttrOr("area", ""));
+  auto reply = xml::Node::Element("lookup-reply");
+  reply->SetAttr("req", (*doc)->AttrOr("req", ""));
+  if (area.ok()) {
+    for (const auto& e : entries_) {
+      if (!e.area.Overlaps(*area)) continue;
+      xml::Node* hit = reply->AddElement("hit");
+      hit->SetAttr("server", e.server);
+      hit->SetAttr("xpath", e.xpath);
+    }
+  }
+  sim_->Send({id_, msg.from, "lookup-reply", xml::Serialize(*reply), 0});
+}
+
+CentralIndexClient::CentralIndexClient(net::Simulator* sim,
+                                       std::string index_address)
+    : sim_(sim), index_address_(std::move(index_address)) {
+  id_ = sim_->Register(this);
+}
+
+void CentralIndexClient::Run(algebra::Plan plan,
+                             const ns::InterestArea& area, Callback cb) {
+  plan_ = std::move(plan);
+  callback_ = std::move(cb);
+  outcome_ = Outcome{};
+  outcome_.started_at = sim_->now();
+  fetched_.clear();
+  outstanding_ = 0;
+  lookup_req_ = "lk" + std::to_string(next_req_++);
+  auto q = xml::Node::Element("lookup");
+  q->SetAttr("req", lookup_req_);
+  q->SetAttr("area", area.ToString());
+  auto pid = sim_->Lookup(index_address_);
+  if (!pid.ok()) return;
+  sim_->Send({id_, *pid, "lookup", xml::Serialize(*q), 0});
+}
+
+void CentralIndexClient::HandleMessage(const net::Message& msg) {
+  if (msg.kind == "lookup-reply") {
+    auto doc = xml::Parse(msg.payload);
+    if (!doc.ok() || (*doc)->AttrOr("req", "") != lookup_req_) return;
+    const auto hits = (*doc)->Children("hit");
+    outcome_.servers_contacted = hits.size();
+    if (hits.empty()) {
+      FinishIfDone();
+      return;
+    }
+    for (const xml::Node* hit : hits) {
+      auto pid = sim_->Lookup(hit->AttrOr("server", ""));
+      if (!pid.ok()) continue;
+      auto fetch = xml::Node::Element("fetch");
+      fetch->SetAttr("req", lookup_req_);
+      fetch->SetAttr("xpath", hit->AttrOr("xpath", ""));
+      ++outstanding_;
+      sim_->Send({id_, *pid, peer::kFetchKind, xml::Serialize(*fetch), 0});
+    }
+    FinishIfDone();
+  } else if (msg.kind == peer::kFetchReplyKind) {
+    auto doc = xml::Parse(msg.payload);
+    if (!doc.ok()) return;
+    for (const xml::Node* item : (*doc)->Children("*")) {
+      fetched_.push_back(algebra::MakeItem(*item));
+    }
+    if (outstanding_ > 0) --outstanding_;
+    FinishIfDone();
+  }
+}
+
+void CentralIndexClient::FinishIfDone() {
+  if (outstanding_ > 0 || !callback_) return;
+  // Bind the plan's URN leaf to the fetched data and evaluate locally.
+  if (plan_.root() != nullptr) {
+    for (const PlanNode* urn : plan_.root()->UrnLeaves()) {
+      const_cast<PlanNode*>(urn)->MorphToData(fetched_);
+    }
+    auto items = engine::Evaluate(*plan_.root(), nullptr);
+    if (items.ok()) {
+      outcome_.items = std::move(items).value();
+      outcome_.complete = true;
+    }
+  }
+  outcome_.finished_at = sim_->now();
+  Callback cb = std::move(callback_);
+  callback_ = nullptr;
+  cb(outcome_);
+}
+
+}  // namespace mqp::baseline

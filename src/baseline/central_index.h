@@ -1,0 +1,84 @@
+// The "Napster" baseline (paper §1): a centralized index server that all
+// queries must go through. Clients look up the index, then fetch matching
+// collections from base servers and evaluate locally.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "net/simulator.h"
+#include "ns/interest.h"
+
+namespace mqp::baseline {
+
+/// \brief The central index: global (area → server, xpath) knowledge.
+/// Populated directly by the harness — in the Napster model registration
+/// is mandatory and omniscient.
+class CentralIndexServer : public net::PeerNode {
+ public:
+  explicit CentralIndexServer(net::Simulator* sim);
+
+  net::PeerId id() const { return id_; }
+  std::string address() const { return net::Simulator::AddressOf(id_); }
+
+  void AddEntry(const ns::InterestArea& area, const std::string& server,
+                const std::string& xpath);
+  size_t entry_count() const { return entries_.size(); }
+
+  void HandleMessage(const net::Message& msg) override;
+
+ private:
+  struct Entry {
+    ns::InterestArea area;
+    std::string server;
+    std::string xpath;
+  };
+  net::Simulator* sim_;
+  net::PeerId id_;
+  std::vector<Entry> entries_;
+};
+
+/// \brief A client of the central index. Fetches collection data from the
+/// base peers named by the index and evaluates the plan locally.
+class CentralIndexClient : public net::PeerNode {
+ public:
+  struct Outcome {
+    bool complete = false;
+    algebra::ItemSet items;
+    double started_at = 0;
+    double finished_at = 0;
+    size_t servers_contacted = 0;
+  };
+  using Callback = std::function<void(const Outcome&)>;
+
+  CentralIndexClient(net::Simulator* sim, std::string index_address);
+
+  net::PeerId id() const { return id_; }
+  std::string address() const { return net::Simulator::AddressOf(id_); }
+
+  /// Runs `plan` (whose single URN leaf must be an interest-area URN
+  /// matching `area`); `cb` fires when all fetches return.
+  void Run(algebra::Plan plan, const ns::InterestArea& area, Callback cb);
+
+  void HandleMessage(const net::Message& msg) override;
+
+ private:
+  void FinishIfDone();
+
+  net::Simulator* sim_;
+  net::PeerId id_;
+  std::string index_address_;
+
+  algebra::Plan plan_;
+  Callback callback_;
+  Outcome outcome_;
+  size_t outstanding_ = 0;
+  algebra::ItemSet fetched_;
+  uint64_t next_req_ = 0;
+  std::string lookup_req_;
+};
+
+}  // namespace mqp::baseline

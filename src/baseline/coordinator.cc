@@ -1,0 +1,153 @@
+#include "baseline/coordinator.h"
+
+#include "algebra/plan_xml.h"
+#include "engine/operator.h"
+#include "ns/urn.h"
+#include "peer/peer.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace mqp::baseline {
+
+using algebra::OpType;
+using algebra::PlanNode;
+using algebra::PlanNodePtr;
+
+Coordinator::Coordinator(net::Simulator* sim, Mode mode,
+                         double timeout_seconds)
+    : sim_(sim), mode_(mode), timeout_seconds_(timeout_seconds) {
+  id_ = sim_->Register(this);
+}
+
+void Coordinator::AddCatalogEntry(const ns::InterestArea& area,
+                                  const std::string& server,
+                                  const std::string& xpath) {
+  entries_.push_back({area, server, xpath});
+}
+
+namespace {
+
+// Finds the first URN leaf and, if its direct parent is a select, the
+// predicate guarding it.
+struct UrnSite {
+  PlanNode* urn = nullptr;
+  algebra::ExprPtr predicate;
+};
+
+void FindUrnSite(PlanNode* node, UrnSite* site) {
+  if (site->urn != nullptr) return;
+  if (node->type() == OpType::kSelect && !node->children().empty() &&
+      node->child(0)->type() == OpType::kUrn) {
+    site->urn = node->child(0).get();
+    site->predicate = node->expr();
+    return;
+  }
+  if (node->type() == OpType::kUrn) {
+    site->urn = node;
+    return;
+  }
+  for (const auto& c : node->children()) {
+    FindUrnSite(c.get(), site);
+    if (site->urn != nullptr) return;
+  }
+}
+
+}  // namespace
+
+void Coordinator::Run(algebra::Plan plan, Callback cb) {
+  plan_ = std::move(plan);
+  callback_ = std::move(cb);
+  outcome_ = Outcome{};
+  outcome_.started_at = sim_->now();
+  gathered_.clear();
+  outstanding_ = 0;
+  req_ = "co" + std::to_string(next_req_++);
+
+  UrnSite site;
+  if (plan_.root() != nullptr) FindUrnSite(plan_.root().get(), &site);
+  ns::InterestArea area;
+  if (site.urn != nullptr) {
+    auto urn = ns::Urn::Parse(site.urn->urn());
+    if (urn.ok() && urn->IsInterestArea()) {
+      auto a = urn->ToInterestArea();
+      if (a.ok()) area = *a;
+    }
+  }
+
+  // Dispatch one sub-query per matching source, in parallel.
+  for (const auto& e : entries_) {
+    if (!area.empty() && !e.area.Overlaps(area)) continue;
+    auto pid = sim_->Lookup(e.server);
+    if (!pid.ok()) continue;
+    ++outcome_.sources_contacted;
+    ++outstanding_;
+    if (mode_ == Mode::kShipAll) {
+      auto fetch = xml::Node::Element("fetch");
+      fetch->SetAttr("req", req_);
+      fetch->SetAttr("xpath", e.xpath);
+      sim_->Send({id_, *pid, peer::kFetchKind, xml::Serialize(*fetch), 0});
+    } else {
+      // Push the selection to the source.
+      PlanNodePtr sub = PlanNode::Url(e.server, e.xpath);
+      if (site.predicate != nullptr) {
+        sub = PlanNode::Select(site.predicate, std::move(sub));
+      }
+      algebra::Plan subplan(std::move(sub));
+      auto msg = xml::Node::Element("subquery");
+      msg->SetAttr("req", req_);
+      msg->AddChild(algebra::PlanToXml(subplan));
+      sim_->Send(
+          {id_, *pid, peer::kSubqueryKind, xml::Serialize(*msg), 0});
+    }
+  }
+  if (outstanding_ == 0) {
+    Finish();
+    return;
+  }
+  // Failure handling: a timeout bounds the wait for dead sources.
+  const std::string this_req = req_;
+  sim_->Schedule(sim_->now() + timeout_seconds_, [this, this_req]() {
+    if (callback_ && req_ == this_req && outstanding_ > 0) {
+      outcome_.sources_failed = outstanding_;
+      outstanding_ = 0;
+      Finish();
+    }
+  });
+}
+
+void Coordinator::HandleMessage(const net::Message& msg) {
+  if (msg.kind != peer::kFetchReplyKind &&
+      msg.kind != peer::kSubqueryReplyKind) {
+    return;
+  }
+  auto doc = xml::Parse(msg.payload);
+  if (!doc.ok() || (*doc)->AttrOr("req", "") != req_) return;
+  if (outstanding_ == 0) return;  // already timed out
+  for (const xml::Node* item : (*doc)->Children("*")) {
+    gathered_.push_back(algebra::MakeItem(*item));
+  }
+  --outstanding_;
+  if (outstanding_ == 0) Finish();
+}
+
+void Coordinator::Finish() {
+  if (!callback_) return;
+  if (plan_.root() != nullptr) {
+    // Bind every URN leaf to the gathered data, then run the remainder of
+    // the plan here at the coordinator.
+    UrnSite site;
+    FindUrnSite(plan_.root().get(), &site);
+    if (site.urn != nullptr) site.urn->MorphToData(gathered_);
+    auto items = engine::Evaluate(*plan_.root(), nullptr);
+    if (items.ok()) {
+      outcome_.items = std::move(items).value();
+      outcome_.complete = outcome_.sources_failed == 0;
+    }
+  }
+  outcome_.finished_at = sim_->now();
+  Callback cb = std::move(callback_);
+  callback_ = nullptr;
+  cb(outcome_);
+}
+
+}  // namespace mqp::baseline

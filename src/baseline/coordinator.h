@@ -1,0 +1,81 @@
+// Traditional coordinator-based distributed query processing (paper §2:
+// "Traditional distributed query processing depends on coordinators,
+// servers that must know all about data replication and statistics").
+//
+// The coordinator holds an omniscient catalog, dispatches per-source
+// sub-queries in parallel, gathers the results, and finishes the join
+// locally. Contrast with MQPs: here a single site must know everything
+// and all data flows through it, but sources are contacted in parallel.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "net/simulator.h"
+#include "ns/interest.h"
+
+namespace mqp::baseline {
+
+/// \brief A coordinator with perfect global knowledge.
+class Coordinator : public net::PeerNode {
+ public:
+  /// How much work is pushed to the sources.
+  enum class Mode {
+    kShipAll,         ///< fetch raw collections; all filtering at the coordinator
+    kPushSelections,  ///< send select sub-queries; sources filter locally
+  };
+
+  struct Outcome {
+    bool complete = false;     ///< all sources answered before the timeout
+    algebra::ItemSet items;
+    double started_at = 0;
+    double finished_at = 0;
+    size_t sources_contacted = 0;
+    size_t sources_failed = 0;
+  };
+  using Callback = std::function<void(const Outcome&)>;
+
+  Coordinator(net::Simulator* sim, Mode mode, double timeout_seconds = 30);
+
+  net::PeerId id() const { return id_; }
+  std::string address() const { return net::Simulator::AddressOf(id_); }
+
+  /// Registers a source in the global catalog.
+  void AddCatalogEntry(const ns::InterestArea& area,
+                       const std::string& server, const std::string& xpath);
+
+  /// Executes `plan`: its (single) interest-area URN is resolved against
+  /// the global catalog, sub-queries are dispatched in parallel, and the
+  /// rest of the plan runs at the coordinator once data arrives.
+  void Run(algebra::Plan plan, Callback cb);
+
+  void HandleMessage(const net::Message& msg) override;
+
+ private:
+  struct Entry {
+    ns::InterestArea area;
+    std::string server;
+    std::string xpath;
+  };
+
+  void Finish();
+
+  net::Simulator* sim_;
+  net::PeerId id_;
+  Mode mode_;
+  double timeout_seconds_;
+  std::vector<Entry> entries_;
+
+  algebra::Plan plan_;
+  Callback callback_;
+  Outcome outcome_;
+  std::string req_;
+  size_t outstanding_ = 0;
+  algebra::ItemSet gathered_;
+  uint64_t next_req_ = 0;
+};
+
+}  // namespace mqp::baseline

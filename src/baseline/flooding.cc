@@ -1,0 +1,129 @@
+#include "baseline/flooding.h"
+
+#include "common/strings.h"
+#include "workload/garage_sale.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace mqp::baseline {
+
+FloodingPeer::FloodingPeer(net::Simulator* sim, ns::InterestArea area,
+                           algebra::ItemSet items)
+    : sim_(sim), area_(std::move(area)), items_(std::move(items)) {
+  id_ = sim_->Register(this);
+}
+
+void FloodingPeer::AddNeighbor(net::PeerId neighbor) {
+  if (neighbor == id_) return;
+  for (net::PeerId n : neighbors_) {
+    if (n == neighbor) return;
+  }
+  neighbors_.push_back(neighbor);
+}
+
+void FloodingPeer::StartFlood(const std::string& flood_id,
+                              const ns::InterestArea& area, int horizon,
+                              net::PeerId reply_to) {
+  seen_.insert(flood_id);
+  Forward(flood_id, area, horizon, reply_to, net::kNoPeer);
+}
+
+void FloodingPeer::Forward(const std::string& flood_id,
+                           const ns::InterestArea& area, int horizon,
+                           net::PeerId reply_to, net::PeerId except) {
+  if (horizon <= 0) return;
+  auto q = xml::Node::Element("flood");
+  q->SetAttr("id", flood_id);
+  q->SetAttr("area", area.ToString());
+  q->SetAttr("horizon", std::to_string(horizon));
+  q->SetAttr("reply-to", std::to_string(reply_to));
+  const std::string payload = xml::Serialize(*q);
+  for (net::PeerId n : neighbors_) {
+    if (n == except) continue;
+    sim_->Send({id_, n, "flood", payload, 0});
+  }
+}
+
+void FloodingPeer::HandleMessage(const net::Message& msg) {
+  if (msg.kind != "flood") return;
+  auto doc = xml::Parse(msg.payload);
+  if (!doc.ok()) return;
+  const std::string flood_id = (*doc)->AttrOr("id", "");
+  if (!seen_.insert(flood_id).second) return;  // duplicate: drop
+  auto area = ns::InterestArea::Parse((*doc)->AttrOr("area", ""));
+  if (!area.ok()) return;
+  int64_t horizon = 0;
+  (void)mqp::ParseInt64((*doc)->AttrOr("horizon", "0"), &horizon);
+  int64_t reply_to = 0;
+  (void)mqp::ParseInt64((*doc)->AttrOr("reply-to", "-1"), &reply_to);
+
+  // Local match: send items that fall inside the queried area.
+  if (area_.Overlaps(*area) && reply_to >= 0) {
+    auto hit = xml::Node::Element("flood-hit");
+    hit->SetAttr("id", flood_id);
+    for (const auto& item : items_) {
+      if (workload::GarageSaleGenerator::ItemInArea(*item, *area)) {
+        hit->AddChild(item->Clone());
+      }
+    }
+    if (hit->ElementCount() > 0) {
+      sim_->Send({id_, static_cast<net::PeerId>(reply_to), "flood-hit",
+                  xml::Serialize(*hit), 0});
+    }
+  }
+  Forward(flood_id, *area, static_cast<int>(horizon) - 1,
+          static_cast<net::PeerId>(reply_to), msg.from);
+}
+
+FloodingClient::FloodingClient(net::Simulator* sim)
+    : FloodingPeer(sim, ns::InterestArea(), {}) {}
+
+void FloodingClient::Query(const ns::InterestArea& area, int horizon) {
+  const std::string flood_id =
+      "f" + std::to_string(id()) + "-" + std::to_string(next_flood_++);
+  StartFlood(flood_id, area, horizon, id());
+}
+
+void FloodingClient::Reset() {
+  collected_.clear();
+  hits_ = 0;
+}
+
+void FloodingClient::HandleMessage(const net::Message& msg) {
+  if (msg.kind == "flood-hit") {
+    auto doc = xml::Parse(msg.payload);
+    if (!doc.ok()) return;
+    ++hits_;
+    for (const xml::Node* item : (*doc)->Children("*")) {
+      collected_.push_back(algebra::MakeItem(*item));
+    }
+    return;
+  }
+  FloodingPeer::HandleMessage(msg);
+}
+
+void BuildRandomOverlay(const std::vector<FloodingPeer*>& peers,
+                        size_t degree, Rng* rng) {
+  const size_t n = peers.size();
+  if (n < 2) return;
+  // Ring for connectivity.
+  for (size_t i = 0; i < n; ++i) {
+    peers[i]->AddNeighbor(peers[(i + 1) % n]->id());
+    peers[(i + 1) % n]->AddNeighbor(peers[i]->id());
+  }
+  // Random chords until the average degree target is met.
+  const size_t target_edges = n * degree / 2;
+  size_t edges = n;
+  size_t attempts = 0;
+  while (edges < target_edges && attempts < 20 * target_edges) {
+    ++attempts;
+    const size_t a = rng->NextBelow(n);
+    const size_t b = rng->NextBelow(n);
+    if (a == b) continue;
+    peers[a]->AddNeighbor(peers[b]->id());
+    peers[b]->AddNeighbor(peers[a]->id());
+    ++edges;
+  }
+}
+
+}  // namespace mqp::baseline

@@ -1,0 +1,434 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace mqp::catalog {
+
+using algebra::PlanNode;
+using algebra::PlanNodePtr;
+
+int BindingAlternative::MaxStaleness() const {
+  int max = 0;
+  for (const auto& s : sources) {
+    max = std::max(max, s.staleness_minutes);
+  }
+  return max;
+}
+
+std::string Binding::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < alternatives.size(); ++i) {
+    if (i > 0) out += " | ";
+    const auto& alt = alternatives[i];
+    for (size_t j = 0; j < alt.sources.size(); ++j) {
+      if (j > 0) out += " + ";
+      const SourceRef& s = alt.sources[j];
+      out += std::string(HoldingLevelName(s.level)) + "[" +
+             s.portion.ToString() + "]@" + s.server;
+      if (s.staleness_minutes != 0) {
+        out += "{" + std::to_string(s.staleness_minutes) + "}";
+      }
+    }
+  }
+  return out;
+}
+
+algebra::ExprPtr AreaPredicate(const ns::InterestArea& area,
+                               const std::vector<std::string>& fields) {
+  using algebra::Expr;
+  algebra::ExprPtr result;
+  for (const auto& cell : area.cells()) {
+    algebra::ExprPtr cell_pred;
+    for (size_t d = 0; d < cell.coords().size() && d < fields.size(); ++d) {
+      const ns::CategoryPath& coord = cell.coord(d);
+      if (coord.IsTop()) continue;  // no constraint
+      auto test = Expr::Compare(algebra::CompareOp::kHasPrefix,
+                                Expr::Field(fields[d]),
+                                Expr::Literal(coord.ToString()));
+      cell_pred = cell_pred == nullptr
+                      ? test
+                      : Expr::And(std::move(cell_pred), std::move(test));
+    }
+    if (cell_pred == nullptr) return nullptr;  // an all-covering cell
+    result = result == nullptr
+                 ? cell_pred
+                 : Expr::Or(std::move(result), std::move(cell_pred));
+  }
+  return result;
+}
+
+PlanNodePtr BindingToPlan(const Binding& binding) {
+  auto source_node = [&](const SourceRef& s) -> PlanNodePtr {
+    PlanNodePtr node;
+    if (s.level == HoldingLevel::kBase) {
+      node = PlanNode::Url(s.server, s.xpath);
+      if (!binding.dimension_fields.empty()) {
+        auto guard = AreaPredicate(s.portion, binding.dimension_fields);
+        if (guard != nullptr) {
+          auto annotated = node;
+          node = PlanNode::Select(std::move(guard), std::move(annotated));
+        }
+      }
+    } else {
+      // The MQP must travel to this index/meta server for further binding:
+      // keep the (narrowed) URN with a resolver hint.
+      node = PlanNode::UrnRef(
+          s.portion.empty() ? binding.urn
+                            : ns::AreaToUrn(s.portion).ToString(),
+          s.server);
+    }
+    if (s.staleness_minutes != 0) {
+      node->annotations().staleness_minutes = s.staleness_minutes;
+    }
+    return node;
+  };
+  auto alternative_node = [&](const BindingAlternative& alt) -> PlanNodePtr {
+    if (alt.sources.size() == 1) return source_node(alt.sources[0]);
+    std::vector<PlanNodePtr> inputs;
+    inputs.reserve(alt.sources.size());
+    for (const auto& s : alt.sources) {
+      inputs.push_back(source_node(s));
+    }
+    return PlanNode::Union(std::move(inputs), alt.distinct);
+  };
+  if (binding.alternatives.size() == 1) {
+    return alternative_node(binding.alternatives[0]);
+  }
+  std::vector<PlanNodePtr> alts;
+  alts.reserve(binding.alternatives.size());
+  for (const auto& alt : binding.alternatives) {
+    alts.push_back(alternative_node(alt));
+  }
+  return PlanNode::Or(std::move(alts));
+}
+
+void Catalog::AddNamedMapping(const std::string& urn,
+                              const std::string& server,
+                              const std::string& xpath) {
+  IndexEntry e;
+  e.level = HoldingLevel::kBase;
+  e.server = server;
+  e.xpath = xpath;
+  for (const auto& existing : named_[urn]) {
+    if (existing == e) return;
+  }
+  named_[urn].push_back(std::move(e));
+}
+
+void Catalog::AddNamedReferral(const std::string& urn,
+                               const std::string& server) {
+  IndexEntry e;
+  e.level = HoldingLevel::kIndex;
+  e.server = server;
+  for (const auto& existing : named_[urn]) {
+    if (existing == e) return;
+  }
+  named_[urn].push_back(std::move(e));
+}
+
+void Catalog::AddEntry(IndexEntry entry) {
+  // Idempotent registration: drop exact duplicates.
+  for (const auto& e : entries_) {
+    if (e == entry) return;
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void Catalog::RemoveServer(const std::string& server) {
+  std::erase_if(entries_,
+                [&](const IndexEntry& e) { return e.server == server; });
+  for (auto& [urn, entries] : named_) {
+    std::erase_if(entries,
+                  [&](const IndexEntry& e) { return e.server == server; });
+  }
+}
+
+void Catalog::AddStatement(IntensionalStatement st) {
+  for (const auto& s : statements_) {
+    if (s == st) return;
+  }
+  statements_.push_back(std::move(st));
+}
+
+namespace {
+
+void SortSources(std::vector<SourceRef>* sources) {
+  std::sort(sources->begin(), sources->end(),
+            [](const SourceRef& a, const SourceRef& b) {
+              if (a.server != b.server) return a.server < b.server;
+              return a.xpath < b.xpath;
+            });
+}
+
+bool ContainsAlternative(const std::vector<BindingAlternative>& alts,
+                         const BindingAlternative& alt) {
+  return std::find(alts.begin(), alts.end(), alt) != alts.end();
+}
+
+}  // namespace
+
+ns::InterestArea Catalog::ApproximateRequest(
+    const ns::InterestArea& request) const {
+  if (hierarchies_ == nullptr) return request;
+  ns::InterestArea out;
+  for (const auto& cell : request.cells()) {
+    if (cell.coords().size() != hierarchies_->dimension_count()) {
+      out.AddCell(cell);  // arity mismatch: leave untouched
+      continue;
+    }
+    std::vector<ns::CategoryPath> coords;
+    coords.reserve(cell.coords().size());
+    for (size_t d = 0; d < cell.coords().size(); ++d) {
+      const ns::CategoryPath& c = cell.coord(d);
+      coords.push_back(hierarchies_->dimension(d).Contains(c)
+                           ? c
+                           : hierarchies_->dimension(d).Approximate(c));
+    }
+    out.AddCell(ns::InterestCell(std::move(coords)));
+  }
+  return out;
+}
+
+Binding Catalog::ResolveArea(const ns::InterestArea& raw_request,
+                             const std::string& urn_text) const {
+  // §3.5: approximate unknown categories by their deepest known ancestor.
+  const ns::InterestArea request = ApproximateRequest(raw_request);
+  Binding binding;
+  binding.urn = urn_text;
+  binding.dimension_fields = dimension_fields_;
+
+  // 1. Coverage search: every entry overlapping the request contributes a
+  //    source serving the overlapping portion (§3.4).
+  BindingAlternative base_alt;
+  for (const auto& e : entries_) {
+    if (!e.area.Overlaps(request)) continue;
+    SourceRef s;
+    s.level = e.level;
+    s.server = e.server;
+    s.xpath = e.xpath;
+    s.portion = e.area.Intersect(request);
+    s.staleness_minutes = e.delay_minutes;
+    s.entry_specificity = e.area.Specificity();
+    base_alt.sources.push_back(std::move(s));
+  }
+  if (base_alt.sources.empty()) return binding;  // nothing known here
+  // (Sources stay in catalog insertion order through the redundancy pass —
+  // the recency tie-break below depends on it; they are sorted afterward.)
+
+  // Redundancy elimination within the union (§4.1: "some of the servers
+  // may be wholly or partially redundant with others"). An index referral
+  // resolves recursively to everything in its portion, so:
+  //  * an index source covered by another index source is redundant
+  //    (equal portions: keep the lexicographically first server);
+  //  * a base source covered by an index source is redundant too — the
+  //    referral will find it again (§3.3 authoritative assumption).
+  {
+    auto& srcs = base_alt.sources;
+    std::vector<bool> drop(srcs.size(), false);
+    for (size_t i = 0; i < srcs.size(); ++i) {
+      for (size_t j = 0; j < srcs.size(); ++j) {
+        if (i == j || drop[j] ||
+            srcs[j].level != HoldingLevel::kIndex) {
+          continue;
+        }
+        if (!srcs[j].portion.Covers(srcs[i].portion)) continue;
+        if (srcs[i].level == HoldingLevel::kBase) {
+          drop[i] = true;
+          break;
+        }
+        const bool equal = srcs[i].portion.Covers(srcs[j].portion);
+        if (!equal) {
+          drop[i] = true;
+          break;
+        }
+        // Equal portions: keep the more specific server (a state index
+        // beats the top meta server), then the most recently learned one
+        // (sources arrive in catalog insertion order, and fresher cache
+        // entries name binders closer to the data).
+        if (srcs[j].entry_specificity > srcs[i].entry_specificity ||
+            (srcs[j].entry_specificity == srcs[i].entry_specificity &&
+             j > i)) {
+          drop[i] = true;
+          break;
+        }
+      }
+    }
+    std::vector<SourceRef> kept;
+    for (size_t i = 0; i < srcs.size(); ++i) {
+      if (!drop[i]) kept.push_back(std::move(srcs[i]));
+    }
+    srcs = std::move(kept);
+  }
+
+  // Completeness gate (§4.1): binding from partial knowledge would drop
+  // the uncovered remainder of the request. Only answer when the source
+  // portions cover the request cellwise, or when the owner is
+  // authoritative for it (partial knowledge *is* everything then, §3.3).
+  {
+    ns::InterestArea covered;
+    for (const auto& s : base_alt.sources) {
+      covered = covered.Union(s.portion);
+    }
+    const bool sources_cover = covered.Covers(request);
+    const bool authoritative_here =
+        authoritative_ && authority_interest_.Covers(request);
+    if (!sources_cover && !authoritative_here) {
+      return binding;  // defer to someone who knows more
+    }
+  }
+  SortSources(&base_alt.sources);
+
+  if (!use_statements_) {
+    binding.alternatives.push_back(std::move(base_alt));
+    return binding;
+  }
+
+  std::vector<BindingAlternative> alts;
+
+  // 2. Statement-derived refinements.
+  //
+  // Redundancy (Example 1): lhs = rhs with both sides covering the
+  // request makes the two servers interchangeable — drop one from the
+  // default alternative.
+  BindingAlternative pruned = base_alt;
+  for (const auto& st : statements_) {
+    if (st.relation != IntensionRelation::kEquals || st.rhs.size() != 1) {
+      continue;
+    }
+    const HoldingRef& l = st.lhs;
+    const HoldingRef& r = st.rhs[0];
+    if (l.level != HoldingLevel::kBase || r.level != HoldingLevel::kBase) {
+      continue;
+    }
+    if (!l.area.Covers(request) || !r.area.Covers(request)) continue;
+    // Both servers hold identical data for the request: keep the one with
+    // the smaller delay (ties: lexicographically smaller server name).
+    const std::string& drop =
+        (l.delay_minutes < r.delay_minutes ||
+         (l.delay_minutes == r.delay_minutes && l.server <= r.server))
+            ? r.server
+            : l.server;
+    std::erase_if(pruned.sources,
+                  [&](const SourceRef& s) { return s.server == drop; });
+  }
+  bool base_alt_superseded = !pruned.sources.empty() &&
+                             !(pruned == base_alt);
+  if (base_alt_superseded) {
+    // When equality statements proved servers redundant, the pruned union
+    // *replaces* the full one — the paper's Example 1 binds to "R | S",
+    // never "R ∪ S" ("it need not go to both").
+    alts.push_back(pruned);
+  }
+
+  for (const auto& st : statements_) {
+    // Index coverage (Example 2): index[A]@R = base[...]@S ∪ ... — when
+    // the index covers the request, routing to R alone suffices; so does
+    // contacting all the bases directly.
+    if (st.relation == IntensionRelation::kEquals &&
+        st.lhs.level == HoldingLevel::kIndex &&
+        st.lhs.area.Covers(request)) {
+      BindingAlternative via_index;
+      SourceRef s;
+      s.level = HoldingLevel::kIndex;
+      s.server = st.lhs.server;
+      s.portion = request;
+      s.staleness_minutes = st.lhs.delay_minutes;
+      via_index.sources.push_back(std::move(s));
+      if (!ContainsAlternative(alts, via_index)) alts.push_back(via_index);
+
+      BindingAlternative direct;
+      for (const auto& r : st.rhs) {
+        if (!r.area.Overlaps(request)) continue;
+        SourceRef d;
+        d.level = r.level;
+        d.server = r.server;
+        d.portion = r.area.Intersect(request);
+        d.staleness_minutes = r.delay_minutes;
+        direct.sources.push_back(std::move(d));
+      }
+      if (!direct.sources.empty()) {
+        SortSources(&direct.sources);
+        if (!ContainsAlternative(alts, direct)) alts.push_back(direct);
+      }
+    }
+    // Containment (Example 3 / §4.3): base[A]@R ⊇ base[A]@S{d} — R alone
+    // answers with staleness d; R ∪ S answers current.
+    if (st.relation == IntensionRelation::kContains &&
+        st.lhs.level == HoldingLevel::kBase && st.rhs.size() == 1 &&
+        st.rhs[0].level == HoldingLevel::kBase &&
+        st.lhs.area.Covers(request) && st.rhs[0].area.Covers(request)) {
+      BindingAlternative via_replica;
+      SourceRef s;
+      s.level = HoldingLevel::kBase;
+      s.server = st.lhs.server;
+      s.portion = request;
+      s.staleness_minutes =
+          std::max(st.lhs.delay_minutes, st.rhs[0].delay_minutes);
+      // The replica's own collections for the area, if indexed here.
+      for (const auto& e : entries_) {
+        if (e.server == st.lhs.server && e.area.Overlaps(request)) {
+          s.xpath = e.xpath;
+          break;
+        }
+      }
+      via_replica.sources.push_back(std::move(s));
+      if (!ContainsAlternative(alts, via_replica)) {
+        alts.push_back(via_replica);
+      }
+
+      BindingAlternative both = via_replica;
+      both.sources[0].staleness_minutes = 0;
+      // R and S overlap on the replicated portion: set semantics.
+      both.distinct = true;
+      SourceRef other;
+      other.level = HoldingLevel::kBase;
+      other.server = st.rhs[0].server;
+      other.portion = request;
+      for (const auto& e : entries_) {
+        if (e.server == st.rhs[0].server && e.area.Overlaps(request)) {
+          other.xpath = e.xpath;
+          break;
+        }
+      }
+      both.sources.push_back(std::move(other));
+      SortSources(&both.sources);
+      if (!ContainsAlternative(alts, both)) alts.push_back(both);
+      // The naive R ∪ S union claims staleness 0 for R's replicated
+      // data, which the statement contradicts: drop it.
+      base_alt_superseded = true;
+    }
+  }
+
+  if (!base_alt_superseded && !ContainsAlternative(alts, base_alt)) {
+    alts.insert(alts.begin(), base_alt);
+  }
+  binding.alternatives = std::move(alts);
+  return binding;
+}
+
+Result<Binding> Catalog::Resolve(const std::string& urn_text) const {
+  MQP_ASSIGN_OR_RETURN(auto urn, ns::Urn::Parse(urn_text));
+  if (urn.IsInterestArea()) {
+    MQP_ASSIGN_OR_RETURN(auto area, urn.ToInterestArea());
+    return ResolveArea(area, urn_text);
+  }
+  Binding binding;
+  binding.urn = urn_text;
+  // Named URNs address whole collections; no area filtering applies.
+  auto it = named_.find(urn_text);
+  if (it == named_.end() || it->second.empty()) return binding;
+  BindingAlternative alt;
+  for (const auto& e : it->second) {
+    SourceRef s;
+    s.level = e.level;
+    s.server = e.server;
+    s.xpath = e.xpath;
+    s.staleness_minutes = e.delay_minutes;
+    alt.sources.push_back(std::move(s));
+  }
+  SortSources(&alt.sources);
+  binding.alternatives.push_back(std::move(alt));
+  return binding;
+}
+
+}  // namespace mqp::catalog

@@ -1,0 +1,181 @@
+// The local catalog each peer maintains (paper §2: "we resolve URNs by
+// consulting a catalog, which we maintain locally at each peer. A catalog
+// contains mappings from URNs to (sets of) URLs, or from URNs to servers
+// that know how to resolve them"), extended with the interest-area index
+// entries of §3 and the intensional statements of §4.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "catalog/intension.h"
+#include "common/result.h"
+#include "ns/hierarchy.h"
+#include "ns/interest.h"
+#include "ns/urn.h"
+
+namespace mqp::catalog {
+
+/// \brief One concrete source inside a binding alternative.
+struct SourceRef {
+  HoldingLevel level = HoldingLevel::kBase;
+  std::string server;        ///< peer address
+  std::string xpath;         ///< collection id for base-level sources
+  ns::InterestArea portion;  ///< requested ∩ offered (what this source serves)
+  int staleness_minutes = 0;
+
+  /// Specificity of the catalog entry's full area — ties between
+  /// equally-covering referrals go to the more specific server (e.g. a
+  /// state index over the top meta server).
+  size_t entry_specificity = 0;
+
+  bool operator==(const SourceRef& other) const = default;
+};
+
+/// \brief One alternative of a binding: the *union* of its sources covers
+/// the request (as far as this catalog knows).
+struct BindingAlternative {
+  std::vector<SourceRef> sources;
+
+  /// Set semantics for the union: true when the sources are known
+  /// replicas (an intensional statement proved their overlap), so
+  /// duplicated items must be collapsed.
+  bool distinct = false;
+
+  /// The currency bound of this alternative (max source staleness).
+  int MaxStaleness() const;
+
+  bool operator==(const BindingAlternative& other) const = default;
+};
+
+/// \brief The result of resolving a URN: alternatives joined by the
+/// "conjoint union" operator `|` (§4.2) — any one alternative suffices.
+struct Binding {
+  std::string urn;
+  std::vector<BindingAlternative> alternatives;
+
+  /// Item field names corresponding to the namespace dimensions (e.g.
+  /// {"location", "category"}). When non-empty, BindingToPlan guards each
+  /// base source with an area predicate over these fields, so collections
+  /// broader than the request are filtered down to the requested portion.
+  std::vector<std::string> dimension_fields;
+
+  bool empty() const { return alternatives.empty(); }
+
+  /// Renders like the paper, e.g.
+  /// "base[(P,CDs)]@R{30} | base[(P,CDs)]@R + base[(P,CDs)]@S".
+  std::string ToString() const;
+};
+
+/// \brief Converts a binding into the plan fragment that replaces the URN
+/// leaf: Or over alternatives, Union over each alternative's sources.
+/// Base-level sources become URL leaves (staleness annotated), guarded by
+/// an area predicate when dimension_fields is set; index-level sources
+/// become URN leaves with a resolver hint (the MQP travels there for
+/// further binding).
+algebra::PlanNodePtr BindingToPlan(const Binding& binding);
+
+/// \brief Predicate asserting that an item lies inside `area`: an Or over
+/// cells of per-dimension kHasPrefix tests against `dimension_fields`.
+/// Returns nullptr when the area is all-covering (no filter needed).
+algebra::ExprPtr AreaPredicate(const ns::InterestArea& area,
+                               const std::vector<std::string>& fields);
+
+/// \brief One catalog/index entry: a server known to hold data (base) or
+/// index information (index) for an interest area.
+struct IndexEntry {
+  HoldingLevel level = HoldingLevel::kBase;
+  ns::InterestArea area;
+  std::string server;
+  std::string xpath;  ///< base entries: the collection id at `server`
+  int delay_minutes = 0;
+
+  bool operator==(const IndexEntry& other) const = default;
+};
+
+/// \brief A peer's local catalog.
+class Catalog {
+ public:
+  // --- named URNs (urn:ForSale:Portland-CDs style) ----------------------------
+
+  /// Maps `urn` to a collection at `server`. Multiple mappings union.
+  void AddNamedMapping(const std::string& urn, const std::string& server,
+                       const std::string& xpath);
+
+  /// Records that `server` knows how to resolve `urn`.
+  void AddNamedReferral(const std::string& urn, const std::string& server);
+
+  // --- interest-area entries ---------------------------------------------------
+
+  void AddEntry(IndexEntry entry);
+  const std::vector<IndexEntry>& entries() const { return entries_; }
+
+  /// Removes every entry naming `server` (peer departure).
+  void RemoveServer(const std::string& server);
+
+  // --- intensional statements ---------------------------------------------------
+
+  void AddStatement(IntensionalStatement st);
+  const std::vector<IntensionalStatement>& statements() const {
+    return statements_;
+  }
+
+  /// When false, Resolve ignores intensional statements (ablation knob for
+  /// bench C3).
+  void set_use_statements(bool use) { use_statements_ = use; }
+
+  /// Item fields corresponding to the namespace dimensions, copied into
+  /// every binding this catalog produces (see Binding::dimension_fields).
+  void set_dimension_fields(std::vector<std::string> fields) {
+    dimension_fields_ = std::move(fields);
+  }
+  const std::vector<std::string>& dimension_fields() const {
+    return dimension_fields_;
+  }
+
+  /// Declares the catalog owner's authority (§3.3). ResolveArea only
+  /// produces a binding when its sources *cover* the request, or when the
+  /// owner is authoritative for it — a partial binding would silently
+  /// drop the uncovered remainder (§4.1's completeness problem).
+  void SetAuthority(ns::InterestArea interest, bool authoritative) {
+    authority_interest_ = std::move(interest);
+    authoritative_ = authoritative;
+  }
+
+  /// Attaches the namespace (not owned) for §3.5's approximation: a
+  /// requested category unknown to the hierarchies is rewritten to its
+  /// deepest known ancestor — "a possible loss of precision, but no loss
+  /// of recall" (Walker [W80]).
+  void set_hierarchies(const ns::MultiHierarchy* hierarchies) {
+    hierarchies_ = hierarchies;
+  }
+
+  /// The request after §3.5 approximation (identity when no namespace is
+  /// attached or every category is known).
+  ns::InterestArea ApproximateRequest(const ns::InterestArea& request) const;
+
+  // --- resolution ---------------------------------------------------------------
+
+  /// Resolves any URN text: interest-area URNs via coverage search +
+  /// statements; named URNs via mappings/referrals. An empty binding means
+  /// this catalog knows nothing relevant.
+  Result<Binding> Resolve(const std::string& urn_text) const;
+
+  /// Interest-area resolution (the paper's §3.4/§4 machinery).
+  Binding ResolveArea(const ns::InterestArea& request,
+                      const std::string& urn_text) const;
+
+ private:
+  std::vector<IndexEntry> entries_;
+  std::vector<IntensionalStatement> statements_;
+  std::map<std::string, std::vector<IndexEntry>> named_;  // urn → entries
+  std::vector<std::string> dimension_fields_;
+  ns::InterestArea authority_interest_;
+  const ns::MultiHierarchy* hierarchies_ = nullptr;
+  bool authoritative_ = false;
+  bool use_statements_ = true;
+};
+
+}  // namespace mqp::catalog

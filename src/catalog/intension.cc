@@ -1,0 +1,125 @@
+#include "catalog/intension.h"
+
+#include "common/strings.h"
+
+namespace mqp::catalog {
+
+std::string_view HoldingLevelName(HoldingLevel level) {
+  return level == HoldingLevel::kBase ? "base" : "index";
+}
+
+std::string HoldingRef::ToString() const {
+  std::string out(HoldingLevelName(level));
+  out += "[" + area.ToString() + "]@" + server;
+  if (delay_minutes != 0) {
+    out += "{" + std::to_string(delay_minutes) + "}";
+  }
+  return out;
+}
+
+Result<HoldingRef> HoldingRef::Parse(std::string_view text) {
+  HoldingRef ref;
+  std::string_view s = mqp::Trim(text);
+  if (mqp::StartsWith(s, "base[")) {
+    ref.level = HoldingLevel::kBase;
+    s.remove_prefix(5);
+  } else if (mqp::StartsWith(s, "index[")) {
+    ref.level = HoldingLevel::kIndex;
+    s.remove_prefix(6);
+  } else {
+    return Status::ParseError("holding ref must start with base[ or index[: '" +
+                              std::string(text) + "'");
+  }
+  const size_t close = s.rfind("]@");
+  if (close == std::string_view::npos) {
+    return Status::ParseError("holding ref missing ']@server': '" +
+                              std::string(text) + "'");
+  }
+  MQP_ASSIGN_OR_RETURN(ref.area, ns::InterestArea::Parse(s.substr(0, close)));
+  std::string_view rest = s.substr(close + 2);
+  const size_t brace = rest.find('{');
+  if (brace == std::string_view::npos) {
+    ref.server = std::string(mqp::Trim(rest));
+  } else {
+    ref.server = std::string(mqp::Trim(rest.substr(0, brace)));
+    std::string_view delay = rest.substr(brace + 1);
+    if (delay.empty() || delay.back() != '}') {
+      return Status::ParseError("unterminated delay factor in '" +
+                                std::string(text) + "'");
+    }
+    delay.remove_suffix(1);
+    int64_t d = 0;
+    if (!mqp::ParseInt64(delay, &d) || d < 0) {
+      return Status::ParseError("bad delay factor in '" + std::string(text) +
+                                "'");
+    }
+    ref.delay_minutes = static_cast<int>(d);
+  }
+  if (ref.server.empty()) {
+    return Status::ParseError("holding ref has empty server: '" +
+                              std::string(text) + "'");
+  }
+  return ref;
+}
+
+std::string IntensionalStatement::ToString() const {
+  std::string out = lhs.ToString();
+  out += relation == IntensionRelation::kEquals ? " = " : " >= ";
+  for (size_t i = 0; i < rhs.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += rhs[i].ToString();
+  }
+  return out;
+}
+
+Result<IntensionalStatement> IntensionalStatement::Parse(
+    std::string_view text) {
+  IntensionalStatement st;
+  size_t rel_pos = text.find(">=");
+  size_t rel_len = 2;
+  if (rel_pos != std::string_view::npos) {
+    st.relation = IntensionRelation::kContains;
+  } else {
+    rel_pos = text.find('=');
+    rel_len = 1;
+    if (rel_pos == std::string_view::npos) {
+      return Status::ParseError("statement missing '=' or '>=': '" +
+                                std::string(text) + "'");
+    }
+    st.relation = IntensionRelation::kEquals;
+  }
+  MQP_ASSIGN_OR_RETURN(st.lhs, HoldingRef::Parse(text.substr(0, rel_pos)));
+  std::string_view rhs_text = text.substr(rel_pos + rel_len);
+  // Split on '+' that separates terms. Areas also contain '+', so split on
+  // the '+' tokens that appear *between* a term's end (after server or '}')
+  // and the next 'base['/'index['. Simplest robust approach: scan for
+  // " + base[" / " + index[" separators.
+  std::vector<std::string> terms;
+  size_t start = 0;
+  std::string rhs_str(rhs_text);
+  while (true) {
+    size_t next = std::string::npos;
+    for (const char* sep : {"+ base[", "+ index["}) {
+      const size_t p = rhs_str.find(sep, start);
+      if (p != std::string::npos && (next == std::string::npos || p < next)) {
+        next = p;
+      }
+    }
+    if (next == std::string::npos) {
+      terms.push_back(rhs_str.substr(start));
+      break;
+    }
+    terms.push_back(rhs_str.substr(start, next - start));
+    start = next + 1;  // skip the '+'
+  }
+  for (const auto& t : terms) {
+    MQP_ASSIGN_OR_RETURN(auto ref, HoldingRef::Parse(t));
+    st.rhs.push_back(std::move(ref));
+  }
+  if (st.rhs.empty()) {
+    return Status::ParseError("statement has empty right-hand side");
+  }
+  return st;
+}
+
+}  // namespace mqp::catalog

@@ -1,0 +1,60 @@
+// Intensional statements (paper §4.1): coordination-formula-style
+// assertions about replication and index coverage between servers, e.g.
+//
+//   base[Portland, *]@R  =  base[Portland, *]@S
+//   base[Portland, *]@R  ⊇  base[Portland, *]@S{30}
+//   index[Oregon, GolfClubs]@R = base[Oregon, GolfClubs]@S ∪
+//                                base[Oregon, GolfClubs]@T
+//
+// Text form used by Parse/ToString: ">=" for ⊇, "+" for ∪, "{d}" for the
+// delay factor (§4.3), areas in the dotted URN form:
+//
+//   "base[(USA.OR.Portland,*)]@R >= base[(USA.OR.Portland,*)]@S{30}"
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "ns/interest.h"
+
+namespace mqp::catalog {
+
+/// Whether a holdings reference talks about base data or index entries.
+enum class HoldingLevel { kBase, kIndex };
+
+std::string_view HoldingLevelName(HoldingLevel level);
+
+/// \brief One holdings reference: level[area]@server{delay}.
+struct HoldingRef {
+  HoldingLevel level = HoldingLevel::kBase;
+  ns::InterestArea area;
+  std::string server;
+  int delay_minutes = 0;  ///< §4.3: data may lag the source by this much
+
+  std::string ToString() const;
+  static Result<HoldingRef> Parse(std::string_view text);
+
+  bool operator==(const HoldingRef& other) const = default;
+};
+
+/// Relation between the two sides of a statement.
+enum class IntensionRelation {
+  kEquals,    ///< lhs holds exactly the union of the rhs terms
+  kContains,  ///< lhs holds everything the rhs does, and possibly more (⊇)
+};
+
+/// \brief lhs (= | ⊇) rhs1 ∪ rhs2 ∪ ...
+struct IntensionalStatement {
+  HoldingRef lhs;
+  IntensionRelation relation = IntensionRelation::kEquals;
+  std::vector<HoldingRef> rhs;
+
+  std::string ToString() const;
+  static Result<IntensionalStatement> Parse(std::string_view text);
+
+  bool operator==(const IntensionalStatement& other) const = default;
+};
+
+}  // namespace mqp::catalog

@@ -1,0 +1,79 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace mqp {
+
+/// \brief Holds either a T (success) or a non-OK Status (failure).
+///
+/// Mirrors arrow::Result. Constructing a Result from an OK Status is a
+/// programming error and is converted to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from an error Status.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(state_).ok()) {
+      state_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(state_);
+  }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Assigns the unwrapped value of a Result expression to `lhs`, or returns
+/// its Status on failure. `lhs` may be a declaration.
+#define MQP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define MQP_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define MQP_ASSIGN_OR_RETURN_CONCAT(x, y) MQP_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define MQP_ASSIGN_OR_RETURN(lhs, rexpr) \
+  MQP_ASSIGN_OR_RETURN_IMPL(             \
+      MQP_ASSIGN_OR_RETURN_CONCAT(_mqp_result_, __LINE__), lhs, rexpr)
+
+}  // namespace mqp

@@ -1,0 +1,38 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mqp {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, dropping empty pieces.
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-sensitive replacement of every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string s, std::string_view from,
+                       std::string_view to);
+
+/// Parses a decimal integer; returns false on garbage or overflow.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a decimal floating-point number; returns false on garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double without trailing zero noise ("10", "9.99").
+std::string FormatDouble(double d);
+
+}  // namespace mqp

@@ -1,0 +1,105 @@
+#include "engine/local_store.h"
+
+#include "xml/xpath.h"
+
+namespace mqp::engine {
+
+LocalStore::LocalStore() : root_(xml::Node::Element("store")) {}
+
+void LocalStore::AddCollection(const std::string& id,
+                               const algebra::ItemSet& items) {
+  xml::Node* coll = nullptr;
+  for (const auto& c : root_->children()) {
+    if (c->is_element() && c->AttrOr("id", "") == id) {
+      coll = c.get();
+      break;
+    }
+  }
+  if (coll == nullptr) {
+    coll = root_->AddElement("data");
+    coll->SetAttr("id", id);
+  }
+  for (const auto& item : items) {
+    coll->AddChild(item->Clone());
+  }
+}
+
+void LocalStore::ReplaceCollection(const std::string& id,
+                                   const algebra::ItemSet& items) {
+  RemoveCollection(id);
+  AddCollection(id, items);
+}
+
+void LocalStore::RemoveCollection(const std::string& id) {
+  auto& children = root_->mutable_children();
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (children[i]->is_element() && children[i]->AttrOr("id", "") == id) {
+      root_->RemoveChild(i);
+      return;
+    }
+  }
+}
+
+std::string LocalStore::CollectionXPath(const std::string& id) {
+  return "/data[id=" + id + "]";
+}
+
+std::vector<std::string> LocalStore::CollectionIds() const {
+  std::vector<std::string> out;
+  for (const xml::Node* c : root_->Children("data")) {
+    out.push_back(c->AttrOr("id", ""));
+  }
+  return out;
+}
+
+algebra::ItemSet LocalStore::ItemsOf(const std::string& id) const {
+  algebra::ItemSet out;
+  for (const xml::Node* c : root_->Children("data")) {
+    if (c->AttrOr("id", "") == id) {
+      for (const xml::Node* item : c->Children("*")) {
+        out.push_back(algebra::MakeItem(*item));
+      }
+    }
+  }
+  return out;
+}
+
+size_t LocalStore::TotalItems() const {
+  size_t n = 0;
+  for (const xml::Node* c : root_->Children("data")) {
+    n += c->ElementCount();
+  }
+  return n;
+}
+
+Result<algebra::ItemSet> LocalStore::Fetch(const std::string& url,
+                                           const std::string& xpath) {
+  (void)url;
+  algebra::ItemSet out;
+  if (xpath.empty()) {
+    for (const xml::Node* c : root_->Children("data")) {
+      for (const xml::Node* item : c->Children("*")) {
+        out.push_back(algebra::MakeItem(*item));
+      }
+    }
+    return out;
+  }
+  // The store document root is <store>; collection XPaths in the paper are
+  // written relative to it ("/data[id=245]"), so evaluate each step against
+  // the children of <store>.
+  const std::string full =
+      xpath.front() == '/' ? "/store" + xpath : "/store/" + xpath;
+  MQP_ASSIGN_OR_RETURN(auto xp, xml::XPath::Parse(full));
+  for (const xml::Node* match : xp.Eval(*root_)) {
+    if (match->name() == "data" && match->Attr("id").has_value()) {
+      for (const xml::Node* item : match->Children("*")) {
+        out.push_back(algebra::MakeItem(*item));
+      }
+    } else {
+      out.push_back(algebra::MakeItem(*match));
+    }
+  }
+  return out;
+}
+
+}  // namespace mqp::engine

@@ -1,0 +1,63 @@
+// LocalStore: a base server's named collections of XML data.
+//
+// Collections are addressed the way the paper's index entries do
+// (§3.2): an XPath expression over the server's data document, e.g.
+// "/data[id=245]". The store document has the shape
+//
+//   <store>
+//     <data id="245">ITEM*</data>
+//     <data id="246">ITEM*</data>
+//   </store>
+//
+// Fetch resolves an XPath against this document: a match on a <data>
+// collection yields its items; a match on deeper elements yields those
+// elements themselves (so "/data[id=245]/item[price<10]" works too).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/result.h"
+#include "engine/operator.h"
+#include "xml/node.h"
+
+namespace mqp::engine {
+
+/// \brief In-memory collection store implementing DataSource.
+class LocalStore : public DataSource {
+ public:
+  LocalStore();
+
+  /// Adds (or extends) collection `id` with `items`.
+  void AddCollection(const std::string& id, const algebra::ItemSet& items);
+
+  /// Replaces collection `id`.
+  void ReplaceCollection(const std::string& id,
+                         const algebra::ItemSet& items);
+
+  /// Removes collection `id`; no-op if absent.
+  void RemoveCollection(const std::string& id);
+
+  /// The XPath identifier for collection `id`: "/data[id=ID]".
+  static std::string CollectionXPath(const std::string& id);
+
+  std::vector<std::string> CollectionIds() const;
+
+  /// Items of one collection (empty when unknown).
+  algebra::ItemSet ItemsOf(const std::string& id) const;
+
+  size_t TotalItems() const;
+
+  /// DataSource: `url` is ignored (the caller routed to this store);
+  /// `xpath` selects collections or elements. An empty xpath returns
+  /// every item of every collection.
+  Result<algebra::ItemSet> Fetch(const std::string& url,
+                                 const std::string& xpath) override;
+
+ private:
+  std::unique_ptr<xml::Node> root_;  // <store> document
+};
+
+}  // namespace mqp::engine

@@ -1,0 +1,60 @@
+// Physical operator interface (Volcano-style Open/Next/Close iterators).
+//
+// The engine evaluates *locally evaluable* sub-plans: by the time a plan
+// node reaches the engine, all of its leaves must be constant XML data or
+// URLs resolvable through a DataSource (paper Figure 2: the query engine
+// receives sub-plans selected by the policy manager).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "algebra/plan.h"
+#include "common/result.h"
+
+namespace mqp::engine {
+
+/// \brief Pull-based physical operator.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator; may recurse into inputs.
+  virtual Status Open() = 0;
+
+  /// Produces the next item, or nullopt at end-of-stream.
+  virtual Result<std::optional<algebra::Item>> Next() = 0;
+
+  /// Releases resources; idempotent.
+  virtual void Close() = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// \brief Resolves URL leaves to local data during evaluation. A peer's
+/// local store implements this; the default (nullptr) makes URL leaves an
+/// error.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  /// Fetches the collection identified by (url, xpath).
+  virtual Result<algebra::ItemSet> Fetch(const std::string& url,
+                                         const std::string& xpath) = 0;
+};
+
+/// \brief Builds a physical operator tree for `plan`.
+///
+/// Fails with Unresolved if the plan contains URN leaves or URL leaves
+/// that `source` cannot serve. An Or node evaluates its first alternative
+/// (the optimizer eliminates Or nodes before execution; keeping a fallback
+/// here makes partially optimized plans still runnable).
+Result<OperatorPtr> BuildOperator(const algebra::PlanNode& plan,
+                                  DataSource* source);
+
+/// \brief Convenience: build + drain into a materialized ItemSet.
+Result<algebra::ItemSet> Evaluate(const algebra::PlanNode& plan,
+                                  DataSource* source = nullptr);
+
+}  // namespace mqp::engine

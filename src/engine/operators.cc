@@ -1,0 +1,545 @@
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/strings.h"
+#include "engine/operator.h"
+#include "xml/writer.h"
+
+namespace mqp::engine {
+
+namespace {
+
+using algebra::Expr;
+using algebra::ExprPtr;
+using algebra::Item;
+using algebra::ItemSet;
+using algebra::OpType;
+using algebra::PlanNode;
+
+/// Scans a materialized item set.
+class DataScan : public Operator {
+ public:
+  explicit DataScan(ItemSet items) : items_(std::move(items)) {}
+
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<std::optional<Item>> Next() override {
+    if (pos_ >= items_.size()) return std::optional<Item>();
+    return std::optional<Item>(items_[pos_++]);
+  }
+
+  void Close() override {}
+
+ private:
+  ItemSet items_;
+  size_t pos_ = 0;
+};
+
+/// Filters by a boolean predicate.
+class Filter : public Operator {
+ public:
+  Filter(ExprPtr pred, OperatorPtr input)
+      : pred_(std::move(pred)), input_(std::move(input)) {}
+
+  Status Open() override { return input_->Open(); }
+
+  Result<std::optional<Item>> Next() override {
+    while (true) {
+      MQP_ASSIGN_OR_RETURN(auto item, input_->Next());
+      if (!item) return std::optional<Item>();
+      if (pred_ == nullptr || pred_->EvalBool(**item)) return item;
+    }
+  }
+
+  void Close() override { input_->Close(); }
+
+ private:
+  ExprPtr pred_;
+  OperatorPtr input_;
+};
+
+/// Keeps only the listed child fields of each item.
+class Projector : public Operator {
+ public:
+  Projector(std::vector<std::string> fields, OperatorPtr input)
+      : fields_(std::move(fields)), input_(std::move(input)) {}
+
+  Status Open() override { return input_->Open(); }
+
+  Result<std::optional<Item>> Next() override {
+    MQP_ASSIGN_OR_RETURN(auto item, input_->Next());
+    if (!item) return std::optional<Item>();
+    auto out = xml::Node::Element((*item)->name());
+    for (const auto& [k, v] : (*item)->attrs()) {
+      out->SetAttr(k, v);
+    }
+    for (const auto& f : fields_) {
+      for (const xml::Node* c : (*item)->Children(f)) {
+        out->AddChild(c->Clone());
+      }
+    }
+    return std::optional<Item>(Item(out.release()));
+  }
+
+  void Close() override { input_->Close(); }
+
+ private:
+  std::vector<std::string> fields_;
+  OperatorPtr input_;
+};
+
+// Merges two matched items into one element (left's name; children and
+// attributes of both, right's attributes prefixed on collision).
+Item MergeItems(const xml::Node& left, const xml::Node& right) {
+  auto out = xml::Node::Element(left.name());
+  for (const auto& [k, v] : left.attrs()) out->SetAttr(k, v);
+  for (const auto& [k, v] : right.attrs()) {
+    if (out->Attr(k).has_value()) {
+      out->SetAttr("right." + k, v);
+    } else {
+      out->SetAttr(k, v);
+    }
+  }
+  for (const auto& c : left.children()) out->AddChild(c->Clone());
+  for (const auto& c : right.children()) out->AddChild(c->Clone());
+  return Item(out.release());
+}
+
+// Returns the field paths of an equi-join condition, or nullopt for a
+// general theta join.
+struct EquiKeys {
+  std::string left;
+  std::string right;
+};
+std::optional<EquiKeys> ExtractEquiKeys(const ExprPtr& cond) {
+  if (cond == nullptr || cond->kind() != Expr::Kind::kCompare ||
+      cond->compare_op() != algebra::CompareOp::kEq) {
+    return std::nullopt;
+  }
+  const ExprPtr& l = cond->lhs();
+  const ExprPtr& r = cond->rhs();
+  if (l->kind() != Expr::Kind::kField || r->kind() != Expr::Kind::kField) {
+    return std::nullopt;
+  }
+  if (l->side() == algebra::Side::kLeft &&
+      r->side() == algebra::Side::kRight) {
+    return EquiKeys{l->field_path(), r->field_path()};
+  }
+  if (l->side() == algebra::Side::kRight &&
+      r->side() == algebra::Side::kLeft) {
+    return EquiKeys{r->field_path(), l->field_path()};
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> FieldOf(const xml::Node& item,
+                                   const std::string& path) {
+  const xml::Node* c = item.Child(path);
+  if (c != nullptr) return c->InnerText();
+  // Fall back to expression machinery for nested paths.
+  auto v = Expr::Field(path)->EvalValue(item);
+  if (!v) return std::nullopt;
+  return v->text;
+}
+
+/// Hash join for equi conditions; falls back to nested loops otherwise.
+/// In `left_outer` mode, left items with no match pass through unchanged
+/// (§2's A ⟖ B).
+class Join : public Operator {
+ public:
+  Join(ExprPtr cond, OperatorPtr left, OperatorPtr right,
+       bool left_outer = false)
+      : cond_(std::move(cond)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_outer_(left_outer),
+        keys_(ExtractEquiKeys(cond_)) {}
+
+  Status Open() override {
+    MQP_RETURN_IF_ERROR(left_->Open());
+    MQP_RETURN_IF_ERROR(right_->Open());
+    // Materialize the right (build) side.
+    build_.clear();
+    hash_.clear();
+    while (true) {
+      MQP_ASSIGN_OR_RETURN(auto item, right_->Next());
+      if (!item) break;
+      build_.push_back(*item);
+    }
+    if (keys_) {
+      for (size_t i = 0; i < build_.size(); ++i) {
+        auto key = FieldOf(*build_[i], keys_->right);
+        if (key) hash_[*key].push_back(i);
+      }
+    }
+    matches_.clear();
+    match_pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<std::optional<Item>> Next() override {
+    while (true) {
+      if (match_pos_ < matches_.size()) {
+        const Item& r = build_[matches_[match_pos_++]];
+        return std::optional<Item>(MergeItems(*probe_, *r));
+      }
+      MQP_ASSIGN_OR_RETURN(auto item, left_->Next());
+      if (!item) return std::optional<Item>();
+      probe_ = *item;
+      matches_.clear();
+      match_pos_ = 0;
+      if (keys_) {
+        auto key = FieldOf(*probe_, keys_->left);
+        if (key) {
+          auto it = hash_.find(*key);
+          if (it != hash_.end()) matches_ = it->second;
+        }
+      } else {
+        for (size_t i = 0; i < build_.size(); ++i) {
+          if (cond_ == nullptr || cond_->EvalBool(*probe_, build_[i].get())) {
+            matches_.push_back(i);
+          }
+        }
+      }
+      if (left_outer_ && matches_.empty()) {
+        return std::optional<Item>(probe_);  // unmatched left passes through
+      }
+    }
+  }
+
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+ private:
+  ExprPtr cond_;
+  OperatorPtr left_;
+  OperatorPtr right_;
+  bool left_outer_;
+  std::optional<EquiKeys> keys_;
+  ItemSet build_;
+  std::unordered_map<std::string, std::vector<size_t>> hash_;
+  Item probe_;
+  std::vector<size_t> matches_;
+  size_t match_pos_ = 0;
+};
+
+/// Union of n inputs: bag semantics by default, set semantics (structural
+/// deduplication) when `distinct` is set.
+class UnionAll : public Operator {
+ public:
+  UnionAll(std::vector<OperatorPtr> inputs, bool distinct)
+      : inputs_(std::move(inputs)), distinct_(distinct) {}
+
+  Status Open() override {
+    for (auto& in : inputs_) {
+      MQP_RETURN_IF_ERROR(in->Open());
+    }
+    current_ = 0;
+    seen_.clear();
+    return Status::OK();
+  }
+
+  Result<std::optional<Item>> Next() override {
+    while (current_ < inputs_.size()) {
+      MQP_ASSIGN_OR_RETURN(auto item, inputs_[current_]->Next());
+      if (item) {
+        if (distinct_ && !seen_.insert(xml::Serialize(**item)).second) {
+          continue;  // duplicate of an already-produced item
+        }
+        return item;
+      }
+      ++current_;
+    }
+    return std::optional<Item>();
+  }
+
+  void Close() override {
+    for (auto& in : inputs_) in->Close();
+  }
+
+ private:
+  std::vector<OperatorPtr> inputs_;
+  bool distinct_;
+  size_t current_ = 0;
+  std::unordered_set<std::string> seen_;
+};
+
+/// Multiset difference: left items minus one occurrence per matching right
+/// item (match = structural equality of the serialized form).
+class Difference : public Operator {
+ public:
+  Difference(OperatorPtr left, OperatorPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  Status Open() override {
+    MQP_RETURN_IF_ERROR(left_->Open());
+    MQP_RETURN_IF_ERROR(right_->Open());
+    counts_.clear();
+    while (true) {
+      MQP_ASSIGN_OR_RETURN(auto item, right_->Next());
+      if (!item) break;
+      counts_[xml::Serialize(**item)]++;
+    }
+    return Status::OK();
+  }
+
+  Result<std::optional<Item>> Next() override {
+    while (true) {
+      MQP_ASSIGN_OR_RETURN(auto item, left_->Next());
+      if (!item) return std::optional<Item>();
+      auto it = counts_.find(xml::Serialize(**item));
+      if (it != counts_.end() && it->second > 0) {
+        --it->second;
+        continue;
+      }
+      return item;
+    }
+  }
+
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::unordered_map<std::string, int> counts_;
+};
+
+/// Blocking aggregation with optional group-by.
+///
+/// Output items have the form
+///   <agg><group>G</group><count>N</count></agg>
+/// (the <group> child is omitted without a group-by; the value element is
+/// named after the function).
+class Aggregator : public Operator {
+ public:
+  Aggregator(algebra::AggFunc func, std::string field, std::string group_by,
+             OperatorPtr input)
+      : func_(func),
+        field_(std::move(field)),
+        group_by_(std::move(group_by)),
+        input_(std::move(input)) {}
+
+  Status Open() override {
+    MQP_RETURN_IF_ERROR(input_->Open());
+    groups_.clear();
+    // std::map: deterministic group order.
+    while (true) {
+      MQP_ASSIGN_OR_RETURN(auto item, input_->Next());
+      if (!item) break;
+      std::string group;
+      if (!group_by_.empty()) {
+        group = FieldOf(**item, group_by_).value_or("");
+      }
+      State& st = groups_[group];
+      ++st.count;
+      if (!field_.empty()) {
+        auto raw = FieldOf(**item, field_);
+        double v = 0;
+        if (raw && mqp::ParseDouble(*raw, &v)) {
+          st.sum += v;
+          if (st.numeric_count == 0 || v < st.min) st.min = v;
+          if (st.numeric_count == 0 || v > st.max) st.max = v;
+          ++st.numeric_count;
+        }
+      }
+    }
+    it_ = groups_.begin();
+    // With no input rows and no group-by, still emit one row (count=0).
+    if (groups_.empty() && group_by_.empty()) {
+      groups_[""] = State{};
+      it_ = groups_.begin();
+    }
+    return Status::OK();
+  }
+
+  Result<std::optional<Item>> Next() override {
+    if (it_ == groups_.end()) return std::optional<Item>();
+    const auto& [group, st] = *it_;
+    ++it_;
+    auto out = xml::Node::Element("agg");
+    if (!group_by_.empty()) {
+      out->AddElementWithText("group", group);
+    }
+    double value = 0;
+    switch (func_) {
+      case algebra::AggFunc::kCount:
+        value = static_cast<double>(st.count);
+        break;
+      case algebra::AggFunc::kSum:
+        value = st.sum;
+        break;
+      case algebra::AggFunc::kMin:
+        value = st.numeric_count > 0 ? st.min : 0;
+        break;
+      case algebra::AggFunc::kMax:
+        value = st.numeric_count > 0 ? st.max : 0;
+        break;
+      case algebra::AggFunc::kAvg:
+        value = st.numeric_count > 0 ? st.sum / st.numeric_count : 0;
+        break;
+    }
+    out->AddElementWithText(std::string(algebra::AggFuncName(func_)),
+                            mqp::FormatDouble(value));
+    return std::optional<Item>(Item(out.release()));
+  }
+
+  void Close() override { input_->Close(); }
+
+ private:
+  struct State {
+    uint64_t count = 0;
+    uint64_t numeric_count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+  };
+
+  algebra::AggFunc func_;
+  std::string field_;
+  std::string group_by_;
+  OperatorPtr input_;
+  std::map<std::string, State> groups_;
+  std::map<std::string, State>::const_iterator it_;
+};
+
+/// Blocking order-by + limit.
+class TopNOp : public Operator {
+ public:
+  TopNOp(uint64_t n, std::string order_field, bool ascending,
+         OperatorPtr input)
+      : n_(n),
+        order_field_(std::move(order_field)),
+        ascending_(ascending),
+        input_(std::move(input)) {}
+
+  Status Open() override {
+    MQP_RETURN_IF_ERROR(input_->Open());
+    items_.clear();
+    while (true) {
+      MQP_ASSIGN_OR_RETURN(auto item, input_->Next());
+      if (!item) break;
+      items_.push_back(*item);
+    }
+    auto key = [this](const Item& item) {
+      return algebra::Value{FieldOf(*item, order_field_).value_or("")};
+    };
+    std::stable_sort(items_.begin(), items_.end(),
+                     [&](const Item& a, const Item& b) {
+                       const int cmp = key(a).Compare(key(b));
+                       return ascending_ ? cmp < 0 : cmp > 0;
+                     });
+    if (items_.size() > n_) items_.resize(n_);
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<std::optional<Item>> Next() override {
+    if (pos_ >= items_.size()) return std::optional<Item>();
+    return std::optional<Item>(items_[pos_++]);
+  }
+
+  void Close() override { input_->Close(); }
+
+ private:
+  uint64_t n_;
+  std::string order_field_;
+  bool ascending_;
+  OperatorPtr input_;
+  ItemSet items_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<OperatorPtr> BuildOperator(const PlanNode& plan, DataSource* source) {
+  switch (plan.type()) {
+    case OpType::kXmlData:
+      return OperatorPtr(new DataScan(plan.items()));
+    case OpType::kUrl: {
+      if (source == nullptr) {
+        return Status::Unresolved("no data source for URL " + plan.url());
+      }
+      MQP_ASSIGN_OR_RETURN(auto items, source->Fetch(plan.url(), plan.xpath()));
+      return OperatorPtr(new DataScan(std::move(items)));
+    }
+    case OpType::kUrn:
+      return Status::Unresolved("plan contains unresolved URN " + plan.urn());
+    case OpType::kSelect: {
+      MQP_ASSIGN_OR_RETURN(auto input, BuildOperator(*plan.child(0), source));
+      return OperatorPtr(new Filter(plan.expr(), std::move(input)));
+    }
+    case OpType::kProject: {
+      MQP_ASSIGN_OR_RETURN(auto input, BuildOperator(*plan.child(0), source));
+      return OperatorPtr(new Projector(plan.fields(), std::move(input)));
+    }
+    case OpType::kJoin:
+    case OpType::kLeftOuterJoin: {
+      MQP_ASSIGN_OR_RETURN(auto left, BuildOperator(*plan.child(0), source));
+      MQP_ASSIGN_OR_RETURN(auto right, BuildOperator(*plan.child(1), source));
+      return OperatorPtr(
+          new Join(plan.expr(), std::move(left), std::move(right),
+                   plan.type() == OpType::kLeftOuterJoin));
+    }
+    case OpType::kUnion: {
+      std::vector<OperatorPtr> inputs;
+      for (const auto& c : plan.children()) {
+        MQP_ASSIGN_OR_RETURN(auto in, BuildOperator(*c, source));
+        inputs.push_back(std::move(in));
+      }
+      return OperatorPtr(new UnionAll(std::move(inputs), plan.distinct()));
+    }
+    case OpType::kOr: {
+      // The optimizer normally eliminates Or; evaluate the first
+      // alternative as a safe default (A | B -> A).
+      if (plan.children().empty()) {
+        return Status::Internal("Or node with no alternatives");
+      }
+      return BuildOperator(*plan.child(0), source);
+    }
+    case OpType::kDifference: {
+      MQP_ASSIGN_OR_RETURN(auto left, BuildOperator(*plan.child(0), source));
+      MQP_ASSIGN_OR_RETURN(auto right, BuildOperator(*plan.child(1), source));
+      return OperatorPtr(new Difference(std::move(left), std::move(right)));
+    }
+    case OpType::kAggregate: {
+      MQP_ASSIGN_OR_RETURN(auto input, BuildOperator(*plan.child(0), source));
+      return OperatorPtr(new Aggregator(plan.agg_func(), plan.agg_field(),
+                                        plan.group_by(), std::move(input)));
+    }
+    case OpType::kTopN: {
+      MQP_ASSIGN_OR_RETURN(auto input, BuildOperator(*plan.child(0), source));
+      return OperatorPtr(new TopNOp(plan.limit(), plan.order_field(),
+                                    plan.ascending(), std::move(input)));
+    }
+    case OpType::kDisplay:
+      // Display is a routing pseudo-operator; evaluate its input.
+      return BuildOperator(*plan.child(0), source);
+  }
+  return Status::Internal("unhandled operator type");
+}
+
+Result<algebra::ItemSet> Evaluate(const PlanNode& plan, DataSource* source) {
+  MQP_ASSIGN_OR_RETURN(auto op, BuildOperator(plan, source));
+  MQP_RETURN_IF_ERROR(op->Open());
+  algebra::ItemSet out;
+  while (true) {
+    MQP_ASSIGN_OR_RETURN(auto item, op->Next());
+    if (!item) break;
+    out.push_back(*item);
+  }
+  op->Close();
+  return out;
+}
+
+}  // namespace mqp::engine

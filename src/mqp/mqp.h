@@ -1,0 +1,53 @@
+// Umbrella header: the full public API of the mqp library.
+//
+//   #include "mqp/mqp.h"   and link against the `mqp` CMake target.
+//
+// Module map:
+//   common/     Status/Result error model, deterministic RNG, strings
+//   xml/        XML DOM, parser, serializer, XPath-lite
+//   ns/         multi-hierarchic namespaces: categories, interest areas, URNs
+//   algebra/    mutant query plans: operators, expressions, XML wire format
+//   engine/     physical operators and the local collection store
+//   optimizer/  evaluable-sub-plan detection, cost model, rewrites, policy
+//   catalog/    distributed catalogs and intensional statements
+//   net/        discrete-event network simulator
+//   peer/       the peer: roles, registration, the Figure-2 MQP loop
+//   baseline/   Napster / Gnutella / coordinator baselines
+//   workload/   garage-sale, CD-market, gene-expression generators
+#pragma once
+
+#include "algebra/expr.h"
+#include "algebra/plan.h"
+#include "algebra/plan_xml.h"
+#include "algebra/provenance.h"
+#include "baseline/central_index.h"
+#include "baseline/coordinator.h"
+#include "baseline/flooding.h"
+#include "catalog/catalog.h"
+#include "catalog/intension.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "engine/local_store.h"
+#include "engine/operator.h"
+#include "net/simulator.h"
+#include "ns/category_path.h"
+#include "ns/hierarchy.h"
+#include "ns/interest.h"
+#include "ns/urn.h"
+#include "optimizer/cost.h"
+#include "optimizer/evaluable.h"
+#include "optimizer/policy.h"
+#include "optimizer/rewrites.h"
+#include "peer/peer.h"
+#include "peer/verification.h"
+#include "query/parser.h"
+#include "workload/cd_market.h"
+#include "workload/garage_sale.h"
+#include "workload/gene_expression.h"
+#include "workload/network_builder.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xml/xpath.h"

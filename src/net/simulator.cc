@@ -1,0 +1,96 @@
+#include "net/simulator.h"
+
+#include "common/strings.h"
+
+namespace mqp::net {
+
+PeerId Simulator::Register(PeerNode* node) {
+  nodes_.push_back(node);
+  failed_.push_back(false);
+  return static_cast<PeerId>(nodes_.size() - 1);
+}
+
+std::string Simulator::AddressOf(PeerId id) {
+  return "10.0.0." + std::to_string(id) + ":9020";
+}
+
+Result<PeerId> Simulator::Lookup(const std::string& address) const {
+  std::string_view s = address;
+  if (!mqp::StartsWith(s, "10.0.0.")) {
+    return Status::NotFound("unknown address '" + address + "'");
+  }
+  s.remove_prefix(7);
+  const size_t colon = s.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::NotFound("address missing port: '" + address + "'");
+  }
+  int64_t id = 0;
+  if (!mqp::ParseInt64(s.substr(0, colon), &id) || id < 0 ||
+      static_cast<size_t>(id) >= nodes_.size()) {
+    return Status::NotFound("no peer at '" + address + "'");
+  }
+  return static_cast<PeerId>(id);
+}
+
+void Simulator::SetLinkOverride(PeerId from, PeerId to, LinkParams link) {
+  link_overrides_[{from, to}] = link;
+}
+
+void Simulator::Fail(PeerId id) {
+  if (id < failed_.size()) failed_[id] = true;
+}
+
+void Simulator::Recover(PeerId id) {
+  if (id < failed_.size()) failed_[id] = false;
+}
+
+bool Simulator::IsFailed(PeerId id) const {
+  return id < failed_.size() && failed_[id];
+}
+
+double Simulator::Latency(PeerId from, PeerId to, size_t bytes) const {
+  LinkParams link = link_;
+  auto it = link_overrides_.find({from, to});
+  if (it != link_overrides_.end()) link = it->second;
+  return link.latency_seconds +
+         static_cast<double>(bytes) / link.bytes_per_second;
+}
+
+void Simulator::Send(Message msg) {
+  if (msg.size_bytes == 0) msg.size_bytes = msg.payload.size();
+  stats_.messages++;
+  stats_.bytes += msg.size_bytes;
+  stats_.messages_by_kind[msg.kind]++;
+  stats_.bytes_by_kind[msg.kind] += msg.size_bytes;
+  if (on_send_) on_send_(msg);
+  if (msg.to >= nodes_.size() || failed_[msg.to]) {
+    return;  // dropped: unknown or failed destination
+  }
+  const double when = now_ + Latency(msg.from, msg.to, msg.size_bytes);
+  PeerNode* dest = nodes_[msg.to];
+  const PeerId to = msg.to;
+  Schedule(when, [this, dest, to, m = std::move(msg)]() {
+    // Re-check at delivery time: the peer may have failed in transit.
+    if (!IsFailed(to)) dest->HandleMessage(m);
+  });
+}
+
+void Simulator::Schedule(double when, std::function<void()> fn) {
+  events_.push(Event{when < now_ ? now_ : when, seq_++, std::move(fn)});
+}
+
+size_t Simulator::Run(double max_time) {
+  size_t processed = 0;
+  while (!events_.empty()) {
+    // priority_queue gives const access only; copy the small struct out.
+    Event ev = events_.top();
+    if (ev.time > max_time) break;
+    events_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace mqp::net

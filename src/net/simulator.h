@@ -1,0 +1,140 @@
+// Discrete-event network simulator.
+//
+// Substitution for the paper's real wide-area deployment (see DESIGN.md):
+// peers exchange messages whose delivery latency is propagation delay plus
+// serialized-size/bandwidth, and the simulator tracks the quantities the
+// paper's claims are about — messages, bytes, hops and latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mqp::net {
+
+using PeerId = uint32_t;
+inline constexpr PeerId kNoPeer = static_cast<PeerId>(-1);
+
+/// \brief One message in flight. `kind` is a short routing tag ("mqp",
+/// "register", "result", ...); `payload` is usually serialized XML.
+struct Message {
+  PeerId from = kNoPeer;
+  PeerId to = kNoPeer;
+  std::string kind;
+  std::string payload;
+  /// Wire size; defaults to payload size, but senders may override (e.g.
+  /// to account for framing).
+  size_t size_bytes = 0;
+};
+
+/// \brief Interface implemented by anything attached to the network.
+class PeerNode {
+ public:
+  virtual ~PeerNode() = default;
+
+  /// Called when a message is delivered to this node.
+  virtual void HandleMessage(const Message& msg) = 0;
+};
+
+/// \brief Link parameters (uniform by default; per-pair overrides allowed).
+struct LinkParams {
+  double latency_seconds = 0.020;     ///< propagation delay
+  double bytes_per_second = 1.25e6;   ///< ~10 Mbit/s
+};
+
+/// \brief Aggregate traffic statistics.
+struct NetStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  std::map<std::string, uint64_t> messages_by_kind;
+  std::map<std::string, uint64_t> bytes_by_kind;
+
+  void Clear() { *this = NetStats{}; }
+};
+
+/// \brief The simulator: event queue + registered peers + failure state.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Attaches `node` (not owned); returns its id. Addresses look like
+  /// "10.0.0.<id>:9020".
+  PeerId Register(PeerNode* node);
+
+  /// Number of registered peers.
+  size_t size() const { return nodes_.size(); }
+
+  /// The synthetic network address of a peer.
+  static std::string AddressOf(PeerId id);
+
+  /// Reverse of AddressOf; error if malformed or unknown.
+  Result<PeerId> Lookup(const std::string& address) const;
+
+  double now() const { return now_; }
+
+  const LinkParams& default_link() const { return link_; }
+  void set_default_link(LinkParams link) { link_ = link; }
+
+  /// Per-destination link override (e.g. a slow transatlantic peer).
+  void SetLinkOverride(PeerId from, PeerId to, LinkParams link);
+
+  /// Marks a peer down: messages to it are silently dropped (§4.2
+  /// "R may be unavailable at some point").
+  void Fail(PeerId id);
+  void Recover(PeerId id);
+  bool IsFailed(PeerId id) const;
+
+  /// Enqueues a message for delivery. Messages to failed or unknown peers
+  /// are counted as sent but never delivered.
+  void Send(Message msg);
+
+  /// Schedules `fn` at absolute time `when` (>= now).
+  void Schedule(double when, std::function<void()> fn);
+
+  /// Runs until the event queue drains or `max_time` passes.
+  /// Returns the number of events processed.
+  size_t Run(double max_time = 1e9);
+
+  /// True if no events are pending.
+  bool Idle() const { return events_.empty(); }
+
+  NetStats& stats() { return stats_; }
+  const NetStats& stats() const { return stats_; }
+
+  /// Optional tap invoked for every Send (after stats are updated);
+  /// benches use it to trace per-hop message sizes.
+  void set_on_send(std::function<void(const Message&)> fn) {
+    on_send_ = std::move(fn);
+  }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;  // FIFO tie-break for equal times
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  double Latency(PeerId from, PeerId to, size_t bytes) const;
+
+  std::vector<PeerNode*> nodes_;
+  std::vector<bool> failed_;
+  std::map<std::pair<PeerId, PeerId>, LinkParams> link_overrides_;
+  LinkParams link_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  double now_ = 0;
+  uint64_t seq_ = 0;
+  NetStats stats_;
+  std::function<void(const Message&)> on_send_;
+};
+
+}  // namespace mqp::net

@@ -1,0 +1,165 @@
+#include "ns/hierarchy.h"
+
+namespace mqp::ns {
+
+void Hierarchy::Add(const CategoryPath& path) {
+  TreeNode* cur = &root_;
+  for (const auto& seg : path.segments()) {
+    auto it = cur->children.find(seg);
+    if (it == cur->children.end()) {
+      it = cur->children.emplace(seg, std::make_unique<TreeNode>()).first;
+      ++nodes_;
+    }
+    cur = it->second.get();
+  }
+}
+
+Status Hierarchy::AddPath(std::string_view text) {
+  MQP_ASSIGN_OR_RETURN(auto path, CategoryPath::Parse(text));
+  Add(path);
+  return Status::OK();
+}
+
+const Hierarchy::TreeNode* Hierarchy::Find(const CategoryPath& path) const {
+  const TreeNode* cur = &root_;
+  for (const auto& seg : path.segments()) {
+    auto it = cur->children.find(seg);
+    if (it == cur->children.end()) return nullptr;
+    cur = it->second.get();
+  }
+  return cur;
+}
+
+bool Hierarchy::Contains(const CategoryPath& path) const {
+  return Find(path) != nullptr;
+}
+
+std::vector<CategoryPath> Hierarchy::ChildrenOf(
+    const CategoryPath& path) const {
+  std::vector<CategoryPath> out;
+  const TreeNode* node = Find(path);
+  if (node == nullptr) return out;
+  for (const auto& [label, child] : node->children) {
+    (void)child;
+    out.push_back(path.Child(label));
+  }
+  return out;
+}
+
+void Hierarchy::Collect(const TreeNode& node, CategoryPath prefix,
+                        bool leaves_only,
+                        std::vector<CategoryPath>* out) const {
+  if (!leaves_only || node.children.empty()) out->push_back(prefix);
+  for (const auto& [label, child] : node.children) {
+    Collect(*child, prefix.Child(label), leaves_only, out);
+  }
+}
+
+std::vector<CategoryPath> Hierarchy::AllCategories() const {
+  std::vector<CategoryPath> out;
+  Collect(root_, CategoryPath(), /*leaves_only=*/false, &out);
+  return out;
+}
+
+std::vector<CategoryPath> Hierarchy::Leaves() const {
+  std::vector<CategoryPath> out;
+  Collect(root_, CategoryPath(), /*leaves_only=*/true, &out);
+  return out;
+}
+
+CategoryPath Hierarchy::Approximate(const CategoryPath& path) const {
+  const TreeNode* cur = &root_;
+  CategoryPath result;
+  for (const auto& seg : path.segments()) {
+    auto it = cur->children.find(seg);
+    if (it == cur->children.end()) break;
+    result = result.Child(seg);
+    cur = it->second.get();
+  }
+  return result;
+}
+
+size_t MultiHierarchy::AddDimension(std::string name) {
+  dims_.push_back(std::make_unique<Hierarchy>(std::move(name)));
+  return dims_.size() - 1;
+}
+
+Result<size_t> MultiHierarchy::DimensionIndex(std::string_view name) const {
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i]->name() == name) return i;
+  }
+  return Status::NotFound("no dimension named '" + std::string(name) + "'");
+}
+
+Status MultiHierarchy::Validate(
+    const std::vector<CategoryPath>& coords) const {
+  if (coords.size() != dims_.size()) {
+    return Status::InvalidArgument(
+        "coordinate tuple has " + std::to_string(coords.size()) +
+        " entries; namespace has " + std::to_string(dims_.size()) +
+        " dimensions");
+  }
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (!dims_[i]->Contains(coords[i])) {
+      return Status::NotFound("unknown category '" + coords[i].ToString() +
+                              "' in dimension '" + dims_[i]->name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+MultiHierarchy MakeGarageSaleNamespace() {
+  MultiHierarchy ns;
+  const size_t loc = ns.AddDimension("Location");
+  Hierarchy& location = ns.dimension(loc);
+  for (const char* p :
+       {"USA/OR/Portland", "USA/OR/Eugene", "USA/OR/Salem",
+        "USA/WA/Vancouver", "USA/WA/Seattle", "USA/WA/Spokane",
+        "USA/CA/SanFrancisco", "USA/CA/LosAngeles", "USA/CA/Sacramento",
+        "France/IDF/Paris", "France/PACA/Marseille"}) {
+    (void)location.AddPath(p);
+  }
+  const size_t mer = ns.AddDimension("Merchandise");
+  Hierarchy& merch = ns.dimension(mer);
+  for (const char* p :
+       {"Furniture/Tables", "Furniture/Chairs", "Furniture/Sofas",
+        "Electronics/TV", "Electronics/VCR", "Electronics/Audio",
+        "Music/CDs", "Music/Vinyl", "Music/Instruments",
+        "SportingGoods/GolfClubs", "SportingGoods/Bicycles",
+        "SportingGoods/Skis", "Clothing/Shoes", "Clothing/Coats",
+        "Books/Fiction", "Books/Technical"}) {
+    (void)merch.AddPath(p);
+  }
+  return ns;
+}
+
+MultiHierarchy MakeGeneExpressionNamespace() {
+  MultiHierarchy ns;
+  const size_t org = ns.AddDimension("Organism");
+  Hierarchy& organism = ns.dimension(org);
+  // The Figure-1 taxonomy: Coelomata splits into Protostomia (fruit fly)
+  // and Deuterostomia -> Mammalia -> Eutheria -> {Primates, Rodentia}.
+  for (const char* p :
+       {"Coelomata/Protostomia/DrosophilaMelanogaster",
+        "Coelomata/Deuterostomia/Mammalia/Eutheria/Primates/HomoSapiens",
+        "Coelomata/Deuterostomia/Mammalia/Eutheria/Rodentia/Murinae/Mus/"
+        "MusMusculus",
+        "Coelomata/Deuterostomia/Mammalia/Eutheria/Rodentia/Murinae/"
+        "RattusNorvegicus"}) {
+    (void)organism.AddPath(p);
+  }
+  const size_t ct = ns.AddDimension("CellType");
+  Hierarchy& cell = ns.dimension(ct);
+  for (const char* p :
+       {"Neural/Neurons/Sensory", "Neural/Neurons/Motor",
+        "Neural/Neurons/Association", "Neural/Glial",
+        "Connective/Bone/Osteoblasts", "Connective/Bone/Osteoclasts",
+        "Connective/Adipose", "Muscle/Cardiac/Autorhythmic",
+        "Muscle/Cardiac/Contractile", "Muscle/Smooth", "Muscle/Skeletal",
+        "Epithelial/Cilliated", "Epithelial/Secretory"}) {
+    (void)cell.AddPath(p);
+  }
+  return ns;
+}
+
+}  // namespace mqp::ns

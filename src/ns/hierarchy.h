@@ -1,0 +1,102 @@
+// Hierarchy: one categorization dimension (a rooted tree of categories).
+// MultiHierarchy: the multi-hierarchic namespace — an ordered list of
+// dimensions (paper §3.1). Category servers (§3.5) serve Hierarchy data.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "ns/category_path.h"
+
+namespace mqp::ns {
+
+/// \brief A named categorization hierarchy (dimension), e.g. "Location".
+///
+/// Stores the category tree explicitly so category servers can answer
+/// structural queries ("what are the immediate subcategories of
+/// Furniture?") and validate/approximate paths (§3.5).
+class Hierarchy {
+ public:
+  explicit Hierarchy(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds `path` and all of its ancestors. Top always exists.
+  void Add(const CategoryPath& path);
+
+  /// Convenience: Add(Parse(text)); ignores parse errors in release use,
+  /// returns them for checking.
+  Status AddPath(std::string_view text);
+
+  /// True if `path` is a known category (top is always known).
+  bool Contains(const CategoryPath& path) const;
+
+  /// Immediate subcategories of `path` (empty if unknown/leaf).
+  std::vector<CategoryPath> ChildrenOf(const CategoryPath& path) const;
+
+  /// All categories, top first, in depth-first order.
+  std::vector<CategoryPath> AllCategories() const;
+
+  /// Categories with no children.
+  std::vector<CategoryPath> Leaves() const;
+
+  /// Deepest known prefix of `path` (paper §3.5: a reference to an unknown
+  /// node can be approximated by an ancestor, losing precision but not
+  /// recall). Returns top if nothing matches.
+  CategoryPath Approximate(const CategoryPath& path) const;
+
+  size_t size() const { return nodes_; }
+
+ private:
+  struct TreeNode {
+    std::map<std::string, std::unique_ptr<TreeNode>> children;
+  };
+
+  const TreeNode* Find(const CategoryPath& path) const;
+
+  void Collect(const TreeNode& node, CategoryPath prefix, bool leaves_only,
+               std::vector<CategoryPath>* out) const;
+
+  std::string name_;
+  TreeNode root_;
+  size_t nodes_ = 1;  // counting top
+};
+
+/// \brief The multi-hierarchic namespace: an ordered set of dimensions.
+///
+/// Interest cells/areas are expressed as one CategoryPath per dimension,
+/// in this object's dimension order.
+class MultiHierarchy {
+ public:
+  /// Adds a dimension; returns its index.
+  size_t AddDimension(std::string name);
+
+  size_t dimension_count() const { return dims_.size(); }
+
+  const Hierarchy& dimension(size_t i) const { return *dims_[i]; }
+  Hierarchy& dimension(size_t i) { return *dims_[i]; }
+
+  /// Index of the dimension named `name`, or error.
+  Result<size_t> DimensionIndex(std::string_view name) const;
+
+  /// Validates that each coordinate of the tuple is a known category.
+  Status Validate(const std::vector<CategoryPath>& coords) const;
+
+ private:
+  std::vector<std::unique_ptr<Hierarchy>> dims_;
+};
+
+/// \brief Builds the two-dimensional garage-sale namespace used throughout
+/// the paper (Location country/state/city × Merchandise categories,
+/// Figure 5).
+MultiHierarchy MakeGarageSaleNamespace();
+
+/// \brief Builds the Figure-1 gene-expression namespace
+/// (Organism taxonomy × CellType hierarchy).
+MultiHierarchy MakeGeneExpressionNamespace();
+
+}  // namespace mqp::ns

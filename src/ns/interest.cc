@@ -1,0 +1,192 @@
+#include "ns/interest.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace mqp::ns {
+
+Result<InterestCell> InterestCell::Parse(std::string_view text) {
+  text = mqp::Trim(text);
+  if (!text.empty() && text.front() == '(') {
+    if (text.back() != ')') {
+      return Status::ParseError("unbalanced parentheses in cell '" +
+                                std::string(text) + "'");
+    }
+    text = text.substr(1, text.size() - 2);
+  }
+  if (mqp::Trim(text).empty()) {
+    return Status::ParseError("empty interest cell");
+  }
+  std::vector<CategoryPath> coords;
+  for (auto& part : mqp::Split(text, ',')) {
+    MQP_ASSIGN_OR_RETURN(auto path, CategoryPath::Parse(part));
+    coords.push_back(std::move(path));
+  }
+  return InterestCell(std::move(coords));
+}
+
+bool InterestCell::IsTop() const {
+  for (const auto& c : coords_) {
+    if (!c.IsTop()) return false;
+  }
+  return true;
+}
+
+bool InterestCell::Covers(const InterestCell& other) const {
+  if (coords_.size() != other.coords_.size()) return false;
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    if (!coords_[i].IsAncestorOrSame(other.coords_[i])) return false;
+  }
+  return true;
+}
+
+bool InterestCell::Overlaps(const InterestCell& other) const {
+  if (coords_.size() != other.coords_.size()) return false;
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    if (!coords_[i].Comparable(other.coords_[i])) return false;
+  }
+  return true;
+}
+
+Result<InterestCell> InterestCell::Intersect(
+    const InterestCell& other) const {
+  if (!Overlaps(other)) {
+    return Status::InvalidArgument("cells " + ToString() + " and " +
+                                   other.ToString() + " do not overlap");
+  }
+  std::vector<CategoryPath> coords;
+  coords.reserve(coords_.size());
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    coords.push_back(coords_[i].depth() >= other.coords_[i].depth()
+                         ? coords_[i]
+                         : other.coords_[i]);
+  }
+  return InterestCell(std::move(coords));
+}
+
+size_t InterestCell::Specificity() const {
+  size_t n = 0;
+  for (const auto& c : coords_) n += c.depth();
+  return n;
+}
+
+std::string InterestCell::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += coords_[i].ToUrnString();
+  }
+  out += ')';
+  return out;
+}
+
+Result<InterestArea> InterestArea::Parse(std::string_view text) {
+  text = mqp::Trim(text);
+  InterestArea area;
+  if (text.empty()) return area;
+  for (auto& part : mqp::Split(text, '+')) {
+    MQP_ASSIGN_OR_RETURN(auto cell, InterestCell::Parse(part));
+    area.AddCell(std::move(cell));
+  }
+  return area;
+}
+
+bool InterestArea::Covers(const InterestArea& other) const {
+  for (const auto& oc : other.cells_) {
+    bool covered = false;
+    for (const auto& c : cells_) {
+      if (c.Covers(oc)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool InterestArea::Overlaps(const InterestArea& other) const {
+  for (const auto& c : cells_) {
+    for (const auto& oc : other.cells_) {
+      if (c.Overlaps(oc)) return true;
+    }
+  }
+  return false;
+}
+
+InterestArea InterestArea::Intersect(const InterestArea& other) const {
+  InterestArea out;
+  for (const auto& c : cells_) {
+    for (const auto& oc : other.cells_) {
+      auto inter = c.Intersect(oc);
+      if (inter.ok()) out.AddCell(std::move(inter).value());
+    }
+  }
+  return out.Normalized();
+}
+
+InterestArea InterestArea::Union(const InterestArea& other) const {
+  InterestArea out = *this;
+  for (const auto& oc : other.cells_) out.AddCell(oc);
+  return out.Normalized();
+}
+
+InterestArea InterestArea::Normalized() const {
+  std::vector<InterestCell> kept;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < cells_.size(); ++j) {
+      if (i == j) continue;
+      if (cells_[j].Covers(cells_[i])) {
+        // Strictly covered, or equal with a lower index (dedup).
+        if (!cells_[i].Covers(cells_[j]) || j < i) {
+          dominated = true;
+          break;
+        }
+      }
+    }
+    if (!dominated) kept.push_back(cells_[i]);
+  }
+  std::sort(kept.begin(), kept.end());
+  return InterestArea(std::move(kept));
+}
+
+size_t InterestArea::Specificity() const {
+  size_t max = 0;
+  for (const auto& c : cells_) {
+    max = std::max(max, c.Specificity());
+  }
+  return max;
+}
+
+std::string InterestArea::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (i > 0) out += '+';
+    out += cells_[i].ToString();
+  }
+  return out;
+}
+
+InterestCell MakeCell(const std::vector<std::string>& coords) {
+  std::vector<CategoryPath> paths;
+  for (const auto& c : coords) {
+    auto p = CategoryPath::Parse(c);
+    if (!p.ok()) {
+      std::fprintf(stderr, "MakeCell: bad category path '%s': %s\n",
+                   c.c_str(), p.status().ToString().c_str());
+      std::abort();
+    }
+    paths.push_back(std::move(p).value());
+  }
+  return InterestCell(std::move(paths));
+}
+
+InterestArea MakeArea(const std::vector<std::string>& coords) {
+  return InterestArea(MakeCell(coords));
+}
+
+}  // namespace mqp::ns

@@ -1,0 +1,130 @@
+// InterestCell / InterestArea: the coverage algebra of §3.1.
+//
+// A cell is the cross product of one category per dimension; an area is a
+// set of cells. "Cell x covers cell y" iff for every dimension x's category
+// is an ancestor-or-same of y's. "Area a covers area b" iff every cell of b
+// is covered by some cell of a. Two areas overlap iff some cell is covered
+// by both.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "ns/category_path.h"
+
+namespace mqp::ns {
+
+/// \brief One interest cell: a coordinate tuple, one CategoryPath per
+/// dimension (in namespace dimension order).
+class InterestCell {
+ public:
+  InterestCell() = default;
+  explicit InterestCell(std::vector<CategoryPath> coords)
+      : coords_(std::move(coords)) {}
+
+  /// Parses "(USA.OR.Portland,Furniture)" or "USA/OR/Portland,Furniture".
+  /// Both dotted and slashed segment separators are accepted.
+  static Result<InterestCell> Parse(std::string_view text);
+
+  const std::vector<CategoryPath>& coords() const { return coords_; }
+  size_t dimension_count() const { return coords_.size(); }
+  const CategoryPath& coord(size_t dim) const { return coords_[dim]; }
+
+  /// True if every coordinate is top ("[*, *, ...]").
+  bool IsTop() const;
+
+  /// Cell coverage: per-dimension ancestor-or-same. Both cells must have
+  /// the same dimensionality; mismatched cells never cover each other.
+  bool Covers(const InterestCell& other) const;
+
+  /// True iff the extents intersect: per-dimension the two paths are
+  /// comparable (one a prefix of the other).
+  bool Overlaps(const InterestCell& other) const;
+
+  /// Intersection cell: per-dimension the deeper of the two paths.
+  /// Error if the cells do not overlap.
+  Result<InterestCell> Intersect(const InterestCell& other) const;
+
+  /// Sum of coordinate depths; deeper cells are more specific.
+  size_t Specificity() const;
+
+  /// "(USA.OR.Portland,Furniture)" — dotted URN form.
+  std::string ToString() const;
+
+  bool operator==(const InterestCell& other) const {
+    return coords_ == other.coords_;
+  }
+  bool operator!=(const InterestCell& other) const {
+    return !(*this == other);
+  }
+  bool operator<(const InterestCell& other) const {
+    return coords_ < other.coords_;
+  }
+
+ private:
+  std::vector<CategoryPath> coords_;
+};
+
+/// \brief A set of interest cells describing what a peer serves, indexes,
+/// or queries (paper Figure 5 areas (a) and (b)).
+class InterestArea {
+ public:
+  InterestArea() = default;
+  explicit InterestArea(std::vector<InterestCell> cells)
+      : cells_(std::move(cells)) {}
+
+  /// Single-cell convenience.
+  explicit InterestArea(InterestCell cell) { cells_.push_back(std::move(cell)); }
+
+  /// Parses "(USA.OR.Portland,Furniture)+(USA.WA.Vancouver,Furniture)".
+  static Result<InterestArea> Parse(std::string_view text);
+
+  const std::vector<InterestCell>& cells() const { return cells_; }
+  bool empty() const { return cells_.empty(); }
+  size_t size() const { return cells_.size(); }
+
+  void AddCell(InterestCell cell) { cells_.push_back(std::move(cell)); }
+
+  /// Area coverage (paper definition): every cell of `other` is covered by
+  /// some cell of this area. The empty area covers only the empty area.
+  bool Covers(const InterestArea& other) const;
+
+  /// True iff some cell of this area overlaps some cell of `other`.
+  bool Overlaps(const InterestArea& other) const;
+
+  /// All pairwise cell intersections, normalized.
+  InterestArea Intersect(const InterestArea& other) const;
+
+  /// Union of the two areas' cells, normalized.
+  InterestArea Union(const InterestArea& other) const;
+
+  /// Removes cells covered by other cells in the same area and duplicate
+  /// cells; sorts for canonical form.
+  InterestArea Normalized() const;
+
+  /// Maximum cell specificity — 0 for the all-covering area; larger for
+  /// narrower areas. Used to prefer more specific servers among equals.
+  size_t Specificity() const;
+
+  /// "(c1)+(c2)+..." — dotted URN form; "" for the empty area.
+  std::string ToString() const;
+
+  bool operator==(const InterestArea& other) const {
+    return cells_ == other.cells_;
+  }
+
+ private:
+  std::vector<InterestCell> cells_;
+};
+
+/// \brief Convenience builder: MakeCell({"USA/OR/Portland", "Music/CDs"}).
+/// Dies on parse failure — intended for tests, examples and generators
+/// with literal inputs.
+InterestCell MakeCell(const std::vector<std::string>& coords);
+
+/// \brief Convenience builder for a one-cell area.
+InterestArea MakeArea(const std::vector<std::string>& coords);
+
+}  // namespace mqp::ns

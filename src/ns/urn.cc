@@ -1,0 +1,53 @@
+#include "ns/urn.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace mqp::ns {
+
+namespace {
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+Result<Urn> Urn::Parse(std::string_view text) {
+  text = mqp::Trim(text);
+  if (text.size() < 4 || !IEquals(text.substr(0, 4), "urn:")) {
+    return Status::ParseError("URN must start with 'urn:': '" +
+                              std::string(text) + "'");
+  }
+  std::string_view rest = text.substr(4);
+  const size_t colon = rest.find(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= rest.size()) {
+    return Status::ParseError("URN must be 'urn:<nid>:<nss>': '" +
+                              std::string(text) + "'");
+  }
+  return Urn(std::string(rest.substr(0, colon)),
+             std::string(rest.substr(colon + 1)));
+}
+
+Result<InterestArea> Urn::ToInterestArea() const {
+  if (!IsInterestArea()) {
+    return Status::InvalidArgument("URN namespace is '" + nid_ +
+                                   "', not InterestArea");
+  }
+  return InterestArea::Parse(nss_);
+}
+
+std::string Urn::ToString() const { return "urn:" + nid_ + ":" + nss_; }
+
+Urn AreaToUrn(const InterestArea& area) {
+  return Urn(std::string(kInterestAreaNid), area.ToString());
+}
+
+}  // namespace mqp::ns

@@ -1,0 +1,63 @@
+// URN handling (paper §2, §3.4).
+//
+// MQP leaves may reference abstract resources by URN. Two kinds appear in
+// the paper:
+//   * named URNs, e.g. "urn:ForSale:Portland-CDs" — resolved via local
+//     catalog mappings;
+//   * interest-area URNs, e.g.
+//     "urn:InterestArea:(USA.OR.Portland,Furniture)+(USA.WA.Vancouver,
+//     Furniture)" — the namespace-specific string is a *structured* encoding
+//     of an interest area (§3.4), routed via the distributed catalog.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "ns/interest.h"
+
+namespace mqp::ns {
+
+/// Namespace identifier used for interest-area URNs.
+inline constexpr std::string_view kInterestAreaNid = "InterestArea";
+
+/// \brief A parsed URN: "urn:<nid>:<nss>".
+class Urn {
+ public:
+  Urn() = default;
+  Urn(std::string nid, std::string nss)
+      : nid_(std::move(nid)), nss_(std::move(nss)) {}
+
+  /// Parses "urn:NID:NSS". The scheme prefix is case-insensitive.
+  static Result<Urn> Parse(std::string_view text);
+
+  const std::string& nid() const { return nid_; }
+  const std::string& nss() const { return nss_; }
+
+  /// True if this is an interest-area URN.
+  bool IsInterestArea() const { return nid_ == kInterestAreaNid; }
+
+  /// Decodes the namespace-specific string as an interest area.
+  /// Error if this is not an interest-area URN or the encoding is bad.
+  Result<InterestArea> ToInterestArea() const;
+
+  /// "urn:NID:NSS".
+  std::string ToString() const;
+
+  bool operator==(const Urn& other) const {
+    return nid_ == other.nid_ && nss_ == other.nss_;
+  }
+  bool operator<(const Urn& other) const {
+    return nid_ != other.nid_ ? nid_ < other.nid_ : nss_ < other.nss_;
+  }
+
+ private:
+  std::string nid_;
+  std::string nss_;
+};
+
+/// \brief Encodes an interest area as a URN (purely lexical transliteration,
+/// §3.4).
+Urn AreaToUrn(const InterestArea& area);
+
+}  // namespace mqp::ns

@@ -1,0 +1,55 @@
+// Cardinality and byte estimation for MQP sub-plans.
+//
+// MQP servers must materialize partial results and ship the mutated plan to
+// the next server, so the optimizer's central quantity is the *serialized
+// size* of a (sub-)plan result (paper §2: "their size matters").
+// Annotations carried in the plan (§5.1) override defaults when present.
+#pragma once
+
+#include "algebra/plan.h"
+
+namespace mqp::optimizer {
+
+/// \brief Estimated result shape of a plan node.
+struct CostEstimate {
+  double rows = 0;
+  double bytes = 0;
+};
+
+/// \brief Tunable estimation parameters.
+struct CostParams {
+  double default_leaf_rows = 100;    ///< unknown URL/URN cardinality
+  double avg_item_bytes = 150;       ///< fallback serialized item size
+  double eq_selectivity = 0.10;      ///< field = literal
+  double range_selectivity = 0.33;   ///< <, <=, >, >=
+  double ne_selectivity = 0.90;
+  double join_selectivity = 0.05;    ///< |L⋈R| = sel * |L| * |R| fallback
+  double groups_fraction = 0.10;     ///< distinct groups per input row
+};
+
+/// \brief Recursive bottom-up estimator.
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = {}) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  /// Estimates the result of evaluating `node`. Constant data nodes report
+  /// exact values; annotated nodes use their annotations; everything else
+  /// uses the heuristics above.
+  CostEstimate Estimate(const algebra::PlanNode& node) const;
+
+  /// Selectivity of a predicate (heuristic over its operator structure).
+  double Selectivity(const algebra::Expr& pred) const;
+
+  /// Selectivity of `pred` against an input carrying `annotations` —
+  /// histogram-based (§5.1) when one matches the predicate's field,
+  /// falling back to the structural heuristic.
+  double SelectivityWith(const algebra::Expr& pred,
+                         const algebra::Annotations& annotations) const;
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace mqp::optimizer

@@ -1,0 +1,56 @@
+#include "optimizer/evaluable.h"
+
+namespace mqp::optimizer {
+
+using algebra::OpType;
+using algebra::PlanNode;
+
+bool IsLocallyEvaluable(const PlanNode& node, const Locality& locality) {
+  switch (node.type()) {
+    case OpType::kXmlData:
+      return true;
+    case OpType::kUrl:
+      return locality.is_local_url(node);
+    case OpType::kUrn:
+      return locality.is_resolvable_urn(node);
+    case OpType::kOr: {
+      for (const auto& c : node.children()) {
+        if (IsLocallyEvaluable(*c, locality)) return true;
+      }
+      return false;
+    }
+    case OpType::kDisplay:
+      // A display node is never *evaluated*; its input may be.
+      return false;
+    default: {
+      for (const auto& c : node.children()) {
+        if (!IsLocallyEvaluable(*c, locality)) return false;
+      }
+      return true;
+    }
+  }
+}
+
+namespace {
+void Collect(PlanNode* node, const Locality& locality,
+             std::vector<PlanNode*>* out) {
+  if (node->type() != OpType::kDisplay &&
+      IsLocallyEvaluable(*node, locality)) {
+    // Bare constants need no evaluation.
+    if (!node->IsConstant()) out->push_back(node);
+    return;
+  }
+  for (const auto& c : node->children()) {
+    Collect(c.get(), locality, out);
+  }
+}
+}  // namespace
+
+std::vector<PlanNode*> MaximalEvaluableSubplans(PlanNode* root,
+                                                const Locality& locality) {
+  std::vector<PlanNode*> out;
+  Collect(root, locality, &out);
+  return out;
+}
+
+}  // namespace mqp::optimizer

@@ -1,0 +1,45 @@
+// Locally-evaluable sub-plan detection (paper Figure 2: "The optimizer
+// finds the locally evaluable sub-plans — a sub-plan is locally evaluable
+// if all its leaves are verbatim XML data, URLs, or resolvable URNs").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "algebra/plan.h"
+
+namespace mqp::optimizer {
+
+/// \brief Locality oracle supplied by the hosting peer: which URL/URN
+/// leaves can be satisfied *here*.
+struct Locality {
+  /// True if this peer can serve the URL leaf from its local store.
+  std::function<bool(const algebra::PlanNode&)> is_local_url =
+      [](const algebra::PlanNode&) { return false; };
+
+  /// True if this peer can resolve the URN leaf all the way to local data.
+  std::function<bool(const algebra::PlanNode&)> is_resolvable_urn =
+      [](const algebra::PlanNode&) { return false; };
+
+  /// Field-provenance probe for *local* URL leaves: true when items in the
+  /// referenced collection are known to carry `path` (lets join reorderings
+  /// validate conditions against not-yet-fetched local collections).
+  std::function<bool(const algebra::PlanNode&, const std::string&)>
+      url_provides_field =
+          [](const algebra::PlanNode&, const std::string&) { return false; };
+};
+
+/// \brief True iff every leaf under `node` is constant data, a local URL,
+/// or a locally resolvable URN. Or-nodes are evaluable when at least one
+/// alternative is (evaluation picks such a branch).
+bool IsLocallyEvaluable(const algebra::PlanNode& node,
+                        const Locality& locality);
+
+/// \brief The *maximal* locally evaluable sub-plans under `root`:
+/// evaluable nodes none of whose ancestors are evaluable. Display nodes
+/// are never returned (they are routing pseudo-operators); bare constant
+/// data nodes are skipped (re-evaluating them is a no-op).
+std::vector<algebra::PlanNode*> MaximalEvaluableSubplans(
+    algebra::PlanNode* root, const Locality& locality);
+
+}  // namespace mqp::optimizer

@@ -1,0 +1,836 @@
+#include "peer/peer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "engine/operator.h"
+#include "ns/urn.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace mqp::peer {
+
+using algebra::OpType;
+using algebra::Plan;
+using algebra::PlanNode;
+using algebra::PlanNodePtr;
+using algebra::ProvenanceAction;
+using algebra::ProvenanceEntry;
+
+Peer::Peer(net::Simulator* sim, PeerOptions options)
+    : sim_(sim), options_(std::move(options)) {
+  id_ = sim_->Register(this);
+  if (options_.name.empty()) {
+    options_.name = "peer-" + std::to_string(id_);
+  }
+  catalog_.set_dimension_fields(options_.dimension_fields);
+  catalog_.SetAuthority(options_.interest, options_.roles.authoritative);
+}
+
+void Peer::PublishCollection(const std::string& collection_id,
+                             const ns::InterestArea& area,
+                             const algebra::ItemSet& items) {
+  store_.AddCollection(collection_id, items);
+  collections_[collection_id] = area;
+  // Local resolvability: the peer's own catalog maps the area to itself.
+  catalog::IndexEntry e;
+  e.level = catalog::HoldingLevel::kBase;
+  e.area = area;
+  e.server = address();
+  e.xpath = engine::LocalStore::CollectionXPath(collection_id);
+  catalog_.AddEntry(std::move(e));
+}
+
+void Peer::PublishNamed(const std::string& urn,
+                        const std::string& collection_id,
+                        const algebra::ItemSet& items) {
+  store_.AddCollection(collection_id, items);
+  const std::string xpath = engine::LocalStore::CollectionXPath(collection_id);
+  catalog_.AddNamedMapping(urn, address(), xpath);
+  named_published_[urn] = xpath;
+}
+
+void Peer::AddOwnStatement(catalog::IntensionalStatement st) {
+  catalog_.AddStatement(st);
+  own_statements_.push_back(std::move(st));
+}
+
+void Peer::AddBootstrap(const std::string& address_text) {
+  if (address_text == address()) return;
+  for (const auto& b : bootstraps_) {
+    if (b == address_text) return;
+  }
+  bootstraps_.push_back(address_text);
+}
+
+namespace {
+
+std::string RolesAnnouncedLevel(const PeerRoles& roles) {
+  // Index and meta-index servers announce themselves at index level.
+  return (roles.index || roles.meta_index) ? "index" : "base";
+}
+
+}  // namespace
+
+std::string Peer::BuildRegisterPayload(int ttl) const {
+  auto root = xml::Node::Element("register");
+  root->SetAttr("server", address());
+  root->SetAttr("name", options_.name);
+  root->SetAttr("ttl", std::to_string(ttl));
+  for (const auto& [id, area] : collections_) {
+    xml::Node* e = root->AddElement("entry");
+    e->SetAttr("level", "base");
+    e->SetAttr("area", area.ToString());
+    e->SetAttr("xpath", engine::LocalStore::CollectionXPath(id));
+  }
+  if (options_.roles.index || options_.roles.meta_index) {
+    xml::Node* e = root->AddElement("entry");
+    e->SetAttr("level", RolesAnnouncedLevel(options_.roles));
+    e->SetAttr("area", options_.interest.ToString());
+  }
+  for (const auto& [urn, xpath] : named_published_) {
+    xml::Node* n = root->AddElement("named");
+    n->SetAttr("urn", urn);
+    n->SetAttr("xpath", xpath);
+  }
+  for (const auto& st : own_statements_) {
+    root->AddElementWithText("statement", st.ToString());
+  }
+  return xml::Serialize(*root);
+}
+
+void Peer::JoinNetwork() {
+  const std::string payload = BuildRegisterPayload(/*ttl=*/2);
+  std::unordered_set<std::string> targets(bootstraps_.begin(),
+                                          bootstraps_.end());
+  // Also register with index servers already known to the catalog whose
+  // area overlaps ours (§3.3: push to covering authoritative servers).
+  for (const auto& e : catalog_.entries()) {
+    if (e.level == catalog::HoldingLevel::kIndex && e.server != address() &&
+        e.area.Overlaps(options_.interest)) {
+      targets.insert(e.server);
+    }
+  }
+  for (const auto& t : targets) {
+    auto pid = sim_->Lookup(t);
+    if (!pid.ok() || *pid == id_) continue;
+    sim_->Send({id_, *pid, kRegisterKind, payload, 0});
+  }
+}
+
+void Peer::PullIndexedData(int delay_minutes) {
+  // Snapshot the base entries first; replies will add new ones.
+  std::vector<catalog::IndexEntry> targets;
+  for (const auto& e : catalog_.entries()) {
+    if (e.level == catalog::HoldingLevel::kBase && e.server != address() &&
+        !e.xpath.empty()) {
+      targets.push_back(e);
+    }
+  }
+  for (const auto& e : targets) {
+    auto pid = sim_->Lookup(e.server);
+    if (!pid.ok()) continue;
+    const std::string req =
+        options_.name + "-pull" + std::to_string(next_pull_++);
+    pending_pulls_[req] = PendingPull{e.server, e.area, delay_minutes};
+    auto fetch = xml::Node::Element("fetch");
+    fetch->SetAttr("req", req);
+    fetch->SetAttr("xpath", e.xpath);
+    sim_->Send({id_, *pid, kFetchKind, xml::Serialize(*fetch), 0});
+  }
+}
+
+void Peer::HandleFetchReply(const net::Message& msg) {
+  auto doc = xml::Parse(msg.payload);
+  if (!doc.ok()) return;
+  const std::string req = (*doc)->AttrOr("req", "");
+  auto it = pending_pulls_.find(req);
+  if (it == pending_pulls_.end()) return;
+  PendingPull pull = std::move(it->second);
+  pending_pulls_.erase(it);
+  algebra::ItemSet items;
+  for (const xml::Node* item : (*doc)->Children("*")) {
+    items.push_back(algebra::MakeItem(*item));
+  }
+  // Store the replica and make it locally resolvable with the declared
+  // refresh delay.
+  const std::string collection_id =
+      "replica-" + std::to_string(replicas_.size());
+  store_.ReplaceCollection(collection_id, items);
+  replicas_.push_back(collection_id);
+  catalog::IndexEntry entry;
+  entry.level = catalog::HoldingLevel::kBase;
+  entry.area = pull.area;
+  entry.server = address();
+  entry.xpath = engine::LocalStore::CollectionXPath(collection_id);
+  entry.delay_minutes = pull.delay_minutes;
+  catalog_.AddEntry(std::move(entry));
+  // Assert the §4.3 containment statement so bindings can reason about
+  // the replica's currency.
+  catalog::IntensionalStatement st;
+  st.lhs.level = catalog::HoldingLevel::kBase;
+  st.lhs.area = pull.area;
+  st.lhs.server = address();
+  st.relation = catalog::IntensionRelation::kContains;
+  catalog::HoldingRef rhs;
+  rhs.level = catalog::HoldingLevel::kBase;
+  rhs.area = pull.area;
+  rhs.server = pull.source_server;
+  rhs.delay_minutes = pull.delay_minutes;
+  st.rhs.push_back(std::move(rhs));
+  AddOwnStatement(std::move(st));
+}
+
+std::string Peer::SubmitQuery(Plan plan, Callback cb) {
+  std::string qid = options_.name + "-q" + std::to_string(next_query_++);
+  plan.set_query_id(qid);
+  plan.set_submitted_at(sim_->now());
+  // Force the display target to this peer.
+  PlanNodePtr body = plan.root();
+  if (body != nullptr && body->type() == OpType::kDisplay) {
+    body = body->child(0);
+  }
+  plan.set_root(PlanNode::Display(address(), body));
+  if (options_.retain_original) plan.SnapshotOriginal();
+  if (options_.record_provenance) {
+    plan.provenance().Add({address(), sim_->now(),
+                           ProvenanceAction::kForwarded, "submitted", 0});
+  }
+  pending_[qid] = Pending{std::move(cb), sim_->now()};
+  sim_->Schedule(sim_->now(), [this, p = std::move(plan)]() mutable {
+    ProcessPlan(std::move(p));
+  });
+  return qid;
+}
+
+void Peer::HandleMessage(const net::Message& msg) {
+  if (msg.kind == kMqpKind) {
+    auto plan = algebra::ParsePlan(msg.payload);
+    if (!plan.ok()) return;  // malformed plans are dropped
+    ++counters_.plans_received;
+    ProcessPlan(std::move(plan).value());
+  } else if (msg.kind == kResultKind) {
+    HandleResult(msg);
+  } else if (msg.kind == kRegisterKind) {
+    HandleRegister(msg);
+  } else if (msg.kind == kCategoryQueryKind) {
+    HandleCategoryQuery(msg);
+  } else if (msg.kind == kFetchKind) {
+    HandleFetch(msg);
+  } else if (msg.kind == kSubqueryKind) {
+    HandleSubquery(msg);
+  } else if (msg.kind == kFetchReplyKind) {
+    HandleFetchReply(msg);
+  } else if (msg.kind == kCategoryReplyKind) {
+    auto doc = xml::Parse(msg.payload);
+    if (!doc.ok()) return;
+    const std::string req = (*doc)->AttrOr("req", "");
+    auto it = category_waiters_.find(req);
+    if (it == category_waiters_.end()) return;
+    std::vector<std::string> categories;
+    for (const xml::Node* c : (*doc)->Children("cat")) {
+      categories.push_back(c->InnerText());
+    }
+    auto cb = std::move(it->second);
+    category_waiters_.erase(it);
+    cb(categories);
+  }
+}
+
+// --- the Figure-2 loop ---------------------------------------------------------
+
+void Peer::ProcessPlan(Plan plan) {
+  // ResolveUrns records one kBound provenance entry per URN it binds (the
+  // entry's detail is the bound URN — §5.1's "catalog improvement" data).
+  const int bound = ResolveUrns(&plan);
+  AnnotateLocalUrls(&plan);
+  ApplyRewrites(&plan);
+  const int reduced = EvaluateSubplans(&plan);
+  if (options_.record_provenance) {
+    if (reduced > 0) {
+      AddProvenance(&plan, ProvenanceAction::kEvaluated,
+                    options_.name + ":" + std::to_string(reduced) +
+                        " subplan(s)",
+                    optimizer::MaxStalenessMinutes(*plan.root()));
+    } else if (bound == 0) {
+      AddProvenance(&plan, ProvenanceAction::kForwarded, options_.name,
+                    optimizer::MaxStalenessMinutes(*plan.root()));
+    }
+  }
+  RouteOrDeliver(std::move(plan));
+}
+
+namespace {
+
+void CollectMutableNodes(PlanNode* node,
+                         std::unordered_set<PlanNode*>* seen,
+                         std::vector<PlanNode*>* out) {
+  if (!seen->insert(node).second) return;
+  out->push_back(node);
+  for (const auto& c : node->children()) {
+    CollectMutableNodes(c.get(), seen, out);
+  }
+}
+
+std::vector<PlanNode*> MutableNodes(PlanNode* root) {
+  std::unordered_set<PlanNode*> seen;
+  std::vector<PlanNode*> out;
+  CollectMutableNodes(root, &seen, &out);
+  return out;
+}
+
+bool PlanContainsUrn(const PlanNode& root, const std::string& urn) {
+  for (const PlanNode* u : root.UrnLeaves()) {
+    if (u->urn() == urn) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Peer::AnnotateLocalUrls(Plan* plan) {
+  // §5.1: attach true statistics to local collections so the optimizer's
+  // deferment and absorption decisions (here and downstream) work from
+  // facts instead of defaults.
+  if (plan->root() == nullptr) return;
+  const std::string self = address();
+  for (PlanNode* n : MutableNodes(plan->root().get())) {
+    if (n->type() != OpType::kUrl || n->url() != self) continue;
+    if (n->annotations().cardinality.has_value()) continue;
+    auto items = store_.Fetch(n->url(), n->xpath());
+    if (!items.ok()) continue;
+    uint64_t bytes = 0;
+    for (const auto& item : *items) {
+      bytes += xml::SerializedSize(*item);
+    }
+    n->annotations().cardinality = items->size();
+    n->annotations().bytes = bytes;
+    for (const auto& field : options_.histogram_fields) {
+      auto h = algebra::FieldHistogram::Build(*items, field);
+      if (h) n->annotations().histograms.push_back(std::move(*h));
+    }
+  }
+}
+
+int Peer::ResolveUrns(Plan* plan) {
+  if (plan->root() == nullptr) return 0;
+  int bound = 0;
+  // Snapshot the URN nodes up front; bindings may add new URN leaves
+  // (referrals), which later servers resolve.
+  std::vector<PlanNode*> urn_nodes;
+  for (PlanNode* n : MutableNodes(plan->root().get())) {
+    if (n->type() == OpType::kUrn) urn_nodes.push_back(n);
+  }
+  for (PlanNode* node : urn_nodes) {
+    const std::string urn_text = node->urn();
+    // §5.2 ordering policy: do not bind `then` while `first` is pending.
+    bool blocked = false;
+    for (const auto& [first, then] : plan->policy().bind_after) {
+      if (then == urn_text && PlanContainsUrn(*plan->root(), first)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    // §5.1 spoofing hook: bind to the empty set with no visit to the
+    // rightful source.
+    if (!options_.spoof_urn_substring.empty() &&
+        urn_text.find(options_.spoof_urn_substring) != std::string::npos) {
+      node->MorphToData({});
+      ++bound;
+      if (options_.record_provenance) {
+        // The spoofer records a normal-looking entry; detection relies on
+        // the rightful source being absent from the history (§5.1).
+        AddProvenance(plan, ProvenanceAction::kBound, urn_text);
+      }
+      continue;
+    }
+    auto binding = catalog_.Resolve(urn_text);
+    if (!binding.ok()) continue;
+    if (binding->empty()) {
+      // §3.3: an authoritative server *knows about all base servers within
+      // its area of interest* — if it has nothing for a covered request,
+      // the answer for that region is the empty set, and leaving the URN
+      // unresolved would strand the plan.
+      auto urn = ns::Urn::Parse(urn_text);
+      if (options_.roles.authoritative && urn.ok() &&
+          urn->IsInterestArea()) {
+        auto area = urn->ToInterestArea();
+        if (area.ok() && options_.interest.Covers(*area)) {
+          node->MorphToData({});
+          ++bound;
+        }
+      }
+      // §5.1 catalog improvement: remember who else was hinted to resolve
+      // this URN, so future queries can route straight there.
+      if (options_.cache_from_plans && !node->urn_hint().empty() &&
+          node->urn_hint() != address() && urn.ok() &&
+          urn->IsInterestArea()) {
+        auto area = urn->ToInterestArea();
+        if (area.ok()) {
+          catalog::IndexEntry e;
+          e.level = catalog::HoldingLevel::kIndex;
+          e.area = std::move(area).value();
+          e.server = node->urn_hint();
+          catalog_.AddEntry(std::move(e));
+        }
+      }
+      continue;
+    }
+    // Skip no-op bindings: a single referral pointing at ourselves (we
+    // failed to resolve locally) or at the hint the node already carries.
+    if (binding->alternatives.size() == 1 &&
+        binding->alternatives[0].sources.size() == 1) {
+      const catalog::SourceRef& only = binding->alternatives[0].sources[0];
+      if (only.level == catalog::HoldingLevel::kIndex &&
+          (only.server == address() || only.server == node->urn_hint())) {
+        continue;
+      }
+    }
+    node->MorphTo(*catalog::BindingToPlan(*binding));
+    ++bound;
+    if (options_.record_provenance) {
+      AddProvenance(plan, ProvenanceAction::kBound, urn_text);
+    }
+  }
+  counters_.urns_bound += bound;
+  return bound;
+}
+
+void Peer::ApplyRewrites(Plan* plan) {
+  if (plan->root() == nullptr) return;
+  PlanNode* root = plan->root().get();
+  const optimizer::Locality locality = LocalLocality();
+  const optimizer::CostModel cost(options_.cost);
+  optimizer::EliminateOrNodes(root, locality, cost,
+                              CurrentOrPreference(*plan));
+  if (options_.enable_select_pushdown) {
+    optimizer::PushSelectThroughUnion(root);
+  }
+  if (options_.enable_difference_split) {
+    optimizer::SplitDifferenceOverUnion(root, locality);
+  }
+  if (options_.enable_absorption) {
+    optimizer::ApplyAbsorption(root, locality, cost);
+  }
+  if (options_.enable_consolidation) {
+    optimizer::ConsolidateJoins(root, locality);
+  }
+}
+
+int Peer::EvaluateSubplans(Plan* plan) {
+  if (plan->root() == nullptr) return 0;
+  const optimizer::Locality locality = LocalLocality();
+  auto worklist =
+      optimizer::MaximalEvaluableSubplans(plan->root().get(), locality);
+  if (worklist.empty()) return 0;
+  const optimizer::CostModel cost(options_.cost);
+  const optimizer::PolicyManager pm(options_.policy);
+  int reduced = 0;
+  // A deferred operator's *inputs* still have to be materialized before
+  // the plan leaves this peer (local URL leaves are unreadable elsewhere),
+  // so deferment descends: skip the operator, process its children.
+  while (!worklist.empty()) {
+    std::vector<PlanNode*> next;
+    for (const auto& decision : pm.Decide(worklist, cost)) {
+      if (!decision.evaluate) {
+        ++counters_.subplans_deferred;
+        for (const auto& c : decision.subplan->children()) {
+          if (!c->IsConstant()) next.push_back(c.get());
+        }
+        continue;
+      }
+      auto items = engine::Evaluate(*decision.subplan, &store_);
+      if (!items.ok()) continue;  // leave the sub-plan for another server
+      decision.subplan->MorphToData(std::move(items).value());
+      ++reduced;
+    }
+    worklist = std::move(next);
+  }
+  counters_.subplans_evaluated += reduced;
+  return reduced;
+}
+
+int Peer::ForceEvaluate(Plan* plan) {
+  // Final-resort evaluation ignoring deferment: used when the plan has
+  // nowhere else to go — better a big answer than none.
+  if (plan->root() == nullptr) return 0;
+  const optimizer::Locality locality = LocalLocality();
+  auto candidates =
+      optimizer::MaximalEvaluableSubplans(plan->root().get(), locality);
+  int reduced = 0;
+  for (PlanNode* node : candidates) {
+    auto items = engine::Evaluate(*node, &store_);
+    if (!items.ok()) continue;
+    node->MorphToData(std::move(items).value());
+    ++reduced;
+  }
+  counters_.subplans_evaluated += reduced;
+  return reduced;
+}
+
+optimizer::Locality Peer::LocalLocality() const {
+  optimizer::Locality loc;
+  const std::string self = address();
+  loc.is_local_url = [self](const PlanNode& n) { return n.url() == self; };
+  // Field-provenance probe into the local store: fetch the collection and
+  // check that every item carries the field (collections are small enough
+  // that probing is cheap relative to a mis-rewrite).
+  loc.url_provides_field = [this, self](const PlanNode& n,
+                                        const std::string& path) {
+    if (n.url() != self) return false;
+    auto items = const_cast<engine::LocalStore&>(store_).Fetch(n.url(),
+                                                               n.xpath());
+    if (!items.ok() || items->empty()) return false;
+    auto field = algebra::Expr::Field(path);
+    for (const auto& item : *items) {
+      if (!field->EvalValue(*item)) return false;
+    }
+    return true;
+  };
+  return loc;
+}
+
+optimizer::OrPreference Peer::CurrentOrPreference(const Plan& plan) const {
+  const algebra::PlanPolicy& pol = plan.policy();
+  if (pol.time_budget_seconds > 0) {
+    const double elapsed = sim_->now() - plan.submitted_at();
+    // Budget pressure: fall back to the fastest alternative.
+    if (elapsed > 0.5 * pol.time_budget_seconds) {
+      return optimizer::OrPreference::kCheapest;
+    }
+  }
+  // Every alternative of a binding is a *complete* answer as far as the
+  // catalog knows (§4.2); "complete" therefore means "take the cheap,
+  // possibly stale branch", while "current" minimizes the staleness bound
+  // at extra latency (§4.3's R{30} | (R ∪ S){0} choice).
+  return pol.preference == algebra::AnswerPreference::kCurrent
+             ? optimizer::OrPreference::kPreferCurrent
+             : optimizer::OrPreference::kCheapest;
+}
+
+void Peer::AddProvenance(Plan* plan, ProvenanceAction action,
+                         std::string detail, int staleness) {
+  plan->provenance().Add(
+      {address(), sim_->now(), action, std::move(detail), staleness});
+}
+
+void Peer::RouteOrDeliver(Plan plan) {
+  if (plan.root() == nullptr) return;
+  if (plan.IsFullyEvaluated()) {
+    DeliverToTarget(std::move(plan));
+    return;
+  }
+  // Gather candidate next hops: servers of remote URL leaves, resolver
+  // hints of URN leaves, bootstrap servers for unhinted URNs.
+  std::map<std::string, int> candidates;
+  const std::string self = address();
+  bool has_unhinted_urn = false;
+  for (const PlanNode* u : plan.root()->UrlLeaves()) {
+    if (u->url() != self) candidates[u->url()] += 2;  // direct data: best
+  }
+  for (const PlanNode* u : plan.root()->UrnLeaves()) {
+    if (!u->urn_hint().empty()) {
+      if (u->urn_hint() != self) candidates[u->urn_hint()] += 1;
+    } else {
+      has_unhinted_urn = true;
+    }
+  }
+  if (has_unhinted_urn) {
+    for (const auto& b : bootstraps_) {
+      candidates[b] += 0;  // present, lowest priority
+    }
+  }
+  // §5.2 transfer policy: restrict to the allowlist.
+  if (!plan.policy().route_allow.empty()) {
+    const auto& allow = plan.policy().route_allow;
+    std::erase_if(candidates, [&](const auto& kv) {
+      return std::find(allow.begin(), allow.end(), kv.first) == allow.end();
+    });
+  }
+  const bool over_hop_limit =
+      static_cast<int>(plan.provenance().size()) >= options_.max_hops;
+  if (candidates.empty() || over_hop_limit) {
+    // Dead end: finish whatever is finishable here (deferment no longer
+    // helps a plan with nowhere to go), then return it to its target.
+    if (ForceEvaluate(&plan) > 0 && plan.IsFullyEvaluated()) {
+      DeliverToTarget(std::move(plan));
+      return;
+    }
+    ++counters_.plans_dead_ended;
+    DeliverToTarget(std::move(plan));
+    return;
+  }
+  // Prefer unvisited servers; then the candidate that can make the most
+  // progress; then the lowest address for determinism.
+  std::string best;
+  int best_score = -1;
+  bool best_unvisited = false;
+  for (const auto& [addr, score] : candidates) {
+    const bool unvisited = !plan.provenance().Visited(addr);
+    if (best.empty() || (unvisited && !best_unvisited) ||
+        (unvisited == best_unvisited &&
+         (score > best_score ||
+          (score == best_score && addr < best)))) {
+      best = addr;
+      best_score = score;
+      best_unvisited = unvisited;
+    }
+  }
+  if (!best_unvisited &&
+      static_cast<int>(plan.provenance().size()) + 2 >= options_.max_hops) {
+    // Everything promising was already visited and we are nearly out of
+    // hops: give up gracefully with a partial answer.
+    ++counters_.plans_dead_ended;
+    DeliverToTarget(std::move(plan));
+    return;
+  }
+  auto pid = sim_->Lookup(best);
+  if (!pid.ok()) {
+    ++counters_.plans_dead_ended;
+    DeliverToTarget(std::move(plan));
+    return;
+  }
+  ++counters_.plans_forwarded;
+  sim_->Send({id_, *pid, kMqpKind, algebra::SerializePlan(plan), 0});
+}
+
+void Peer::DeliverToTarget(Plan plan) {
+  const std::string target = plan.target();
+  const std::string payload = algebra::SerializePlan(plan);
+  auto pid = sim_->Lookup(target);
+  if (!pid.ok()) return;  // no deliverable target: drop
+  if (*pid == id_) {
+    HandleResultPlan(std::move(plan), payload.size());
+    return;
+  }
+  ++counters_.results_delivered;
+  sim_->Send({id_, *pid, kResultKind, payload, 0});
+}
+
+void Peer::HandleResult(const net::Message& msg) {
+  auto plan = algebra::ParsePlan(msg.payload);
+  if (!plan.ok()) return;
+  HandleResultPlan(std::move(plan).value(), msg.payload.size());
+}
+
+void Peer::HandleResultPlan(Plan plan, size_t wire_bytes) {
+  auto it = pending_.find(plan.query_id());
+  if (it == pending_.end()) return;  // unknown or duplicate
+  // §3.4 caching: each kBound provenance entry names the exact URN the
+  // server resolved — under the completeness gate, a binder either covered
+  // that area or was authoritative for it, so (area → server) is a sound
+  // cache entry.
+  if (options_.cache_from_plans) {
+    for (const auto& e : plan.provenance().entries()) {
+      if (e.action != ProvenanceAction::kBound || e.server == address()) {
+        continue;
+      }
+      auto urn = ns::Urn::Parse(e.detail);
+      if (!urn.ok()) continue;
+      if (urn->IsInterestArea()) {
+        auto area = urn->ToInterestArea();
+        if (!area.ok()) continue;
+        catalog::IndexEntry entry;
+        entry.level = catalog::HoldingLevel::kIndex;
+        entry.area = std::move(area).value();
+        entry.server = e.server;
+        catalog_.AddEntry(std::move(entry));
+      } else {
+        catalog_.AddNamedReferral(e.detail, e.server);
+      }
+    }
+  }
+  QueryOutcome outcome;
+  outcome.query_id = plan.query_id();
+  outcome.complete = plan.IsFullyEvaluated();
+  if (outcome.complete) {
+    auto items = plan.ResultItems();
+    if (items.ok()) outcome.items = std::move(items).value();
+  }
+  outcome.provenance = plan.provenance();
+  outcome.submitted_at = it->second.submitted_at;
+  outcome.completed_at = sim_->now();
+  outcome.result_bytes = wire_bytes;
+  outcome.final_plan = std::move(plan);
+  Callback cb = std::move(it->second.callback);
+  pending_.erase(it);
+  if (cb) cb(outcome);
+}
+
+// --- registration ---------------------------------------------------------------
+
+void Peer::HandleRegister(const net::Message& msg) {
+  ++counters_.registrations_received;
+  if (!options_.roles.index && !options_.roles.meta_index) return;
+  auto doc = xml::Parse(msg.payload);
+  if (!doc.ok()) return;
+  const xml::Node& reg = **doc;
+  const std::string sender = reg.AttrOr("server", "");
+  if (sender.empty()) return;
+  bool stored = false;
+  for (const xml::Node* e : reg.Children("entry")) {
+    auto area = ns::InterestArea::Parse(e->AttrOr("area", ""));
+    if (!area.ok()) continue;
+    // Index/meta servers track servers whose areas overlap their own
+    // (§3.2). An empty own-interest means "cover everything".
+    if (!options_.interest.empty() &&
+        !options_.interest.Overlaps(*area)) {
+      continue;
+    }
+    catalog::IndexEntry entry;
+    entry.area = std::move(area).value();
+    entry.server = sender;
+    const bool entry_is_index = e->AttrOr("level", "base") == "index";
+    if (options_.roles.meta_index && !options_.roles.index) {
+      // Meta-index servers keep only namespace-level referrals: the MQP
+      // must travel to the registered server for detail (§3.2).
+      entry.level = catalog::HoldingLevel::kIndex;
+    } else {
+      entry.level = entry_is_index ? catalog::HoldingLevel::kIndex
+                                   : catalog::HoldingLevel::kBase;
+      entry.xpath = e->AttrOr("xpath", "");
+    }
+    int64_t delay = 0;
+    (void)mqp::ParseInt64(e->AttrOr("delay", "0"), &delay);
+    entry.delay_minutes = static_cast<int>(delay);
+    catalog_.AddEntry(std::move(entry));
+    stored = true;
+  }
+  for (const xml::Node* n : reg.Children("named")) {
+    const std::string urn = n->AttrOr("urn", "");
+    if (urn.empty()) continue;
+    if (options_.roles.meta_index && !options_.roles.index) {
+      catalog_.AddNamedReferral(urn, sender);
+    } else {
+      catalog_.AddNamedMapping(urn, sender, n->AttrOr("xpath", ""));
+    }
+    stored = true;
+  }
+  if (options_.use_intensional_statements) {
+    for (const xml::Node* s : reg.Children("statement")) {
+      auto st = catalog::IntensionalStatement::Parse(s->InnerText());
+      if (st.ok()) catalog_.AddStatement(std::move(st).value());
+    }
+  }
+  // Authoritative servers propagate registrations upward so higher-level
+  // meta-indexes learn about coverage (§3.3), bounded by a TTL. Only
+  // index-level entries travel by default — the meta level tracks servers,
+  // not collections (§3.2); forwarding base entries too is an ablation
+  // knob that collapses the hierarchy toward a central index.
+  int64_t ttl = 0;
+  (void)mqp::ParseInt64(reg.AttrOr("ttl", "0"), &ttl);
+  if (stored && options_.roles.authoritative && ttl > 0) {
+    auto fwd = reg.Clone();
+    fwd->SetAttr("ttl", std::to_string(ttl - 1));
+    if (!options_.forward_base_registrations) {
+      auto& children = fwd->mutable_children();
+      for (size_t i = children.size(); i > 0; --i) {
+        const xml::Node& c = *children[i - 1];
+        const bool is_base_entry =
+            c.name() == "entry" && c.AttrOr("level", "base") == "base";
+        if (is_base_entry || c.name() == "named") {
+          fwd->RemoveChild(i - 1);
+        }
+      }
+    }
+    if (fwd->Child("entry") != nullptr || fwd->Child("named") != nullptr) {
+      const std::string payload = xml::Serialize(*fwd);
+      for (const auto& b : bootstraps_) {
+        auto pid = sim_->Lookup(b);
+        if (pid.ok() && *pid != id_) {
+          sim_->Send({id_, *pid, kRegisterKind, payload, 0});
+        }
+      }
+    }
+  }
+}
+
+// --- category service (§3.5) ------------------------------------------------------
+
+void Peer::RequestCategories(const std::string& server,
+                             const std::string& dimension,
+                             const std::string& path,
+                             CategoryCallback cb) {
+  const std::string req =
+      options_.name + "-c" + std::to_string(next_query_++);
+  category_waiters_[req] = std::move(cb);
+  auto q = xml::Node::Element("cat-query");
+  q->SetAttr("req", req);
+  q->SetAttr("dim", dimension);
+  q->SetAttr("path", path);
+  q->SetAttr("reply-to", address());
+  auto pid = sim_->Lookup(server);
+  if (!pid.ok()) return;
+  sim_->Send({id_, *pid, kCategoryQueryKind, xml::Serialize(*q), 0});
+}
+
+void Peer::HandleCategoryQuery(const net::Message& msg) {
+  if (!options_.roles.category || hierarchies_ == nullptr) return;
+  auto doc = xml::Parse(msg.payload);
+  if (!doc.ok()) return;
+  const xml::Node& q = **doc;
+  auto reply = xml::Node::Element("cat-reply");
+  reply->SetAttr("req", q.AttrOr("req", ""));
+  auto dim = hierarchies_->DimensionIndex(q.AttrOr("dim", ""));
+  if (dim.ok()) {
+    auto path = ns::CategoryPath::Parse(q.AttrOr("path", "*"));
+    if (path.ok()) {
+      for (const auto& child :
+           hierarchies_->dimension(*dim).ChildrenOf(*path)) {
+        reply->AddElementWithText("cat", child.ToString());
+      }
+    }
+  }
+  auto pid = sim_->Lookup(q.AttrOr("reply-to", ""));
+  if (!pid.ok()) pid = Result<net::PeerId>(msg.from);
+  sim_->Send({id_, *pid, kCategoryReplyKind, xml::Serialize(*reply), 0});
+}
+
+// --- fetch service (pull; used by baselines & index pull) --------------------------
+
+void Peer::HandleFetch(const net::Message& msg) {
+  auto doc = xml::Parse(msg.payload);
+  if (!doc.ok()) return;
+  const std::string xpath = (*doc)->AttrOr("xpath", "");
+  const std::string req = (*doc)->AttrOr("req", "");
+  auto reply = xml::Node::Element("fetch-reply");
+  reply->SetAttr("req", req);
+  reply->SetAttr("server", address());
+  auto items = store_.Fetch(address(), xpath);
+  if (items.ok()) {
+    for (const auto& item : *items) {
+      reply->AddChild(item->Clone());
+    }
+  }
+  sim_->Send({id_, msg.from, kFetchReplyKind, xml::Serialize(*reply), 0});
+}
+
+// --- subquery service (coordinator-style distributed QP, baseline C2) ------------
+
+void Peer::HandleSubquery(const net::Message& msg) {
+  auto doc = xml::Parse(msg.payload);
+  if (!doc.ok()) return;
+  const std::string req = (*doc)->AttrOr("req", "");
+  auto reply = xml::Node::Element("subquery-reply");
+  reply->SetAttr("req", req);
+  reply->SetAttr("server", address());
+  const xml::Node* mqp_elem = (*doc)->Child("mqp");
+  if (mqp_elem != nullptr) {
+    auto plan = algebra::PlanFromXml(*mqp_elem);
+    if (plan.ok() && plan->root() != nullptr) {
+      auto items = engine::Evaluate(*plan->root(), &store_);
+      if (items.ok()) {
+        for (const auto& item : *items) {
+          reply->AddChild(item->Clone());
+        }
+      } else {
+        reply->SetAttr("error", items.status().ToString());
+      }
+    }
+  }
+  sim_->Send({id_, msg.from, kSubqueryReplyKind, xml::Serialize(*reply), 0});
+}
+
+}  // namespace mqp::peer

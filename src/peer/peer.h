@@ -1,0 +1,272 @@
+// Peer: one participant in the P2P network, composing the roles of §3.2
+// (base / index / meta-index / category server, optionally authoritative)
+// with the mutant-query processing loop of Figure 2:
+//
+//   parse → resolve URNs via catalog → rewrite/optimize → policy-select
+//   evaluable sub-plans → evaluate & reduce → route or deliver.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "algebra/plan_xml.h"
+#include "catalog/catalog.h"
+#include "engine/local_store.h"
+#include "net/simulator.h"
+#include "ns/hierarchy.h"
+#include "ns/interest.h"
+#include "optimizer/cost.h"
+#include "optimizer/policy.h"
+#include "optimizer/rewrites.h"
+
+namespace mqp::peer {
+
+// Message kinds used by peers.
+inline constexpr char kMqpKind[] = "mqp";
+inline constexpr char kResultKind[] = "result";
+inline constexpr char kRegisterKind[] = "register";
+inline constexpr char kCategoryQueryKind[] = "cat-query";
+inline constexpr char kCategoryReplyKind[] = "cat-reply";
+inline constexpr char kFetchKind[] = "fetch";
+inline constexpr char kFetchReplyKind[] = "fetch-reply";
+inline constexpr char kSubqueryKind[] = "subquery";
+inline constexpr char kSubqueryReplyKind[] = "subquery-reply";
+
+/// \brief Which §3.2 roles this peer performs (freely composable).
+struct PeerRoles {
+  bool base = false;        ///< serves named collections of data
+  bool index = false;       ///< tracks base servers (with collection detail)
+  bool meta_index = false;  ///< tracks servers by interest area only
+  bool category = false;    ///< answers hierarchy-structure queries
+  bool authoritative = false;  ///< strives to know all servers in its area
+};
+
+/// \brief Per-peer configuration.
+struct PeerOptions {
+  std::string name;          ///< human-readable label (for traces)
+  ns::InterestArea interest; ///< the peer's interest area
+  PeerRoles roles;
+
+  optimizer::PolicyConfig policy;  ///< deferment policy (Figure 2)
+  optimizer::CostParams cost;
+
+  bool record_provenance = true;   ///< §5.1
+  bool retain_original = false;    ///< carry the original plan in the MQP
+  bool enable_select_pushdown = true;
+  bool enable_consolidation = true;
+  bool enable_absorption = true;
+  bool enable_difference_split = true;  ///< §4.2 Example 3's rewrite
+  bool use_intensional_statements = true;  ///< §4 machinery on/off
+
+  /// Routing loop guard. MQPs visit base servers sequentially (the
+  /// pipelining trade of §2), so this must exceed the number of servers a
+  /// wide query touches.
+  int max_hops = 256;
+
+  /// §3.4/§5.1 catalog caching: harvest (area → index server) entries
+  /// from resolver hints seen in passing MQPs, and — when retain_original
+  /// is set — from the provenance of returned results.
+  bool cache_from_plans = true;
+
+  /// Authoritative servers re-announce *index-level* registrations upward
+  /// (§3.3). When this is also set, base-level entries are forwarded too —
+  /// which collapses the hierarchy toward a central index (ablation knob).
+  bool forward_base_registrations = false;
+
+  /// Item fields carrying the namespace coordinates, in dimension order
+  /// (e.g. {"location", "category"}). Used to filter collections broader
+  /// than a requested area down to the requested portion.
+  std::vector<std::string> dimension_fields;
+
+  /// Numeric fields to histogram when annotating local collections (§5.1);
+  /// downstream cost models use them for selectivity estimation.
+  std::vector<std::string> histogram_fields;
+
+  /// Test hook for §5.1 spoofing: URNs whose text contains this substring
+  /// are bound to the empty set with normal-looking provenance.
+  std::string spoof_urn_substring;
+};
+
+/// \brief What a client gets back for a submitted query.
+struct QueryOutcome {
+  std::string query_id;
+  bool complete = false;        ///< plan fully evaluated
+  algebra::ItemSet items;
+  algebra::Provenance provenance;
+  double submitted_at = 0;
+  double completed_at = 0;
+  size_t result_bytes = 0;      ///< wire size of the returning MQP
+  algebra::Plan final_plan;     ///< full returning plan (for verification)
+};
+
+/// \brief Simple counters exposed for tests and benches.
+struct PeerCounters {
+  uint64_t plans_received = 0;
+  uint64_t plans_forwarded = 0;
+  uint64_t urns_bound = 0;
+  uint64_t subplans_evaluated = 0;
+  uint64_t subplans_deferred = 0;
+  uint64_t registrations_received = 0;
+  uint64_t results_delivered = 0;
+  uint64_t plans_dead_ended = 0;
+};
+
+/// \brief A network participant. Attach to a Simulator, publish data or
+/// indexes, join, and submit queries.
+class Peer : public net::PeerNode {
+ public:
+  /// Registers with `sim` (which must outlive the peer).
+  Peer(net::Simulator* sim, PeerOptions options);
+
+  net::PeerId id() const { return id_; }
+  std::string address() const { return net::Simulator::AddressOf(id_); }
+  const PeerOptions& options() const { return options_; }
+  PeerOptions& mutable_options() { return options_; }
+
+  catalog::Catalog& catalog() { return catalog_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+  engine::LocalStore& store() { return store_; }
+  const PeerCounters& counters() const { return counters_; }
+
+  // --- base-server API --------------------------------------------------------
+
+  /// Publishes a collection of items under `area`. The collection becomes
+  /// locally resolvable immediately and is announced on JoinNetwork().
+  void PublishCollection(const std::string& collection_id,
+                         const ns::InterestArea& area,
+                         const algebra::ItemSet& items);
+
+  /// Publishes a *named* resource (e.g. "urn:CD:TrackListings" → a local
+  /// collection).
+  void PublishNamed(const std::string& urn, const std::string& collection_id,
+                    const algebra::ItemSet& items);
+
+  /// Adds an intensional statement this peer asserts about itself; it is
+  /// propagated to index servers on JoinNetwork() (§4.2: "whenever a
+  /// server registers ... it can also provide intensional statements").
+  void AddOwnStatement(catalog::IntensionalStatement st);
+
+  // --- membership -------------------------------------------------------------
+
+  /// Out-of-band bootstrap (§3.2: peers discover top-level meta-index
+  /// servers outside the P2P network).
+  void AddBootstrap(const std::string& address);
+  const std::vector<std::string>& bootstraps() const { return bootstraps_; }
+
+  /// Registers this peer's holdings/interest with bootstrap servers and
+  /// any index servers already known to the local catalog.
+  void JoinNetwork();
+
+  /// §3.3's complementary *pull* process: an index server fetches the data
+  /// of every base server in its catalog, stores local replicas, and
+  /// asserts the corresponding §4.3 containment statements
+  /// (base[area]@self ⊇ base[area]@source{delay}). Future bindings can
+  /// then answer from the replica alone — the §4.3 currency/latency trade.
+  /// `delay_minutes` is the declared refresh period.
+  void PullIndexedData(int delay_minutes);
+
+  /// Number of replica collections created by PullIndexedData.
+  size_t replica_count() const { return replicas_.size(); }
+
+  // --- category-server API ------------------------------------------------------
+
+  /// Serves `ns` (not owned) when the category role is set; also enables
+  /// §3.5 approximation of unknown categories during resolution.
+  void ServeHierarchies(const ns::MultiHierarchy* ns) {
+    hierarchies_ = ns;
+    catalog_.set_hierarchies(ns);
+  }
+
+  using CategoryCallback = std::function<void(const std::vector<std::string>&)>;
+
+  /// Asks the category server at `server` for the immediate subcategories
+  /// of `path` in `dimension` (§3.5). The reply arrives via `cb`.
+  void RequestCategories(const std::string& server,
+                         const std::string& dimension,
+                         const std::string& path, CategoryCallback cb);
+
+  // --- client API --------------------------------------------------------------
+
+  using Callback = std::function<void(const QueryOutcome&)>;
+
+  /// Submits a query. The plan's display target is overwritten to this
+  /// peer; processing starts locally and the result arrives via `cb` once
+  /// the MQP returns. Returns the assigned query id.
+  std::string SubmitQuery(algebra::Plan plan, Callback cb);
+
+  // --- net::PeerNode -------------------------------------------------------------
+
+  void HandleMessage(const net::Message& msg) override;
+
+ private:
+  // The Figure-2 processing loop.
+  void ProcessPlan(algebra::Plan plan);
+
+  /// Resolution stage; returns how many URNs were bound.
+  int ResolveUrns(algebra::Plan* plan);
+
+  /// Attaches true cardinality/byte annotations to local URL leaves.
+  void AnnotateLocalUrls(algebra::Plan* plan);
+
+  /// Rewrite/optimize stage (select pushdown, or-elimination,
+  /// consolidation, absorption).
+  void ApplyRewrites(algebra::Plan* plan);
+
+  /// Policy + evaluation stage; returns how many sub-plans were reduced.
+  int EvaluateSubplans(algebra::Plan* plan);
+
+  /// Final-resort evaluation ignoring deferment (dead-ended plans).
+  int ForceEvaluate(algebra::Plan* plan);
+
+  /// Routes an unfinished plan onward, or delivers it if done/stuck.
+  void RouteOrDeliver(algebra::Plan plan);
+
+  void DeliverToTarget(algebra::Plan plan);
+  void HandleResult(const net::Message& msg);
+  void HandleResultPlan(algebra::Plan plan, size_t wire_bytes);
+  void HandleRegister(const net::Message& msg);
+  void HandleCategoryQuery(const net::Message& msg);
+  void HandleFetch(const net::Message& msg);
+  void HandleFetchReply(const net::Message& msg);
+  void HandleSubquery(const net::Message& msg);
+  std::string BuildRegisterPayload(int ttl) const;
+
+  optimizer::Locality LocalLocality() const;
+  optimizer::OrPreference CurrentOrPreference(const algebra::Plan& plan) const;
+  void AddProvenance(algebra::Plan* plan, algebra::ProvenanceAction action,
+                     std::string detail, int staleness = 0);
+
+  net::Simulator* sim_;
+  net::PeerId id_;
+  PeerOptions options_;
+  engine::LocalStore store_;
+  catalog::Catalog catalog_;
+  const ns::MultiHierarchy* hierarchies_ = nullptr;
+  std::vector<std::string> bootstraps_;
+  std::map<std::string, ns::InterestArea> collections_;  // id → area
+  std::map<std::string, std::string> named_published_;   // urn → xpath
+  std::vector<catalog::IntensionalStatement> own_statements_;
+  std::map<std::string, CategoryCallback> category_waiters_;
+
+  struct PendingPull {
+    std::string source_server;
+    ns::InterestArea area;
+    int delay_minutes = 0;
+  };
+  std::map<std::string, PendingPull> pending_pulls_;  // req → pull
+  std::vector<std::string> replicas_;                 // collection ids
+  uint64_t next_pull_ = 0;
+
+  struct Pending {
+    Callback callback;
+    double submitted_at = 0;
+  };
+  std::map<std::string, Pending> pending_;
+  uint64_t next_query_ = 0;
+  PeerCounters counters_;
+};
+
+}  // namespace mqp::peer

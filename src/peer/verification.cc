@@ -1,0 +1,60 @@
+#include "peer/verification.h"
+
+namespace mqp::peer {
+
+using algebra::Plan;
+using algebra::PlanNode;
+
+std::vector<SuspiciousBinding> FindSuspiciousBindings(
+    const Plan& final_plan, const std::string& urn,
+    const std::string& expected_server) {
+  std::vector<SuspiciousBinding> out;
+  if (final_plan.original() == nullptr) return out;
+  // Was the URN part of the original query?
+  bool in_original = false;
+  for (const PlanNode* u : final_plan.original()->UrnLeaves()) {
+    if (u->urn() == urn) {
+      in_original = true;
+      break;
+    }
+  }
+  if (!in_original) return out;
+  // Still unresolved in the final plan? Then nothing was spoofed; the
+  // query simply failed to find the resource.
+  if (final_plan.root() != nullptr) {
+    for (const PlanNode* u : final_plan.root()->UrnLeaves()) {
+      if (u->urn() == urn) return out;
+    }
+  }
+  // The URN was bound and evaluated away. Did the plan ever visit the
+  // server expected to hold it?
+  if (!expected_server.empty()) {
+    if (!final_plan.provenance().Visited(expected_server)) {
+      out.push_back({urn});
+    }
+    return out;
+  }
+  // Heuristic: a plan whose every non-client visit is the same server.
+  const auto& entries = final_plan.provenance().entries();
+  std::string single;
+  bool multiple = false;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (single.empty()) {
+      single = entries[i].server;
+    } else if (entries[i].server != single) {
+      multiple = true;
+    }
+  }
+  if (!multiple && !single.empty()) out.push_back({urn});
+  return out;
+}
+
+Plan MakeVerificationQuery(const std::string& urn,
+                           const std::string& target) {
+  auto count = PlanNode::Aggregate(algebra::AggFunc::kCount, "", "",
+                                   PlanNode::UrnRef(urn));
+  Plan plan(PlanNode::Display(target, std::move(count)));
+  return plan;
+}
+
+}  // namespace mqp::peer

@@ -1,0 +1,40 @@
+// Spoofing detection utilities (paper §5.1).
+//
+// If a malicious server binds a competitor's resource to the empty set,
+// the MQP's provenance will show that the plan never visited the rightful
+// source. A client holding the original plan can detect this and issue a
+// verification query (e.g. count(σ(B))) directly to the suspected source.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+
+namespace mqp::peer {
+
+/// \brief One suspicious binding: a URN of the original plan for which no
+/// provenance entry credits a visit to any server that could have bound it.
+struct SuspiciousBinding {
+  std::string urn;
+};
+
+/// \brief Inspects a completed plan that retained its original (§5.1):
+/// returns the URNs of the original plan that were evaluated away even
+/// though the provenance records no visit to `expected_server` (the server
+/// the client believes serves that URN).
+///
+/// With an empty `expected_server`, any URN that disappeared while the
+/// provenance shows only a single server doing all binding+evaluation is
+/// reported (the single-server-did-everything heuristic).
+std::vector<SuspiciousBinding> FindSuspiciousBindings(
+    const algebra::Plan& final_plan, const std::string& urn,
+    const std::string& expected_server);
+
+/// \brief Builds the verification query of §5.1: count(σ(urn)), targeted
+/// back at `target`. Send it straight to the suspected source; a non-zero
+/// count contradicts an empty binding.
+algebra::Plan MakeVerificationQuery(const std::string& urn,
+                                    const std::string& target);
+
+}  // namespace mqp::peer

@@ -1,0 +1,441 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "ns/urn.h"
+
+namespace mqp::query {
+
+namespace {
+
+using algebra::CompareOp;
+using algebra::Expr;
+using algebra::ExprPtr;
+using algebra::PlanNode;
+using algebra::PlanNodePtr;
+
+enum class TokenType {
+  kKeyword,  // normalized to lowercase
+  kIdent,    // field path or urn
+  kNumber,
+  kString,
+  kSymbol,  // ( ) , = != < <= > >= *
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;
+};
+
+bool IsKeyword(const std::string& lower) {
+  static const char* const kWords[] = {
+      "select", "from",  "join",  "on",    "where", "group", "by",
+      "order",  "limit", "asc",   "desc",  "and",   "or",    "not",
+      "within", "exists", "count", "sum",   "min",   "max",   "avg",
+      "area"};
+  for (const char* w : kWords) {
+    if (lower == w) return true;
+  }
+  return false;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '/' || c == ':' || c == '-' || c == '@' ||
+         c == '[' || c == ']';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view in) : in_(in) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= in_.size()) break;
+      const size_t start = pos_;
+      const char c = in_[pos_];
+      if (c == '\'' || c == '"') {
+        ++pos_;
+        std::string value;
+        while (pos_ < in_.size() && in_[pos_] != c) {
+          value.push_back(in_[pos_++]);
+        }
+        if (pos_ >= in_.size()) {
+          return Status::ParseError("unterminated string literal at offset " +
+                                    std::to_string(start));
+        }
+        ++pos_;
+        out.push_back({TokenType::kString, std::move(value), start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < in_.size() &&
+           std::isdigit(static_cast<unsigned char>(in_[pos_ + 1])))) {
+        ++pos_;
+        while (pos_ < in_.size() &&
+               (std::isdigit(static_cast<unsigned char>(in_[pos_])) ||
+                in_[pos_] == '.')) {
+          ++pos_;
+        }
+        out.push_back({TokenType::kNumber,
+                       std::string(in_.substr(start, pos_ - start)), start});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (pos_ < in_.size() && IsIdentChar(in_[pos_])) ++pos_;
+        std::string word(in_.substr(start, pos_ - start));
+        std::string lower = word;
+        for (char& ch : lower) {
+          ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+        }
+        // URNs and paths containing ':' or '/' are always identifiers.
+        if (word.find(':') == std::string::npos &&
+            word.find('/') == std::string::npos && IsKeyword(lower)) {
+          out.push_back({TokenType::kKeyword, std::move(lower), start});
+        } else {
+          out.push_back({TokenType::kIdent, std::move(word), start});
+        }
+        continue;
+      }
+      // Symbols.
+      if (c == '!' || c == '<' || c == '>') {
+        std::string sym(1, c);
+        ++pos_;
+        if (pos_ < in_.size() && in_[pos_] == '=') {
+          sym.push_back('=');
+          ++pos_;
+        }
+        if (sym == "!") {
+          return Status::ParseError("stray '!' at offset " +
+                                    std::to_string(start));
+        }
+        out.push_back({TokenType::kSymbol, std::move(sym), start});
+        continue;
+      }
+      if (c == '(' || c == ')' || c == ',' || c == '=' || c == '*') {
+        ++pos_;
+        out.push_back({TokenType::kSymbol, std::string(1, c), start});
+        continue;
+      }
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at offset " + std::to_string(start));
+    }
+    out.push_back({TokenType::kEnd, "", in_.size()});
+    return out;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+struct SelectItem {
+  bool star = false;
+  std::string field;
+};
+
+struct AggSpec {
+  algebra::AggFunc func = algebra::AggFunc::kCount;
+  std::string field;  // empty for count(*)
+};
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<algebra::Plan> ParseQuery() {
+    MQP_RETURN_IF_ERROR(ExpectKeyword("select"));
+    MQP_RETURN_IF_ERROR(ParseSelectList());
+    MQP_RETURN_IF_ERROR(ExpectKeyword("from"));
+    MQP_ASSIGN_OR_RETURN(PlanNodePtr root, ParseFromClause());
+
+    if (AcceptKeyword("where")) {
+      MQP_ASSIGN_OR_RETURN(ExprPtr pred, ParseDisjunction());
+      root = PlanNode::Select(std::move(pred), std::move(root));
+    }
+    std::string group_by;
+    if (AcceptKeyword("group")) {
+      MQP_RETURN_IF_ERROR(ExpectKeyword("by"));
+      MQP_ASSIGN_OR_RETURN(group_by, ExpectIdent());
+    }
+    if (agg_) {
+      root = PlanNode::Aggregate(agg_->func, agg_->field, group_by,
+                                 std::move(root));
+    } else if (!group_by.empty()) {
+      return Status::ParseError("GROUP BY requires an aggregate select");
+    }
+    std::string order_field;
+    bool ascending = true;
+    if (AcceptKeyword("order")) {
+      MQP_RETURN_IF_ERROR(ExpectKeyword("by"));
+      MQP_ASSIGN_OR_RETURN(order_field, ExpectIdent());
+      if (AcceptKeyword("desc")) {
+        ascending = false;
+      } else {
+        (void)AcceptKeyword("asc");
+      }
+    }
+    uint64_t limit = 0;
+    bool has_limit = false;
+    if (AcceptKeyword("limit")) {
+      const Token& t = Peek();
+      if (t.type != TokenType::kNumber) {
+        return Err("LIMIT expects a number");
+      }
+      int64_t n = 0;
+      if (!mqp::ParseInt64(t.text, &n) || n < 0) {
+        return Err("bad LIMIT value");
+      }
+      limit = static_cast<uint64_t>(n);
+      has_limit = true;
+      Advance();
+    }
+    if (!order_field.empty() || has_limit) {
+      if (order_field.empty()) {
+        return Err("LIMIT requires ORDER BY (results are otherwise unordered)");
+      }
+      root = PlanNode::TopN(has_limit ? limit : UINT64_MAX / 2, order_field,
+                            ascending, std::move(root));
+    }
+    // Projection applies last — above TopN — so ordering on a
+    // non-projected field still works.
+    if (!select_fields_.empty() && !agg_) {
+      root = PlanNode::Project(select_fields_, std::move(root));
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing input '" + Peek().text + "'");
+    }
+    return algebra::Plan(std::move(root));
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  Status Err(std::string msg) const {
+    return Status::ParseError(msg + " (at offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Err("expected '" + std::string(kw) + "'");
+    }
+    return Status::OK();
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Err("expected '" + std::string(sym) + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != TokenType::kIdent) {
+      return Err("expected an identifier");
+    }
+    std::string out = Peek().text;
+    Advance();
+    return out;
+  }
+
+  Status ParseSelectList() {
+    if (AcceptSymbol("*")) return Status::OK();
+    // Aggregate?
+    if (Peek().type == TokenType::kKeyword) {
+      const std::string& kw = Peek().text;
+      algebra::AggFunc func;
+      if (kw == "count") {
+        func = algebra::AggFunc::kCount;
+      } else if (kw == "sum") {
+        func = algebra::AggFunc::kSum;
+      } else if (kw == "min") {
+        func = algebra::AggFunc::kMin;
+      } else if (kw == "max") {
+        func = algebra::AggFunc::kMax;
+      } else if (kw == "avg") {
+        func = algebra::AggFunc::kAvg;
+      } else {
+        return Err("expected field list, '*' or an aggregate");
+      }
+      Advance();
+      MQP_RETURN_IF_ERROR(ExpectSymbol("("));
+      AggSpec spec;
+      spec.func = func;
+      if (AcceptSymbol("*")) {
+        if (func != algebra::AggFunc::kCount) {
+          return Err("only COUNT accepts '*'");
+        }
+      } else {
+        MQP_ASSIGN_OR_RETURN(spec.field, ExpectIdent());
+      }
+      MQP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      agg_ = spec;
+      return Status::OK();
+    }
+    // Field list.
+    while (true) {
+      MQP_ASSIGN_OR_RETURN(auto field, ExpectIdent());
+      select_fields_.push_back(std::move(field));
+      if (!AcceptSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Result<PlanNodePtr> ParseSource() {
+    if (AcceptKeyword("area")) {
+      MQP_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (Peek().type != TokenType::kString) {
+        return Err("area(...) expects a quoted interest area");
+      }
+      MQP_ASSIGN_OR_RETURN(auto area,
+                           ns::InterestArea::Parse(Peek().text));
+      Advance();
+      MQP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return PlanNode::UrnRef(ns::AreaToUrn(area).ToString());
+    }
+    MQP_ASSIGN_OR_RETURN(auto name, ExpectIdent());
+    if (!mqp::StartsWith(name, "urn:")) {
+      return Err("FROM expects a urn:... or area(\"...\") source");
+    }
+    return PlanNode::UrnRef(std::move(name));
+  }
+
+  Result<PlanNodePtr> ParseFromClause() {
+    MQP_ASSIGN_OR_RETURN(PlanNodePtr root, ParseSource());
+    while (AcceptKeyword("join")) {
+      MQP_ASSIGN_OR_RETURN(PlanNodePtr right, ParseSource());
+      MQP_RETURN_IF_ERROR(ExpectKeyword("on"));
+      MQP_ASSIGN_OR_RETURN(auto left_field, ExpectIdent());
+      MQP_RETURN_IF_ERROR(ExpectSymbol("="));
+      MQP_ASSIGN_OR_RETURN(auto right_field, ExpectIdent());
+      root = PlanNode::Join(algebra::JoinEq(left_field, right_field),
+                            std::move(root), std::move(right));
+    }
+    return root;
+  }
+
+  Result<ExprPtr> ParseDisjunction() {
+    MQP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseConjunction());
+    while (AcceptKeyword("or")) {
+      MQP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseConjunction());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseConjunction() {
+    MQP_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePredicate());
+    while (AcceptKeyword("and")) {
+      MQP_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePredicate());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    if (AcceptKeyword("not")) {
+      MQP_ASSIGN_OR_RETURN(ExprPtr inner, ParsePredicate());
+      return Expr::Not(std::move(inner));
+    }
+    if (AcceptSymbol("(")) {
+      MQP_ASSIGN_OR_RETURN(ExprPtr inner, ParseDisjunction());
+      MQP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (AcceptKeyword("exists")) {
+      MQP_RETURN_IF_ERROR(ExpectSymbol("("));
+      MQP_ASSIGN_OR_RETURN(auto field, ExpectIdent());
+      MQP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return Expr::Exists(std::move(field));
+    }
+    MQP_ASSIGN_OR_RETURN(auto field, ExpectIdent());
+    if (AcceptKeyword("within")) {
+      if (Peek().type != TokenType::kString &&
+          Peek().type != TokenType::kIdent) {
+        return Err("WITHIN expects a category path");
+      }
+      std::string path = Peek().text;
+      Advance();
+      return Expr::Compare(CompareOp::kHasPrefix,
+                           Expr::Field(std::move(field)),
+                           Expr::Literal(std::move(path)));
+    }
+    if (Peek().type != TokenType::kSymbol) {
+      return Err("expected a comparison operator");
+    }
+    const std::string sym = Peek().text;
+    CompareOp op;
+    if (sym == "=") {
+      op = CompareOp::kEq;
+    } else if (sym == "!=") {
+      op = CompareOp::kNe;
+    } else if (sym == "<") {
+      op = CompareOp::kLt;
+    } else if (sym == "<=") {
+      op = CompareOp::kLe;
+    } else if (sym == ">") {
+      op = CompareOp::kGt;
+    } else if (sym == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Err("unknown comparison '" + sym + "'");
+    }
+    Advance();
+    const Token& lit = Peek();
+    if (lit.type != TokenType::kNumber && lit.type != TokenType::kString &&
+        lit.type != TokenType::kIdent) {
+      return Err("expected a literal");
+    }
+    std::string value = lit.text;
+    Advance();
+    return Expr::Compare(op, Expr::Field(std::move(field)),
+                         Expr::Literal(std::move(value)));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::vector<std::string> select_fields_;
+  std::optional<AggSpec> agg_;
+};
+
+}  // namespace
+
+Result<algebra::Plan> Parse(std::string_view text) {
+  Lexer lexer(text);
+  MQP_ASSIGN_OR_RETURN(auto tokens, lexer.Tokenize());
+  ParserImpl parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace mqp::query

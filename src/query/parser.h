@@ -1,0 +1,41 @@
+// A small declarative query language compiled to mutant query plans.
+//
+// The paper's motivation (§1): "allow users to query [exported views]
+// using a full-featured query language" rather than IR-style string
+// matching. This front-end covers the algebra the paper uses:
+//
+//   SELECT *                         | field[, field...] | AGG(field | *)
+//   FROM   urn:NID:NSS               | area("(USA.OR,Music)")
+//     [JOIN urn:... ON field = field]...
+//   [WHERE predicate]
+//   [GROUP BY field]
+//   [ORDER BY field [ASC|DESC]]
+//   [LIMIT n]
+//
+// predicates:  field OP literal        OP ∈ { = != < <= > >= }
+//              field WITHIN "USA/OR"   (category-path containment)
+//              EXISTS(field)
+//              NOT p | p AND p | p OR p | (p)
+// literals:    123, 9.99, 'text', "text"
+// aggregates:  COUNT, SUM, MIN, MAX, AVG
+//
+// Keywords are case-insensitive; field names are XPath-lite paths.
+//
+// Example:
+//   auto plan = query::Parse(
+//       "select title, price from urn:ForSale:Portland-CDs "
+//       "where price < 10 order by price limit 5");
+#pragma once
+
+#include <string_view>
+
+#include "algebra/plan.h"
+#include "common/result.h"
+
+namespace mqp::query {
+
+/// \brief Compiles `text` into a plan (no display node; Peer::SubmitQuery
+/// adds the target).
+Result<algebra::Plan> Parse(std::string_view text);
+
+}  // namespace mqp::query

@@ -1,0 +1,88 @@
+#include "workload/cd_market.h"
+
+namespace mqp::workload {
+
+namespace {
+const char* const kWords[] = {"blue",  "giant", "quiet",  "electric",
+                              "stolen", "velvet", "midnight", "paper",
+                              "golden", "broken"};
+}  // namespace
+
+CdMarketGenerator::CdMarketGenerator(uint64_t seed) : rng_(seed) {}
+
+std::vector<std::string> CdMarketGenerator::MakeTitles(size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::string(kWords[rng_.NextBelow(10)]) + " " +
+                  kWords[rng_.NextBelow(10)] + " " + std::to_string(i));
+  }
+  return out;
+}
+
+algebra::ItemSet CdMarketGenerator::MakeSellerCds(
+    const std::vector<std::string>& titles, const std::string& seller,
+    size_t count) {
+  algebra::ItemSet out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto cd = xml::Node::Element("cd");
+    cd->AddElementWithText("title",
+                           titles[rng_.NextZipf(titles.size(), 0.7)]);
+    cd->AddElementWithText(
+        "price", std::to_string(4 + rng_.NextBelow(21)) + "." +
+                     std::to_string(rng_.NextBelow(100) / 10) +
+                     std::to_string(rng_.NextBelow(10)));
+    cd->AddElementWithText("seller", seller);
+    out.push_back(algebra::Item(cd.release()));
+  }
+  return out;
+}
+
+algebra::ItemSet CdMarketGenerator::MakeTrackListings(
+    const std::vector<std::string>& titles, size_t songs_per) {
+  algebra::ItemSet out;
+  out.reserve(titles.size() * songs_per);
+  for (const auto& title : titles) {
+    for (size_t s = 0; s < songs_per; ++s) {
+      auto listing = xml::Node::Element("listing");
+      listing->AddElementWithText("CDtitle", title);
+      listing->AddElementWithText(
+          "song", std::string(kWords[rng_.NextBelow(10)]) + " song " +
+                      std::to_string(rng_.Next() % 100000));
+      out.push_back(algebra::Item(listing.release()));
+    }
+  }
+  return out;
+}
+
+algebra::ItemSet CdMarketGenerator::MakeFavoriteSongs(
+    const algebra::ItemSet& listings, size_t count) {
+  algebra::ItemSet out;
+  out.reserve(count);
+  for (size_t i = 0; i < count && !listings.empty(); ++i) {
+    const auto& listing = listings[rng_.NextBelow(listings.size())];
+    auto song = xml::Node::Element("song");
+    song->AddElementWithText("name", listing->ChildText("song"));
+    out.push_back(algebra::Item(song.release()));
+  }
+  return out;
+}
+
+algebra::Plan MakeFigure3Plan(const algebra::ItemSet& favorite_songs,
+                              const std::string& forsale_urn,
+                              const std::string& tracklist_urn,
+                              const std::string& target,
+                              const std::string& max_price) {
+  using algebra::PlanNode;
+  auto cheap_cds = PlanNode::Select(algebra::FieldLess("price", max_price),
+                                    PlanNode::UrnRef(forsale_urn));
+  auto with_songs =
+      PlanNode::Join(algebra::JoinEq("title", "CDtitle"), cheap_cds,
+                     PlanNode::UrnRef(tracklist_urn));
+  auto matched = PlanNode::Join(algebra::JoinEq("song", "name"), with_songs,
+                                PlanNode::XmlData(favorite_songs));
+  return algebra::Plan(PlanNode::Display(target, matched));
+}
+
+}  // namespace mqp::workload

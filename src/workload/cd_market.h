@@ -1,0 +1,54 @@
+// The Figure-3 workload: for-sale CD listings, a track-listing service
+// (the CDDB/FreeDB substitute, see DESIGN.md), and a favorite-song list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/rng.h"
+
+namespace mqp::workload {
+
+/// \brief Generator for the CD-market scenario.
+class CdMarketGenerator {
+ public:
+  explicit CdMarketGenerator(uint64_t seed = 42);
+
+  /// The master list of `n` CD titles that sellers and the track-listing
+  /// service draw from.
+  std::vector<std::string> MakeTitles(size_t n);
+
+  /// For-sale CDs at one seller: <cd><title/><price/><seller/></cd>.
+  /// Prices are uniform in [4, 25); titles Zipf-drawn from `titles`.
+  algebra::ItemSet MakeSellerCds(const std::vector<std::string>& titles,
+                                 const std::string& seller, size_t count);
+
+  /// The track-listing service: `songs_per` listings per title,
+  /// <listing><CDtitle/><song/></listing>.
+  algebra::ItemSet MakeTrackListings(const std::vector<std::string>& titles,
+                                     size_t songs_per);
+
+  /// A favorite-song list sampled from the listings:
+  /// <song><name/></song>.
+  algebra::ItemSet MakeFavoriteSongs(const algebra::ItemSet& listings,
+                                     size_t count);
+
+ private:
+  Rng rng_;
+};
+
+/// \brief Builds the Figure-3 mutant query plan:
+///
+///   display(target) ← join[song = name]
+///                       ← join[title = CDtitle]
+///                           ← select[price < max_price](urn:ForSale:...)
+///                           ← urn:CD:TrackListings
+///                       ← favorite songs (verbatim XML)
+algebra::Plan MakeFigure3Plan(const algebra::ItemSet& favorite_songs,
+                              const std::string& forsale_urn,
+                              const std::string& tracklist_urn,
+                              const std::string& target,
+                              const std::string& max_price = "10");
+
+}  // namespace mqp::workload

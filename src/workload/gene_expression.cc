@@ -1,0 +1,81 @@
+#include "workload/gene_expression.h"
+
+#include "common/strings.h"
+
+namespace mqp::workload {
+
+GeneExpressionGenerator::GeneExpressionGenerator(uint64_t seed)
+    : rng_(seed), ns_(ns::MakeGeneExpressionNamespace()) {}
+
+std::vector<ResearchGroup> GeneExpressionGenerator::FigureOneGroups() const {
+  auto area = [](const char* text) {
+    auto a = ns::InterestArea::Parse(text);
+    return a.ok() ? *a : ns::InterestArea();
+  };
+  return {
+      {"fly-neuro",
+       area("(Coelomata.Protostomia.DrosophilaMelanogaster,Neural)")},
+      {"rodent-lab",
+       area("(Coelomata.Deuterostomia.Mammalia.Eutheria.Rodentia,Connective)+"
+            "(Coelomata.Deuterostomia.Mammalia.Eutheria.Rodentia,Muscle)")},
+      {"human-atlas",
+       area("(Coelomata.Deuterostomia.Mammalia.Eutheria.Primates."
+            "HomoSapiens,*)")},
+  };
+}
+
+std::vector<ResearchGroup> GeneExpressionGenerator::RandomGroups(size_t n) {
+  std::vector<ResearchGroup> out;
+  out.reserve(n);
+  auto organisms = ns_.dimension(0).AllCategories();
+  auto cells = ns_.dimension(1).AllCategories();
+  for (size_t i = 0; i < n; ++i) {
+    ResearchGroup g;
+    g.name = "group-" + std::to_string(i);
+    const size_t cells_in_area = 1 + rng_.NextBelow(2);
+    ns::InterestArea area;
+    for (size_t c = 0; c < cells_in_area; ++c) {
+      area.AddCell(ns::InterestCell(
+          {organisms[rng_.NextBelow(organisms.size())],
+           cells[rng_.NextBelow(cells.size())]}));
+    }
+    g.area = area.Normalized();
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+algebra::ItemSet GeneExpressionGenerator::MakeExperiments(
+    const ResearchGroup& group, size_t count) {
+  algebra::ItemSet out;
+  out.reserve(count);
+  if (group.area.empty()) return out;
+  // Leaf coordinates covered by the group's area, per dimension.
+  std::vector<std::pair<ns::CategoryPath, ns::CategoryPath>> coords;
+  for (const auto& org : ns_.dimension(0).Leaves()) {
+    for (const auto& cell : ns_.dimension(1).Leaves()) {
+      ns::InterestCell c({org, cell});
+      for (const auto& ac : group.area.cells()) {
+        if (ac.Covers(c)) {
+          coords.emplace_back(org, cell);
+          break;
+        }
+      }
+    }
+  }
+  if (coords.empty()) return out;
+  for (size_t i = 0; i < count; ++i) {
+    const auto& [org, cell] = coords[rng_.NextBelow(coords.size())];
+    auto e = xml::Node::Element("experiment");
+    e->AddElementWithText("organism", org.ToString());
+    e->AddElementWithText("celltype", cell.ToString());
+    e->AddElementWithText("gene",
+                          "GENE" + std::to_string(rng_.NextBelow(5000)));
+    e->AddElementWithText("value", FormatDouble(rng_.NextDouble() * 16.0));
+    e->AddElementWithText("lab", group.name);
+    out.push_back(algebra::Item(e.release()));
+  }
+  return out;
+}
+
+}  // namespace mqp::workload

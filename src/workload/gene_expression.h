@@ -1,0 +1,47 @@
+// The Figure-1 workload: research groups hosting gene-expression
+// repositories with interest areas over the Organism × CellType namespace
+// (the MIAME-style data substitute, see DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/rng.h"
+#include "ns/hierarchy.h"
+#include "ns/interest.h"
+
+namespace mqp::workload {
+
+/// \brief One research group and its declared interest area.
+struct ResearchGroup {
+  std::string name;
+  ns::InterestArea area;
+};
+
+/// \brief Gene-expression data generator.
+class GeneExpressionGenerator {
+ public:
+  explicit GeneExpressionGenerator(uint64_t seed = 42);
+
+  const ns::MultiHierarchy& hierarchy() const { return ns_; }
+
+  /// The paper's three Figure-1 groups: fruit-fly neural cells,
+  /// rodent connective+muscle cells, and all human cell types.
+  std::vector<ResearchGroup> FigureOneGroups() const;
+
+  /// `n` additional random groups (for scaling experiments): each picks
+  /// 1-2 random cells of the namespace.
+  std::vector<ResearchGroup> RandomGroups(size_t n);
+
+  /// Expression records inside a group's area:
+  /// <experiment><organism/><celltype/><gene/><value/></experiment>.
+  /// Coordinates are drawn from leaf categories covered by the area.
+  algebra::ItemSet MakeExperiments(const ResearchGroup& group, size_t count);
+
+ private:
+  Rng rng_;
+  ns::MultiHierarchy ns_;
+};
+
+}  // namespace mqp::workload

@@ -1,0 +1,113 @@
+#include "workload/network_builder.h"
+
+#include "ns/urn.h"
+
+namespace mqp::workload {
+
+using peer::Peer;
+using peer::PeerOptions;
+
+peer::Peer* GarageSaleNetwork::IndexFor(
+    const ns::InterestCell& seller_cell) const {
+  for (Peer* idx : index_servers) {
+    if (idx->options().interest.Overlaps(
+            ns::InterestArea(seller_cell))) {
+      return idx;
+    }
+  }
+  return top_meta;
+}
+
+// Item fields carrying the Location and Merchandise coordinates.
+static const std::vector<std::string> kGarageSaleFields = {"location",
+                                                           "category"};
+
+GarageSaleNetwork BuildGarageSaleNetwork(net::Simulator* sim,
+                                         const GarageSaleNetworkParams& p) {
+  GarageSaleNetwork net;
+  net.generator = GarageSaleGenerator(p.seed);
+
+  // Top-level authoritative meta-index server covering everything.
+  {
+    PeerOptions opts;
+    opts.name = "meta-top";
+    opts.dimension_fields = kGarageSaleFields;
+    opts.interest = ns::InterestArea(ns::InterestCell(
+        {ns::CategoryPath(), ns::CategoryPath()}));
+    opts.roles.meta_index = true;
+    opts.roles.authoritative = true;
+    opts.use_intensional_statements = p.use_statements;
+    net.owned.push_back(std::make_unique<Peer>(sim, opts));
+    net.top_meta = net.owned.back().get();
+  }
+
+  // One index server per state-level location, covering [state, *].
+  for (const char* state : {"USA/OR", "USA/WA", "USA/CA", "France"}) {
+    PeerOptions opts;
+    opts.name = std::string("index-") + state;
+    opts.dimension_fields = kGarageSaleFields;
+    auto path = ns::CategoryPath::Parse(state);
+    opts.interest = ns::InterestArea(
+        ns::InterestCell({*path, ns::CategoryPath()}));
+    opts.roles.index = true;
+    opts.roles.authoritative = true;
+    opts.use_intensional_statements = p.use_statements;
+    net.owned.push_back(std::make_unique<Peer>(sim, opts));
+    Peer* idx = net.owned.back().get();
+    idx->AddBootstrap(net.top_meta->address());
+    net.index_servers.push_back(idx);
+  }
+
+  // Sellers: base servers, one collection each, registered with the index
+  // server covering their state.
+  net.seller_specs = net.generator.MakeSellers(p.num_sellers);
+  for (size_t i = 0; i < net.seller_specs.size(); ++i) {
+    const Seller& spec = net.seller_specs[i];
+    PeerOptions opts;
+    opts.name = spec.name;
+    opts.dimension_fields = kGarageSaleFields;
+    opts.interest = ns::InterestArea(spec.cell);
+    opts.roles.base = true;
+    opts.use_intensional_statements = p.use_statements;
+    net.owned.push_back(std::make_unique<Peer>(sim, opts));
+    Peer* seller = net.owned.back().get();
+    auto items = net.generator.MakeItems(spec, p.items_per_seller);
+    net.all_items.insert(net.all_items.end(), items.begin(), items.end());
+    seller->PublishCollection("c" + std::to_string(i),
+                              ns::InterestArea(spec.cell), items);
+    net.sellers.push_back(seller);
+    seller->AddBootstrap(net.IndexFor(spec.cell)->address());
+  }
+
+  // Client: knows only the top meta server (out-of-band bootstrap, §3.2).
+  {
+    PeerOptions opts = p.client_template;
+    if (opts.name.empty()) opts.name = "client";
+    opts.use_intensional_statements = p.use_statements;
+    opts.dimension_fields = kGarageSaleFields;
+    net.owned.push_back(std::make_unique<Peer>(sim, opts));
+    net.client = net.owned.back().get();
+    net.client->AddBootstrap(net.top_meta->address());
+  }
+
+  // Join: index servers announce to the meta level first, then sellers
+  // register with their index servers.
+  for (Peer* idx : net.index_servers) idx->JoinNetwork();
+  sim->Run();
+  for (Peer* s : net.sellers) s->JoinNetwork();
+  sim->Run();
+  return net;
+}
+
+algebra::Plan MakeAreaQueryPlan(const ns::InterestArea& area,
+                                algebra::ExprPtr predicate) {
+  using algebra::PlanNode;
+  algebra::PlanNodePtr body =
+      PlanNode::UrnRef(ns::AreaToUrn(area).ToString());
+  if (predicate != nullptr) {
+    body = PlanNode::Select(std::move(predicate), std::move(body));
+  }
+  return algebra::Plan(PlanNode::Display("", std::move(body)));
+}
+
+}  // namespace mqp::workload

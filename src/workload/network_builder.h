@@ -1,0 +1,55 @@
+// Assembles the standard P2P topologies used by tests, benches and
+// examples: a client, an authoritative top-level meta-index server,
+// per-state index servers, and garage-sale sellers (paper §3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/simulator.h"
+#include "peer/peer.h"
+#include "workload/garage_sale.h"
+
+namespace mqp::workload {
+
+/// \brief Knobs for BuildGarageSaleNetwork.
+struct GarageSaleNetworkParams {
+  size_t num_sellers = 20;
+  size_t items_per_seller = 20;
+  uint64_t seed = 42;
+  bool use_statements = true;  ///< peers apply intensional statements
+  peer::PeerOptions client_template;  ///< options copied into the client
+};
+
+/// \brief The assembled network. Peers are owned here; the simulator is
+/// not.
+struct GarageSaleNetwork {
+  std::vector<std::unique_ptr<peer::Peer>> owned;
+
+  peer::Peer* client = nullptr;
+  peer::Peer* top_meta = nullptr;            ///< authoritative for [*, *]
+  std::vector<peer::Peer*> index_servers;    ///< one per state, [state, *]
+  std::vector<peer::Peer*> sellers;
+
+  GarageSaleGenerator generator{0};
+  std::vector<Seller> seller_specs;
+  algebra::ItemSet all_items;  ///< ground truth for recall measurement
+
+  /// The index server covering `seller_cell`'s state, or top_meta.
+  peer::Peer* IndexFor(const ns::InterestCell& seller_cell) const;
+};
+
+/// \brief Builds and *joins* the network: after this returns the simulator
+/// has drained all registration traffic.
+GarageSaleNetwork BuildGarageSaleNetwork(net::Simulator* sim,
+                                         const GarageSaleNetworkParams& p);
+
+/// \brief Convenience: an interest-area query plan,
+/// select(predicate)(urn:InterestArea:<area>) under a display. Pass a null
+/// predicate to fetch everything in the area. The display target is
+/// overwritten by Peer::SubmitQuery.
+algebra::Plan MakeAreaQueryPlan(const ns::InterestArea& area,
+                                algebra::ExprPtr predicate = nullptr);
+
+}  // namespace mqp::workload

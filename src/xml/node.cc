@@ -1,0 +1,142 @@
+#include "xml/node.h"
+
+namespace mqp::xml {
+
+std::unique_ptr<Node> Node::Element(std::string name) {
+  auto n = std::unique_ptr<Node>(new Node(NodeType::kElement));
+  n->name_ = std::move(name);
+  return n;
+}
+
+std::unique_ptr<Node> Node::Text(std::string text) {
+  auto n = std::unique_ptr<Node>(new Node(NodeType::kText));
+  n->text_ = std::move(text);
+  return n;
+}
+
+std::unique_ptr<Node> Node::ElementWithText(std::string name,
+                                            std::string text) {
+  auto n = Element(std::move(name));
+  n->AddText(std::move(text));
+  return n;
+}
+
+void Node::SetAttr(std::string_view key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::string(key), std::move(value));
+}
+
+std::optional<std::string_view> Node::Attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+std::string Node::AttrOr(std::string_view key, std::string fallback) const {
+  auto v = Attr(key);
+  return v ? std::string(*v) : std::move(fallback);
+}
+
+Node* Node::AddChild(std::unique_ptr<Node> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Node* Node::AddElement(std::string name) {
+  return AddChild(Element(std::move(name)));
+}
+
+Node* Node::AddElementWithText(std::string name, std::string text) {
+  return AddChild(ElementWithText(std::move(name), std::move(text)));
+}
+
+Node* Node::AddText(std::string text) {
+  return AddChild(Text(std::move(text)));
+}
+
+size_t Node::ElementCount() const {
+  size_t n = 0;
+  for (const auto& c : children_) {
+    if (c->is_element()) ++n;
+  }
+  return n;
+}
+
+const Node* Node::Child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name_ == name) return c.get();
+  }
+  return nullptr;
+}
+
+Node* Node::Child(std::string_view name) {
+  return const_cast<Node*>(static_cast<const Node*>(this)->Child(name));
+}
+
+std::vector<const Node*> Node::Children(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->is_element() && (name == "*" || c->name_ == name)) {
+      out.push_back(c.get());
+    }
+  }
+  return out;
+}
+
+std::string Node::ChildText(std::string_view name) const {
+  const Node* c = Child(name);
+  return c ? c->InnerText() : std::string();
+}
+
+std::string Node::InnerText() const {
+  if (is_text()) return text_;
+  std::string out;
+  for (const auto& c : children_) {
+    out += c->InnerText();
+  }
+  return out;
+}
+
+std::unique_ptr<Node> Node::RemoveChild(size_t i) {
+  auto out = std::move(children_[i]);
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(i));
+  return out;
+}
+
+std::unique_ptr<Node> Node::ReplaceChild(size_t i,
+                                         std::unique_ptr<Node> child) {
+  auto out = std::move(children_[i]);
+  children_[i] = std::move(child);
+  return out;
+}
+
+std::unique_ptr<Node> Node::Clone() const {
+  auto n = std::unique_ptr<Node>(new Node(type_));
+  n->name_ = name_;
+  n->text_ = text_;
+  n->attrs_ = attrs_;
+  n->children_.reserve(children_.size());
+  for (const auto& c : children_) {
+    n->children_.push_back(c->Clone());
+  }
+  return n;
+}
+
+bool Node::Equals(const Node& other) const {
+  if (type_ != other.type_ || name_ != other.name_ || text_ != other.text_ ||
+      attrs_ != other.attrs_ || children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace mqp::xml

@@ -1,0 +1,118 @@
+// In-memory XML tree: the data model for MQPs and for all data items.
+//
+// The paper serializes query plans and partial results as XML; this module
+// supplies the DOM that the rest of the library builds on. Only the XML
+// subset that the system needs is modeled: elements, attributes and text.
+// (Comments, PIs and CDATA are accepted by the parser but not retained.)
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mqp::xml {
+
+enum class NodeType { kElement, kText };
+
+/// \brief One node of an XML tree (element or text). Elements own their
+/// children; attribute order is preserved.
+class Node {
+ public:
+  /// Creates an element node `<name>`.
+  static std::unique_ptr<Node> Element(std::string name);
+
+  /// Creates a text node.
+  static std::unique_ptr<Node> Text(std::string text);
+
+  /// Creates an element with a single text child: `<name>text</name>`.
+  static std::unique_ptr<Node> ElementWithText(std::string name,
+                                               std::string text);
+
+  NodeType type() const { return type_; }
+  bool is_element() const { return type_ == NodeType::kElement; }
+  bool is_text() const { return type_ == NodeType::kText; }
+
+  /// Element tag name (empty for text nodes).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Text content (text nodes only).
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  // --- attributes -----------------------------------------------------------
+
+  /// Sets (or replaces) attribute `key`.
+  void SetAttr(std::string_view key, std::string value);
+
+  /// Returns the attribute value, or nullopt if absent.
+  std::optional<std::string_view> Attr(std::string_view key) const;
+
+  /// Attribute value or `fallback` when absent.
+  std::string AttrOr(std::string_view key, std::string fallback) const;
+
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  // --- children -------------------------------------------------------------
+
+  /// Appends `child` and returns a raw pointer to it (owned by this node).
+  Node* AddChild(std::unique_ptr<Node> child);
+
+  /// Appends a new element child `<name>` and returns it.
+  Node* AddElement(std::string name);
+
+  /// Appends a new element child `<name>text</name>` and returns it.
+  Node* AddElementWithText(std::string name, std::string text);
+
+  /// Appends a text child.
+  Node* AddText(std::string text);
+
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  std::vector<std::unique_ptr<Node>>& mutable_children() { return children_; }
+
+  /// Number of element children.
+  size_t ElementCount() const;
+
+  /// First element child named `name`, or nullptr.
+  const Node* Child(std::string_view name) const;
+  Node* Child(std::string_view name);
+
+  /// All element children named `name` (or all element children if
+  /// `name == "*"`).
+  std::vector<const Node*> Children(std::string_view name) const;
+
+  /// Concatenated text of the first child element `name`, or "" if absent.
+  std::string ChildText(std::string_view name) const;
+
+  /// Concatenated text of all descendant text nodes.
+  std::string InnerText() const;
+
+  /// Removes and returns the i-th child. Precondition: i < children().size().
+  std::unique_ptr<Node> RemoveChild(size_t i);
+
+  /// Replaces the i-th child, returning the old one.
+  std::unique_ptr<Node> ReplaceChild(size_t i, std::unique_ptr<Node> child);
+
+  /// Deep copy.
+  std::unique_ptr<Node> Clone() const;
+
+  /// Structural equality (name, attrs incl. order, children recursively).
+  bool Equals(const Node& other) const;
+
+ private:
+  explicit Node(NodeType type) : type_(type) {}
+
+  NodeType type_;
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+}  // namespace mqp::xml

