@@ -120,6 +120,87 @@ void BM_SerializePlan(benchmark::State& state) {
 }
 BENCHMARK(BM_SerializePlan)->Arg(10)->Arg(100)->Arg(1000);
 
+void BM_SerializePlanCached(benchmark::State& state) {
+  // The wire-layer fast path: an unchanged plan costs one fingerprint
+  // walk, not a serialization. Compare against BM_SerializePlan.
+  auto plan = MakePlanWithItems(static_cast<size_t>(state.range(0)));
+  (void)wire::SerializePlanShared(plan);  // warm the cache
+  for (auto _ : state) {
+    auto wire_form = wire::SerializePlanShared(plan);
+    benchmark::DoNotOptimize(wire_form);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(algebra::PlanWireSize(plan)));
+}
+BENCHMARK(BM_SerializePlanCached)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PipelinePerQueryWireWork(benchmark::State& state) {
+  // End-to-end MQP pipeline: client → relay chain → authoritative base.
+  // Reports serializations / parses / reused forwards *per query* next to
+  // bytes: the win criterion is serializations strictly below one per
+  // plan-carrying hop. range(0) = number of pure-routing relays.
+  const size_t relays = static_cast<size_t>(state.range(0));
+  net::Simulator sim;
+  const auto area = ns::MakeArea({"USA/OR/Portland", "Music/CDs"});
+
+  auto quiet = [](const char* name) {
+    peer::PeerOptions o;
+    o.name = name;
+    o.record_provenance = false;  // pure routing: nothing mutates en route
+    o.cache_from_plans = false;
+    return o;
+  };
+  peer::Peer client(&sim, quiet("client"));
+  std::vector<std::unique_ptr<peer::Peer>> chain;
+  for (size_t i = 0; i < relays; ++i) {
+    chain.push_back(std::make_unique<peer::Peer>(
+        &sim, quiet(("relay" + std::to_string(i)).c_str())));
+  }
+  auto ao = quiet("authority");
+  ao.roles.base = true;
+  ao.roles.index = true;
+  ao.roles.authoritative = true;
+  ao.interest = ns::MakeArea({"USA/OR", "*"});
+  peer::Peer authority(&sim, ao);
+  workload::GarageSaleGenerator gen(7);
+  auto sellers = gen.MakeSellers(1);
+  authority.PublishCollection("c0", area, gen.MakeItems(sellers[0], 100));
+
+  // Bootstrap chain: client → relay0 → … → authority.
+  std::string next = authority.address();
+  for (size_t i = relays; i-- > 0;) {
+    chain[i]->AddBootstrap(next);
+    next = chain[i]->address();
+  }
+  client.AddBootstrap(next);
+
+  for (auto _ : state) {
+    sim.stats().Clear();
+    bool done = false;
+    client.SubmitQuery(workload::MakeAreaQueryPlan(area),
+                       [&](const peer::QueryOutcome&) { done = true; });
+    sim.Run();
+    if (!done) state.SkipWithError("query did not complete");
+  }
+  const auto& stats = sim.stats();
+  auto by_kind = [&stats](const char* kind) -> uint64_t {
+    auto it = stats.messages_by_kind.find(kind);
+    return it == stats.messages_by_kind.end() ? 0 : it->second;
+  };
+  state.counters["serializations/query"] = benchmark::Counter(
+      static_cast<double>(stats.plan_serializations));
+  state.counters["parses/query"] =
+      benchmark::Counter(static_cast<double>(stats.plan_parses));
+  state.counters["reused_forwards/query"] = benchmark::Counter(
+      static_cast<double>(stats.forwards_without_reserialize));
+  state.counters["plan_hops/query"] = benchmark::Counter(
+      static_cast<double>(by_kind("mqp") + by_kind("result")));
+  state.counters["bytes/query"] =
+      benchmark::Counter(static_cast<double>(stats.bytes));
+}
+BENCHMARK(BM_PipelinePerQueryWireWork)->Arg(0)->Arg(2)->Arg(6);
+
 }  // namespace
 
 BENCHMARK_MAIN();

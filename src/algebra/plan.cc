@@ -1,11 +1,20 @@
 #include "algebra/plan.h"
 
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/strings.h"
 
 namespace mqp::algebra {
+
+uint64_t PlanNode::NextStamp() {
+  // Process-global, monotonic: a stamp value is never reused, so address
+  // reuse after node destruction cannot make a mutated graph fingerprint
+  // like its predecessor.
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 Item MakeItem(const xml::Node& node) {
   return Item(node.Clone().release());
@@ -197,6 +206,7 @@ PlanNodePtr PlanNode::Clone() const {
 }
 
 void PlanNode::MorphToData(ItemSet items) {
+  Touch();
   const auto staleness = annotations_.staleness_minutes;
   type_ = OpType::kXmlData;
   items_ = std::move(items);
@@ -211,6 +221,7 @@ void PlanNode::MorphToData(ItemSet items) {
 }
 
 void PlanNode::MorphTo(const PlanNode& other) {
+  Touch();
   PlanNodePtr copy = other.Clone();
   type_ = copy->type_;
   items_ = std::move(copy->items_);
@@ -365,6 +376,71 @@ Result<ItemSet> Plan::ResultItems() const {
   const PlanNode* n = root_.get();
   if (n->type() == OpType::kDisplay) n = n->child(0).get();
   return n->items();
+}
+
+namespace {
+
+// FNV-1a style mixer; collisions only risk a stale cache, and stamps are
+// globally unique, so a collision needs two distinct DAG states hashing
+// identically across a 64-bit space.
+struct Mixer {
+  uint64_t h = 1469598103934665603ull;
+  void Mix(uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  }
+};
+
+void MixNodes(const PlanNode* node, std::unordered_set<const PlanNode*>* seen,
+              Mixer* m) {
+  if (!seen->insert(node).second) {
+    m->Mix(0x9e3779b97f4a7c15ull);  // shared-reference marker
+    return;
+  }
+  m->Mix(node->stamp());
+  m->Mix(node->children().size());
+  for (const auto& c : node->children()) {
+    MixNodes(c.get(), seen, m);
+  }
+}
+
+}  // namespace
+
+uint64_t Plan::StructuralFingerprint() const {
+  Mixer m;
+  const std::hash<std::string> hash_str;
+  std::unordered_set<const PlanNode*> seen;
+  if (root_ != nullptr) MixNodes(root_.get(), &seen, &m);
+  m.Mix(0xfeedfacecafebeefull);
+  if (original_ != nullptr) MixNodes(original_.get(), &seen, &m);
+  // Provenance and policy are hashed by *content*, not just length:
+  // both have public mutable accessors, so an in-place edit (same entry
+  // count) must still invalidate the cache.
+  m.Mix(provenance_.size());
+  for (const auto& e : provenance_.entries()) {
+    m.Mix(hash_str(e.server));
+    m.Mix(hash_str(e.detail));
+    m.Mix(static_cast<uint64_t>(e.action));
+    m.Mix(static_cast<uint64_t>(e.staleness_minutes));
+  }
+  m.Mix(policy_.route_allow.size());
+  for (const auto& s : policy_.route_allow) m.Mix(hash_str(s));
+  m.Mix(policy_.bind_after.size());
+  for (const auto& [first, then] : policy_.bind_after) {
+    m.Mix(hash_str(first));
+    m.Mix(hash_str(then));
+  }
+  m.Mix(static_cast<uint64_t>(policy_.preference));
+  uint64_t budget_bits = 0;
+  static_assert(sizeof(budget_bits) == sizeof(policy_.time_budget_seconds));
+  __builtin_memcpy(&budget_bits, &policy_.time_budget_seconds,
+                   sizeof(budget_bits));
+  m.Mix(budget_bits);
+  m.Mix(std::hash<std::string>{}(query_id_));
+  uint64_t submitted_bits = 0;
+  __builtin_memcpy(&submitted_bits, &submitted_at_, sizeof(submitted_bits));
+  m.Mix(submitted_bits);
+  return m.h;
 }
 
 Plan Plan::Clone() const {

@@ -130,13 +130,19 @@ class PlanNode {
 
   // --- children ---------------------------------------------------------------
   const std::vector<PlanNodePtr>& children() const { return children_; }
-  std::vector<PlanNodePtr>& mutable_children() { return children_; }
+  std::vector<PlanNodePtr>& mutable_children() {
+    Touch();
+    return children_;
+  }
   const PlanNodePtr& child(size_t i) const { return children_[i]; }
 
   // --- payload accessors ------------------------------------------------------
   /// kXmlData: the constant items.
   const ItemSet& items() const { return items_; }
-  ItemSet& mutable_items() { return items_; }
+  ItemSet& mutable_items() {
+    Touch();
+    return items_;
+  }
 
   /// kUrl: "host:port" or "http://host:port/"; `xpath` is the collection id.
   const std::string& url() const { return str_; }
@@ -149,7 +155,10 @@ class PlanNode {
 
   /// kSelect / kJoin: the predicate / join condition.
   const ExprPtr& expr() const { return expr_; }
-  void set_expr(ExprPtr e) { expr_ = std::move(e); }
+  void set_expr(ExprPtr e) {
+    Touch();
+    expr_ = std::move(e);
+  }
 
   /// kProject: retained field names.
   const std::vector<std::string>& fields() const { return fields_; }
@@ -170,8 +179,19 @@ class PlanNode {
   /// kDisplay.
   const std::string& target() const { return str_; }
 
-  Annotations& annotations() { return annotations_; }
+  /// Mutable access conservatively re-stamps the node (a false "dirty" only
+  /// costs one extra serialization; a missed mutation would send stale
+  /// bytes).
+  Annotations& annotations() {
+    Touch();
+    return annotations_;
+  }
   const Annotations& annotations() const { return annotations_; }
+
+  /// Mutation stamp: process-unique at construction, refreshed by every
+  /// mutating accessor. Plan's serialization cache fingerprints the DAG by
+  /// walking stamps (see Plan::StructuralFingerprint).
+  uint64_t stamp() const { return stamp_; }
 
   // --- whole-graph helpers ----------------------------------------------------
 
@@ -216,7 +236,11 @@ class PlanNode {
   PlanNodePtr CloneInternal(
       std::vector<std::pair<const PlanNode*, PlanNodePtr>>* memo) const;
 
+  static uint64_t NextStamp();
+  void Touch() { stamp_ = NextStamp(); }
+
   OpType type_;
+  uint64_t stamp_ = NextStamp();
   std::vector<PlanNodePtr> children_;
   ItemSet items_;
   std::string str_;   // url / urn / agg field / order field / target
@@ -305,6 +329,39 @@ class Plan {
   PlanPolicy& policy() { return policy_; }
   const PlanPolicy& policy() const { return policy_; }
 
+  // --- serialization cache (wire layer) ---------------------------------------
+  //
+  // A plan that is merely *routed* at a hop — received, inspected, and
+  // forwarded without mutation — must not be re-serialized. The cache
+  // holds the plan's exact wire bytes together with a structural
+  // fingerprint of the graph at the time they were produced; any node
+  // mutation (tracked via PlanNode stamps) or provenance append
+  // invalidates it. Parsers attach the incoming buffer so a pure routing
+  // hop forwards the very same (shared, immutable) bytes it received.
+
+  /// Fingerprint of the plan's current state: DFS over the operator DAG
+  /// (root and original) mixing node stamps, plus provenance length,
+  /// policy and identity fields. O(nodes); far cheaper than serializing.
+  uint64_t StructuralFingerprint() const;
+
+  /// The cached wire form; may be null, or stale (check WireCacheValid).
+  const std::shared_ptr<const std::string>& cached_wire() const {
+    return wire_;
+  }
+
+  /// True iff cached_wire() holds the serialization of the *current* plan.
+  bool WireCacheValid() const {
+    return wire_ != nullptr && wire_fingerprint_ == StructuralFingerprint();
+  }
+
+  /// Records `bytes` as the serialization of the plan's current state.
+  /// Called by wire/plan_codec with freshly produced or freshly parsed
+  /// bytes. Const: the cache is metadata, not plan state.
+  void AttachWireCache(std::shared_ptr<const std::string> bytes) const {
+    wire_ = std::move(bytes);
+    wire_fingerprint_ = StructuralFingerprint();
+  }
+
  private:
   PlanNodePtr root_;
   PlanNodePtr original_;
@@ -312,6 +369,8 @@ class Plan {
   PlanPolicy policy_;
   std::string query_id_;
   double submitted_at_ = 0;
+  mutable std::shared_ptr<const std::string> wire_;
+  mutable uint64_t wire_fingerprint_ = 0;
 };
 
 }  // namespace mqp::algebra

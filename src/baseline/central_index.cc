@@ -2,6 +2,7 @@
 
 #include "engine/operator.h"
 #include "peer/peer.h"
+#include "wire/envelope.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
 
@@ -20,12 +21,14 @@ void CentralIndexServer::AddEntry(const ns::InterestArea& area,
 }
 
 void CentralIndexServer::HandleMessage(const net::Message& msg) {
-  if (msg.kind != "lookup") return;
-  auto doc = xml::Parse(msg.payload);
+  auto decoded = wire::DecodeEnvelope(msg);
+  if (!decoded.ok()) return;
+  const wire::Envelope env = std::move(decoded).value();
+  if (env.kind != wire::kLookupKind) return;
+  auto doc = xml::Parse(env.body());
   if (!doc.ok()) return;
   auto area = ns::InterestArea::Parse((*doc)->AttrOr("area", ""));
   auto reply = xml::Node::Element("lookup-reply");
-  reply->SetAttr("req", (*doc)->AttrOr("req", ""));
   if (area.ok()) {
     for (const auto& e : entries_) {
       if (!e.area.Overlaps(*area)) continue;
@@ -34,7 +37,9 @@ void CentralIndexServer::HandleMessage(const net::Message& msg) {
       hit->SetAttr("xpath", e.xpath);
     }
   }
-  sim_->Send({id_, msg.from, "lookup-reply", xml::Serialize(*reply), 0});
+  wire::Send(sim_, id_, msg.from,
+             {wire::kLookupReplyKind, env.query_id, 0,
+              net::MakePayload(xml::Serialize(*reply))});
 }
 
 CentralIndexClient::CentralIndexClient(net::Simulator* sim,
@@ -53,17 +58,24 @@ void CentralIndexClient::Run(algebra::Plan plan,
   outstanding_ = 0;
   lookup_req_ = "lk" + std::to_string(next_req_++);
   auto q = xml::Node::Element("lookup");
-  q->SetAttr("req", lookup_req_);
   q->SetAttr("area", area.ToString());
   auto pid = sim_->Lookup(index_address_);
   if (!pid.ok()) return;
-  sim_->Send({id_, *pid, "lookup", xml::Serialize(*q), 0});
+  wire::Send(sim_, id_, *pid,
+             {wire::kLookupKind, lookup_req_, 0,
+              net::MakePayload(xml::Serialize(*q))});
 }
 
 void CentralIndexClient::HandleMessage(const net::Message& msg) {
-  if (msg.kind == "lookup-reply") {
-    auto doc = xml::Parse(msg.payload);
-    if (!doc.ok() || (*doc)->AttrOr("req", "") != lookup_req_) return;
+  auto decoded = wire::DecodeEnvelope(msg);
+  if (!decoded.ok()) return;
+  const wire::Envelope env = std::move(decoded).value();
+  // Request correlation rides in the wire header; no XML parse needed to
+  // reject stale replies.
+  if (env.query_id != lookup_req_) return;
+  if (env.kind == wire::kLookupReplyKind) {
+    auto doc = xml::Parse(env.body());
+    if (!doc.ok()) return;
     const auto hits = (*doc)->Children("hit");
     outcome_.servers_contacted = hits.size();
     if (hits.empty()) {
@@ -74,14 +86,15 @@ void CentralIndexClient::HandleMessage(const net::Message& msg) {
       auto pid = sim_->Lookup(hit->AttrOr("server", ""));
       if (!pid.ok()) continue;
       auto fetch = xml::Node::Element("fetch");
-      fetch->SetAttr("req", lookup_req_);
       fetch->SetAttr("xpath", hit->AttrOr("xpath", ""));
       ++outstanding_;
-      sim_->Send({id_, *pid, peer::kFetchKind, xml::Serialize(*fetch), 0});
+      wire::Send(sim_, id_, *pid,
+                 {wire::kFetchKind, lookup_req_, 0,
+                  net::MakePayload(xml::Serialize(*fetch))});
     }
     FinishIfDone();
-  } else if (msg.kind == peer::kFetchReplyKind) {
-    auto doc = xml::Parse(msg.payload);
+  } else if (env.kind == wire::kFetchReplyKind) {
+    auto doc = xml::Parse(env.body());
     if (!doc.ok()) return;
     for (const xml::Node* item : (*doc)->Children("*")) {
       fetched_.push_back(algebra::MakeItem(*item));

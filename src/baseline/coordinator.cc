@@ -4,6 +4,7 @@
 #include "engine/operator.h"
 #include "ns/urn.h"
 #include "peer/peer.h"
+#include "wire/envelope.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
 
@@ -83,9 +84,10 @@ void Coordinator::Run(algebra::Plan plan, Callback cb) {
     ++outstanding_;
     if (mode_ == Mode::kShipAll) {
       auto fetch = xml::Node::Element("fetch");
-      fetch->SetAttr("req", req_);
       fetch->SetAttr("xpath", e.xpath);
-      sim_->Send({id_, *pid, peer::kFetchKind, xml::Serialize(*fetch), 0});
+      wire::Send(sim_, id_, *pid,
+                 {wire::kFetchKind, req_, 0,
+                  net::MakePayload(xml::Serialize(*fetch))});
     } else {
       // Push the selection to the source.
       PlanNodePtr sub = PlanNode::Url(e.server, e.xpath);
@@ -94,10 +96,10 @@ void Coordinator::Run(algebra::Plan plan, Callback cb) {
       }
       algebra::Plan subplan(std::move(sub));
       auto msg = xml::Node::Element("subquery");
-      msg->SetAttr("req", req_);
       msg->AddChild(algebra::PlanToXml(subplan));
-      sim_->Send(
-          {id_, *pid, peer::kSubqueryKind, xml::Serialize(*msg), 0});
+      wire::Send(sim_, id_, *pid,
+                 {wire::kSubqueryKind, req_, 0,
+                  net::MakePayload(xml::Serialize(*msg))});
     }
   }
   if (outstanding_ == 0) {
@@ -116,13 +118,18 @@ void Coordinator::Run(algebra::Plan plan, Callback cb) {
 }
 
 void Coordinator::HandleMessage(const net::Message& msg) {
-  if (msg.kind != peer::kFetchReplyKind &&
-      msg.kind != peer::kSubqueryReplyKind) {
+  auto decoded = wire::DecodeEnvelope(msg);
+  if (!decoded.ok()) return;
+  const wire::Envelope env = std::move(decoded).value();
+  if (env.kind != wire::kFetchReplyKind &&
+      env.kind != wire::kSubqueryReplyKind) {
     return;
   }
-  auto doc = xml::Parse(msg.payload);
-  if (!doc.ok() || (*doc)->AttrOr("req", "") != req_) return;
+  // Stale replies (from a previous Run) are rejected on the header alone.
+  if (env.query_id != req_) return;
   if (outstanding_ == 0) return;  // already timed out
+  auto doc = xml::Parse(env.body());
+  if (!doc.ok()) return;
   for (const xml::Node* item : (*doc)->Children("*")) {
     gathered_.push_back(algebra::MakeItem(*item));
   }

@@ -1,6 +1,7 @@
 #include "baseline/flooding.h"
 
 #include "common/strings.h"
+#include "wire/envelope.h"
 #include "workload/garage_sale.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
@@ -25,54 +26,58 @@ void FloodingPeer::StartFlood(const std::string& flood_id,
                               const ns::InterestArea& area, int horizon,
                               net::PeerId reply_to) {
   seen_.insert(flood_id);
-  Forward(flood_id, area, horizon, reply_to, net::kNoPeer);
+  // The body is immutable for the flood's whole lifetime: id and horizon
+  // travel in the wire header, so every re-broadcast shares this buffer.
+  auto q = xml::Node::Element("flood");
+  q->SetAttr("area", area.ToString());
+  q->SetAttr("reply-to", std::to_string(reply_to));
+  Forward(flood_id, net::MakePayload(xml::Serialize(*q)), horizon,
+          net::kNoPeer);
 }
 
 void FloodingPeer::Forward(const std::string& flood_id,
-                           const ns::InterestArea& area, int horizon,
-                           net::PeerId reply_to, net::PeerId except) {
+                           const net::Payload& body, int horizon,
+                           net::PeerId except) {
   if (horizon <= 0) return;
-  auto q = xml::Node::Element("flood");
-  q->SetAttr("id", flood_id);
-  q->SetAttr("area", area.ToString());
-  q->SetAttr("horizon", std::to_string(horizon));
-  q->SetAttr("reply-to", std::to_string(reply_to));
-  const std::string payload = xml::Serialize(*q);
   for (net::PeerId n : neighbors_) {
     if (n == except) continue;
-    sim_->Send({id_, n, "flood", payload, 0});
+    wire::Send(sim_, id_, n,
+               {wire::kFloodKind, flood_id,
+                static_cast<uint32_t>(horizon), body});
   }
 }
 
 void FloodingPeer::HandleMessage(const net::Message& msg) {
-  if (msg.kind != "flood") return;
-  auto doc = xml::Parse(msg.payload);
-  if (!doc.ok()) return;
-  const std::string flood_id = (*doc)->AttrOr("id", "");
+  auto decoded = wire::DecodeEnvelope(msg);
+  if (!decoded.ok()) return;
+  const wire::Envelope env = std::move(decoded).value();
+  if (env.kind != wire::kFloodKind) return;
+  const std::string& flood_id = env.query_id;
   if (!seen_.insert(flood_id).second) return;  // duplicate: drop
+  auto doc = xml::Parse(env.body());
+  if (!doc.ok()) return;
   auto area = ns::InterestArea::Parse((*doc)->AttrOr("area", ""));
   if (!area.ok()) return;
-  int64_t horizon = 0;
-  (void)mqp::ParseInt64((*doc)->AttrOr("horizon", "0"), &horizon);
   int64_t reply_to = 0;
   (void)mqp::ParseInt64((*doc)->AttrOr("reply-to", "-1"), &reply_to);
 
   // Local match: send items that fall inside the queried area.
   if (area_.Overlaps(*area) && reply_to >= 0) {
     auto hit = xml::Node::Element("flood-hit");
-    hit->SetAttr("id", flood_id);
     for (const auto& item : items_) {
       if (workload::GarageSaleGenerator::ItemInArea(*item, *area)) {
         hit->AddChild(item->Clone());
       }
     }
     if (hit->ElementCount() > 0) {
-      sim_->Send({id_, static_cast<net::PeerId>(reply_to), "flood-hit",
-                  xml::Serialize(*hit), 0});
+      wire::Send(sim_, id_, static_cast<net::PeerId>(reply_to),
+                 {wire::kFloodHitKind, flood_id, 0,
+                  net::MakePayload(xml::Serialize(*hit))});
     }
   }
-  Forward(flood_id, *area, static_cast<int>(horizon) - 1,
-          static_cast<net::PeerId>(reply_to), msg.from);
+  // Decrementing the horizon touches only the header; the body is
+  // forwarded as the very buffer it arrived in.
+  Forward(flood_id, env.payload, static_cast<int>(env.hops) - 1, msg.from);
 }
 
 FloodingClient::FloodingClient(net::Simulator* sim)
@@ -90,8 +95,8 @@ void FloodingClient::Reset() {
 }
 
 void FloodingClient::HandleMessage(const net::Message& msg) {
-  if (msg.kind == "flood-hit") {
-    auto doc = xml::Parse(msg.payload);
+  if (msg.kind == wire::kFloodHitKind) {
+    auto doc = xml::Parse(msg.body());
     if (!doc.ok()) return;
     ++hits_;
     for (const xml::Node* item : (*doc)->Children("*")) {

@@ -39,8 +39,11 @@ class FloodingPeer : public net::PeerNode {
   net::PeerId id_;
 
  private:
-  void Forward(const std::string& flood_id, const ns::InterestArea& area,
-               int horizon, net::PeerId reply_to, net::PeerId except);
+  /// Re-broadcasts a flood body. The flood id and remaining horizon ride
+  /// in the wire header; `body` (area + reply-to) is shared, never copied
+  /// or re-serialized while it fans out.
+  void Forward(const std::string& flood_id, const net::Payload& body,
+               int horizon, net::PeerId except);
 
   ns::InterestArea area_;
   algebra::ItemSet items_;

@@ -10,7 +10,8 @@
 //   engine/     physical operators and the local collection store
 //   optimizer/  evaluable-sub-plan detection, cost model, rewrites, policy
 //   catalog/    distributed catalogs and intensional statements
-//   net/        discrete-event network simulator
+//   net/        discrete-event network simulator (shared-payload messages)
+//   wire/       framed messaging: envelopes + cached plan serialization
 //   peer/       the peer: roles, registration, the Figure-2 MQP loop
 //   baseline/   Napster / Gnutella / coordinator baselines
 //   workload/   garage-sale, CD-market, gene-expression generators
@@ -43,6 +44,8 @@
 #include "peer/peer.h"
 #include "peer/verification.h"
 #include "query/parser.h"
+#include "wire/envelope.h"
+#include "wire/plan_codec.h"
 #include "workload/cd_market.h"
 #include "workload/garage_sale.h"
 #include "workload/gene_expression.h"

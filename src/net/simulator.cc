@@ -57,7 +57,8 @@ double Simulator::Latency(PeerId from, PeerId to, size_t bytes) const {
 }
 
 void Simulator::Send(Message msg) {
-  if (msg.size_bytes == 0) msg.size_bytes = msg.payload.size();
+  // The one place wire sizes are defaulted: framing header plus body.
+  if (msg.size_bytes == 0) msg.size_bytes = msg.header.size() + msg.body().size();
   stats_.messages++;
   stats_.bytes += msg.size_bytes;
   stats_.messages_by_kind[msg.kind]++;

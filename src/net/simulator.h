@@ -21,16 +21,52 @@ namespace mqp::net {
 using PeerId = uint32_t;
 inline constexpr PeerId kNoPeer = static_cast<PeerId>(-1);
 
+/// \brief Immutable, shared message body. Multi-KB XML payloads are
+/// routed and fanned out without copying: every Message holding the same
+/// Payload shares one buffer.
+using Payload = std::shared_ptr<const std::string>;
+
+/// Wraps a string into a shared immutable payload.
+inline Payload MakePayload(std::string body) {
+  return std::make_shared<const std::string>(std::move(body));
+}
+
 /// \brief One message in flight. `kind` is a short routing tag ("mqp",
-/// "register", "result", ...); `payload` is usually serialized XML.
+/// "register", "result", ...); `header` is the wire layer's compact
+/// framing header (empty for raw messages); `payload` is usually
+/// serialized XML, shared rather than copied between sender, simulator
+/// queue and receiver.
 struct Message {
+  Message() = default;
+  Message(PeerId from, PeerId to, std::string kind, Payload payload,
+          size_t size_bytes = 0)
+      : from(from),
+        to(to),
+        kind(std::move(kind)),
+        payload(std::move(payload)),
+        size_bytes(size_bytes) {}
+  Message(PeerId from, PeerId to, std::string kind, std::string payload,
+          size_t size_bytes = 0)
+      : Message(from, to, std::move(kind), MakePayload(std::move(payload)),
+                size_bytes) {}
+
   PeerId from = kNoPeer;
   PeerId to = kNoPeer;
   std::string kind;
-  std::string payload;
-  /// Wire size; defaults to payload size, but senders may override (e.g.
-  /// to account for framing).
+  /// Compact wire-layer header (see wire/envelope.h); counted in
+  /// size_bytes but not part of the body.
+  std::string header;
+  Payload payload;
+  /// Wire size; Simulator::Send defaults it to header + body size (the
+  /// single place where message sizes are accounted), but senders may
+  /// override (e.g. to model framing).
   size_t size_bytes = 0;
+
+  /// The message body ("" when payload is null).
+  const std::string& body() const {
+    static const std::string kEmpty;
+    return payload ? *payload : kEmpty;
+  }
 };
 
 /// \brief Interface implemented by anything attached to the network.
@@ -48,12 +84,18 @@ struct LinkParams {
   double bytes_per_second = 1.25e6;   ///< ~10 Mbit/s
 };
 
-/// \brief Aggregate traffic statistics.
+/// \brief Aggregate traffic statistics. The plan_* counters are fed by
+/// the wire layer (wire/plan_codec.h): how often plans were serialized,
+/// parsed, or forwarded by reusing the buffer they arrived in.
 struct NetStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
   std::map<std::string, uint64_t> messages_by_kind;
   std::map<std::string, uint64_t> bytes_by_kind;
+
+  uint64_t plan_serializations = 0;
+  uint64_t plan_parses = 0;
+  uint64_t forwards_without_reserialize = 0;
 
   void Clear() { *this = NetStats{}; }
 };

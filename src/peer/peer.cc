@@ -6,6 +6,7 @@
 #include "common/strings.h"
 #include "engine/operator.h"
 #include "ns/urn.h"
+#include "wire/plan_codec.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
 
@@ -101,7 +102,9 @@ std::string Peer::BuildRegisterPayload(int ttl) const {
 }
 
 void Peer::JoinNetwork() {
-  const std::string payload = BuildRegisterPayload(/*ttl=*/2);
+  // One shared buffer for every registration target.
+  const net::Payload payload =
+      net::MakePayload(BuildRegisterPayload(/*ttl=*/2));
   std::unordered_set<std::string> targets(bootstraps_.begin(),
                                           bootstraps_.end());
   // Also register with index servers already known to the catalog whose
@@ -115,7 +118,7 @@ void Peer::JoinNetwork() {
   for (const auto& t : targets) {
     auto pid = sim_->Lookup(t);
     if (!pid.ok() || *pid == id_) continue;
-    sim_->Send({id_, *pid, kRegisterKind, payload, 0});
+    wire::Send(sim_, id_, *pid, {kRegisterKind, "", 0, payload});
   }
 }
 
@@ -134,17 +137,19 @@ void Peer::PullIndexedData(int delay_minutes) {
     const std::string req =
         options_.name + "-pull" + std::to_string(next_pull_++);
     pending_pulls_[req] = PendingPull{e.server, e.area, delay_minutes};
+    // The request id rides in the envelope header; the body carries only
+    // the fetch arguments.
     auto fetch = xml::Node::Element("fetch");
-    fetch->SetAttr("req", req);
     fetch->SetAttr("xpath", e.xpath);
-    sim_->Send({id_, *pid, kFetchKind, xml::Serialize(*fetch), 0});
+    wire::Send(sim_, id_, *pid,
+               {kFetchKind, req, 0, net::MakePayload(xml::Serialize(*fetch))});
   }
 }
 
-void Peer::HandleFetchReply(const net::Message& msg) {
-  auto doc = xml::Parse(msg.payload);
+void Peer::HandleFetchReply(const wire::Envelope& env) {
+  auto doc = xml::Parse(env.body());
   if (!doc.ok()) return;
-  const std::string req = (*doc)->AttrOr("req", "");
+  const std::string& req = env.query_id;
   auto it = pending_pulls_.find(req);
   if (it == pending_pulls_.end()) return;
   PendingPull pull = std::move(it->second);
@@ -199,48 +204,57 @@ std::string Peer::SubmitQuery(Plan plan, Callback cb) {
   }
   pending_[qid] = Pending{std::move(cb), sim_->now()};
   sim_->Schedule(sim_->now(), [this, p = std::move(plan)]() mutable {
-    ProcessPlan(std::move(p));
+    ProcessPlan(std::move(p), /*hops=*/0);
   });
   return qid;
 }
 
 void Peer::HandleMessage(const net::Message& msg) {
-  if (msg.kind == kMqpKind) {
-    auto plan = algebra::ParsePlan(msg.payload);
+  auto decoded = wire::DecodeEnvelope(msg);
+  if (!decoded.ok()) return;  // malformed frames are dropped
+  const wire::Envelope env = std::move(decoded).value();
+  if (env.kind == kMqpKind) {
+    auto plan = wire::ParsePlanShared(env.payload, &sim_->stats());
     if (!plan.ok()) return;  // malformed plans are dropped
+    ++counters_.plan_parses;
     ++counters_.plans_received;
-    ProcessPlan(std::move(plan).value());
-  } else if (msg.kind == kResultKind) {
-    HandleResult(msg);
-  } else if (msg.kind == kRegisterKind) {
-    HandleRegister(msg);
-  } else if (msg.kind == kCategoryQueryKind) {
-    HandleCategoryQuery(msg);
-  } else if (msg.kind == kFetchKind) {
-    HandleFetch(msg);
-  } else if (msg.kind == kSubqueryKind) {
-    HandleSubquery(msg);
-  } else if (msg.kind == kFetchReplyKind) {
-    HandleFetchReply(msg);
-  } else if (msg.kind == kCategoryReplyKind) {
-    auto doc = xml::Parse(msg.payload);
-    if (!doc.ok()) return;
-    const std::string req = (*doc)->AttrOr("req", "");
-    auto it = category_waiters_.find(req);
-    if (it == category_waiters_.end()) return;
-    std::vector<std::string> categories;
-    for (const xml::Node* c : (*doc)->Children("cat")) {
-      categories.push_back(c->InnerText());
-    }
-    auto cb = std::move(it->second);
-    category_waiters_.erase(it);
-    cb(categories);
+    ProcessPlan(std::move(plan).value(), env.hops);
+  } else if (env.kind == kResultKind) {
+    HandleResult(env);
+  } else if (env.kind == kRegisterKind) {
+    HandleRegister(env);
+  } else if (env.kind == kCategoryQueryKind) {
+    HandleCategoryQuery(env, msg.from);
+  } else if (env.kind == kFetchKind) {
+    HandleFetch(env, msg.from);
+  } else if (env.kind == kSubqueryKind) {
+    HandleSubquery(env, msg.from);
+  } else if (env.kind == kFetchReplyKind) {
+    HandleFetchReply(env);
+  } else if (env.kind == kCategoryReplyKind) {
+    HandleCategoryReply(env);
   }
+}
+
+void Peer::HandleCategoryReply(const wire::Envelope& env) {
+  // Correlation comes from the wire header; only the category list
+  // requires the body.
+  auto it = category_waiters_.find(env.query_id);
+  if (it == category_waiters_.end()) return;
+  auto doc = xml::Parse(env.body());
+  if (!doc.ok()) return;
+  std::vector<std::string> categories;
+  for (const xml::Node* c : (*doc)->Children("cat")) {
+    categories.push_back(c->InnerText());
+  }
+  auto cb = std::move(it->second);
+  category_waiters_.erase(it);
+  cb(categories);
 }
 
 // --- the Figure-2 loop ---------------------------------------------------------
 
-void Peer::ProcessPlan(Plan plan) {
+void Peer::ProcessPlan(Plan plan, uint32_t hops) {
   // ResolveUrns records one kBound provenance entry per URN it binds (the
   // entry's detail is the bound URN — §5.1's "catalog improvement" data).
   const int bound = ResolveUrns(&plan);
@@ -258,7 +272,7 @@ void Peer::ProcessPlan(Plan plan) {
                     optimizer::MaxStalenessMinutes(*plan.root()));
     }
   }
-  RouteOrDeliver(std::move(plan));
+  RouteOrDeliver(std::move(plan), hops);
 }
 
 namespace {
@@ -516,7 +530,17 @@ void Peer::AddProvenance(Plan* plan, ProvenanceAction action,
       {address(), sim_->now(), action, std::move(detail), staleness});
 }
 
-void Peer::RouteOrDeliver(Plan plan) {
+net::Payload Peer::PlanBody(const Plan& plan) {
+  auto serialized = wire::SerializePlanShared(plan, &sim_->stats());
+  if (serialized.reused) {
+    ++counters_.forwards_without_reserialize;
+  } else {
+    ++counters_.plan_serializations;
+  }
+  return std::move(serialized.bytes);
+}
+
+void Peer::RouteOrDeliver(Plan plan, uint32_t hops) {
   if (plan.root() == nullptr) return;
   if (plan.IsFullyEvaluated()) {
     DeliverToTarget(std::move(plan));
@@ -549,8 +573,11 @@ void Peer::RouteOrDeliver(Plan plan) {
       return std::find(allow.begin(), allow.end(), kv.first) == allow.end();
     });
   }
+  // The wire-layer hop count guards routing loops even when provenance
+  // recording is off (provenance-size alone used to be the only brake).
   const bool over_hop_limit =
-      static_cast<int>(plan.provenance().size()) >= options_.max_hops;
+      static_cast<int>(plan.provenance().size()) >= options_.max_hops ||
+      static_cast<int>(hops) >= options_.max_hops;
   if (candidates.empty() || over_hop_limit) {
     // Dead end: finish whatever is finishable here (deferment no longer
     // helps a plan with nowhere to go), then return it to its target.
@@ -593,26 +620,30 @@ void Peer::RouteOrDeliver(Plan plan) {
     return;
   }
   ++counters_.plans_forwarded;
-  sim_->Send({id_, *pid, kMqpKind, algebra::SerializePlan(plan), 0});
+  net::Payload body = PlanBody(plan);
+  wire::Send(sim_, id_, *pid,
+             {kMqpKind, plan.query_id(), hops + 1, std::move(body)});
 }
 
 void Peer::DeliverToTarget(Plan plan) {
   const std::string target = plan.target();
-  const std::string payload = algebra::SerializePlan(plan);
   auto pid = sim_->Lookup(target);
   if (!pid.ok()) return;  // no deliverable target: drop
+  net::Payload body = PlanBody(plan);
   if (*pid == id_) {
-    HandleResultPlan(std::move(plan), payload.size());
+    HandleResultPlan(std::move(plan), body->size());
     return;
   }
   ++counters_.results_delivered;
-  sim_->Send({id_, *pid, kResultKind, payload, 0});
+  wire::Send(sim_, id_, *pid,
+             {kResultKind, plan.query_id(), 0, std::move(body)});
 }
 
-void Peer::HandleResult(const net::Message& msg) {
-  auto plan = algebra::ParsePlan(msg.payload);
+void Peer::HandleResult(const wire::Envelope& env) {
+  auto plan = wire::ParsePlanShared(env.payload, &sim_->stats());
   if (!plan.ok()) return;
-  HandleResultPlan(std::move(plan).value(), msg.payload.size());
+  ++counters_.plan_parses;
+  HandleResultPlan(std::move(plan).value(), env.body().size());
 }
 
 void Peer::HandleResultPlan(Plan plan, size_t wire_bytes) {
@@ -661,10 +692,10 @@ void Peer::HandleResultPlan(Plan plan, size_t wire_bytes) {
 
 // --- registration ---------------------------------------------------------------
 
-void Peer::HandleRegister(const net::Message& msg) {
+void Peer::HandleRegister(const wire::Envelope& env) {
   ++counters_.registrations_received;
   if (!options_.roles.index && !options_.roles.meta_index) return;
-  auto doc = xml::Parse(msg.payload);
+  auto doc = xml::Parse(env.body());
   if (!doc.ok()) return;
   const xml::Node& reg = **doc;
   const std::string sender = reg.AttrOr("server", "");
@@ -736,11 +767,11 @@ void Peer::HandleRegister(const net::Message& msg) {
       }
     }
     if (fwd->Child("entry") != nullptr || fwd->Child("named") != nullptr) {
-      const std::string payload = xml::Serialize(*fwd);
+      const net::Payload payload = net::MakePayload(xml::Serialize(*fwd));
       for (const auto& b : bootstraps_) {
         auto pid = sim_->Lookup(b);
         if (pid.ok() && *pid != id_) {
-          sim_->Send({id_, *pid, kRegisterKind, payload, 0});
+          wire::Send(sim_, id_, *pid, {kRegisterKind, "", 0, payload});
         }
       }
     }
@@ -757,22 +788,22 @@ void Peer::RequestCategories(const std::string& server,
       options_.name + "-c" + std::to_string(next_query_++);
   category_waiters_[req] = std::move(cb);
   auto q = xml::Node::Element("cat-query");
-  q->SetAttr("req", req);
   q->SetAttr("dim", dimension);
   q->SetAttr("path", path);
   q->SetAttr("reply-to", address());
   auto pid = sim_->Lookup(server);
   if (!pid.ok()) return;
-  sim_->Send({id_, *pid, kCategoryQueryKind, xml::Serialize(*q), 0});
+  wire::Send(sim_, id_, *pid,
+             {kCategoryQueryKind, req, 0,
+              net::MakePayload(xml::Serialize(*q))});
 }
 
-void Peer::HandleCategoryQuery(const net::Message& msg) {
+void Peer::HandleCategoryQuery(const wire::Envelope& env, net::PeerId from) {
   if (!options_.roles.category || hierarchies_ == nullptr) return;
-  auto doc = xml::Parse(msg.payload);
+  auto doc = xml::Parse(env.body());
   if (!doc.ok()) return;
   const xml::Node& q = **doc;
   auto reply = xml::Node::Element("cat-reply");
-  reply->SetAttr("req", q.AttrOr("req", ""));
   auto dim = hierarchies_->DimensionIndex(q.AttrOr("dim", ""));
   if (dim.ok()) {
     auto path = ns::CategoryPath::Parse(q.AttrOr("path", "*"));
@@ -784,19 +815,19 @@ void Peer::HandleCategoryQuery(const net::Message& msg) {
     }
   }
   auto pid = sim_->Lookup(q.AttrOr("reply-to", ""));
-  if (!pid.ok()) pid = Result<net::PeerId>(msg.from);
-  sim_->Send({id_, *pid, kCategoryReplyKind, xml::Serialize(*reply), 0});
+  if (!pid.ok()) pid = Result<net::PeerId>(from);
+  wire::Send(sim_, id_, *pid,
+             {kCategoryReplyKind, env.query_id, 0,
+              net::MakePayload(xml::Serialize(*reply))});
 }
 
 // --- fetch service (pull; used by baselines & index pull) --------------------------
 
-void Peer::HandleFetch(const net::Message& msg) {
-  auto doc = xml::Parse(msg.payload);
+void Peer::HandleFetch(const wire::Envelope& env, net::PeerId from) {
+  auto doc = xml::Parse(env.body());
   if (!doc.ok()) return;
   const std::string xpath = (*doc)->AttrOr("xpath", "");
-  const std::string req = (*doc)->AttrOr("req", "");
   auto reply = xml::Node::Element("fetch-reply");
-  reply->SetAttr("req", req);
   reply->SetAttr("server", address());
   auto items = store_.Fetch(address(), xpath);
   if (items.ok()) {
@@ -804,17 +835,17 @@ void Peer::HandleFetch(const net::Message& msg) {
       reply->AddChild(item->Clone());
     }
   }
-  sim_->Send({id_, msg.from, kFetchReplyKind, xml::Serialize(*reply), 0});
+  wire::Send(sim_, id_, from,
+             {kFetchReplyKind, env.query_id, 0,
+              net::MakePayload(xml::Serialize(*reply))});
 }
 
 // --- subquery service (coordinator-style distributed QP, baseline C2) ------------
 
-void Peer::HandleSubquery(const net::Message& msg) {
-  auto doc = xml::Parse(msg.payload);
+void Peer::HandleSubquery(const wire::Envelope& env, net::PeerId from) {
+  auto doc = xml::Parse(env.body());
   if (!doc.ok()) return;
-  const std::string req = (*doc)->AttrOr("req", "");
   auto reply = xml::Node::Element("subquery-reply");
-  reply->SetAttr("req", req);
   reply->SetAttr("server", address());
   const xml::Node* mqp_elem = (*doc)->Child("mqp");
   if (mqp_elem != nullptr) {
@@ -830,7 +861,9 @@ void Peer::HandleSubquery(const net::Message& msg) {
       }
     }
   }
-  sim_->Send({id_, msg.from, kSubqueryReplyKind, xml::Serialize(*reply), 0});
+  wire::Send(sim_, id_, from,
+             {kSubqueryReplyKind, env.query_id, 0,
+              net::MakePayload(xml::Serialize(*reply))});
 }
 
 }  // namespace mqp::peer

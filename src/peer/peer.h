@@ -21,19 +21,20 @@
 #include "optimizer/cost.h"
 #include "optimizer/policy.h"
 #include "optimizer/rewrites.h"
+#include "wire/envelope.h"
 
 namespace mqp::peer {
 
-// Message kinds used by peers.
-inline constexpr char kMqpKind[] = "mqp";
-inline constexpr char kResultKind[] = "result";
-inline constexpr char kRegisterKind[] = "register";
-inline constexpr char kCategoryQueryKind[] = "cat-query";
-inline constexpr char kCategoryReplyKind[] = "cat-reply";
-inline constexpr char kFetchKind[] = "fetch";
-inline constexpr char kFetchReplyKind[] = "fetch-reply";
-inline constexpr char kSubqueryKind[] = "subquery";
-inline constexpr char kSubqueryReplyKind[] = "subquery-reply";
+// Message kinds (owned by the wire layer; re-exported for existing users).
+inline constexpr auto kMqpKind = wire::kMqpKind;
+inline constexpr auto kResultKind = wire::kResultKind;
+inline constexpr auto kRegisterKind = wire::kRegisterKind;
+inline constexpr auto kCategoryQueryKind = wire::kCategoryQueryKind;
+inline constexpr auto kCategoryReplyKind = wire::kCategoryReplyKind;
+inline constexpr auto kFetchKind = wire::kFetchKind;
+inline constexpr auto kFetchReplyKind = wire::kFetchReplyKind;
+inline constexpr auto kSubqueryKind = wire::kSubqueryKind;
+inline constexpr auto kSubqueryReplyKind = wire::kSubqueryReplyKind;
 
 /// \brief Which §3.2 roles this peer performs (freely composable).
 struct PeerRoles {
@@ -112,6 +113,10 @@ struct PeerCounters {
   uint64_t registrations_received = 0;
   uint64_t results_delivered = 0;
   uint64_t plans_dead_ended = 0;
+  // Wire-layer serialization-cache counters (see wire/plan_codec.h).
+  uint64_t plan_serializations = 0;          ///< plan bodies produced here
+  uint64_t plan_parses = 0;                  ///< plan bodies parsed here
+  uint64_t forwards_without_reserialize = 0; ///< cache hits: buffer reused
 };
 
 /// \brief A network participant. Attach to a Simulator, publish data or
@@ -202,8 +207,9 @@ class Peer : public net::PeerNode {
   void HandleMessage(const net::Message& msg) override;
 
  private:
-  // The Figure-2 processing loop.
-  void ProcessPlan(algebra::Plan plan);
+  // The Figure-2 processing loop. `hops` is the wire-layer hop count the
+  // plan arrived with (0 for locally submitted queries).
+  void ProcessPlan(algebra::Plan plan, uint32_t hops = 0);
 
   /// Resolution stage; returns how many URNs were bound.
   int ResolveUrns(algebra::Plan* plan);
@@ -222,16 +228,20 @@ class Peer : public net::PeerNode {
   int ForceEvaluate(algebra::Plan* plan);
 
   /// Routes an unfinished plan onward, or delivers it if done/stuck.
-  void RouteOrDeliver(algebra::Plan plan);
+  void RouteOrDeliver(algebra::Plan plan, uint32_t hops);
+
+  /// Serializes via the wire-layer cache, tallying per-peer counters.
+  net::Payload PlanBody(const algebra::Plan& plan);
 
   void DeliverToTarget(algebra::Plan plan);
-  void HandleResult(const net::Message& msg);
+  void HandleResult(const wire::Envelope& env);
   void HandleResultPlan(algebra::Plan plan, size_t wire_bytes);
-  void HandleRegister(const net::Message& msg);
-  void HandleCategoryQuery(const net::Message& msg);
-  void HandleFetch(const net::Message& msg);
-  void HandleFetchReply(const net::Message& msg);
-  void HandleSubquery(const net::Message& msg);
+  void HandleRegister(const wire::Envelope& env);
+  void HandleCategoryQuery(const wire::Envelope& env, net::PeerId from);
+  void HandleCategoryReply(const wire::Envelope& env);
+  void HandleFetch(const wire::Envelope& env, net::PeerId from);
+  void HandleFetchReply(const wire::Envelope& env);
+  void HandleSubquery(const wire::Envelope& env, net::PeerId from);
   std::string BuildRegisterPayload(int ttl) const;
 
   optimizer::Locality LocalLocality() const;

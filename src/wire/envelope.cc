@@ -1,0 +1,78 @@
+#include "wire/envelope.h"
+
+#include <limits>
+
+#include "common/strings.h"
+
+namespace mqp::wire {
+
+namespace {
+constexpr char kVersionTag[] = "w1";
+}  // namespace
+
+std::string Envelope::EncodeHeader() const {
+  std::string h;
+  h.reserve(8 + kind.size() + query_id.size());
+  h += kVersionTag;
+  h += '|';
+  h += kind;
+  h += '|';
+  h += query_id;
+  h += '|';
+  h += std::to_string(hops);
+  h += '\n';
+  return h;
+}
+
+net::Message Envelope::ToMessage(net::PeerId from, net::PeerId to) const {
+  net::Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.kind = kind;
+  msg.header = EncodeHeader();
+  msg.payload = payload;
+  return msg;
+}
+
+Result<Envelope> DecodeEnvelope(const net::Message& msg) {
+  Envelope env;
+  env.payload = msg.payload;
+  if (msg.header.empty()) {
+    // Raw (legacy / test) message: kind only, no correlation metadata.
+    env.kind = msg.kind;
+    return env;
+  }
+  std::string_view h = msg.header;
+  if (!h.empty() && h.back() == '\n') h.remove_suffix(1);
+  const size_t p1 = h.find('|');
+  if (p1 == std::string_view::npos || h.substr(0, p1) != kVersionTag) {
+    return Status::ParseError("bad wire header version");
+  }
+  const size_t p2 = h.find('|', p1 + 1);
+  if (p2 == std::string_view::npos) {
+    return Status::ParseError("truncated wire header");
+  }
+  // The query id is user-influenced (peer names feed it) and may itself
+  // contain '|'; kind never does and hops is numeric, so the id is
+  // everything between the second and the *last* delimiter.
+  const size_t p3 = h.rfind('|');
+  if (p3 <= p2) {
+    return Status::ParseError("truncated wire header");
+  }
+  env.kind = std::string(h.substr(p1 + 1, p2 - p1 - 1));
+  env.query_id = std::string(h.substr(p2 + 1, p3 - p2 - 1));
+  int64_t hops = 0;
+  if (!mqp::ParseInt64(h.substr(p3 + 1), &hops) || hops < 0 ||
+      hops > static_cast<int64_t>(std::numeric_limits<uint32_t>::max())) {
+    return Status::ParseError("bad wire header hop count");
+  }
+  env.hops = static_cast<uint32_t>(hops);
+  return env;
+}
+
+void Send(net::Simulator* sim, net::PeerId from, net::PeerId to,
+          Envelope env) {
+  sim->Send(env.ToMessage(from, to));
+}
+
+}  // namespace mqp::wire

@@ -1,0 +1,77 @@
+// Wire layer: framed peer-to-peer messaging on top of net::Simulator.
+//
+// An Envelope is what peers logically exchange: a routing kind, the query
+// (or request) id the message belongs to, a hop counter, and an immutable
+// shared payload. The first three travel in a compact textual header
+// ("w1|kind|query-id|hops\n") prepended on the wire, so receivers read
+// routing metadata without parsing the XML body, and intermediate hops
+// update hop counts without touching the payload at all. The payload is a
+// net::Payload (shared_ptr<const string>): enqueueing, delivering and
+// fanning a message out to many destinations never copies the body.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "net/simulator.h"
+
+namespace mqp::wire {
+
+// Message kinds used across peer and baselines. (Formerly defined in
+// peer/peer.h; the wire layer owns the vocabulary now.)
+inline constexpr char kMqpKind[] = "mqp";
+inline constexpr char kResultKind[] = "result";
+inline constexpr char kRegisterKind[] = "register";
+inline constexpr char kCategoryQueryKind[] = "cat-query";
+inline constexpr char kCategoryReplyKind[] = "cat-reply";
+inline constexpr char kFetchKind[] = "fetch";
+inline constexpr char kFetchReplyKind[] = "fetch-reply";
+inline constexpr char kSubqueryKind[] = "subquery";
+inline constexpr char kSubqueryReplyKind[] = "subquery-reply";
+inline constexpr char kLookupKind[] = "lookup";
+inline constexpr char kLookupReplyKind[] = "lookup-reply";
+inline constexpr char kFloodKind[] = "flood";
+inline constexpr char kFloodHitKind[] = "flood-hit";
+
+/// \brief One wire-layer message: routing metadata + shared body.
+struct Envelope {
+  std::string kind;      ///< routing tag; must not contain '|' or '\n'
+  /// Query/request correlation id ("" = none). May contain '|' (peer
+  /// names feed into it); the decoder delimits it by the last '|'.
+  std::string query_id;
+  /// Hop budget or hop count, interpretation per kind: MQPs count hops
+  /// *up* from 0; floods count the remaining horizon *down*.
+  uint32_t hops = 0;
+  net::Payload payload;  ///< immutable shared body (null = empty)
+
+  /// The body ("" when payload is null).
+  const std::string& body() const {
+    static const std::string kEmpty;
+    return payload ? *payload : kEmpty;
+  }
+
+  /// The compact framing header, including its trailing delimiter.
+  std::string EncodeHeader() const;
+
+  /// Total bytes this envelope occupies on the wire (header + body).
+  size_t WireSize() const { return EncodeHeader().size() + body().size(); }
+
+  /// Frames the envelope into a simulator message. The payload pointer is
+  /// shared, not copied.
+  net::Message ToMessage(net::PeerId from, net::PeerId to) const;
+};
+
+/// \brief Recovers the envelope from a delivered message. Raw messages
+/// (no wire header) decode with the message's kind, an empty query id and
+/// zero hops, so legacy senders and test probes remain deliverable.
+/// Errors only on a present-but-malformed header.
+Result<Envelope> DecodeEnvelope(const net::Message& msg);
+
+/// \brief Frames and sends: the one call sites use instead of
+/// Simulator::Send. Size accounting (header + body) stays centralized in
+/// Simulator::Send.
+void Send(net::Simulator* sim, net::PeerId from, net::PeerId to,
+          Envelope env);
+
+}  // namespace mqp::wire

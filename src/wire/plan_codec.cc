@@ -1,0 +1,26 @@
+#include "wire/plan_codec.h"
+
+namespace mqp::wire {
+
+SerializedPlan SerializePlanShared(const algebra::Plan& plan,
+                                   net::NetStats* stats) {
+  if (plan.WireCacheValid()) {
+    if (stats != nullptr) ++stats->forwards_without_reserialize;
+    return {plan.cached_wire(), /*reused=*/true};
+  }
+  auto bytes = net::MakePayload(algebra::SerializePlan(plan));
+  plan.AttachWireCache(bytes);
+  if (stats != nullptr) ++stats->plan_serializations;
+  return {std::move(bytes), /*reused=*/false};
+}
+
+Result<algebra::Plan> ParsePlanShared(net::Payload bytes,
+                                      net::NetStats* stats) {
+  if (bytes == nullptr) bytes = net::MakePayload("");
+  MQP_ASSIGN_OR_RETURN(auto plan, algebra::ParsePlan(*bytes));
+  plan.AttachWireCache(std::move(bytes));
+  if (stats != nullptr) ++stats->plan_parses;
+  return plan;
+}
+
+}  // namespace mqp::wire

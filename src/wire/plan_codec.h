@@ -1,0 +1,39 @@
+// Cached plan (de)serialization for the wire layer.
+//
+// Serialization of the mutant query plan is the per-hop hot path: the
+// plan's XML body is the dominant message cost, and a hop that merely
+// routes a plan (binds nothing, evaluates nothing) used to re-serialize
+// it from scratch. These helpers consult Plan's serialization cache
+// (algebra/plan.h): a freshly parsed plan carries the exact buffer it
+// arrived in, so forwarding it unchanged reuses that buffer — zero
+// serialization work and zero copies. All cache traffic is counted into
+// NetStats (plan_serializations / plan_parses /
+// forwards_without_reserialize) so benches and tests can observe it.
+#pragma once
+
+#include "algebra/plan.h"
+#include "algebra/plan_xml.h"
+#include "net/simulator.h"
+
+namespace mqp::wire {
+
+/// \brief Result of SerializePlanShared: the wire bytes plus whether they
+/// came from the cache (no serialization performed).
+struct SerializedPlan {
+  net::Payload bytes;
+  bool reused = false;
+};
+
+/// \brief Returns the plan's wire form, serializing only if the plan
+/// mutated since its cached bytes were produced (or none are attached).
+/// Counts into `stats` when non-null.
+SerializedPlan SerializePlanShared(const algebra::Plan& plan,
+                                   net::NetStats* stats = nullptr);
+
+/// \brief Parses a plan from shared wire bytes and attaches them as the
+/// plan's cached serialization, so forwarding the plan unchanged reuses
+/// the incoming buffer. Counts into `stats` when non-null.
+Result<algebra::Plan> ParsePlanShared(net::Payload bytes,
+                                      net::NetStats* stats = nullptr);
+
+}  // namespace mqp::wire

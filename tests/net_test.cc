@@ -55,7 +55,7 @@ TEST(SimulatorTest, FifoForEqualTimes) {
   sim.Run();
   ASSERT_EQ(b.received.size(), 5u);
   for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(b.received[static_cast<size_t>(i)].payload, std::to_string(i));
+    EXPECT_EQ(b.received[static_cast<size_t>(i)].body(), std::to_string(i));
   }
 }
 
