@@ -1,0 +1,159 @@
+// C7 — dynamic catalog maintenance under churn (src/sync/).
+//
+// A garage-sale network runs a seeded churn schedule (crashes with
+// recovery, graceful departures, fresh joins — well above 20% of the
+// network failing/recovering) while the client keeps querying and every
+// peer gossips version-vector digests. We measure:
+//   * convergence: rounds of gossip after the churn window until every
+//     live catalog holds the identical version vector,
+//   * bytes: digest+delta gossip traffic vs. the naive alternative of
+//     every peer re-pushing its full catalog state every round,
+//   * availability: query success rate while the network churns,
+//   * determinism: two runs with the same seed must be bit-identical.
+#include "bench_util.h"
+
+using namespace mqp;
+
+namespace {
+
+struct ChurnRun {
+  workload::ChurnStats stats;
+  size_t peers_at_start = 0;
+  int convergence_rounds = -1;  // -1: never converged
+  uint64_t gossip_messages = 0;
+  uint64_t gossip_bytes = 0;
+  uint64_t naive_bytes = 0;  // full re-push every round, same schedule
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
+  std::string fingerprint;
+};
+
+ChurnRun RunOnce(uint64_t seed, size_t sellers) {
+  net::Simulator sim;
+  workload::GarageSaleNetworkParams params;
+  params.num_sellers = sellers;
+  params.items_per_seller = 4;
+  params.seed = seed;
+  auto net = workload::BuildGarageSaleNetwork(&sim, params);
+
+  workload::ChurnParams churn;
+  churn.seed = seed;
+  churn.duration_seconds = 240;
+  churn.event_interval_seconds = 8;
+  churn.downtime_seconds = 30;
+  churn.query_interval_seconds = 12;
+  churn.convergence_tail_seconds = 120;
+  churn.sync.gossip_interval_seconds = 5;
+  churn.sync.refresh_interval_seconds = 15;
+  churn.sync.entry_ttl_seconds = 60;
+  // One state's worth of sellers per query: the MQP visits each bound
+  // seller sequentially, so a network-wide query would be killed by any
+  // single mid-flight crash and measure nothing but plan width.
+  churn.query_area = *ns::InterestArea::Parse("(USA.OR,*)");
+  workload::ChurnScenario scenario(&sim, &net, churn);
+  scenario.EnableSyncEverywhere();
+
+  ChurnRun run;
+  run.peers_at_start = sim.size();
+
+  // The naive baseline measured on the same schedule: every gossip round,
+  // each live synced peer would re-push its *entire* record set to one
+  // partner (registration-style maintenance, no version vectors). The
+  // probe serializes that state without sending anything.
+  const double step = churn.sync.gossip_interval_seconds;
+  for (double t = step; t <= scenario.horizon(); t += step) {
+    sim.Schedule(t, [&scenario, &run]() {
+      for (peer::Peer* p : scenario.LiveSyncedPeers()) {
+        run.naive_bytes +=
+            p->sync()->versioned().DeltaSince({}).ToXml().size();
+      }
+    });
+  }
+
+  scenario.Prepare();
+  sim.Run(scenario.churn_end());
+  // Step gossip-round-sized slices of the quiet tail until every live
+  // catalog reports the same version vector.
+  const int max_rounds =
+      static_cast<int>(churn.convergence_tail_seconds / step);
+  for (int r = 0; r <= max_rounds; ++r) {
+    if (scenario.VectorsConverged()) {
+      run.convergence_rounds = r;
+      break;
+    }
+    sim.Run(scenario.churn_end() + (r + 1) * step);
+  }
+  sim.Run();  // drain the rest of the tail
+  if (run.convergence_rounds < 0 && scenario.VectorsConverged()) {
+    run.convergence_rounds = max_rounds;
+  }
+
+  run.stats = scenario.stats();
+  run.fingerprint = scenario.VectorFingerprint();
+  const auto& st = sim.stats();
+  auto by_kind = [&](const char* kind) -> uint64_t {
+    auto it = st.bytes_by_kind.find(kind);
+    return it == st.bytes_by_kind.end() ? 0 : it->second;
+  };
+  auto msgs_by_kind = [&](const char* kind) -> uint64_t {
+    auto it = st.messages_by_kind.find(kind);
+    return it == st.messages_by_kind.end() ? 0 : it->second;
+  };
+  run.gossip_bytes =
+      by_kind(wire::kSyncDigestKind) + by_kind(wire::kSyncDeltaKind);
+  run.gossip_messages =
+      msgs_by_kind(wire::kSyncDigestKind) + msgs_by_kind(wire::kSyncDeltaKind);
+  run.total_messages = st.messages;
+  run.total_bytes = st.bytes;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("C7", "catalog convergence and query availability under "
+                      "churn (gossip/anti-entropy vs full re-registration)");
+  for (size_t sellers : {12, 24, 48}) {
+    const uint64_t seed = 7000 + sellers;
+    ChurnRun a = RunOnce(seed, sellers);
+    ChurnRun b = RunOnce(seed, sellers);
+    const bool identical = a.fingerprint == b.fingerprint &&
+                           !a.fingerprint.empty() &&
+                           a.total_messages == b.total_messages &&
+                           a.total_bytes == b.total_bytes;
+    const double fail_frac =
+        static_cast<double>(a.stats.fails + a.stats.departs) /
+        static_cast<double>(a.peers_at_start);
+    bench::Row("%zu sellers (%zu peers): churn events fail=%zu recover=%zu "
+               "depart=%zu join=%zu (%.0f%% of peers failed/departed)",
+               sellers, a.peers_at_start, a.stats.fails, a.stats.recovers,
+               a.stats.departs, a.stats.joins, 100 * fail_frac);
+    bench::Row("  queries: %zu submitted, %zu returned, %zu complete "
+               "(%.0f%% success under churn)",
+               a.stats.queries_submitted, a.stats.queries_returned,
+               a.stats.queries_complete,
+               a.stats.queries_submitted == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(a.stats.queries_complete) /
+                         static_cast<double>(a.stats.queries_submitted));
+    bench::Row("  convergence: %d gossip round(s) after the churn window",
+               a.convergence_rounds);
+    bench::Row("  gossip traffic: %llu msgs, %llu bytes; naive full "
+               "re-push on the same schedule: %llu bytes (%.1fx more)",
+               static_cast<unsigned long long>(a.gossip_messages),
+               static_cast<unsigned long long>(a.gossip_bytes),
+               static_cast<unsigned long long>(a.naive_bytes),
+               a.gossip_bytes == 0
+                   ? 0.0
+                   : static_cast<double>(a.naive_bytes) /
+                         static_cast<double>(a.gossip_bytes));
+    bench::Row("  deterministic across two same-seed runs: %s",
+               identical ? "yes" : "NO");
+    bench::Row("%s", "");
+  }
+  bench::Row("Shape check: gossip converges within a handful of rounds and "
+             "ships far fewer\nbytes than naive full re-registration "
+             "(digests are vector-sized; deltas carry\nonly missing "
+             "records); runs are bit-identical per seed.");
+  return 0;
+}

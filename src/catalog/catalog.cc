@@ -141,6 +141,42 @@ void Catalog::RemoveServer(const std::string& server) {
     std::erase_if(entries,
                   [&](const IndexEntry& e) { return e.server == server; });
   }
+  // Statements referencing the departed server would keep steering
+  // bindings at it (e.g. Example 1 pruning the *live* replica in favor of
+  // the dead one): drop them with the entries.
+  RemoveStatementsNaming(server);
+}
+
+size_t Catalog::RemoveStatementsNaming(const std::string& server) {
+  const size_t before = statements_.size();
+  std::erase_if(statements_, [&](const IntensionalStatement& st) {
+    if (st.lhs.server == server) return true;
+    for (const auto& r : st.rhs) {
+      if (r.server == server) return true;
+    }
+    return false;
+  });
+  return before - statements_.size();
+}
+
+bool Catalog::RemoveEntry(const IndexEntry& entry) {
+  const size_t before = entries_.size();
+  std::erase_if(entries_, [&](const IndexEntry& e) { return e == entry; });
+  return entries_.size() != before;
+}
+
+bool Catalog::RemoveNamedEntry(const std::string& urn,
+                               const IndexEntry& entry) {
+  auto it = named_.find(urn);
+  if (it == named_.end()) return false;
+  const size_t before = it->second.size();
+  std::erase_if(it->second, [&](const IndexEntry& e) {
+    return e.level == entry.level && e.server == entry.server &&
+           e.xpath == entry.xpath;
+  });
+  const bool removed = it->second.size() != before;
+  if (it->second.empty()) named_.erase(it);
+  return removed;
 }
 
 void Catalog::AddStatement(IntensionalStatement st) {
@@ -199,9 +235,25 @@ Binding Catalog::ResolveArea(const ns::InterestArea& raw_request,
 
   // 1. Coverage search: every entry overlapping the request contributes a
   //    source serving the overlapping portion (§3.4).
+  const bool authoritative_for_request =
+      authoritative_ && authority_interest_.Covers(request);
   BindingAlternative base_alt;
   for (const auto& e : entries_) {
     if (!e.area.Overlaps(request)) continue;
+    if (e.level == HoldingLevel::kIndex) {
+      // Self-referrals (possible once gossip mirrors a peer's own index
+      // registration into its own catalog) bind nothing new: this catalog
+      // *is* that index.
+      if (!owner_.empty() && e.server == owner_) continue;
+      // An authoritative owner never defers a covered request to a
+      // *strictly coarser* index (§3.3: it knows every server in its
+      // area; the coarser index knows at most as much about it).
+      if (authoritative_for_request &&
+          e.area.Covers(authority_interest_) &&
+          !authority_interest_.Covers(e.area)) {
+        continue;
+      }
+    }
     SourceRef s;
     s.level = e.level;
     s.server = e.server;
@@ -270,9 +322,7 @@ Binding Catalog::ResolveArea(const ns::InterestArea& raw_request,
       covered = covered.Union(s.portion);
     }
     const bool sources_cover = covered.Covers(request);
-    const bool authoritative_here =
-        authoritative_ && authority_interest_.Covers(request);
-    if (!sources_cover && !authoritative_here) {
+    if (!sources_cover && !authoritative_for_request) {
       return binding;  // defer to someone who knows more
     }
   }

@@ -112,8 +112,23 @@ class Catalog {
   void AddEntry(IndexEntry entry);
   const std::vector<IndexEntry>& entries() const { return entries_; }
 
-  /// Removes every entry naming `server` (peer departure).
+  /// Removes every entry naming `server` (peer departure), including
+  /// named mappings and any intensional statement referencing it — a
+  /// statement about a departed server can no longer be acted on.
   void RemoveServer(const std::string& server);
+
+  /// Removes the exact interest-area entry (sync tombstones/expiry).
+  /// Returns true if an entry was removed.
+  bool RemoveEntry(const IndexEntry& entry);
+
+  /// Removes every intensional statement whose lhs or rhs names `server`
+  /// (it can no longer be acted on once the server is gone). Returns how
+  /// many were removed.
+  size_t RemoveStatementsNaming(const std::string& server);
+
+  /// Removes the named mapping/referral for `urn` matching `entry`'s
+  /// (level, server, xpath). Returns true if one was removed.
+  bool RemoveNamedEntry(const std::string& urn, const IndexEntry& entry);
 
   // --- intensional statements ---------------------------------------------------
 
@@ -144,6 +159,13 @@ class Catalog {
     authoritative_ = authoritative;
   }
 
+  /// The owner's own address. With dynamic maintenance a catalog can
+  /// contain referrals to its own peer (gossiped index entries);
+  /// ResolveArea must skip those — "travel to myself for more detail" is
+  /// a dead end, the owner is already binding with full local knowledge.
+  void set_owner(std::string address) { owner_ = std::move(address); }
+  const std::string& owner() const { return owner_; }
+
   /// Attaches the namespace (not owned) for §3.5's approximation: a
   /// requested category unknown to the hierarchies is rewritten to its
   /// deepest known ancestor — "a possible loss of precision, but no loss
@@ -172,6 +194,7 @@ class Catalog {
   std::vector<IntensionalStatement> statements_;
   std::map<std::string, std::vector<IndexEntry>> named_;  // urn → entries
   std::vector<std::string> dimension_fields_;
+  std::string owner_;
   ns::InterestArea authority_interest_;
   const ns::MultiHierarchy* hierarchies_ = nullptr;
   bool authoritative_ = false;

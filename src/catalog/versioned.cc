@@ -1,0 +1,419 @@
+#include "catalog/versioned.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace mqp::catalog {
+
+bool Dominates(const VersionVector& a, const VersionVector& b) {
+  for (const auto& [origin, seq] : b) {
+    auto it = a.find(origin);
+    if (it == a.end() || it->second < seq) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Shared "<v o='addr' s='7'/>" codec for digests and the delta piggyback.
+void AppendVectorElements(xml::Node* parent, const VersionVector& vector) {
+  for (const auto& [origin, seq] : vector) {
+    xml::Node* v = parent->AddElement("v");
+    v->SetAttr("o", origin);
+    v->SetAttr("s", std::to_string(seq));
+  }
+}
+
+Result<VersionVector> ParseVectorElements(const xml::Node& parent) {
+  VersionVector vector;
+  for (const xml::Node* v : parent.Children("v")) {
+    const std::string origin = v->AttrOr("o", "");
+    int64_t seq = 0;
+    if (origin.empty() || !mqp::ParseInt64(v->AttrOr("s", ""), &seq) ||
+        seq < 0) {
+      return Status::ParseError("malformed version-vector element");
+    }
+    vector[origin] = static_cast<uint64_t>(seq);
+  }
+  return vector;
+}
+
+}  // namespace
+
+std::string DigestToXml(const VersionVector& vector) {
+  auto root = xml::Node::Element("digest");
+  AppendVectorElements(root.get(), vector);
+  return xml::Serialize(*root);
+}
+
+Result<VersionVector> DigestFromXml(const std::string& text) {
+  MQP_ASSIGN_OR_RETURN(auto doc, xml::Parse(text));
+  if (doc->name() != "digest") {
+    return Status::ParseError("not a digest: <" + doc->name() + ">");
+  }
+  return ParseVectorElements(*doc);
+}
+
+namespace {
+
+std::string_view KindName(SyncEntryKind kind) {
+  switch (kind) {
+    case SyncEntryKind::kArea: return "area";
+    case SyncEntryKind::kNamed: return "named";
+    case SyncEntryKind::kPresence: return "presence";
+  }
+  return "area";
+}
+
+Result<SyncEntryKind> KindFromName(std::string_view name) {
+  if (name == "area") return SyncEntryKind::kArea;
+  if (name == "named") return SyncEntryKind::kNamed;
+  if (name == "presence") return SyncEntryKind::kPresence;
+  return Status::ParseError("unknown sync entry kind '" + std::string(name) +
+                            "'");
+}
+
+}  // namespace
+
+std::string VersionedRecord::Key() const {
+  // origin|kind|urn|level|area|server|xpath — none of the identity fields
+  // may contain '|' (addresses, URNs and area strings never do).
+  std::string key = version.origin;
+  key += '|';
+  key += KindName(entry.kind);
+  if (entry.kind == SyncEntryKind::kPresence) return key;
+  key += '|';
+  key += entry.urn;
+  key += '|';
+  key += HoldingLevelName(entry.entry.level);
+  key += '|';
+  key += entry.entry.area.ToString();
+  key += '|';
+  key += entry.entry.server;
+  key += '|';
+  key += entry.entry.xpath;
+  return key;
+}
+
+std::string CatalogDelta::ToXml() const {
+  auto root = xml::Node::Element("delta");
+  AppendVectorElements(root.get(), sender_vector);
+  for (const auto& rec : records) {
+    xml::Node* r = root->AddElement("rec");
+    r->SetAttr("o", rec.version.origin);
+    r->SetAttr("s", std::to_string(rec.version.sequence));
+    r->SetAttr("k", std::string(KindName(rec.entry.kind)));
+    if (rec.tombstone) r->SetAttr("tomb", "1");
+    if (rec.ttl_seconds != 0) {
+      r->SetAttr("ttl", std::to_string(static_cast<int64_t>(rec.ttl_seconds)));
+    }
+    if (rec.entry.kind == SyncEntryKind::kPresence) continue;
+    if (!rec.entry.urn.empty()) r->SetAttr("urn", rec.entry.urn);
+    r->SetAttr("level", std::string(HoldingLevelName(rec.entry.entry.level)));
+    r->SetAttr("area", rec.entry.entry.area.ToString());
+    r->SetAttr("server", rec.entry.entry.server);
+    if (!rec.entry.entry.xpath.empty()) {
+      r->SetAttr("xpath", rec.entry.entry.xpath);
+    }
+    if (rec.entry.entry.delay_minutes != 0) {
+      r->SetAttr("delay", std::to_string(rec.entry.entry.delay_minutes));
+    }
+  }
+  return xml::Serialize(*root);
+}
+
+Result<CatalogDelta> CatalogDelta::FromXml(const std::string& text) {
+  MQP_ASSIGN_OR_RETURN(auto doc, xml::Parse(text));
+  if (doc->name() != "delta") {
+    return Status::ParseError("not a delta: <" + doc->name() + ">");
+  }
+  CatalogDelta delta;
+  MQP_ASSIGN_OR_RETURN(delta.sender_vector, ParseVectorElements(*doc));
+  for (const xml::Node* r : doc->Children("rec")) {
+    VersionedRecord rec;
+    rec.version.origin = r->AttrOr("o", "");
+    int64_t seq = 0;
+    if (rec.version.origin.empty() ||
+        !mqp::ParseInt64(r->AttrOr("s", ""), &seq) || seq < 0) {
+      return Status::ParseError("malformed record version");
+    }
+    rec.version.sequence = static_cast<uint64_t>(seq);
+    MQP_ASSIGN_OR_RETURN(rec.entry.kind, KindFromName(r->AttrOr("k", "area")));
+    rec.tombstone = r->AttrOr("tomb", "0") == "1";
+    int64_t ttl = 0;
+    (void)mqp::ParseInt64(r->AttrOr("ttl", "0"), &ttl);
+    rec.ttl_seconds = static_cast<double>(ttl);
+    if (rec.entry.kind != SyncEntryKind::kPresence) {
+      rec.entry.urn = r->AttrOr("urn", "");
+      rec.entry.entry.level = r->AttrOr("level", "base") == "index"
+                                  ? HoldingLevel::kIndex
+                                  : HoldingLevel::kBase;
+      auto area = ns::InterestArea::Parse(r->AttrOr("area", ""));
+      if (!area.ok()) return area.status();
+      rec.entry.entry.area = std::move(area).value();
+      rec.entry.entry.server = r->AttrOr("server", "");
+      rec.entry.entry.xpath = r->AttrOr("xpath", "");
+      int64_t delay = 0;
+      (void)mqp::ParseInt64(r->AttrOr("delay", "0"), &delay);
+      rec.entry.entry.delay_minutes = static_cast<int>(delay);
+      if (rec.entry.entry.server.empty()) {
+        return Status::ParseError("record missing server");
+      }
+    }
+    delta.records.push_back(std::move(rec));
+  }
+  return delta;
+}
+
+// --- VersionedCatalog ----------------------------------------------------------
+
+void VersionedCatalog::UpsertLocal(SyncEntry entry, double ttl_seconds,
+                                   double now) {
+  VersionedRecord rec;
+  rec.version = {self_, ++next_sequence_};
+  rec.entry = std::move(entry);
+  rec.ttl_seconds = ttl_seconds;
+  rec.stamped_at = now;
+  vector_[self_] = rec.version.sequence;
+  last_heard_[self_] = now;
+  const std::string key = rec.Key();
+  RetireReplacedProjection(key, rec);
+  Project(rec, now);
+  records_[key] = std::move(rec);
+}
+
+void VersionedCatalog::TombstoneLocal(const SyncEntry& entry, double now) {
+  VersionedRecord rec;
+  rec.version = {self_, ++next_sequence_};
+  rec.entry = entry;
+  rec.tombstone = true;
+  rec.stamped_at = now;
+  vector_[self_] = rec.version.sequence;
+  last_heard_[self_] = now;
+  const std::string key = rec.Key();
+  // Withdraw the *stored* fact (it may differ from `entry` in non-key
+  // fields like delay), then the one being tombstoned.
+  RetireReplacedProjection(key, rec);
+  records_[key] = rec;
+  Unproject(rec);
+}
+
+void VersionedCatalog::BumpPresence(double ttl_seconds, double now) {
+  SyncEntry presence;
+  presence.kind = SyncEntryKind::kPresence;
+  UpsertLocal(std::move(presence), ttl_seconds, now);
+}
+
+void VersionedCatalog::RestampOwn(double now) {
+  for (auto& [key, rec] : records_) {
+    if (rec.version.origin != self_ || rec.tombstone) continue;
+    rec.version.sequence = ++next_sequence_;
+    rec.stamped_at = now;
+    vector_[self_] = rec.version.sequence;
+    // Rejoin also reinstates the projection (a recovering peer republishes
+    // its holdings); Project is idempotent for already-present entries.
+    Project(rec, now);
+  }
+  last_heard_[self_] = now;
+}
+
+CatalogDelta VersionedCatalog::DeltaSince(const VersionVector& remote) const {
+  CatalogDelta delta;
+  for (const auto& [key, rec] : records_) {
+    auto it = remote.find(rec.version.origin);
+    const uint64_t seen = it == remote.end() ? 0 : it->second;
+    if (rec.version.sequence > seen) delta.records.push_back(rec);
+  }
+  return delta;
+}
+
+size_t VersionedCatalog::Apply(const CatalogDelta& delta, double now) {
+  size_t changed = 0;
+  for (const VersionedRecord& incoming : delta.records) {
+    const std::string& origin = incoming.version.origin;
+    // Absorb the version even when the record itself loses LWW: the
+    // vector tracks everything *seen*, not everything *kept*.
+    uint64_t& high = vector_[origin];
+    const bool fresh = incoming.version.sequence > high;
+    if (fresh) {
+      high = incoming.version.sequence;
+      last_heard_[origin] = now;
+      if (origin == self_) {
+        // Defensive: never re-issue a sequence an echo proved spent.
+        next_sequence_ = std::max(next_sequence_, high);
+      }
+      if (expired_origins_.count(origin) > 0) {
+        // The origin is refreshing again: reinstate its live records.
+        expired_origins_.erase(origin);
+        for (const auto& [k, rec] : records_) {
+          if (rec.version.origin == origin && !rec.tombstone) {
+            Project(rec, now);
+          }
+        }
+      }
+    }
+    const std::string key = incoming.Key();
+    auto it = records_.find(key);
+    if (it != records_.end() &&
+        !incoming.version.Newer(it->second.version)) {
+      continue;  // stale or duplicate: idempotence
+    }
+    VersionedRecord rec = incoming;
+    rec.stamped_at = now;
+    RetireReplacedProjection(key, rec);
+    if (rec.tombstone) {
+      Unproject(rec);
+    } else {
+      Project(rec, now);
+    }
+    records_[key] = std::move(rec);
+    ++changed;
+  }
+  return changed;
+}
+
+double VersionedCatalog::LastHeard(const std::string& origin) const {
+  auto it = last_heard_.find(origin);
+  return it == last_heard_.end() ? 0 : it->second;
+}
+
+double VersionedCatalog::OriginTtl(const std::string& origin) const {
+  double ttl = 0;
+  for (const auto& [key, rec] : records_) {
+    if (rec.version.origin == origin) ttl = std::max(ttl, rec.ttl_seconds);
+  }
+  return ttl;
+}
+
+std::vector<std::string> VersionedCatalog::ExpireSilent(double now) {
+  // Single pass for the per-origin TTLs (this runs on every gossip tick).
+  std::map<std::string, double> ttls;
+  for (const auto& [key, rec] : records_) {
+    double& ttl = ttls[rec.version.origin];
+    ttl = std::max(ttl, rec.ttl_seconds);
+  }
+  std::vector<std::string> newly_expired;
+  for (const auto& [origin, ttl] : ttls) {
+    if (origin == self_ || expired_origins_.count(origin) > 0) continue;
+    if (ttl <= 0) continue;
+    if (now - LastHeard(origin) <= ttl) continue;
+    expired_origins_.insert(origin);
+    newly_expired.push_back(origin);
+    for (const auto& [key, rec] : records_) {
+      if (rec.version.origin == origin && !rec.tombstone) Unproject(rec);
+    }
+  }
+  return newly_expired;
+}
+
+std::vector<std::string> VersionedCatalog::LiveOrigins(double now) const {
+  std::set<std::string> origins{self_};
+  for (const auto& [key, rec] : records_) {
+    origins.insert(rec.version.origin);
+  }
+  std::vector<std::string> live;
+  for (const std::string& origin : origins) {
+    if (origin != self_) {
+      const double ttl = OriginTtl(origin);
+      if (ttl > 0 && now - LastHeard(origin) > ttl) continue;
+    }
+    live.push_back(origin);
+  }
+  return live;
+}
+
+size_t VersionedCatalog::PurgeTombstones(double now, double min_age) {
+  // Each origin's highest sequence must stay carried by some record (see
+  // the header comment): find the per-origin maxima first.
+  std::map<std::string, uint64_t> max_seq;
+  for (const auto& [key, rec] : records_) {
+    uint64_t& high = max_seq[rec.version.origin];
+    high = std::max(high, rec.version.sequence);
+  }
+  size_t purged = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    const VersionedRecord& rec = it->second;
+    if (rec.tombstone && now - rec.stamped_at >= min_age &&
+        rec.version.sequence != max_seq[rec.version.origin]) {
+      it = records_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+void VersionedCatalog::RetireReplacedProjection(const std::string& key,
+                                                const VersionedRecord& rec) {
+  // The record key covers identity fields only; a newer version of the
+  // same key may carry a *different* fact payload (delay_minutes is not
+  // part of identity). Projection add/remove works on full IndexEntry
+  // equality, so the superseded shape must be withdrawn explicitly or it
+  // would linger in the catalog forever.
+  auto it = records_.find(key);
+  if (it == records_.end() || it->second.tombstone) return;
+  if (it->second.entry == rec.entry && !rec.tombstone) return;
+  Unproject(it->second);
+}
+
+void VersionedCatalog::Project(const VersionedRecord& rec, double now) {
+  (void)now;
+  if (projection_ == nullptr) return;
+  if (rec.entry.kind == SyncEntryKind::kPresence) return;
+  if (OriginExpired(rec.version.origin)) return;
+  if (rec.entry.kind == SyncEntryKind::kArea) {
+    projection_->AddEntry(rec.entry.entry);
+  } else if (rec.entry.entry.level == HoldingLevel::kBase) {
+    projection_->AddNamedMapping(rec.entry.urn, rec.entry.entry.server,
+                                 rec.entry.entry.xpath);
+  } else {
+    projection_->AddNamedReferral(rec.entry.urn, rec.entry.entry.server);
+  }
+}
+
+void VersionedCatalog::Unproject(const VersionedRecord& rec) {
+  if (projection_ == nullptr) return;
+  if (rec.entry.kind == SyncEntryKind::kPresence) return;
+  // Another live record (different origin) may assert the identical fact;
+  // only the last asserter's withdrawal removes it from the projection.
+  const std::string& server = rec.entry.entry.server;
+  bool server_still_asserted = false;
+  for (const auto& [key, other] : records_) {
+    if (other.tombstone || other.entry.kind == SyncEntryKind::kPresence) {
+      continue;
+    }
+    if (OriginExpired(other.version.origin)) continue;
+    if (other.version.origin == rec.version.origin &&
+        other.Key() == rec.Key()) {
+      continue;  // the record being withdrawn itself
+    }
+    if (other.entry.entry.server == server) server_still_asserted = true;
+    if (other.version.origin != rec.version.origin &&
+        other.entry == rec.entry) {
+      return;
+    }
+  }
+  if (rec.entry.kind == SyncEntryKind::kArea) {
+    projection_->RemoveEntry(rec.entry.entry);
+  } else {
+    projection_->RemoveNamedEntry(rec.entry.urn, rec.entry.entry);
+  }
+  // When the withdrawal/expiry removed the server's last live fact, any
+  // intensional statement naming it would keep steering bindings at a
+  // gone peer (the same hazard Catalog::RemoveServer guards against) —
+  // drop those too. Statements travel by registration, not gossip:
+  // Peer::RejoinNetwork re-registers so *its own* statements come back,
+  // but third-party statements about the server (e.g. a replica's
+  // containment assertion from PullIndexedData) stay dropped until their
+  // asserter re-registers or re-pulls.
+  if (!server_still_asserted) {
+    projection_->RemoveStatementsNaming(server);
+  }
+}
+
+}  // namespace mqp::catalog

@@ -1,0 +1,212 @@
+// Versioned catalog state for dynamic maintenance (src/sync/).
+//
+// The paper's catalogs are built once at registration time; this module
+// makes them *living* objects. Every catalog fact a peer asserts about
+// itself — an interest-area entry or a named mapping — becomes a
+// VersionedRecord stamped with an (origin, sequence) version, and removal
+// is a tombstone rather than a deletion. Records merge with
+// last-writer-wins semantics per record key, ordered by sequence with a
+// deterministic origin tie-break, which makes CatalogDelta application
+// idempotent and commutative: any gossip exchange order converges.
+//
+// A VersionVector (origin → highest sequence seen) summarizes everything a
+// catalog has absorbed; anti-entropy peers exchange vectors as compact
+// digests and pull only the records the vector proves missing
+// (see sync/gossip.h).
+//
+// Liveness is TTL-based: each origin periodically re-stamps a tiny
+// presence record; a catalog that stops hearing *any* new version from an
+// origin for longer than the origin's declared TTL drops that origin's
+// entries from the queryable projection (they reappear the moment the
+// origin refreshes again). Tombstones are purged only after a long quiet
+// period, bounding memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace mqp::catalog {
+
+/// \brief (origin, sequence) stamp. Sequences are per-origin monotonic;
+/// cross-origin ties break on the origin string so merges are
+/// deterministic regardless of arrival order.
+struct EntryVersion {
+  std::string origin;    ///< address of the asserting peer
+  uint64_t sequence = 0; ///< per-origin monotonic counter
+
+  /// Strictly newer-than, the LWW merge order for one record key.
+  bool Newer(const EntryVersion& other) const {
+    if (sequence != other.sequence) return sequence > other.sequence;
+    return origin > other.origin;
+  }
+
+  bool operator==(const EntryVersion& other) const = default;
+};
+
+/// \brief origin → highest sequence absorbed from that origin. The digest
+/// peers exchange during anti-entropy.
+using VersionVector = std::map<std::string, uint64_t>;
+
+/// True iff `a` has absorbed everything `b` has (a[o] >= b[o] for all o).
+bool Dominates(const VersionVector& a, const VersionVector& b);
+
+/// Digest wire format: "<digest><v o='addr' s='7'/>...</digest>".
+std::string DigestToXml(const VersionVector& vector);
+Result<VersionVector> DigestFromXml(const std::string& text);
+
+/// \brief What kind of catalog fact a record carries.
+enum class SyncEntryKind {
+  kArea,      ///< an interest-area IndexEntry
+  kNamed,     ///< a named mapping/referral (urn + IndexEntry)
+  kPresence,  ///< origin heartbeat; never projected into the catalog
+};
+
+/// \brief One syncable catalog fact.
+struct SyncEntry {
+  SyncEntryKind kind = SyncEntryKind::kArea;
+  std::string urn;  ///< kNamed only
+  IndexEntry entry; ///< kArea/kNamed; ignored for kPresence
+
+  bool operator==(const SyncEntry& other) const = default;
+};
+
+/// \brief A versioned, possibly-tombstoned catalog fact. Identity is
+/// Key(); `version` orders updates to the same key.
+struct VersionedRecord {
+  EntryVersion version;
+  SyncEntry entry;
+  bool tombstone = false;
+  /// Origin-declared liveness horizon: entries from an origin silent for
+  /// longer than this drop out of the projection (0 = never expire).
+  double ttl_seconds = 0;
+  /// Local bookkeeping only (never gossiped, excluded from equality):
+  /// when this version was stamped/applied *here*; tombstone GC uses it.
+  double stamped_at = 0;
+
+  /// Stable record identity: origin plus the fact's own identity, so one
+  /// origin's tombstone can never clobber another origin's assertion.
+  std::string Key() const;
+
+  /// Equality over the gossiped fields only (stamped_at is local).
+  bool operator==(const VersionedRecord& other) const {
+    return version == other.version && entry == other.entry &&
+           tombstone == other.tombstone && ttl_seconds == other.ttl_seconds;
+  }
+};
+
+/// \brief A set of records in transit: the unit gossip ships. Application
+/// through VersionedCatalog::Apply is idempotent and commutative.
+struct CatalogDelta {
+  std::vector<VersionedRecord> records;
+  /// The sender's own version vector, piggybacked so the receiver can
+  /// push back what the sender is missing without a digest round-trip
+  /// (a small digest would overtake the large delta on a
+  /// bandwidth-limited link and trigger a duplicate send). Empty when
+  /// not attached.
+  VersionVector sender_vector;
+
+  bool empty() const { return records.empty(); }
+  size_t size() const { return records.size(); }
+
+  /// "<delta><v .../>...<rec .../>...</delta>".
+  std::string ToXml() const;
+  static Result<CatalogDelta> FromXml(const std::string& text);
+};
+
+/// \brief Versioned overlay over a plain Catalog. Owns the record map and
+/// version vector; mirrors live records into the projection catalog (not
+/// owned, may be null) so the existing resolution machinery sees exactly
+/// the live view.
+class VersionedCatalog {
+ public:
+  /// `self` is this peer's address (its origin id); `projection` receives
+  /// live entries and may be null (pure-state uses, tests).
+  VersionedCatalog(std::string self, Catalog* projection)
+      : self_(std::move(self)), projection_(projection) {}
+
+  const std::string& self() const { return self_; }
+  const VersionVector& vector() const { return vector_; }
+  const std::map<std::string, VersionedRecord>& records() const {
+    return records_;
+  }
+
+  // --- local (own-origin) mutations -------------------------------------------
+
+  /// Asserts/updates a fact originated here, stamping the next sequence.
+  void UpsertLocal(SyncEntry entry, double ttl_seconds, double now);
+
+  /// Tombstones a fact originated here (graceful withdrawal).
+  void TombstoneLocal(const SyncEntry& entry, double now);
+
+  /// Re-stamps the presence heartbeat (and nothing else): the cheap
+  /// periodic refresh that keeps this origin's entries alive remotely.
+  void BumpPresence(double ttl_seconds, double now);
+
+  /// Re-stamps *all* live own records with fresh sequences. Called on
+  /// recovery/rejoin: remote vectors already dominate the old stamps, so
+  /// only re-stamped records propagate again.
+  void RestampOwn(double now);
+
+  // --- anti-entropy ------------------------------------------------------------
+
+  /// Every record whose version the remote vector has not absorbed.
+  CatalogDelta DeltaSince(const VersionVector& remote) const;
+
+  /// Merges `delta`; returns how many records changed. Fresher versions
+  /// win per key; stale or duplicate records are no-ops (idempotence).
+  size_t Apply(const CatalogDelta& delta, double now);
+
+  // --- liveness ----------------------------------------------------------------
+
+  /// Local time we last absorbed a new version from `origin` (0 = never).
+  double LastHeard(const std::string& origin) const;
+
+  /// Drops projection entries of origins whose TTL lapsed; returns the
+  /// origins that newly expired. Own records never expire.
+  std::vector<std::string> ExpireSilent(double now);
+
+  /// Origins currently considered live here (self included).
+  std::vector<std::string> LiveOrigins(double now) const;
+
+  /// Purges tombstoned records older than `min_age`, except each origin's
+  /// newest record: that one must stay transferable, because version
+  /// vectors only grow through records — without it a peer joining after
+  /// the purge could never absorb the origin's final sequence and every
+  /// digest exchange would chase the gap forever. Returns the number
+  /// purged (memory stays bounded at one record per dead origin).
+  size_t PurgeTombstones(double now, double min_age);
+
+ private:
+  /// Withdraws the projection of the stored record under `key` when
+  /// `rec` is about to replace it with a different fact payload (the key
+  /// covers identity fields only — e.g. delay_minutes can change).
+  void RetireReplacedProjection(const std::string& key,
+                                const VersionedRecord& rec);
+  /// Applies one record to the projection catalog (add or remove).
+  void Project(const VersionedRecord& rec, double now);
+  /// Removes a record's fact from the projection unless another live
+  /// record still asserts the identical fact.
+  void Unproject(const VersionedRecord& rec);
+  /// True when `origin`'s records are currently expired from projection.
+  bool OriginExpired(const std::string& origin) const {
+    return expired_origins_.count(origin) > 0;
+  }
+  /// The TTL governing `origin` (max declared over its records).
+  double OriginTtl(const std::string& origin) const;
+
+  std::string self_;
+  Catalog* projection_;
+  std::map<std::string, VersionedRecord> records_;
+  VersionVector vector_;
+  uint64_t next_sequence_ = 0;
+  std::map<std::string, double> last_heard_;
+  std::set<std::string> expired_origins_;
+};
+
+}  // namespace mqp::catalog

@@ -9,12 +9,19 @@
 //   algebra/    mutant query plans: operators, expressions, XML wire format
 //   engine/     physical operators and the local collection store
 //   optimizer/  evaluable-sub-plan detection, cost model, rewrites, policy
-//   catalog/    distributed catalogs and intensional statements
+//   catalog/    distributed catalogs, intensional statements, versioned
+//               entries + tombstones + CatalogDelta (dynamic maintenance)
 //   net/        discrete-event network simulator (shared-payload messages)
 //   wire/       framed messaging: envelopes + cached plan serialization
+//   sync/       gossip/anti-entropy catalog maintenance (digests, deltas,
+//               TTL expiry) on top of the wire layer
 //   peer/       the peer: roles, registration, the Figure-2 MQP loop
 //   baseline/   Napster / Gnutella / coordinator baselines
-//   workload/   garage-sale, CD-market, gene-expression generators
+//   workload/   garage-sale, CD-market, gene-expression generators and
+//               the churn scenario driver
+//
+// Layering is strictly:
+//   common/xml/ns → algebra → net → wire → sync → peer/baseline → workload
 #pragma once
 
 #include "algebra/expr.h"
@@ -26,6 +33,7 @@
 #include "baseline/flooding.h"
 #include "catalog/catalog.h"
 #include "catalog/intension.h"
+#include "catalog/versioned.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -44,9 +52,11 @@
 #include "peer/peer.h"
 #include "peer/verification.h"
 #include "query/parser.h"
+#include "sync/gossip.h"
 #include "wire/envelope.h"
 #include "wire/plan_codec.h"
 #include "workload/cd_market.h"
+#include "workload/churn.h"
 #include "workload/garage_sale.h"
 #include "workload/gene_expression.h"
 #include "workload/network_builder.h"

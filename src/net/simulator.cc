@@ -64,7 +64,15 @@ void Simulator::Send(Message msg) {
   stats_.messages_by_kind[msg.kind]++;
   stats_.bytes_by_kind[msg.kind] += msg.size_bytes;
   if (on_send_) on_send_(msg);
+  if (msg.from < failed_.size() && failed_[msg.from]) {
+    // A failed peer originates nothing: stale scheduled callbacks (e.g. a
+    // gossip tick racing a Fail) must not leak traffic from a down node.
+    // (External probes with from == kNoPeer are out of range and unaffected.)
+    stats_.drops_from_failed++;
+    return;
+  }
   if (msg.to >= nodes_.size() || failed_[msg.to]) {
+    stats_.drops_to_failed++;
     return;  // dropped: unknown or failed destination
   }
   const double when = now_ + Latency(msg.from, msg.to, msg.size_bytes);

@@ -97,6 +97,11 @@ struct NetStats {
   uint64_t plan_parses = 0;
   uint64_t forwards_without_reserialize = 0;
 
+  /// Messages counted as sent but never delivered because the sender was
+  /// down at send time / the recipient was down or unknown at send time.
+  uint64_t drops_from_failed = 0;
+  uint64_t drops_to_failed = 0;
+
   void Clear() { *this = NetStats{}; }
 };
 
@@ -132,8 +137,9 @@ class Simulator {
   void Recover(PeerId id);
   bool IsFailed(PeerId id) const;
 
-  /// Enqueues a message for delivery. Messages to failed or unknown peers
-  /// are counted as sent but never delivered.
+  /// Enqueues a message for delivery. Messages to failed or unknown
+  /// peers — and messages *from* failed peers (a down peer originates no
+  /// traffic) — are counted as sent but never delivered.
   void Send(Message msg);
 
   /// Schedules `fn` at absolute time `when` (>= now).

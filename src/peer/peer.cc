@@ -27,6 +27,7 @@ Peer::Peer(net::Simulator* sim, PeerOptions options)
   }
   catalog_.set_dimension_fields(options_.dimension_fields);
   catalog_.SetAuthority(options_.interest, options_.roles.authoritative);
+  catalog_.set_owner(address());
 }
 
 void Peer::PublishCollection(const std::string& collection_id,
@@ -40,6 +41,10 @@ void Peer::PublishCollection(const std::string& collection_id,
   e.area = area;
   e.server = address();
   e.xpath = engine::LocalStore::CollectionXPath(collection_id);
+  if (sync_ != nullptr) {
+    sync_->UpsertLocal(
+        AreaSyncEntry(area, e.xpath, catalog::HoldingLevel::kBase));
+  }
   catalog_.AddEntry(std::move(e));
 }
 
@@ -50,6 +55,9 @@ void Peer::PublishNamed(const std::string& urn,
   const std::string xpath = engine::LocalStore::CollectionXPath(collection_id);
   catalog_.AddNamedMapping(urn, address(), xpath);
   named_published_[urn] = xpath;
+  if (sync_ != nullptr) {
+    sync_->UpsertLocal(NamedSyncEntry(urn, xpath));
+  }
 }
 
 void Peer::AddOwnStatement(catalog::IntensionalStatement st) {
@@ -120,6 +128,90 @@ void Peer::JoinNetwork() {
     if (!pid.ok() || *pid == id_) continue;
     wire::Send(sim_, id_, *pid, {kRegisterKind, "", 0, payload});
   }
+}
+
+// --- dynamic catalog maintenance (src/sync/) --------------------------------------
+
+catalog::SyncEntry Peer::AreaSyncEntry(const ns::InterestArea& area,
+                                       const std::string& xpath,
+                                       catalog::HoldingLevel level) const {
+  catalog::SyncEntry se;
+  se.kind = catalog::SyncEntryKind::kArea;
+  se.entry.level = level;
+  se.entry.area = area;
+  se.entry.server = address();
+  se.entry.xpath = xpath;
+  return se;
+}
+
+catalog::SyncEntry Peer::NamedSyncEntry(const std::string& urn,
+                                        const std::string& xpath) const {
+  catalog::SyncEntry se;
+  se.kind = catalog::SyncEntryKind::kNamed;
+  se.urn = urn;
+  se.entry.level = catalog::HoldingLevel::kBase;
+  se.entry.server = address();
+  se.entry.xpath = xpath;
+  return se;
+}
+
+std::vector<catalog::SyncEntry> Peer::OwnSyncEntries() const {
+  std::vector<catalog::SyncEntry> out;
+  for (const auto& [id, area] : collections_) {
+    out.push_back(AreaSyncEntry(area, engine::LocalStore::CollectionXPath(id),
+                                catalog::HoldingLevel::kBase));
+  }
+  if (options_.roles.index || options_.roles.meta_index) {
+    out.push_back(
+        AreaSyncEntry(options_.interest, "", catalog::HoldingLevel::kIndex));
+  }
+  for (const auto& [urn, xpath] : named_published_) {
+    out.push_back(NamedSyncEntry(urn, xpath));
+  }
+  return out;
+}
+
+void Peer::EnableSync(const sync::SyncOptions& options) {
+  if (sync_ != nullptr) return;
+  sync_ = std::make_unique<sync::SyncAgent>(sim_, id_, address(), &catalog_,
+                                            options);
+  for (const auto& se : OwnSyncEntries()) {
+    sync_->UpsertLocal(se);
+  }
+  for (const auto& b : bootstraps_) {
+    sync_->AddSeed(b);
+  }
+  // Index servers already known to the catalog are partner candidates
+  // too (same peers JoinNetwork would push registrations at).
+  for (const auto& e : catalog_.entries()) {
+    if (e.level == catalog::HoldingLevel::kIndex && e.server != address()) {
+      sync_->AddPeer(e.server);
+    }
+  }
+  sync_->Start();
+}
+
+void Peer::LeaveNetwork() {
+  if (sync_ != nullptr) sync_->Leave();
+}
+
+void Peer::RejoinNetwork() {
+  if (sync_ == nullptr) return;
+  const bool was_departed = sync_->departed();
+  sync_->Rejoin();
+  if (was_departed) {
+    // A graceful departure tombstoned every assertion; the peer still
+    // holds its data, so a rejoin re-asserts it (fresh stamps overwrite
+    // the tombstones key-for-key).
+    for (const auto& se : OwnSyncEntries()) {
+      sync_->UpsertLocal(se);
+    }
+  }
+  // Re-register like a restarting node (§3.3). Gossip restores catalog
+  // *entries* on its own, but intensional statements travel only in
+  // registration payloads — index servers that dropped our statements
+  // while we were silent re-learn them from this push.
+  JoinNetwork();
 }
 
 void Peer::PullIndexedData(int delay_minutes) {
@@ -233,6 +325,10 @@ void Peer::HandleMessage(const net::Message& msg) {
     HandleFetchReply(env);
   } else if (env.kind == kCategoryReplyKind) {
     HandleCategoryReply(env);
+  } else if (env.kind == kSyncDigestKind) {
+    if (sync_ != nullptr) sync_->HandleDigest(env, msg.from);
+  } else if (env.kind == kSyncDeltaKind) {
+    if (sync_ != nullptr) sync_->HandleDelta(env, msg.from);
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "optimizer/cost.h"
 #include "optimizer/policy.h"
 #include "optimizer/rewrites.h"
+#include "sync/gossip.h"
 #include "wire/envelope.h"
 
 namespace mqp::peer {
@@ -35,6 +37,8 @@ inline constexpr auto kFetchKind = wire::kFetchKind;
 inline constexpr auto kFetchReplyKind = wire::kFetchReplyKind;
 inline constexpr auto kSubqueryKind = wire::kSubqueryKind;
 inline constexpr auto kSubqueryReplyKind = wire::kSubqueryReplyKind;
+inline constexpr auto kSyncDigestKind = wire::kSyncDigestKind;
+inline constexpr auto kSyncDeltaKind = wire::kSyncDeltaKind;
 
 /// \brief Which §3.2 roles this peer performs (freely composable).
 struct PeerRoles {
@@ -165,6 +169,32 @@ class Peer : public net::PeerNode {
   /// any index servers already known to the local catalog.
   void JoinNetwork();
 
+  // --- dynamic catalog maintenance (src/sync/) --------------------------------
+
+  /// Enables the gossip/anti-entropy layer: seeds a versioned catalog
+  /// with this peer's own holdings (see OwnSyncEntries), adds bootstraps
+  /// as gossip partners, and starts the Schedule-driven gossip loop.
+  /// Publications after this call are upserted into the sync layer too.
+  void EnableSync(const sync::SyncOptions& options);
+
+  /// The sync agent, or null when EnableSync was never called.
+  sync::SyncAgent* sync() { return sync_.get(); }
+  const sync::SyncAgent* sync() const { return sync_.get(); }
+
+  /// Graceful departure: tombstones this peer's catalog facts and pushes
+  /// them to the gossip partners. The caller then fails the peer.
+  void LeaveNetwork();
+
+  /// Recovery hook for churn drivers: re-stamps all own records so other
+  /// catalogs (whose vectors dominate the pre-failure stamps) re-learn
+  /// them, and resumes gossip.
+  void RejoinNetwork();
+
+  /// This peer's own catalog facts in syncable form: one area entry per
+  /// published collection, an index-level entry when the peer serves an
+  /// index/meta role, and one named entry per published named URN.
+  std::vector<catalog::SyncEntry> OwnSyncEntries() const;
+
   /// §3.3's complementary *pull* process: an index server fetches the data
   /// of every base server in its catalog, stores local replicas, and
   /// asserts the corresponding §4.3 containment statements
@@ -244,6 +274,15 @@ class Peer : public net::PeerNode {
   void HandleSubquery(const wire::Envelope& env, net::PeerId from);
   std::string BuildRegisterPayload(int ttl) const;
 
+  /// The single construction points for this peer's syncable facts —
+  /// record identity is the exact field tuple, so Publish* and
+  /// OwnSyncEntries must build byte-identical entries.
+  catalog::SyncEntry AreaSyncEntry(const ns::InterestArea& area,
+                                   const std::string& xpath,
+                                   catalog::HoldingLevel level) const;
+  catalog::SyncEntry NamedSyncEntry(const std::string& urn,
+                                    const std::string& xpath) const;
+
   optimizer::Locality LocalLocality() const;
   optimizer::OrPreference CurrentOrPreference(const algebra::Plan& plan) const;
   void AddProvenance(algebra::Plan* plan, algebra::ProvenanceAction action,
@@ -254,6 +293,7 @@ class Peer : public net::PeerNode {
   PeerOptions options_;
   engine::LocalStore store_;
   catalog::Catalog catalog_;
+  std::unique_ptr<sync::SyncAgent> sync_;
   const ns::MultiHierarchy* hierarchies_ = nullptr;
   std::vector<std::string> bootstraps_;
   std::map<std::string, ns::InterestArea> collections_;  // id → area

@@ -1,0 +1,159 @@
+// Gossip/anti-entropy maintenance of distributed catalogs.
+//
+// The paper registers holdings once (§3.3) and never revisits them; this
+// layer keeps catalogs converged under churn. Each participating peer
+// runs a SyncAgent that:
+//
+//   * owns a catalog::VersionedCatalog mirroring live records into the
+//     peer's plain Catalog,
+//   * every gossip interval picks a few known peers (deterministic,
+//     seeded) and sends its version vector as a `sync-digest`,
+//   * answers digests with a `sync-delta` carrying exactly the records
+//     the digest proves missing — and with its *own* digest when the
+//     sender's vector shows news, so one exchange converges both sides
+//     (push-pull anti-entropy),
+//   * re-stamps a tiny presence record every refresh interval; catalogs
+//     that stop hearing fresh versions from an origin for longer than its
+//     declared TTL expire that origin's entries from the projection,
+//   * tombstones its own records on graceful departure (Leave) and
+//     re-stamps everything on recovery (Rejoin).
+//
+// Determinism: partner choice flows through mqp::Rng seeded per agent,
+// membership sets are ordered, and everything runs on simulator time, so
+// a seeded churn scenario is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "catalog/versioned.h"
+#include "common/rng.h"
+#include "net/simulator.h"
+#include "wire/envelope.h"
+
+namespace mqp::sync {
+
+/// \brief Gossip/anti-entropy knobs. All times are simulated seconds.
+struct SyncOptions {
+  double gossip_interval_seconds = 5;   ///< digest push period
+  size_t fanout = 1;                    ///< partners per gossip round
+  double entry_ttl_seconds = 60;        ///< declared TTL on own records
+  double refresh_interval_seconds = 20; ///< presence heartbeat period
+  double tombstone_gc_seconds = 600;    ///< purge tombstones older than this
+  /// Stop rescheduling ticks past this simulated time (0 = run forever —
+  /// the event queue then never drains; use Run(max_time) to step).
+  double horizon_seconds = 0;
+  /// Stop bumping the presence heartbeat past this simulated time
+  /// (0 = refresh until the horizon). Scenarios that check convergence
+  /// set this below horizon_seconds: gossip then has a quiet tail in
+  /// which the final stamps finish propagating.
+  double refresh_horizon_seconds = 0;
+  uint64_t seed = 1;                    ///< per-agent partner-choice seed
+};
+
+/// \brief Counters for tests and benches.
+struct SyncCounters {
+  uint64_t ticks = 0;
+  uint64_t digests_sent = 0;
+  uint64_t digests_received = 0;
+  uint64_t deltas_sent = 0;
+  uint64_t deltas_received = 0;
+  uint64_t records_sent = 0;
+  uint64_t records_applied = 0;
+  uint64_t origins_expired = 0;
+};
+
+/// \brief One peer's gossip endpoint. The owning peer dispatches
+/// `sync-digest` / `sync-delta` envelopes here and calls Start() to run
+/// the Schedule-driven loop.
+class SyncAgent {
+ public:
+  /// `projection` is the peer's catalog (may be null in pure-state tests);
+  /// `sim` must outlive the agent. `id` / `self` are the owning peer's
+  /// simulator id and address.
+  SyncAgent(net::Simulator* sim, net::PeerId id, std::string self,
+            catalog::Catalog* projection, SyncOptions options);
+
+  const SyncOptions& options() const { return options_; }
+  const SyncCounters& counters() const { return counters_; }
+  catalog::VersionedCatalog& versioned() { return versioned_; }
+  const catalog::VersionedCatalog& versioned() const { return versioned_; }
+
+  // --- membership ---------------------------------------------------------------
+
+  /// Adds a gossip partner candidate (ignored for self). Learned
+  /// partners are pruned again when they expire or say goodbye.
+  void AddPeer(const std::string& address);
+
+  /// Adds a *seed* partner (bootstrap): never pruned by TTL expiry, so a
+  /// peer that was down longer than every TTL can still re-enter the
+  /// gossip mesh instead of isolating itself.
+  void AddSeed(const std::string& address);
+
+  const std::set<std::string>& peers() const { return peers_; }
+  const std::set<std::string>& seeds() const { return seeds_; }
+
+  // --- own holdings ------------------------------------------------------------
+
+  /// Asserts a fact originated by this peer (stamped, TTL'd, gossiped).
+  void UpsertLocal(catalog::SyncEntry entry);
+
+  /// Withdraws a fact originated by this peer (tombstone).
+  void TombstoneLocal(const catalog::SyncEntry& entry);
+
+  // --- lifecycle ---------------------------------------------------------------
+
+  /// Stamps the first presence record and schedules the gossip loop.
+  void Start();
+
+  /// Stops rescheduling (pending ticks become no-ops).
+  void Stop();
+
+  /// Graceful departure: tombstones every own record and pushes one final
+  /// delta to the gossip partners before the peer goes dark.
+  void Leave();
+
+  /// True after Leave() until the next Rejoin(): the peer withdrew its
+  /// assertions, so a rejoin must re-assert them (Peer::RejoinNetwork
+  /// does) rather than just re-stamp.
+  bool departed() const { return departed_; }
+
+  /// Recovery: re-stamps all own records (remote vectors already dominate
+  /// the old stamps) and resumes gossip if stopped.
+  void Rejoin();
+
+  // --- wire handlers (called by the owning peer) --------------------------------
+
+  void HandleDigest(const wire::Envelope& env, net::PeerId from);
+  void HandleDelta(const wire::Envelope& env, net::PeerId from);
+
+ private:
+  void Tick();
+  void ScheduleTick();
+  void SendDigest(const std::string& target);
+  void SendDelta(const std::string& target,
+                 const catalog::VersionVector& remote);
+  /// `attach_vector` piggybacks our version vector on the delta so the
+  /// receiver pushes back what we lack; only worth its bytes when we
+  /// actually lack something (bidirectional gap).
+  void SendDeltaRaw(const std::string& target,
+                    const catalog::CatalogDelta& delta, bool attach_vector);
+
+  net::Simulator* sim_;
+  net::PeerId id_;
+  std::string self_;
+  SyncOptions options_;
+  catalog::VersionedCatalog versioned_;
+  std::set<std::string> peers_;
+  std::set<std::string> seeds_;
+  Rng rng_;
+  SyncCounters counters_;
+  double last_refresh_ = -1;
+  bool running_ = false;
+  bool departed_ = false;
+  uint64_t epoch_ = 0;  ///< invalidates pending ticks on Stop/Start
+};
+
+}  // namespace mqp::sync

@@ -33,6 +33,10 @@ inline constexpr char kLookupKind[] = "lookup";
 inline constexpr char kLookupReplyKind[] = "lookup-reply";
 inline constexpr char kFloodKind[] = "flood";
 inline constexpr char kFloodHitKind[] = "flood-hit";
+// Catalog maintenance (sync/gossip.h): version-vector digests and the
+// record deltas they pull.
+inline constexpr char kSyncDigestKind[] = "sync-digest";
+inline constexpr char kSyncDeltaKind[] = "sync-delta";
 
 /// \brief One wire-layer message: routing metadata + shared body.
 struct Envelope {

@@ -1,0 +1,175 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+
+namespace mqp::workload {
+
+using peer::Peer;
+using peer::PeerOptions;
+
+ChurnScenario::ChurnScenario(net::Simulator* sim, GarageSaleNetwork* net,
+                             ChurnParams params)
+    : sim_(sim), net_(net), params_(std::move(params)), rng_(params_.seed) {
+  if (params_.query_area.empty()) {
+    params_.query_area = *ns::InterestArea::Parse("(USA,*)");
+  }
+  up_sellers_ = net_->sellers;
+}
+
+sync::SyncOptions ChurnScenario::OptionsFor(const Peer& peer) const {
+  sync::SyncOptions o = params_.sync;
+  // Distinct per-peer stream; offset so seed 0 never collides with the
+  // scenario's own rng stream.
+  o.seed = params_.seed * 7919 + peer.id() + 1;
+  o.horizon_seconds = horizon();
+  // Heartbeats stop with the churn window; the convergence tail is a
+  // quiet period in which the final stamps finish propagating.
+  o.refresh_horizon_seconds = params_.duration_seconds;
+  return o;
+}
+
+std::vector<Peer*> ChurnScenario::AllPeers() const {
+  std::vector<Peer*> all;
+  if (net_->client != nullptr) all.push_back(net_->client);
+  if (net_->top_meta != nullptr) all.push_back(net_->top_meta);
+  all.insert(all.end(), net_->index_servers.begin(),
+             net_->index_servers.end());
+  all.insert(all.end(), net_->sellers.begin(), net_->sellers.end());
+  return all;
+}
+
+void ChurnScenario::EnableSyncEverywhere() {
+  for (Peer* p : AllPeers()) {
+    p->EnableSync(OptionsFor(*p));
+  }
+}
+
+void ChurnScenario::DoFail(double now) {
+  if (up_sellers_.empty()) return;
+  const size_t pick = static_cast<size_t>(rng_.NextBelow(up_sellers_.size()));
+  Peer* victim = up_sellers_[pick];
+  up_sellers_.erase(up_sellers_.begin() + static_cast<long>(pick));
+  crashed_sellers_.push_back(victim);
+  sim_->Fail(victim->id());
+  ++stats_.fails;
+  sim_->Schedule(now + params_.downtime_seconds, [this, victim]() {
+    sim_->Recover(victim->id());
+    // A recovering node re-announces: re-stamp own records so catalogs
+    // whose vectors dominate the pre-crash stamps pull them again.
+    victim->RejoinNetwork();
+    crashed_sellers_.erase(std::find(crashed_sellers_.begin(),
+                                     crashed_sellers_.end(), victim));
+    up_sellers_.push_back(victim);
+    ++stats_.recovers;
+  });
+}
+
+void ChurnScenario::DoDepart(double now) {
+  (void)now;
+  if (up_sellers_.size() < 2) return;  // keep the network queryable
+  const size_t pick = static_cast<size_t>(rng_.NextBelow(up_sellers_.size()));
+  Peer* leaver = up_sellers_[pick];
+  up_sellers_.erase(up_sellers_.begin() + static_cast<long>(pick));
+  departed_.push_back(leaver);
+  // Graceful: tombstones push to gossip partners first, then the peer
+  // goes dark for good.
+  leaver->LeaveNetwork();
+  sim_->Fail(leaver->id());
+  ++stats_.departs;
+}
+
+void ChurnScenario::DoJoin(double now) {
+  (void)now;
+  auto specs = net_->generator.MakeSellers(1);
+  const Seller& spec = specs[0];
+  PeerOptions opts;
+  opts.name = "joiner-" + std::to_string(next_joiner_++);
+  opts.dimension_fields = {"location", "category"};
+  opts.interest = ns::InterestArea(spec.cell);
+  opts.roles.base = true;
+  net_->owned.push_back(std::make_unique<Peer>(sim_, opts));
+  Peer* joiner = net_->owned.back().get();
+  auto items = net_->generator.MakeItems(spec, params_.items_per_joiner);
+  net_->all_items.insert(net_->all_items.end(), items.begin(), items.end());
+  joiner->PublishCollection("c-" + opts.name, ns::InterestArea(spec.cell),
+                            items);
+  joiner->AddBootstrap(net_->IndexFor(spec.cell)->address());
+  joiner->EnableSync(OptionsFor(*joiner));
+  joiner->JoinNetwork();  // classic §3.3 registration rides along
+  net_->sellers.push_back(joiner);
+  up_sellers_.push_back(joiner);
+  ++stats_.joins;
+}
+
+void ChurnScenario::ScheduleEvents() {
+  for (double t = params_.event_interval_seconds;
+       t < params_.duration_seconds; t += params_.event_interval_seconds) {
+    sim_->Schedule(t, [this]() {
+      const double roll = rng_.NextDouble();
+      const double now = sim_->now();
+      if (roll < params_.p_fail) {
+        DoFail(now);
+      } else if (roll < params_.p_fail + params_.p_depart) {
+        DoDepart(now);
+      } else if (roll < params_.p_fail + params_.p_depart + params_.p_join) {
+        DoJoin(now);
+      }  // else: quiet tick
+    });
+  }
+}
+
+void ChurnScenario::ScheduleQueries() {
+  for (double t = params_.query_interval_seconds;
+       t < params_.duration_seconds; t += params_.query_interval_seconds) {
+    sim_->Schedule(t, [this]() {
+      ++stats_.queries_submitted;
+      net_->client->SubmitQuery(MakeAreaQueryPlan(params_.query_area),
+                                [this](const peer::QueryOutcome& o) {
+                                  ++stats_.queries_returned;
+                                  if (o.complete) ++stats_.queries_complete;
+                                });
+    });
+  }
+}
+
+void ChurnScenario::Prepare() {
+  if (prepared_) return;
+  prepared_ = true;
+  ScheduleEvents();
+  ScheduleQueries();
+}
+
+const ChurnStats& ChurnScenario::Run() {
+  Prepare();
+  sim_->Run();
+  return stats_;
+}
+
+std::vector<Peer*> ChurnScenario::LiveSyncedPeers() const {
+  std::vector<Peer*> live;
+  for (Peer* p : AllPeers()) {
+    if (p->sync() == nullptr) continue;
+    if (sim_->IsFailed(p->id())) continue;
+    live.push_back(p);
+  }
+  return live;
+}
+
+bool ChurnScenario::VectorsConverged() const {
+  auto live = LiveSyncedPeers();
+  if (live.empty()) return true;
+  const auto& reference = live[0]->sync()->versioned().vector();
+  for (size_t i = 1; i < live.size(); ++i) {
+    if (live[i]->sync()->versioned().vector() != reference) return false;
+  }
+  return true;
+}
+
+std::string ChurnScenario::VectorFingerprint() const {
+  if (!VectorsConverged()) return "";
+  auto live = LiveSyncedPeers();
+  if (live.empty()) return "<no-peers>";
+  return catalog::DigestToXml(live[0]->sync()->versioned().vector());
+}
+
+}  // namespace mqp::workload

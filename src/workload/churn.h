@@ -1,0 +1,119 @@
+// Churn scenarios: dynamic membership over a garage-sale network.
+//
+// The paper's experiments build a static network once; this driver makes
+// membership a first-class workload dimension. On a seeded schedule it
+// crashes sellers (fail → recover after a downtime), departs them
+// gracefully (tombstone gossip, then gone for good), and joins brand-new
+// sellers mid-run — while a client keeps issuing interest-area queries.
+// Every choice flows through one mqp::Rng and simulator time, so a given
+// seed reproduces the exact same event trace, traffic and final catalogs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/simulator.h"
+#include "ns/interest.h"
+#include "sync/gossip.h"
+#include "workload/network_builder.h"
+
+namespace mqp::workload {
+
+/// \brief Knobs for ChurnScenario. All times are simulated seconds.
+struct ChurnParams {
+  double duration_seconds = 240;       ///< churn-event window
+  double event_interval_seconds = 8;   ///< one membership event per interval
+  double downtime_seconds = 30;        ///< crash → recover delay
+  double query_interval_seconds = 12;  ///< client query period
+  /// Gossip keeps running for this long after the last churn event so
+  /// catalogs can converge; agents stop ticking at
+  /// duration + tail (the simulator then drains).
+  double convergence_tail_seconds = 90;
+
+  /// Event mix (remainder of the unit interval = quiet tick).
+  double p_fail = 0.5;
+  double p_depart = 0.15;
+  double p_join = 0.25;
+
+  size_t items_per_joiner = 6;
+  ns::InterestArea query_area;  ///< default: (USA,*)
+  uint64_t seed = 7;
+  sync::SyncOptions sync;  ///< template; per-peer seeds/horizons derived
+};
+
+/// \brief What happened during a run.
+struct ChurnStats {
+  size_t fails = 0;
+  size_t recovers = 0;
+  size_t departs = 0;
+  size_t joins = 0;
+  size_t queries_submitted = 0;
+  size_t queries_returned = 0;  ///< callback fired at all
+  size_t queries_complete = 0;  ///< returned with a fully evaluated plan
+};
+
+/// \brief Drives churn over a built GarageSaleNetwork (not owned; joined
+/// peers are appended to its `owned` vector).
+class ChurnScenario {
+ public:
+  ChurnScenario(net::Simulator* sim, GarageSaleNetwork* net,
+                ChurnParams params);
+
+  /// Enables sync on every peer of the network (client, meta, indexes,
+  /// sellers) with per-peer seeds and the derived horizon.
+  void EnableSyncEverywhere();
+
+  /// Schedules the full seeded event/query trace without running the
+  /// simulator. Callers that step the clock themselves (e.g. a bench
+  /// measuring convergence rounds) use this, then sim->Run(t) in steps.
+  void Prepare();
+
+  /// Prepare() + run the simulator until it drains (agents stop at the
+  /// horizon).
+  const ChurnStats& Run();
+
+  const ChurnStats& stats() const { return stats_; }
+
+  /// Simulated end of the churn window (events stop here).
+  double churn_end() const { return params_.duration_seconds; }
+  /// Simulated time agents stop gossiping.
+  double horizon() const {
+    return params_.duration_seconds + params_.convergence_tail_seconds;
+  }
+
+  /// Peers currently up (not failed, not departed) with sync enabled.
+  std::vector<peer::Peer*> LiveSyncedPeers() const;
+
+  /// True when every live synced catalog holds the identical version
+  /// vector — the anti-entropy fixpoint.
+  bool VectorsConverged() const;
+
+  /// The common version vector as a digest string ("" if diverged);
+  /// benches compare fingerprints across same-seed runs.
+  std::string VectorFingerprint() const;
+
+ private:
+  /// Every peer of the network, in a stable order (client, meta,
+  /// indexes, sellers including joiners).
+  std::vector<peer::Peer*> AllPeers() const;
+
+  void ScheduleEvents();
+  void ScheduleQueries();
+  void DoFail(double now);
+  void DoDepart(double now);
+  void DoJoin(double now);
+  sync::SyncOptions OptionsFor(const peer::Peer& peer) const;
+
+  net::Simulator* sim_;
+  GarageSaleNetwork* net_;
+  ChurnParams params_;
+  Rng rng_;
+  ChurnStats stats_;
+  std::vector<peer::Peer*> up_sellers_;      ///< crashable pool
+  std::vector<peer::Peer*> crashed_sellers_; ///< failed, recovery pending
+  std::vector<peer::Peer*> departed_;
+  size_t next_joiner_ = 0;
+  bool prepared_ = false;
+};
+
+}  // namespace mqp::workload

@@ -260,6 +260,55 @@ TEST(CatalogTest, RemoveServerDropsEntries) {
   EXPECT_TRUE(named->empty());
 }
 
+TEST(CatalogTest, RemoveServerDropsReferencingStatements) {
+  // Regression: statements referencing a departed server used to linger —
+  // an equality statement would keep pruning the *live* replica out of
+  // bindings in favor of the dead one.
+  Catalog cat;
+  cat.AddEntry(Entry(HoldingLevel::kBase, "(USA,*)", "A", "/data[id=1]"));
+  cat.AddEntry(Entry(HoldingLevel::kBase, "(USA,*)", "B", "/data[id=2]"));
+  cat.AddEntry(Entry(HoldingLevel::kBase, "(France,*)", "C", "/data[id=3]"));
+  cat.AddStatement(
+      *IntensionalStatement::Parse("base[(USA,*)]@A = base[(USA,*)]@B"));
+  cat.AddStatement(
+      *IntensionalStatement::Parse("base[(France,*)]@C >= base[(France,*)]@D{10}"));
+  cat.RemoveServer("A");
+  // The A = B statement names A on the lhs: gone. The C >= D statement
+  // does not mention A: kept.
+  ASSERT_EQ(cat.statements().size(), 1u);
+  EXPECT_EQ(cat.statements()[0].lhs.server, "C");
+  // B must now bind alone, not be pruned by the stale equality.
+  auto binding = cat.ResolveArea(*InterestArea::Parse("(USA.OR,*)"), "");
+  ASSERT_EQ(binding.alternatives.size(), 1u);
+  ASSERT_EQ(binding.alternatives[0].sources.size(), 1u);
+  EXPECT_EQ(binding.alternatives[0].sources[0].server, "B");
+  // Statements naming the departed server on the *rhs* are dropped too.
+  cat.RemoveServer("D");
+  EXPECT_TRUE(cat.statements().empty());
+}
+
+TEST(CatalogTest, RemoveExactEntry) {
+  Catalog cat;
+  auto a = Entry(HoldingLevel::kBase, "(USA,*)", "A", "/data[id=1]");
+  auto b = Entry(HoldingLevel::kBase, "(USA,*)", "A", "/data[id=2]");
+  cat.AddEntry(a);
+  cat.AddEntry(b);
+  EXPECT_TRUE(cat.RemoveEntry(a));
+  EXPECT_FALSE(cat.RemoveEntry(a));  // already gone
+  ASSERT_EQ(cat.entries().size(), 1u);
+  EXPECT_EQ(cat.entries()[0].xpath, "/data[id=2]");
+  cat.AddNamedMapping("urn:X:Y", "A", "/data[id=3]");
+  IndexEntry named;
+  named.level = HoldingLevel::kBase;
+  named.server = "A";
+  named.xpath = "/data[id=3]";
+  EXPECT_TRUE(cat.RemoveNamedEntry("urn:X:Y", named));
+  EXPECT_FALSE(cat.RemoveNamedEntry("urn:X:Y", named));
+  auto resolved = cat.Resolve("urn:X:Y");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(resolved->empty());
+}
+
 TEST(CatalogTest, DuplicateEntriesAndStatementsIgnored) {
   Catalog cat;
   auto e = Entry(HoldingLevel::kBase, "(USA,*)", "A", "/data[id=1]");

@@ -88,6 +88,28 @@ TEST(SimulatorTest, FailedPeerDropsMessages) {
   EXPECT_EQ(b.received.size(), 1u);
 }
 
+TEST(SimulatorTest, FailedSenderOriginatesNothing) {
+  // A down peer must not leak traffic (e.g. a gossip tick scheduled
+  // before the failure firing after it).
+  Simulator sim;
+  Recorder a(&sim), b(&sim);
+  sim.Fail(a.id());
+  sim.Send({a.id(), b.id(), "k", "x", 0});
+  sim.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(sim.stats().messages, 1u);  // counted as sent, like to-failed
+  EXPECT_EQ(sim.stats().drops_from_failed, 1u);
+  EXPECT_EQ(sim.stats().drops_to_failed, 0u);
+  sim.Recover(a.id());
+  sim.Send({a.id(), b.id(), "k", "x", 0});
+  sim.Run();
+  EXPECT_EQ(b.received.size(), 1u);
+  // External probes (from == kNoPeer) are unaffected by the sender check.
+  sim.Send({kNoPeer, b.id(), "k", "x", 0});
+  sim.Run();
+  EXPECT_EQ(b.received.size(), 2u);
+}
+
 TEST(SimulatorTest, FailureInTransitDropsDelivery) {
   Simulator sim;
   Recorder a(&sim), b(&sim);
