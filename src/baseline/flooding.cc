@@ -84,8 +84,10 @@ FloodingClient::FloodingClient(net::Simulator* sim)
     : FloodingPeer(sim, ns::InterestArea(), {}) {}
 
 void FloodingClient::Query(const ns::InterestArea& area, int horizon) {
-  const std::string flood_id =
-      "f" + std::to_string(id()) + "-" + std::to_string(next_flood_++);
+  std::string flood_id = "f";
+  flood_id += std::to_string(id());
+  flood_id += '-';
+  flood_id += std::to_string(next_flood_++);
   StartFlood(flood_id, area, horizon, id());
 }
 

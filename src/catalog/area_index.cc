@@ -1,0 +1,198 @@
+#include "catalog/area_index.h"
+
+#include <algorithm>
+
+namespace mqp::catalog {
+
+using ns::kNoPathId;
+using ns::PathId;
+using ns::PathInterner;
+
+AreaIndex::AreaIndex(const AreaIndex& other)
+    : groups_(other.groups_), indexed_cells_(other.indexed_cells_) {
+  // The deep-copied buckets live at new addresses; the copied by_enter
+  // views still point into `other`. Drop them and rebuild lazily.
+  for (auto& [arity, group] : groups_) {
+    (void)arity;
+    for (auto& dim : group.dims) {
+      dim.by_enter.clear();
+      dim.sorted_dirty = true;
+    }
+  }
+}
+
+AreaIndex& AreaIndex::operator=(const AreaIndex& other) {
+  if (this != &other) {
+    AreaIndex copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+AreaIndex::Group& AreaIndex::GroupFor(size_t dim_count) {
+  Group& g = groups_[dim_count];
+  if (g.interners.size() != dim_count) {
+    g.interners.resize(dim_count);
+    g.dims.resize(dim_count);
+  }
+  return g;
+}
+
+void AreaIndex::Add(uint32_t id, const ns::InterestArea& area) {
+  if (id >= visited_.size()) visited_.resize(id + 1, 0);
+  for (const auto& cell : area.cells()) {
+    const size_t k = cell.dimension_count();
+    Group& g = GroupFor(k);
+    if (k == 0) {
+      g.zero_dim_ids.push_back(id);
+    } else {
+      for (size_t d = 0; d < k; ++d) {
+        const PathId p = g.interners[d].Intern(cell.coord(d));
+        auto& bucket = g.dims[d].buckets[p];
+        // An empty→non-empty transition introduces a key the sorted
+        // enter view may not have (brand new or previously drained).
+        if (bucket.empty()) g.dims[d].sorted_dirty = true;
+        bucket.push_back(id);
+      }
+    }
+    ++indexed_cells_;
+  }
+}
+
+void AreaIndex::Remove(uint32_t id, const ns::InterestArea& area) {
+  for (const auto& cell : area.cells()) {
+    const size_t k = cell.dimension_count();
+    auto git = groups_.find(k);
+    if (git == groups_.end()) continue;
+    Group& g = git->second;
+    if (k == 0) {
+      std::erase(g.zero_dim_ids, id);
+    } else {
+      for (size_t d = 0; d < k; ++d) {
+        const PathId p = g.interners[d].Lookup(cell.coord(d));
+        if (p == kNoPathId) continue;
+        auto bit = g.dims[d].buckets.find(p);
+        if (bit == g.dims[d].buckets.end()) continue;
+        // Erases every occurrence: an id registered under two cells that
+        // share this coordinate drains in one call, which keeps Remove
+        // idempotent per (id, bucket). Emptied buckets stay keyed and
+        // are skipped/pruned by the sorted-view rebuild.
+        std::erase(bit->second, id);
+      }
+    }
+    if (indexed_cells_ > 0) --indexed_cells_;
+  }
+}
+
+void AreaIndex::EnsureSorted(const DimIndex& dim, const PathInterner& in) {
+  if (!dim.sorted_dirty && dim.sorted_version == in.version()) return;
+  dim.by_enter.clear();
+  dim.by_enter.reserve(dim.buckets.size());
+  for (const auto& [pid, bucket] : dim.buckets) {
+    if (bucket.empty()) continue;
+    dim.by_enter.emplace_back(in.IntervalOf(pid).enter, &bucket);
+  }
+  std::sort(dim.by_enter.begin(), dim.by_enter.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  dim.sorted_dirty = false;
+  dim.sorted_version = in.version();
+}
+
+bool AreaIndex::MarkVisited(uint32_t id) const {
+  if (id >= visited_.size()) visited_.resize(id + 1, 0);
+  if (visited_[id] == epoch_) return false;
+  visited_[id] = epoch_;
+  return true;
+}
+
+size_t AreaIndex::Candidates(const ns::InterestArea& request,
+                             std::vector<uint32_t>* out) const {
+  // New dedup epoch; on wraparound reset the scratch explicitly.
+  if (++epoch_ == 0) {
+    std::fill(visited_.begin(), visited_.end(), 0);
+    epoch_ = 1;
+  }
+  size_t probes = 0;
+  for (const auto& cell : request.cells()) {
+    const size_t k = cell.dimension_count();
+    auto git = groups_.find(k);
+    if (git == groups_.end()) continue;
+    const Group& g = git->second;
+    if (k == 0) {
+      for (uint32_t id : g.zero_dim_ids) {
+        if (MarkVisited(id)) out->push_back(id);
+      }
+      continue;
+    }
+    // Per dimension: the candidates are the ancestor-chain buckets of the
+    // request coordinate plus (when the coordinate itself is a known
+    // category) the buckets in its descendant enter-range. Estimate the
+    // candidate count per dimension — caching the buckets it touches —
+    // and replay only the cheapest dimension's plan.
+    size_t best_dim = 0;
+    size_t best_cost = static_cast<size_t>(-1);
+    plan_scratch_.assign(k, DimProbe{});
+    chain_scratch_.clear();
+    for (size_t d = 0; d < k; ++d) {
+      const PathInterner& in = g.interners[d];
+      const DimIndex& di = g.dims[d];
+      DimProbe& plan = plan_scratch_[d];
+      bool exact = false;
+      const PathId prefix = in.DeepestKnownPrefix(cell.coord(d), &exact);
+      plan.exact = exact;
+      plan.chain_begin = chain_scratch_.size();
+      size_t cost = 0;
+      for (PathId a = prefix;; a = in.ParentOf(a)) {
+        ++probes;
+        auto it = di.buckets.find(a);
+        if (it != di.buckets.end() && !it->second.empty()) {
+          chain_scratch_.push_back(&it->second);
+          cost += it->second.size();
+        }
+        if (a == PathInterner::kTopId) break;
+      }
+      plan.chain_count = chain_scratch_.size() - plan.chain_begin;
+      if (exact) {
+        EnsureSorted(di, in);
+        const PathInterner::Interval iv = in.IntervalOf(prefix);
+        const auto cmp = [](const std::pair<uint32_t, const Bucket*>& a,
+                            uint32_t enter) { return a.first < enter; };
+        const auto lo = std::lower_bound(di.by_enter.begin(),
+                                         di.by_enter.end(), iv.enter, cmp);
+        const auto hi = std::lower_bound(di.by_enter.begin(),
+                                         di.by_enter.end(), iv.exit, cmp);
+        plan.range_begin = static_cast<size_t>(lo - di.by_enter.begin());
+        plan.range_end = static_cast<size_t>(hi - di.by_enter.begin());
+        // Counting occupied buckets (not entries) underestimates fat
+        // buckets, but it is a ranking heuristic only — correctness
+        // comes from the post-probe Overlaps verification.
+        cost += plan.range_end - plan.range_begin;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_dim = d;
+      }
+    }
+    // Replay the winning plan from the cached bucket pointers: the
+    // prefix's own bucket sits in both the chain and the enter-range,
+    // but the visited-epoch dedup makes that harmless.
+    const DimProbe& plan = plan_scratch_[best_dim];
+    for (size_t c = 0; c < plan.chain_count; ++c) {
+      for (uint32_t id : *chain_scratch_[plan.chain_begin + c]) {
+        if (MarkVisited(id)) out->push_back(id);
+      }
+    }
+    if (plan.exact) {
+      const DimIndex& di = g.dims[best_dim];
+      for (size_t r = plan.range_begin; r < plan.range_end; ++r) {
+        ++probes;
+        for (uint32_t id : *di.by_enter[r].second) {
+          if (MarkVisited(id)) out->push_back(id);
+        }
+      }
+    }
+  }
+  return probes;
+}
+
+}  // namespace mqp::catalog

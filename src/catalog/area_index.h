@@ -1,0 +1,111 @@
+// AreaIndex: an incremental interval index over interest-area entries.
+//
+// ResolveArea's coverage search (§3.4) asks "which entries overlap this
+// request area?" — per dimension, two cells overlap iff one coordinate
+// path is a prefix of the other. Interning every entry coordinate into a
+// per-dimension PathInterner turns that into Euler-interval containment,
+// and the overlapping candidates for a request coordinate q decompose
+// exactly into:
+//
+//   * entries at an ancestor of q  — the nodes on q's root path (≤ depth+1
+//     bucket probes), and
+//   * entries at a descendant of q — the ids whose preorder `enter` falls
+//     in q's interval [enter(q), exit(q)) (one binary search + k probes).
+//
+// The index keeps one such structure per dimension (grouped by cell
+// dimensionality, since only equal-arity cells can overlap), estimates
+// which dimension yields the fewest candidates for each request cell, and
+// probes only that one; candidates are then re-verified with the exact
+// cellwise Overlaps test by the caller. Maintenance is incremental — the
+// gossip projection path (add/remove per record) never rescans.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ns/interest.h"
+#include "ns/path_interner.h"
+
+namespace mqp::catalog {
+
+/// \brief Maps caller-chosen entry ids to interest areas and answers
+/// "ids possibly overlapping this request" in O(log n + candidates).
+class AreaIndex {
+ public:
+  AreaIndex() = default;
+  /// Copies must drop the sorted views: they cache pointers into the
+  /// *source's* buckets. Moves keep them (node handles move wholesale).
+  AreaIndex(const AreaIndex& other);
+  AreaIndex& operator=(const AreaIndex& other);
+  AreaIndex(AreaIndex&&) = default;
+  AreaIndex& operator=(AreaIndex&&) = default;
+
+  /// Registers `id` under every cell of `area`. Ids must be unique among
+  /// live entries; re-adding an id requires removing it first.
+  void Add(uint32_t id, const ns::InterestArea& area);
+
+  /// Withdraws `id`; `area` must be the area it was added with.
+  void Remove(uint32_t id, const ns::InterestArea& area);
+
+  /// Appends the ids whose areas may overlap `request` — a superset of
+  /// the true matches (callers re-verify with InterestArea::Overlaps),
+  /// each id at most once, order unspecified. Returns the number of
+  /// bucket probes performed (the `resolve_index_probes` counter).
+  size_t Candidates(const ns::InterestArea& request,
+                    std::vector<uint32_t>* out) const;
+
+  /// Number of (entry, cell) registrations currently held.
+  size_t size() const { return indexed_cells_; }
+
+ private:
+  using Bucket = std::vector<uint32_t>;
+
+  struct DimIndex {
+    /// Interned coordinate → ids of entries with a cell at exactly that
+    /// category in this dimension.
+    std::unordered_map<ns::PathId, Bucket> buckets;
+    /// Non-empty buckets sorted by Euler `enter`, rebuilt lazily
+    /// (mutation or interner growth invalidates it). Bucket pointers are
+    /// stable: keys are never erased, only drained.
+    mutable std::vector<std::pair<uint32_t, const Bucket*>> by_enter;
+    mutable bool sorted_dirty = true;
+    mutable uint64_t sorted_version = 0;  ///< interner version at rebuild
+  };
+
+  /// One dimension's probe plan for one request cell, built during cost
+  /// estimation and replayed for the winning dimension — no bucket is
+  /// hash-probed twice. Indexes into the reusable scratch below.
+  struct DimProbe {
+    bool exact = false;
+    size_t chain_begin = 0, chain_count = 0;  // into chain_scratch_
+    size_t range_begin = 0, range_end = 0;    // into the dim's by_enter
+  };
+
+  /// Sub-index for one cell dimensionality (cells of different arity
+  /// never overlap, so they never share buckets).
+  struct Group {
+    std::vector<ns::PathInterner> interners;  // one per dimension
+    std::vector<DimIndex> dims;
+    std::vector<uint32_t> zero_dim_ids;  // arity-0 cells match each other
+  };
+
+  Group& GroupFor(size_t dim_count);
+  static void EnsureSorted(const DimIndex& dim, const ns::PathInterner& in);
+
+  /// Marks `id` seen this query; returns true the first time.
+  bool MarkVisited(uint32_t id) const;
+
+  std::unordered_map<size_t, Group> groups_;
+  size_t indexed_cells_ = 0;
+
+  // Per-query dedup scratch: visited_[id] == epoch_ means already emitted.
+  mutable std::vector<uint32_t> visited_;
+  mutable uint32_t epoch_ = 0;
+  // Per-cell probe scratch, reused across queries (no steady-state
+  // allocation on the resolve hot path).
+  mutable std::vector<DimProbe> plan_scratch_;
+  mutable std::vector<const Bucket*> chain_scratch_;
+};
+
+}  // namespace mqp::catalog

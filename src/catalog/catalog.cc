@@ -23,10 +23,15 @@ std::string Binding::ToString() const {
     for (size_t j = 0; j < alt.sources.size(); ++j) {
       if (j > 0) out += " + ";
       const SourceRef& s = alt.sources[j];
-      out += std::string(HoldingLevelName(s.level)) + "[" +
-             s.portion.ToString() + "]@" + s.server;
+      out += HoldingLevelName(s.level);
+      out += '[';
+      out += s.portion.ToString();
+      out += "]@";
+      out += s.server;
       if (s.staleness_minutes != 0) {
-        out += "{" + std::to_string(s.staleness_minutes) + "}";
+        out += '{';
+        out += std::to_string(s.staleness_minutes);
+        out += '}';
       }
     }
   }
@@ -126,17 +131,89 @@ void Catalog::AddNamedReferral(const std::string& urn,
   named_[urn].push_back(std::move(e));
 }
 
+std::string Catalog::EntryKey(const IndexEntry& entry) {
+  // Exact identity over every field; '\x1f' never appears in addresses,
+  // xpaths or canonical area strings.
+  std::string key(HoldingLevelName(entry.level));
+  key += '\x1f';
+  key += entry.area.ToString();
+  key += '\x1f';
+  key += entry.server;
+  key += '\x1f';
+  key += entry.xpath;
+  key += '\x1f';
+  key += std::to_string(entry.delay_minutes);
+  return key;
+}
+
 void Catalog::AddEntry(IndexEntry entry) {
   // Idempotent registration: drop exact duplicates.
-  for (const auto& e : entries_) {
-    if (e == entry) return;
+  std::string key = EntryKey(entry);
+  if (entry_keys_.find(key) != entry_keys_.end()) return;
+  uint32_t id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    slots_reused_ = true;
+  } else {
+    id = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
   }
-  entries_.push_back(std::move(entry));
+  Slot& slot = slots_[id];
+  slot.entry = std::move(entry);
+  slot.seq = next_seq_++;
+  slot.live = true;
+  entry_keys_.emplace(std::move(key), id);
+  by_server_[slot.entry.server].push_back(id);
+  area_index_.Add(id, slot.entry.area);
+  TouchMutation();
+}
+
+std::vector<uint32_t> Catalog::LiveSlotsBySeq() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(entry_keys_.size());
+  for (uint32_t id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].live) ids.push_back(id);
+  }
+  // Only slot *reuse* breaks the id/seq correspondence; an append-only
+  // (or append-and-remove) catalog is already in insertion order.
+  if (slots_reused_) {
+    std::sort(ids.begin(), ids.end(), [this](uint32_t a, uint32_t b) {
+      return slots_[a].seq < slots_[b].seq;
+    });
+  }
+  return ids;
+}
+
+std::vector<IndexEntry> Catalog::entries() const {
+  std::vector<IndexEntry> out;
+  out.reserve(entry_keys_.size());
+  ForEachEntry([&](const IndexEntry& e) { out.push_back(e); });
+  return out;
+}
+
+void Catalog::RemoveSlot(uint32_t id) {
+  Slot& slot = slots_[id];
+  area_index_.Remove(id, slot.entry.area);
+  auto sit = by_server_.find(slot.entry.server);
+  if (sit != by_server_.end()) {
+    std::erase(sit->second, id);
+    if (sit->second.empty()) by_server_.erase(sit);
+  }
+  entry_keys_.erase(EntryKey(slot.entry));
+  slot.entry = IndexEntry{};
+  slot.live = false;
+  free_slots_.push_back(id);
+  TouchMutation();
 }
 
 void Catalog::RemoveServer(const std::string& server) {
-  std::erase_if(entries_,
-                [&](const IndexEntry& e) { return e.server == server; });
+  auto sit = by_server_.find(server);
+  if (sit != by_server_.end()) {
+    // RemoveSlot edits the by_server_ list; work from a copy.
+    const std::vector<uint32_t> ids = sit->second;
+    for (uint32_t id : ids) RemoveSlot(id);
+  }
   for (auto& [urn, entries] : named_) {
     std::erase_if(entries,
                   [&](const IndexEntry& e) { return e.server == server; });
@@ -156,13 +233,15 @@ size_t Catalog::RemoveStatementsNaming(const std::string& server) {
     }
     return false;
   });
+  if (statements_.size() != before) TouchMutation();
   return before - statements_.size();
 }
 
 bool Catalog::RemoveEntry(const IndexEntry& entry) {
-  const size_t before = entries_.size();
-  std::erase_if(entries_, [&](const IndexEntry& e) { return e == entry; });
-  return entries_.size() != before;
+  auto it = entry_keys_.find(EntryKey(entry));
+  if (it == entry_keys_.end()) return false;
+  RemoveSlot(it->second);
+  return true;
 }
 
 bool Catalog::RemoveNamedEntry(const std::string& urn,
@@ -184,6 +263,7 @@ void Catalog::AddStatement(IntensionalStatement st) {
     if (s == st) return;
   }
   statements_.push_back(std::move(st));
+  TouchMutation();
 }
 
 namespace {
@@ -225,8 +305,64 @@ ns::InterestArea Catalog::ApproximateRequest(
   return out;
 }
 
+std::pair<uint64_t, uint64_t> Catalog::CacheEpoch() const {
+  return {mutation_stamp_,
+          hierarchies_ == nullptr ? 0 : hierarchies_->version()};
+}
+
+std::vector<uint32_t> Catalog::CandidateSlots(
+    const ns::InterestArea& request) const {
+  if (!use_area_index_) {
+    // Linear reference mode: every live entry is a candidate.
+    return LiveSlotsBySeq();
+  }
+  std::vector<uint32_t> ids;
+  resolve_stats_.resolve_index_probes += area_index_.Candidates(request, &ids);
+  // Insertion order (seq), regardless of probe order: the redundancy
+  // pass's recency tie-break depends on it.
+  std::sort(ids.begin(), ids.end(), [this](uint32_t a, uint32_t b) {
+    return slots_[a].seq < slots_[b].seq;
+  });
+  return ids;
+}
+
+std::string Catalog::FirstXPathFor(const std::string& server,
+                                   const ns::InterestArea& request) const {
+  auto sit = by_server_.find(server);
+  if (sit == by_server_.end()) return "";
+  for (uint32_t id : sit->second) {
+    const IndexEntry& e = slots_[id].entry;
+    if (e.area.Overlaps(request)) return e.xpath;
+  }
+  return "";
+}
+
 Binding Catalog::ResolveArea(const ns::InterestArea& raw_request,
                              const std::string& urn_text) const {
+  ++resolve_stats_.area_resolves;
+  if (!use_binding_cache_) return ResolveAreaUncached(raw_request, urn_text);
+  const auto epoch = CacheEpoch();
+  if (epoch != binding_cache_epoch_) {
+    binding_cache_.clear();
+    binding_cache_epoch_ = epoch;
+  }
+  std::string key = urn_text;
+  key += '\x1f';
+  key += raw_request.ToString();
+  auto it = binding_cache_.find(key);
+  if (it != binding_cache_.end()) {
+    ++resolve_stats_.binding_cache_hits;
+    return it->second;
+  }
+  ++resolve_stats_.binding_cache_misses;
+  Binding binding = ResolveAreaUncached(raw_request, urn_text);
+  if (binding_cache_.size() >= kBindingCacheMax) binding_cache_.clear();
+  binding_cache_.emplace(std::move(key), binding);
+  return binding;
+}
+
+Binding Catalog::ResolveAreaUncached(const ns::InterestArea& raw_request,
+                                     const std::string& urn_text) const {
   // §3.5: approximate unknown categories by their deepest known ancestor.
   const ns::InterestArea request = ApproximateRequest(raw_request);
   Binding binding;
@@ -234,11 +370,17 @@ Binding Catalog::ResolveArea(const ns::InterestArea& raw_request,
   binding.dimension_fields = dimension_fields_;
 
   // 1. Coverage search: every entry overlapping the request contributes a
-  //    source serving the overlapping portion (§3.4).
+  //    source serving the overlapping portion (§3.4). The area index
+  //    narrows the walk to the entries whose Euler intervals can overlap
+  //    the request's; each candidate is still exactly verified.
   const bool authoritative_for_request =
       authoritative_ && authority_interest_.Covers(request);
+  const std::vector<uint32_t> candidates = CandidateSlots(request);
+  resolve_stats_.resolve_entries_scanned += candidates.size();
   BindingAlternative base_alt;
-  for (const auto& e : entries_) {
+  base_alt.sources.reserve(candidates.size());
+  for (const uint32_t candidate_id : candidates) {
+    const IndexEntry& e = slots_[candidate_id].entry;
     if (!e.area.Overlaps(request)) continue;
     if (e.level == HoldingLevel::kIndex) {
       // Self-referrals (possible once gossip mirrors a peer's own index
@@ -415,12 +557,7 @@ Binding Catalog::ResolveArea(const ns::InterestArea& raw_request,
       s.staleness_minutes =
           std::max(st.lhs.delay_minutes, st.rhs[0].delay_minutes);
       // The replica's own collections for the area, if indexed here.
-      for (const auto& e : entries_) {
-        if (e.server == st.lhs.server && e.area.Overlaps(request)) {
-          s.xpath = e.xpath;
-          break;
-        }
-      }
+      s.xpath = FirstXPathFor(st.lhs.server, request);
       via_replica.sources.push_back(std::move(s));
       if (!ContainsAlternative(alts, via_replica)) {
         alts.push_back(via_replica);
@@ -434,12 +571,7 @@ Binding Catalog::ResolveArea(const ns::InterestArea& raw_request,
       other.level = HoldingLevel::kBase;
       other.server = st.rhs[0].server;
       other.portion = request;
-      for (const auto& e : entries_) {
-        if (e.server == st.rhs[0].server && e.area.Overlaps(request)) {
-          other.xpath = e.xpath;
-          break;
-        }
-      }
+      other.xpath = FirstXPathFor(st.rhs[0].server, request);
       both.sources.push_back(std::move(other));
       SortSources(&both.sources);
       if (!ContainsAlternative(alts, both)) alts.push_back(both);

@@ -5,11 +5,14 @@
 // entries of §3 and the intensional statements of §4.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "algebra/plan.h"
+#include "catalog/area_index.h"
 #include "catalog/intension.h"
 #include "common/result.h"
 #include "ns/hierarchy.h"
@@ -95,7 +98,23 @@ struct IndexEntry {
   bool operator==(const IndexEntry& other) const = default;
 };
 
+/// \brief Resolution instrumentation (cumulative). Mirrored into
+/// peer::PeerCounters and net::NetStats by the peer after each resolve.
+struct ResolveStats {
+  uint64_t area_resolves = 0;           ///< ResolveArea calls (incl. cache hits)
+  uint64_t resolve_index_probes = 0;    ///< AreaIndex bucket probes
+  uint64_t resolve_entries_scanned = 0; ///< entries overlap-tested per resolve
+  uint64_t binding_cache_hits = 0;
+  uint64_t binding_cache_misses = 0;
+};
+
 /// \brief A peer's local catalog.
+///
+/// Interest-area entries live in stable slots indexed by an AreaIndex
+/// (coverage search probes O(log n + candidates) instead of scanning) and
+/// by server (departure/gossip removal never rescans). Area resolutions
+/// are memoized in a binding cache invalidated by a mutation stamp — the
+/// same pattern the wire layer uses for cached plan serialization.
 class Catalog {
  public:
   // --- named URNs (urn:ForSale:Portland-CDs style) ----------------------------
@@ -110,7 +129,20 @@ class Catalog {
   // --- interest-area entries ---------------------------------------------------
 
   void AddEntry(IndexEntry entry);
-  const std::vector<IndexEntry>& entries() const { return entries_; }
+
+  /// Snapshot of the live interest-area entries in insertion order.
+  /// Copies every entry — fine for tests and joins, not for hot loops;
+  /// prefer ForEachEntry for iteration.
+  std::vector<IndexEntry> entries() const;
+
+  /// Visits every live entry in insertion order without copying.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (uint32_t id : LiveSlotsBySeq()) fn(slots_[id].entry);
+  }
+
+  /// Number of live interest-area entries.
+  size_t entry_count() const { return entry_keys_.size(); }
 
   /// Removes every entry naming `server` (peer departure), including
   /// named mappings and any intensional statement referencing it — a
@@ -139,12 +171,30 @@ class Catalog {
 
   /// When false, Resolve ignores intensional statements (ablation knob for
   /// bench C3).
-  void set_use_statements(bool use) { use_statements_ = use; }
+  void set_use_statements(bool use) {
+    use_statements_ = use;
+    TouchMutation();
+  }
+
+  /// Reference/ablation knob: with the area index off, ResolveArea falls
+  /// back to the pre-index linear scan over every entry (identical
+  /// results — the equivalence property test and bench C8 rely on it).
+  void set_use_area_index(bool use) { use_area_index_ = use; }
+
+  /// Ablation knob for the (urn, request-area) binding cache.
+  void set_use_binding_cache(bool use) {
+    use_binding_cache_ = use;
+    if (!use) binding_cache_.clear();
+  }
+
+  const ResolveStats& resolve_stats() const { return resolve_stats_; }
+  void ResetResolveStats() { resolve_stats_ = ResolveStats{}; }
 
   /// Item fields corresponding to the namespace dimensions, copied into
   /// every binding this catalog produces (see Binding::dimension_fields).
   void set_dimension_fields(std::vector<std::string> fields) {
     dimension_fields_ = std::move(fields);
+    TouchMutation();
   }
   const std::vector<std::string>& dimension_fields() const {
     return dimension_fields_;
@@ -157,13 +207,17 @@ class Catalog {
   void SetAuthority(ns::InterestArea interest, bool authoritative) {
     authority_interest_ = std::move(interest);
     authoritative_ = authoritative;
+    TouchMutation();
   }
 
   /// The owner's own address. With dynamic maintenance a catalog can
   /// contain referrals to its own peer (gossiped index entries);
   /// ResolveArea must skip those — "travel to myself for more detail" is
   /// a dead end, the owner is already binding with full local knowledge.
-  void set_owner(std::string address) { owner_ = std::move(address); }
+  void set_owner(std::string address) {
+    owner_ = std::move(address);
+    TouchMutation();
+  }
   const std::string& owner() const { return owner_; }
 
   /// Attaches the namespace (not owned) for §3.5's approximation: a
@@ -172,6 +226,7 @@ class Catalog {
   /// of recall" (Walker [W80]).
   void set_hierarchies(const ns::MultiHierarchy* hierarchies) {
     hierarchies_ = hierarchies;
+    TouchMutation();
   }
 
   /// The request after §3.5 approximation (identity when no namespace is
@@ -190,7 +245,55 @@ class Catalog {
                       const std::string& urn_text) const;
 
  private:
-  std::vector<IndexEntry> entries_;
+  /// Stable storage for one interest-area entry. Slots are reused after
+  /// removal (free list); `seq` preserves insertion order across reuse —
+  /// the redundancy pass's recency tie-break depends on it.
+  struct Slot {
+    IndexEntry entry;
+    uint64_t seq = 0;
+    bool live = false;
+  };
+
+  /// Exact-identity key for dedup and O(1) removal.
+  static std::string EntryKey(const IndexEntry& entry);
+
+  /// Any semantic mutation bumps the stamp; the binding cache is flushed
+  /// lazily when the stamp (or the attached namespace) moved.
+  void TouchMutation() { ++mutation_stamp_; }
+
+  /// (mutation stamp, namespace version): the binding cache's validity
+  /// token. A hierarchy Add after attach changes ApproximateRequest.
+  std::pair<uint64_t, uint64_t> CacheEpoch() const;
+
+  /// Frees slot `id`, unhooking it from every index structure.
+  void RemoveSlot(uint32_t id);
+
+  /// Live slot ids sorted by insertion sequence.
+  std::vector<uint32_t> LiveSlotsBySeq() const;
+
+  /// Live slot ids relevant to `request` in insertion order — via the
+  /// area index, or all live slots in the linear reference mode.
+  std::vector<uint32_t> CandidateSlots(const ns::InterestArea& request) const;
+
+  /// The xpath of the first (insertion order) live entry at `server`
+  /// overlapping `request`; "" when none. Replaces the linear scans in
+  /// the containment-statement path.
+  std::string FirstXPathFor(const std::string& server,
+                            const ns::InterestArea& request) const;
+
+  /// ResolveArea minus the binding cache.
+  Binding ResolveAreaUncached(const ns::InterestArea& raw_request,
+                              const std::string& urn_text) const;
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  bool slots_reused_ = false;  ///< a freed slot was re-filled (see LiveSlotsBySeq)
+  std::unordered_map<std::string, uint32_t> entry_keys_;  // EntryKey → slot
+  std::unordered_map<std::string, std::vector<uint32_t>> by_server_;
+  AreaIndex area_index_;
+  uint64_t next_seq_ = 0;
+  uint64_t mutation_stamp_ = 0;
+
   std::vector<IntensionalStatement> statements_;
   std::map<std::string, std::vector<IndexEntry>> named_;  // urn → entries
   std::vector<std::string> dimension_fields_;
@@ -199,6 +302,15 @@ class Catalog {
   const ns::MultiHierarchy* hierarchies_ = nullptr;
   bool authoritative_ = false;
   bool use_statements_ = true;
+  bool use_area_index_ = true;
+  bool use_binding_cache_ = true;
+
+  // Memoized ResolveArea results keyed by (urn, raw request area),
+  // flushed when CacheEpoch() moves; bounded by wholesale clear.
+  static constexpr size_t kBindingCacheMax = 4096;
+  mutable std::unordered_map<std::string, Binding> binding_cache_;
+  mutable std::pair<uint64_t, uint64_t> binding_cache_epoch_{0, 0};
+  mutable ResolveStats resolve_stats_;
 };
 
 }  // namespace mqp::catalog

@@ -10,9 +10,14 @@ std::string_view HoldingLevelName(HoldingLevel level) {
 
 std::string HoldingRef::ToString() const {
   std::string out(HoldingLevelName(level));
-  out += "[" + area.ToString() + "]@" + server;
+  out += '[';
+  out += area.ToString();
+  out += "]@";
+  out += server;
   if (delay_minutes != 0) {
-    out += "{" + std::to_string(delay_minutes) + "}";
+    out += '{';
+    out += std::to_string(delay_minutes);
+    out += '}';
   }
   return out;
 }

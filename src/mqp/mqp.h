@@ -5,12 +5,15 @@
 // Module map:
 //   common/     Status/Result error model, deterministic RNG, strings
 //   xml/        XML DOM, parser, serializer, XPath-lite
-//   ns/         multi-hierarchic namespaces: categories, interest areas, URNs
+//   ns/         multi-hierarchic namespaces: categories (interned to dense
+//               PathIds with Euler-tour intervals), interest areas, URNs
 //   algebra/    mutant query plans: operators, expressions, XML wire format
 //   engine/     physical operators and the local collection store
 //   optimizer/  evaluable-sub-plan detection, cost model, rewrites, policy
-//   catalog/    distributed catalogs, intensional statements, versioned
-//               entries + tombstones + CatalogDelta (dynamic maintenance)
+//   catalog/    distributed catalogs indexed for sublinear resolution
+//               (AreaIndex + binding cache), intensional statements,
+//               versioned entries + tombstones + CatalogDelta (dynamic
+//               maintenance)
 //   net/        discrete-event network simulator (shared-payload messages)
 //   wire/       framed messaging: envelopes + cached plan serialization
 //   sync/       gossip/anti-entropy catalog maintenance (digests, deltas,
@@ -31,6 +34,7 @@
 #include "baseline/central_index.h"
 #include "baseline/coordinator.h"
 #include "baseline/flooding.h"
+#include "catalog/area_index.h"
 #include "catalog/catalog.h"
 #include "catalog/intension.h"
 #include "catalog/versioned.h"
@@ -44,6 +48,7 @@
 #include "ns/category_path.h"
 #include "ns/hierarchy.h"
 #include "ns/interest.h"
+#include "ns/path_interner.h"
 #include "ns/urn.h"
 #include "optimizer/cost.h"
 #include "optimizer/evaluable.h"

@@ -33,7 +33,7 @@ Result<PeerId> Simulator::Lookup(const std::string& address) const {
 }
 
 void Simulator::SetLinkOverride(PeerId from, PeerId to, LinkParams link) {
-  link_overrides_[{from, to}] = link;
+  link_overrides_[LinkKey(from, to)] = link;
 }
 
 void Simulator::Fail(PeerId id) {
@@ -50,8 +50,10 @@ bool Simulator::IsFailed(PeerId id) const {
 
 double Simulator::Latency(PeerId from, PeerId to, size_t bytes) const {
   LinkParams link = link_;
-  auto it = link_overrides_.find({from, to});
-  if (it != link_overrides_.end()) link = it->second;
+  if (!link_overrides_.empty()) {
+    auto it = link_overrides_.find(LinkKey(from, to));
+    if (it != link_overrides_.end()) link = it->second;
+  }
   return link.latency_seconds +
          static_cast<double>(bytes) / link.bytes_per_second;
 }

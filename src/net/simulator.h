@@ -8,10 +8,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -90,12 +90,21 @@ struct LinkParams {
 struct NetStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
-  std::map<std::string, uint64_t> messages_by_kind;
-  std::map<std::string, uint64_t> bytes_by_kind;
+  // Hash maps, not ordered maps: Send updates both per message. Sort the
+  // keys yourself when printing.
+  std::unordered_map<std::string, uint64_t> messages_by_kind;
+  std::unordered_map<std::string, uint64_t> bytes_by_kind;
 
   uint64_t plan_serializations = 0;
   uint64_t plan_parses = 0;
   uint64_t forwards_without_reserialize = 0;
+
+  // Catalog-resolution counters, fed by the peers (see
+  // catalog::ResolveStats): index probes and entries scanned during
+  // coverage search, and binding-cache hits.
+  uint64_t resolve_index_probes = 0;
+  uint64_t resolve_entries_scanned = 0;
+  uint64_t binding_cache_hits = 0;
 
   /// Messages counted as sent but never delivered because the sender was
   /// down at send time / the recipient was down or unknown at send time.
@@ -174,9 +183,15 @@ class Simulator {
 
   double Latency(PeerId from, PeerId to, size_t bytes) const;
 
+  /// Packs a (from, to) pair into one hashable key — the override lookup
+  /// sits on the Send hot path.
+  static uint64_t LinkKey(PeerId from, PeerId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
   std::vector<PeerNode*> nodes_;
   std::vector<bool> failed_;
-  std::map<std::pair<PeerId, PeerId>, LinkParams> link_overrides_;
+  std::unordered_map<uint64_t, LinkParams> link_overrides_;
   LinkParams link_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   double now_ = 0;

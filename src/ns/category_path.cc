@@ -40,14 +40,18 @@ bool CategoryPath::IsAncestorOrSame(const CategoryPath& other) const {
   return true;
 }
 
-std::string CategoryPath::ToString() const {
-  if (IsTop()) return "*";
-  return mqp::Join(segments_, "/");
+const std::string& CategoryPath::ToString() const& {
+  if (slash_form_.empty()) {
+    slash_form_ = IsTop() ? "*" : mqp::Join(segments_, "/");
+  }
+  return slash_form_;
 }
 
-std::string CategoryPath::ToUrnString() const {
-  if (IsTop()) return "*";
-  return mqp::Join(segments_, ".");
+const std::string& CategoryPath::ToUrnString() const& {
+  if (urn_form_.empty()) {
+    urn_form_ = IsTop() ? "*" : mqp::Join(segments_, ".");
+  }
+  return urn_form_;
 }
 
 }  // namespace mqp::ns

@@ -51,11 +51,16 @@ class CategoryPath {
     return IsAncestorOrSame(other) || other.IsAncestorOrSame(*this);
   }
 
-  /// "USA/OR/Portland", or "*" for top.
-  std::string ToString() const;
+  /// "USA/OR/Portland", or "*" for top. The canonical string is built
+  /// once and cached (paths are immutable), so repeated wire/gossip
+  /// encoding of catalog entries never re-joins segments. Temporaries
+  /// get a copy instead of a reference into a dying object.
+  const std::string& ToString() const&;
+  std::string ToString() const&& { return ToString(); }
 
-  /// Dotted URN form: "USA.OR.Portland", or "*" for top.
-  std::string ToUrnString() const;
+  /// Dotted URN form: "USA.OR.Portland", or "*" for top. Cached likewise.
+  const std::string& ToUrnString() const&;
+  std::string ToUrnString() const&& { return ToUrnString(); }
 
   bool operator==(const CategoryPath& other) const {
     return segments_ == other.segments_;
@@ -70,6 +75,12 @@ class CategoryPath {
 
  private:
   std::vector<std::string> segments_;
+  // Lazily-built canonical forms; empty means "not built yet" (top's
+  // canonical form is "*", never the empty string). Excluded from
+  // comparison; copied along with the path, which keeps the cache warm
+  // through Intersect/Parent/assignment chains.
+  mutable std::string slash_form_;
+  mutable std::string urn_form_;
 };
 
 }  // namespace mqp::ns

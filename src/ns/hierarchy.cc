@@ -2,86 +2,56 @@
 
 namespace mqp::ns {
 
-void Hierarchy::Add(const CategoryPath& path) {
-  TreeNode* cur = &root_;
-  for (const auto& seg : path.segments()) {
-    auto it = cur->children.find(seg);
-    if (it == cur->children.end()) {
-      it = cur->children.emplace(seg, std::make_unique<TreeNode>()).first;
-      ++nodes_;
-    }
-    cur = it->second.get();
-  }
-}
-
 Status Hierarchy::AddPath(std::string_view text) {
   MQP_ASSIGN_OR_RETURN(auto path, CategoryPath::Parse(text));
   Add(path);
   return Status::OK();
 }
 
-const Hierarchy::TreeNode* Hierarchy::Find(const CategoryPath& path) const {
-  const TreeNode* cur = &root_;
-  for (const auto& seg : path.segments()) {
-    auto it = cur->children.find(seg);
-    if (it == cur->children.end()) return nullptr;
-    cur = it->second.get();
-  }
-  return cur;
-}
-
-bool Hierarchy::Contains(const CategoryPath& path) const {
-  return Find(path) != nullptr;
-}
-
 std::vector<CategoryPath> Hierarchy::ChildrenOf(
     const CategoryPath& path) const {
   std::vector<CategoryPath> out;
-  const TreeNode* node = Find(path);
-  if (node == nullptr) return out;
-  for (const auto& [label, child] : node->children) {
-    (void)child;
-    out.push_back(path.Child(label));
+  const PathId id = interner_.Lookup(path);
+  if (id == kNoPathId) return out;
+  for (PathId child : interner_.ChildrenOf(id)) {
+    out.push_back(interner_.PathOf(child));
   }
   return out;
 }
 
-void Hierarchy::Collect(const TreeNode& node, CategoryPath prefix,
-                        bool leaves_only,
+void Hierarchy::Collect(PathId id, bool leaves_only,
                         std::vector<CategoryPath>* out) const {
-  if (!leaves_only || node.children.empty()) out->push_back(prefix);
-  for (const auto& [label, child] : node.children) {
-    Collect(*child, prefix.Child(label), leaves_only, out);
+  if (!leaves_only || interner_.IsLeaf(id)) {
+    out->push_back(interner_.PathOf(id));
+  }
+  for (PathId child : interner_.ChildrenOf(id)) {
+    Collect(child, leaves_only, out);
   }
 }
 
 std::vector<CategoryPath> Hierarchy::AllCategories() const {
   std::vector<CategoryPath> out;
-  Collect(root_, CategoryPath(), /*leaves_only=*/false, &out);
+  Collect(PathInterner::kTopId, /*leaves_only=*/false, &out);
   return out;
 }
 
 std::vector<CategoryPath> Hierarchy::Leaves() const {
   std::vector<CategoryPath> out;
-  Collect(root_, CategoryPath(), /*leaves_only=*/true, &out);
+  Collect(PathInterner::kTopId, /*leaves_only=*/true, &out);
   return out;
-}
-
-CategoryPath Hierarchy::Approximate(const CategoryPath& path) const {
-  const TreeNode* cur = &root_;
-  CategoryPath result;
-  for (const auto& seg : path.segments()) {
-    auto it = cur->children.find(seg);
-    if (it == cur->children.end()) break;
-    result = result.Child(seg);
-    cur = it->second.get();
-  }
-  return result;
 }
 
 size_t MultiHierarchy::AddDimension(std::string name) {
   dims_.push_back(std::make_unique<Hierarchy>(std::move(name)));
   return dims_.size() - 1;
+}
+
+uint64_t MultiHierarchy::version() const {
+  // Every dimension starts at version 1 and each Add bumps it, so the sum
+  // grows on both "new dimension" and "new category".
+  uint64_t v = 0;
+  for (const auto& dim : dims_) v += dim->version();
+  return v;
 }
 
 Result<size_t> MultiHierarchy::DimensionIndex(std::string_view name) const {

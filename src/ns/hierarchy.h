@@ -3,7 +3,7 @@
 // dimensions (paper §3.1). Category servers (§3.5) serve Hierarchy data.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "ns/category_path.h"
+#include "ns/path_interner.h"
 
 namespace mqp::ns {
 
@@ -18,7 +19,10 @@ namespace mqp::ns {
 ///
 /// Stores the category tree explicitly so category servers can answer
 /// structural queries ("what are the immediate subcategories of
-/// Furniture?") and validate/approximate paths (§3.5).
+/// Furniture?") and validate/approximate paths (§3.5). The tree is a
+/// PathInterner, so every known category has a dense PathId and an
+/// Euler-tour interval: ancestor tests against the hierarchy are integer
+/// comparisons, not per-segment string walks.
 class Hierarchy {
  public:
   explicit Hierarchy(std::string name) : name_(std::move(name)) {}
@@ -26,14 +30,16 @@ class Hierarchy {
   const std::string& name() const { return name_; }
 
   /// Adds `path` and all of its ancestors. Top always exists.
-  void Add(const CategoryPath& path);
+  void Add(const CategoryPath& path) { interner_.Intern(path); }
 
   /// Convenience: Add(Parse(text)); ignores parse errors in release use,
   /// returns them for checking.
   Status AddPath(std::string_view text);
 
   /// True if `path` is a known category (top is always known).
-  bool Contains(const CategoryPath& path) const;
+  bool Contains(const CategoryPath& path) const {
+    return interner_.Lookup(path) != kNoPathId;
+  }
 
   /// Immediate subcategories of `path` (empty if unknown/leaf).
   std::vector<CategoryPath> ChildrenOf(const CategoryPath& path) const;
@@ -47,23 +53,25 @@ class Hierarchy {
   /// Deepest known prefix of `path` (paper §3.5: a reference to an unknown
   /// node can be approximated by an ancestor, losing precision but not
   /// recall). Returns top if nothing matches.
-  CategoryPath Approximate(const CategoryPath& path) const;
+  CategoryPath Approximate(const CategoryPath& path) const {
+    return interner_.PathOf(interner_.DeepestKnownPrefix(path));
+  }
 
-  size_t size() const { return nodes_; }
+  size_t size() const { return interner_.size(); }
+
+  /// Bumps whenever a category is added; derived caches (e.g. the
+  /// catalog's binding cache) key their validity off this.
+  uint64_t version() const { return interner_.version(); }
+
+  /// The interned id space backing this hierarchy.
+  const PathInterner& interner() const { return interner_; }
 
  private:
-  struct TreeNode {
-    std::map<std::string, std::unique_ptr<TreeNode>> children;
-  };
-
-  const TreeNode* Find(const CategoryPath& path) const;
-
-  void Collect(const TreeNode& node, CategoryPath prefix, bool leaves_only,
+  void Collect(PathId id, bool leaves_only,
                std::vector<CategoryPath>* out) const;
 
   std::string name_;
-  TreeNode root_;
-  size_t nodes_ = 1;  // counting top
+  PathInterner interner_;
 };
 
 /// \brief The multi-hierarchic namespace: an ordered set of dimensions.
@@ -85,6 +93,10 @@ class MultiHierarchy {
 
   /// Validates that each coordinate of the tuple is a known category.
   Status Validate(const std::vector<CategoryPath>& coords) const;
+
+  /// Monotonic: grows whenever any dimension gains a category or a
+  /// dimension is added.
+  uint64_t version() const;
 
  private:
   std::vector<std::unique_ptr<Hierarchy>> dims_;

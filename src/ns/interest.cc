@@ -53,18 +53,30 @@ bool InterestCell::Overlaps(const InterestCell& other) const {
 
 Result<InterestCell> InterestCell::Intersect(
     const InterestCell& other) const {
-  if (!Overlaps(other)) {
-    return Status::InvalidArgument("cells " + ToString() + " and " +
-                                   other.ToString() + " do not overlap");
-  }
+  // One pass: per dimension the shallower path must be a prefix of the
+  // deeper one (the overlap test), and the deeper one *is* the
+  // intersection coordinate — no separate Overlaps walk.
   std::vector<CategoryPath> coords;
-  coords.reserve(coords_.size());
-  for (size_t i = 0; i < coords_.size(); ++i) {
-    coords.push_back(coords_[i].depth() >= other.coords_[i].depth()
-                         ? coords_[i]
-                         : other.coords_[i]);
+  if (coords_.size() == other.coords_.size()) {
+    coords.reserve(coords_.size());
+    for (size_t i = 0; i < coords_.size(); ++i) {
+      const bool mine_deeper = coords_[i].depth() >= other.coords_[i].depth();
+      const CategoryPath& deeper = mine_deeper ? coords_[i] : other.coords_[i];
+      const CategoryPath& shallower =
+          mine_deeper ? other.coords_[i] : coords_[i];
+      if (!shallower.IsAncestorOrSame(deeper)) {
+        coords.clear();
+        break;
+      }
+      coords.push_back(deeper);
+    }
+    if (coords.size() == coords_.size() && !coords_.empty()) {
+      return InterestCell(std::move(coords));
+    }
+    if (coords_.empty()) return InterestCell();  // both zero-dimensional
   }
-  return InterestCell(std::move(coords));
+  return Status::InvalidArgument("cells " + ToString() + " and " +
+                                 other.ToString() + " do not overlap");
 }
 
 size_t InterestCell::Specificity() const {

@@ -1,0 +1,109 @@
+#include "ns/path_interner.h"
+
+namespace mqp::ns {
+
+PathInterner::PathInterner() {
+  nodes_.emplace_back();  // top: id 0, depth 0, empty path
+}
+
+PathId PathInterner::Intern(const CategoryPath& path) {
+  PathId cur = kTopId;
+  for (const auto& seg : path.segments()) {
+    auto it = nodes_[cur].children.find(seg);
+    if (it == nodes_[cur].children.end()) {
+      const PathId child = static_cast<PathId>(nodes_.size());
+      Node node;
+      node.parent = cur;
+      node.path = nodes_[cur].path.Child(seg);
+      nodes_[cur].children.emplace(seg, child);
+      nodes_.push_back(std::move(node));
+      ++version_;
+      cur = child;
+    } else {
+      cur = it->second;
+    }
+  }
+  return cur;
+}
+
+PathId PathInterner::Lookup(const CategoryPath& path) const {
+  PathId cur = kTopId;
+  for (const auto& seg : path.segments()) {
+    auto it = nodes_[cur].children.find(seg);
+    if (it == nodes_[cur].children.end()) return kNoPathId;
+    cur = it->second;
+  }
+  return cur;
+}
+
+PathId PathInterner::DeepestKnownPrefix(const CategoryPath& path,
+                                        bool* exact) const {
+  PathId cur = kTopId;
+  bool all_known = true;
+  for (const auto& seg : path.segments()) {
+    auto it = nodes_[cur].children.find(seg);
+    if (it == nodes_[cur].children.end()) {
+      all_known = false;
+      break;
+    }
+    cur = it->second;
+  }
+  if (exact != nullptr) *exact = all_known;
+  return cur;
+}
+
+std::vector<PathId> PathInterner::ChildrenOf(PathId id) const {
+  std::vector<PathId> out;
+  out.reserve(nodes_[id].children.size());
+  for (const auto& [label, child] : nodes_[id].children) {
+    (void)label;
+    out.push_back(child);
+  }
+  return out;
+}
+
+void PathInterner::EnsureIntervals() const {
+  if (interval_version_ == version_) return;
+  // Iterative preorder walk; enter = preorder number, exit = one past the
+  // subtree's last preorder number, so subtree(a) == ids with enter in
+  // [enter(a), exit(a)).
+  uint32_t counter = 0;
+  // Stack of (node, next-child iterator).
+  std::vector<std::pair<PathId, std::map<std::string, PathId>::const_iterator>>
+      stack;
+  nodes_[kTopId].enter = counter++;
+  stack.emplace_back(kTopId, nodes_[kTopId].children.begin());
+  while (!stack.empty()) {
+    auto& [id, it] = stack.back();
+    if (it == nodes_[id].children.end()) {
+      nodes_[id].exit = counter;
+      stack.pop_back();
+      continue;
+    }
+    const PathId child = (it++)->second;
+    nodes_[child].enter = counter++;
+    stack.emplace_back(child, nodes_[child].children.begin());
+  }
+  interval_version_ = version_;
+}
+
+PathInterner::Interval PathInterner::IntervalOf(PathId id) const {
+  EnsureIntervals();
+  return {nodes_[id].enter, nodes_[id].exit};
+}
+
+bool PathInterner::IsAncestorOrSame(PathId ancestor, PathId descendant) const {
+  EnsureIntervals();
+  return nodes_[ancestor].enter <= nodes_[descendant].enter &&
+         nodes_[descendant].enter < nodes_[ancestor].exit;
+}
+
+bool PathInterner::Comparable(PathId a, PathId b) const {
+  EnsureIntervals();
+  return (nodes_[a].enter <= nodes_[b].enter &&
+          nodes_[b].enter < nodes_[a].exit) ||
+         (nodes_[b].enter <= nodes_[a].enter &&
+          nodes_[a].enter < nodes_[b].exit);
+}
+
+}  // namespace mqp::ns

@@ -1,0 +1,98 @@
+// PathInterner: dense integer ids + Euler-tour intervals for CategoryPaths.
+//
+// Catalog resolution (§3.4 coverage search) reduces to ancestor tests
+// between category paths. Comparing paths segment-by-segment makes every
+// Overlaps/Covers probe O(depth) string comparisons; interning each path
+// into a dense PathId with a precomputed Euler-tour interval makes
+// IsAncestorOrSame two integer comparisons:
+//
+//   a is an ancestor-or-same of b  ⇔  enter(a) <= enter(b) < exit(a)
+//
+// Intervals are assigned by a preorder walk and rebuilt lazily after node
+// creation (the structure is build-mostly: categories are added far less
+// often than they are compared). Each node also caches the canonical
+// slash/dotted strings of its path, so wire and gossip encoding of a
+// known category never re-joins segments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ns/category_path.h"
+
+namespace mqp::ns {
+
+/// Dense category id within one PathInterner. Ids are stable for the
+/// interner's lifetime; intervals are not (they shift when nodes are
+/// added), so never persist an Interval across an Intern call.
+using PathId = uint32_t;
+inline constexpr PathId kNoPathId = static_cast<PathId>(-1);
+
+/// \brief A growable trie of category paths with Euler-interval ancestry.
+class PathInterner {
+ public:
+  static constexpr PathId kTopId = 0;  ///< the "*" category, always present
+
+  PathInterner();
+
+  /// Interns `path` (creating any missing nodes) and returns its id.
+  PathId Intern(const CategoryPath& path);
+
+  /// Id of `path` without creating nodes; kNoPathId when unknown.
+  PathId Lookup(const CategoryPath& path) const;
+
+  /// Id of the deepest known prefix of `path` (kTopId at worst). Sets
+  /// `*exact` to whether the whole path is known, when non-null.
+  PathId DeepestKnownPrefix(const CategoryPath& path,
+                            bool* exact = nullptr) const;
+
+  PathId ParentOf(PathId id) const { return nodes_[id].parent; }
+
+  /// The interned canonical path (its ToString/ToUrnString caches are
+  /// warm after the first use).
+  const CategoryPath& PathOf(PathId id) const { return nodes_[id].path; }
+
+  /// Immediate children ids in label order.
+  std::vector<PathId> ChildrenOf(PathId id) const;
+  bool IsLeaf(PathId id) const { return nodes_[id].children.empty(); }
+
+  size_t size() const { return nodes_.size(); }
+
+  /// Bumps on every node creation; callers caching intervals or derived
+  /// structures key their validity off this.
+  uint64_t version() const { return version_; }
+
+  /// Half-open preorder interval [enter, exit) of the subtree under a node.
+  struct Interval {
+    uint32_t enter = 0;
+    uint32_t exit = 0;
+  };
+  Interval IntervalOf(PathId id) const;
+
+  /// Ancestor-or-same in two integer comparisons.
+  bool IsAncestorOrSame(PathId ancestor, PathId descendant) const;
+
+  /// One path a prefix of the other (extents intersect).
+  bool Comparable(PathId a, PathId b) const;
+
+ private:
+  struct Node {
+    PathId parent = kNoPathId;
+    std::map<std::string, PathId> children;  // ordered: deterministic DFS
+    CategoryPath path;
+    mutable uint32_t enter = 0;
+    mutable uint32_t exit = 0;
+  };
+
+  /// Rebuilds the preorder intervals when nodes were added since the
+  /// last walk. O(nodes); amortized away on build-mostly workloads.
+  void EnsureIntervals() const;
+
+  std::vector<Node> nodes_;
+  uint64_t version_ = 1;
+  mutable uint64_t interval_version_ = 0;  // version at the last rebuild
+};
+
+}  // namespace mqp::ns

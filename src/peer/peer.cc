@@ -117,12 +117,12 @@ void Peer::JoinNetwork() {
                                           bootstraps_.end());
   // Also register with index servers already known to the catalog whose
   // area overlaps ours (§3.3: push to covering authoritative servers).
-  for (const auto& e : catalog_.entries()) {
+  catalog_.ForEachEntry([&](const catalog::IndexEntry& e) {
     if (e.level == catalog::HoldingLevel::kIndex && e.server != address() &&
         e.area.Overlaps(options_.interest)) {
       targets.insert(e.server);
     }
-  }
+  });
   for (const auto& t : targets) {
     auto pid = sim_->Lookup(t);
     if (!pid.ok() || *pid == id_) continue;
@@ -183,11 +183,11 @@ void Peer::EnableSync(const sync::SyncOptions& options) {
   }
   // Index servers already known to the catalog are partner candidates
   // too (same peers JoinNetwork would push registrations at).
-  for (const auto& e : catalog_.entries()) {
+  catalog_.ForEachEntry([&](const catalog::IndexEntry& e) {
     if (e.level == catalog::HoldingLevel::kIndex && e.server != address()) {
       sync_->AddPeer(e.server);
     }
-  }
+  });
   sync_->Start();
 }
 
@@ -217,12 +217,12 @@ void Peer::RejoinNetwork() {
 void Peer::PullIndexedData(int delay_minutes) {
   // Snapshot the base entries first; replies will add new ones.
   std::vector<catalog::IndexEntry> targets;
-  for (const auto& e : catalog_.entries()) {
+  catalog_.ForEachEntry([&](const catalog::IndexEntry& e) {
     if (e.level == catalog::HoldingLevel::kBase && e.server != address() &&
         !e.xpath.empty()) {
       targets.push_back(e);
     }
-  }
+  });
   for (const auto& e : targets) {
     auto pid = sim_->Lookup(e.server);
     if (!pid.ok()) continue;
@@ -425,6 +425,9 @@ void Peer::AnnotateLocalUrls(Plan* plan) {
 
 int Peer::ResolveUrns(Plan* plan) {
   if (plan->root() == nullptr) return 0;
+  // Mirror the catalog's resolution instrumentation into the per-peer
+  // and network-wide counters (same flow as the wire layer's plan_*).
+  const catalog::ResolveStats before = catalog_.resolve_stats();
   int bound = 0;
   // Snapshot the URN nodes up front; bindings may add new URN leaves
   // (referrals), which later servers resolve.
@@ -505,6 +508,19 @@ int Peer::ResolveUrns(Plan* plan) {
     }
   }
   counters_.urns_bound += bound;
+  const catalog::ResolveStats& after = catalog_.resolve_stats();
+  const uint64_t probes =
+      after.resolve_index_probes - before.resolve_index_probes;
+  const uint64_t scanned =
+      after.resolve_entries_scanned - before.resolve_entries_scanned;
+  const uint64_t cache_hits =
+      after.binding_cache_hits - before.binding_cache_hits;
+  counters_.resolve_index_probes += probes;
+  counters_.resolve_entries_scanned += scanned;
+  counters_.binding_cache_hits += cache_hits;
+  sim_->stats().resolve_index_probes += probes;
+  sim_->stats().resolve_entries_scanned += scanned;
+  sim_->stats().binding_cache_hits += cache_hits;
   return bound;
 }
 

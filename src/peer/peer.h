@@ -121,6 +121,10 @@ struct PeerCounters {
   uint64_t plan_serializations = 0;          ///< plan bodies produced here
   uint64_t plan_parses = 0;                  ///< plan bodies parsed here
   uint64_t forwards_without_reserialize = 0; ///< cache hits: buffer reused
+  // Catalog-resolution counters (see catalog::ResolveStats).
+  uint64_t resolve_index_probes = 0;         ///< area-index bucket probes
+  uint64_t resolve_entries_scanned = 0;      ///< entries overlap-tested
+  uint64_t binding_cache_hits = 0;           ///< resolutions answered cached
 };
 
 /// \brief A network participant. Attach to a Simulator, publish data or

@@ -1,0 +1,358 @@
+// Randomized equivalence property test for indexed catalog resolution.
+//
+// The AreaIndex + binding cache must be invisible: for any hierarchy,
+// catalog content, mutation history (server departures, exact removals —
+// the gossip-expiry projection path) and request area, the indexed
+// ResolveArea must return bindings identical to the pre-index linear
+// scan (Catalog::set_use_area_index(false)), and a cached re-resolution
+// must return the same binding again. Also pins PathInterner interval
+// semantics against the string-compare reference and the incremental
+// entries() snapshot against a shadow model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "ns/path_interner.h"
+
+namespace mqp::catalog {
+namespace {
+
+using ns::CategoryPath;
+using ns::InterestArea;
+using ns::InterestCell;
+using ns::PathId;
+using ns::PathInterner;
+
+// --- generators ----------------------------------------------------------------
+
+// A small random label alphabet keeps collision (shared prefixes,
+// ancestor chains) likely, which is where index bugs would hide.
+std::string RandomLabel(Rng* rng) {
+  static const char* kLabels[] = {"a", "b", "c", "d", "e"};
+  return kLabels[rng->NextBelow(5)];
+}
+
+CategoryPath RandomPath(Rng* rng, size_t max_depth) {
+  const size_t depth = rng->NextBelow(max_depth + 1);  // 0 = top
+  std::vector<std::string> segs;
+  segs.reserve(depth);
+  for (size_t i = 0; i < depth; ++i) segs.push_back(RandomLabel(rng));
+  return CategoryPath(std::move(segs));
+}
+
+InterestCell RandomCell(Rng* rng, size_t dims, size_t max_depth) {
+  std::vector<CategoryPath> coords;
+  coords.reserve(dims);
+  for (size_t d = 0; d < dims; ++d) coords.push_back(RandomPath(rng, max_depth));
+  return InterestCell(std::move(coords));
+}
+
+InterestArea RandomArea(Rng* rng, size_t dims, size_t max_depth) {
+  InterestArea area;
+  const size_t cells = 1 + rng->NextBelow(3);
+  for (size_t c = 0; c < cells; ++c) {
+    area.AddCell(RandomCell(rng, dims, max_depth));
+  }
+  return area;
+}
+
+IndexEntry RandomEntry(Rng* rng, size_t dims) {
+  IndexEntry e;
+  e.level = rng->NextBool(0.3) ? HoldingLevel::kIndex : HoldingLevel::kBase;
+  e.area = RandomArea(rng, dims, 3);
+  e.server = "10.0.0." + std::to_string(rng->NextBelow(8)) + ":9020";
+  if (e.level == HoldingLevel::kBase && rng->NextBool(0.8)) {
+    e.xpath = "/data[id=c" + std::to_string(rng->NextBelow(4)) + "]";
+  }
+  e.delay_minutes = rng->NextBool(0.25) ? 15 * (1 + rng->NextBelow(3)) : 0;
+  return e;
+}
+
+bool SameBinding(const Binding& a, const Binding& b) {
+  return a.urn == b.urn && a.dimension_fields == b.dimension_fields &&
+         a.alternatives == b.alternatives;
+}
+
+// Shadow of the pre-index entry storage: a plain vector with the same
+// dedup/removal semantics, for checking the incremental entries() view.
+struct ShadowEntries {
+  std::vector<IndexEntry> entries;
+
+  void Add(const IndexEntry& e) {
+    for (const auto& x : entries) {
+      if (x == e) return;
+    }
+    entries.push_back(e);
+  }
+  void RemoveServer(const std::string& server) {
+    std::erase_if(entries,
+                  [&](const IndexEntry& e) { return e.server == server; });
+  }
+  bool Remove(const IndexEntry& e) {
+    const size_t before = entries.size();
+    std::erase_if(entries, [&](const IndexEntry& x) { return x == e; });
+    return entries.size() != before;
+  }
+};
+
+// --- the property --------------------------------------------------------------
+
+// One seeded scenario: build, mutate, resolve, compare. Returns the
+// number of resolutions compared (so the harness can prove coverage).
+size_t RunCase(uint64_t seed) {
+  Rng rng(seed);
+  const size_t dims = 1 + rng.NextBelow(3);  // 1..3 dimensions
+  ns::MultiHierarchy hierarchy;  // outlives the catalogs referencing it
+  Catalog indexed;
+  Catalog linear;
+  linear.set_use_area_index(false);
+  linear.set_use_binding_cache(false);
+  ShadowEntries shadow;
+  size_t compared = 0;
+
+  auto apply_both = [&](auto&& fn) {
+    fn(indexed);
+    fn(linear);
+  };
+  // Resolves interleave with the mutations below, so every TouchMutation
+  // site (and the hierarchy-version epoch) must actually invalidate the
+  // indexed catalog's binding cache — the linear reference never caches.
+  auto compare_resolve = [&](const InterestArea& request) {
+    const std::string urn = "urn:x-mqp:area:" + request.ToString();
+    const Binding reference = linear.ResolveArea(request, urn);
+    const Binding via_index = indexed.ResolveArea(request, urn);
+    EXPECT_TRUE(SameBinding(via_index, reference))
+        << "seed=" << seed << " request=" << request.ToString()
+        << "\n  indexed: " << via_index.ToString()
+        << "\n  linear:  " << reference.ToString();
+    const Binding cached = indexed.ResolveArea(request, urn);
+    EXPECT_TRUE(SameBinding(cached, reference))
+        << "seed=" << seed << " cached divergence on " << request.ToString();
+    ++compared;
+  };
+
+  if (rng.NextBool(0.5)) {
+    apply_both([&](Catalog& c) {
+      c.set_dimension_fields({"f0", "f1", "f2"});
+    });
+  }
+  if (rng.NextBool(0.3)) {
+    const std::string owner = "10.0.0." + std::to_string(rng.NextBelow(8)) +
+                              ":9020";
+    apply_both([&](Catalog& c) { c.set_owner(owner); });
+  }
+  {
+    const InterestArea authority = RandomArea(&rng, dims, 2);
+    const bool authoritative = rng.NextBool(0.5);
+    apply_both([&](Catalog& c) { c.SetAuthority(authority, authoritative); });
+  }
+  const bool with_hierarchy = rng.NextBool(0.5);
+  if (with_hierarchy) {
+    for (size_t d = 0; d < dims; ++d) {
+      hierarchy.AddDimension("d" + std::to_string(d));
+      for (int i = 0; i < 6; ++i) {
+        hierarchy.dimension(d).Add(RandomPath(&rng, 3));
+      }
+    }
+    // §3.5 approximation now rewrites unknown request categories; both
+    // catalogs share the namespace, so results must still agree.
+    apply_both([&](Catalog& c) { c.set_hierarchies(&hierarchy); });
+  }
+
+  // Build + mutate: interleave adds with removals so slot reuse, index
+  // removal and the by-server lists all get exercised.
+  const size_t ops = 10 + rng.NextBelow(40);
+  std::vector<IndexEntry> ever_added;
+  for (size_t i = 0; i < ops; ++i) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.70 || ever_added.empty()) {
+      IndexEntry e = RandomEntry(&rng, dims);
+      ever_added.push_back(e);
+      shadow.Add(e);
+      apply_both([&](Catalog& c) { c.AddEntry(e); });
+    } else if (roll < 0.85) {
+      // Exact removal: the sync projection path for tombstones/expiry.
+      const IndexEntry& e = rng.Pick(ever_added);
+      const bool removed_shadow = shadow.Remove(e);
+      bool removed_indexed = false, removed_linear = false;
+      removed_indexed = indexed.RemoveEntry(e);
+      removed_linear = linear.RemoveEntry(e);
+      EXPECT_EQ(removed_indexed, removed_shadow);
+      EXPECT_EQ(removed_linear, removed_shadow);
+    } else {
+      // Departure: every entry naming one server goes at once.
+      const std::string server =
+          "10.0.0." + std::to_string(rng.NextBelow(8)) + ":9020";
+      shadow.RemoveServer(server);
+      apply_both([&](Catalog& c) { c.RemoveServer(server); });
+    }
+    // Resolve mid-history: the next mutation must invalidate whatever
+    // the indexed catalog just cached.
+    if (rng.NextBool(0.2)) {
+      compare_resolve(RandomArea(&rng, dims, 3));
+    }
+    if (with_hierarchy && rng.NextBool(0.1)) {
+      // Namespace growth moves the cache epoch's hierarchy component.
+      hierarchy.dimension(rng.NextBelow(dims)).Add(RandomPath(&rng, 3));
+    }
+  }
+
+  // A few intensional statements among the live servers exercise the
+  // statement-driven alternatives (and the by-server xpath lookup).
+  const size_t num_statements = rng.NextBelow(3);
+  for (size_t i = 0; i < num_statements; ++i) {
+    IntensionalStatement st;
+    st.relation =
+        rng.NextBool(0.5) ? IntensionRelation::kEquals
+                          : IntensionRelation::kContains;
+    st.lhs.level =
+        rng.NextBool(0.3) ? HoldingLevel::kIndex : HoldingLevel::kBase;
+    st.lhs.area = RandomArea(&rng, dims, 2);
+    st.lhs.server = "10.0.0." + std::to_string(rng.NextBelow(8)) + ":9020";
+    HoldingRef r;
+    r.level = HoldingLevel::kBase;
+    r.area = RandomArea(&rng, dims, 2);
+    r.server = "10.0.0." + std::to_string(rng.NextBelow(8)) + ":9020";
+    r.delay_minutes = rng.NextBool(0.5) ? 30 : 0;
+    st.rhs.push_back(std::move(r));
+    apply_both([&](Catalog& c) { c.AddStatement(st); });
+  }
+
+  // The incremental storage must present exactly the reference view.
+  EXPECT_EQ(indexed.entries(), shadow.entries);
+  EXPECT_EQ(linear.entries(), shadow.entries);
+
+  // Final quiescent-state resolutions; cached re-resolution must agree
+  // with itself and with the linear reference.
+  const size_t requests = 3 + rng.NextBelow(4);
+  for (size_t q = 0; q < requests; ++q) {
+    compare_resolve(RandomArea(&rng, dims, 3));
+  }
+  EXPECT_GT(indexed.resolve_stats().binding_cache_hits, 0u);
+  return compared;
+}
+
+TEST(CatalogIndexPropertyTest, IndexedResolutionMatchesLinearReference) {
+  size_t total = 0;
+  for (uint64_t seed = 1; seed <= 1000; ++seed) {
+    total += RunCase(seed);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "first divergence at seed " << seed;
+    }
+  }
+  // ~3-6 resolutions per case; make the coverage claim explicit.
+  EXPECT_GE(total, 3000u);
+}
+
+// Directed regression: removal via slot reuse keeps insertion order.
+TEST(CatalogIndexPropertyTest, SlotReuseKeepsInsertionOrder) {
+  Catalog cat;
+  cat.SetAuthority(InterestArea(InterestCell()), true);
+  auto entry = [](const char* area, const char* server) {
+    IndexEntry e;
+    e.area = *InterestArea::Parse(area);
+    e.server = server;
+    e.xpath = "/data";
+    return e;
+  };
+  cat.AddEntry(entry("(a,b)", "s1"));
+  cat.AddEntry(entry("(a,c)", "s2"));
+  cat.RemoveEntry(entry("(a,b)", "s1"));  // frees slot 0
+  cat.AddEntry(entry("(a,d)", "s3"));     // reuses slot 0, newest seq
+  const auto entries = cat.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].server, "s2");
+  EXPECT_EQ(entries[1].server, "s3");
+}
+
+// Directed regression: a copied catalog's index must not share sorted
+// views (bucket pointers) with the source — resolving from the copy
+// after the original is gone and mutating the copy must both work.
+TEST(CatalogIndexPropertyTest, CopiedCatalogResolvesAfterSourceDies) {
+  auto entry = [](const char* area, const char* server) {
+    IndexEntry e;
+    e.area = *InterestArea::Parse(area);
+    e.server = server;
+    e.xpath = "/data";
+    return e;
+  };
+  const InterestArea request = *InterestArea::Parse("(a.b,x)");
+  Catalog copy;
+  {
+    Catalog original;
+    original.SetAuthority(*InterestArea::Parse("(*,*)"), true);
+    for (int i = 0; i < 32; ++i) {
+      copy.AddEntry(entry(("(a.b,x" + std::to_string(i) + ")").c_str(), "s"));
+    }
+    original.AddEntry(entry("(a.b,x)", "s1"));
+    original.AddEntry(entry("(a,x)", "s2"));
+    // Warm the sorted views, then copy.
+    (void)original.ResolveArea(request, "urn:warm");
+    copy = original;
+  }
+  Catalog reference = copy;
+  reference.set_use_area_index(false);
+  reference.set_use_binding_cache(false);
+  const Binding got = copy.ResolveArea(request, "urn:copy");
+  const Binding want = reference.ResolveArea(request, "urn:copy");
+  EXPECT_TRUE(SameBinding(got, want)) << got.ToString() << " vs "
+                                      << want.ToString();
+  ASSERT_EQ(got.alternatives.size(), 1u);
+  EXPECT_EQ(got.alternatives[0].sources.size(), 2u);
+  // The copy stays independently mutable and correct.
+  copy.RemoveServer("s2");
+  EXPECT_EQ(copy.ResolveArea(request, "urn:copy2").alternatives[0]
+                .sources.size(),
+            1u);
+}
+
+// --- PathInterner unit coverage ------------------------------------------------
+
+TEST(PathInternerTest, IntervalAncestryMatchesStringReference) {
+  Rng rng(7);
+  PathInterner interner;
+  std::vector<CategoryPath> paths;
+  paths.push_back(CategoryPath());  // top
+  for (int i = 0; i < 200; ++i) {
+    CategoryPath p = RandomPath(&rng, 4);
+    interner.Intern(p);
+    paths.push_back(std::move(p));
+    if (i % 50 != 0) continue;
+    // Re-check the whole matrix mid-growth: intervals must rebuild.
+    for (const auto& a : paths) {
+      for (const auto& b : paths) {
+        const PathId ia = interner.Lookup(a);
+        const PathId ib = interner.Lookup(b);
+        ASSERT_NE(ia, ns::kNoPathId);
+        ASSERT_NE(ib, ns::kNoPathId);
+        EXPECT_EQ(interner.IsAncestorOrSame(ia, ib), a.IsAncestorOrSame(b));
+        EXPECT_EQ(interner.Comparable(ia, ib), a.Comparable(b));
+      }
+    }
+  }
+}
+
+TEST(PathInternerTest, DeepestKnownPrefix) {
+  PathInterner interner;
+  interner.Intern(*CategoryPath::Parse("USA/OR"));
+  bool exact = true;
+  const PathId p =
+      interner.DeepestKnownPrefix(*CategoryPath::Parse("USA/OR/Portland"),
+                                  &exact);
+  EXPECT_FALSE(exact);
+  EXPECT_EQ(interner.PathOf(p).ToString(), "USA/OR");
+  const PathId q =
+      interner.DeepestKnownPrefix(*CategoryPath::Parse("USA/OR"), &exact);
+  EXPECT_TRUE(exact);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(interner.DeepestKnownPrefix(*CategoryPath::Parse("France"),
+                                        &exact),
+            PathInterner::kTopId);
+  EXPECT_FALSE(exact);
+}
+
+}  // namespace
+}  // namespace mqp::catalog
