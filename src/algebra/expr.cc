@@ -1,6 +1,10 @@
 #include "algebra/expr.h"
 
+#include <deque>
+
 #include "common/strings.h"
+#include "xml/token_reader.h"
+#include "xml/token_writer.h"
 #include "xml/xpath.h"
 
 namespace mqp::algebra {
@@ -47,46 +51,56 @@ int Value::Compare(const Value& other) const {
   return text.compare(other.text);
 }
 
+std::shared_ptr<Expr> Expr::New(Kind kind) {
+  // Local class: inherits this member function's access to the private
+  // constructor, letting make_shared fuse the node and its control block
+  // into one allocation.
+  struct Mk : Expr {
+    explicit Mk(Kind k) : Expr(k) {}
+  };
+  return std::make_shared<Mk>(kind);
+}
+
 ExprPtr Expr::Field(std::string path, Side side) {
-  auto e = std::shared_ptr<Expr>(new Expr(Kind::kField));
+  auto e = New(Kind::kField);
   e->text_ = std::move(path);
   e->side_ = side;
   return e;
 }
 
 ExprPtr Expr::Literal(std::string value) {
-  auto e = std::shared_ptr<Expr>(new Expr(Kind::kLiteral));
+  auto e = New(Kind::kLiteral);
   e->text_ = std::move(value);
   return e;
 }
 
 ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
-  auto e = std::shared_ptr<Expr>(new Expr(Kind::kCompare));
+  auto e = New(Kind::kCompare);
   e->op_ = op;
   e->children_ = {std::move(lhs), std::move(rhs)};
   return e;
 }
 
 ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
-  auto e = std::shared_ptr<Expr>(new Expr(Kind::kAnd));
+  auto e = New(Kind::kAnd);
   e->children_ = {std::move(lhs), std::move(rhs)};
   return e;
 }
 
 ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
-  auto e = std::shared_ptr<Expr>(new Expr(Kind::kOr));
+  auto e = New(Kind::kOr);
   e->children_ = {std::move(lhs), std::move(rhs)};
   return e;
 }
 
 ExprPtr Expr::Not(ExprPtr inner) {
-  auto e = std::shared_ptr<Expr>(new Expr(Kind::kNot));
+  auto e = New(Kind::kNot);
   e->children_ = {std::move(inner)};
   return e;
 }
 
 ExprPtr Expr::Exists(std::string path, Side side) {
-  auto e = std::shared_ptr<Expr>(new Expr(Kind::kExists));
+  auto e = New(Kind::kExists);
   e->text_ = std::move(path);
   e->side_ = side;
   return e;
@@ -229,6 +243,128 @@ std::unique_ptr<xml::Node> Expr::ToXml() const {
     }
   }
   return xml::Node::Element("invalid");
+}
+
+void Expr::EmitTokens(xml::TokenWriter* w) const {
+  switch (kind_) {
+    case Kind::kField:
+      w->Start("field");
+      w->Attr("path", text_);
+      if (side_ == Side::kRight) w->Attr("side", "right");
+      break;
+    case Kind::kLiteral:
+      w->Start("literal");
+      w->Attr("value", text_);
+      break;
+    case Kind::kCompare:
+      w->Start("compare");
+      w->Attr("op", CompareOpName(op_));
+      children_[0]->EmitTokens(w);
+      children_[1]->EmitTokens(w);
+      break;
+    case Kind::kAnd:
+    case Kind::kOr:
+      w->Start(kind_ == Kind::kAnd ? "and" : "or-expr");
+      children_[0]->EmitTokens(w);
+      children_[1]->EmitTokens(w);
+      break;
+    case Kind::kNot:
+      w->Start("not");
+      children_[0]->EmitTokens(w);
+      break;
+    case Kind::kExists:
+      w->Start("exists");
+      w->Attr("path", text_);
+      if (side_ == Side::kRight) w->Attr("side", "right");
+      break;
+  }
+  w->End();
+}
+
+namespace {
+
+// Recursive worker with a depth-indexed AttrList pool: expression trees
+// decode without per-node attribute allocations. Deque keeps parents'
+// references stable while the pool grows.
+Result<ExprPtr> ExprFromTokensAt(xml::TokenReader* r,
+                                 std::deque<xml::AttrList>* pool,
+                                 size_t depth) {
+  // Element names are borrowed from the input buffer; the view survives
+  // the child-token walk.
+  const std::string_view tag = r->current().name;
+  // Arity by tag: how many leading element children are operands. Any
+  // further element children are skipped unparsed, matching FromXml
+  // (whose parse_child only ever touches the operands it needs).
+  size_t arity = 0;
+  if (tag == "compare" || tag == "and" || tag == "or-expr") {
+    arity = 2;
+  } else if (tag == "not") {
+    arity = 1;
+  } else if (tag != "field" && tag != "literal" && tag != "exists") {
+    MQP_RETURN_IF_ERROR(r->SkipToElementEnd());
+    return Status::ParseError("unknown expression element <" +
+                              std::string(tag) + ">");
+  }
+  while (pool->size() <= depth) pool->emplace_back();
+  xml::AttrList& attrs = (*pool)[depth];
+  MQP_ASSIGN_OR_RETURN(xml::Token t, r->ReadAttrs(&attrs));
+  // At most two operands — no vector.
+  ExprPtr operands[2];
+  size_t count = 0;
+  while (t.type != xml::TokenType::kEndElement) {
+    if (t.type == xml::TokenType::kStartElement) {
+      if (count < arity) {
+        MQP_ASSIGN_OR_RETURN(operands[count],
+                             ExprFromTokensAt(r, pool, depth + 1));
+        ++count;
+      } else {
+        MQP_RETURN_IF_ERROR(r->SkipToElementEnd());
+      }
+    }
+    if (!r->Advance()) return r->status();
+    t = r->current();
+  }
+  if (count < arity) {
+    return Status::ParseError("expression <" + std::string(tag) +
+                              "> missing operand " + std::to_string(count));
+  }
+  if (tag == "field") {
+    return Expr::Field(attrs.Get("path"),
+                       attrs.GetView("side", "left") == "right"
+                           ? Side::kRight
+                           : Side::kLeft);
+  }
+  if (tag == "literal") return Expr::Literal(attrs.Get("value"));
+  if (tag == "exists") {
+    return Expr::Exists(attrs.Get("path"),
+                        attrs.GetView("side", "left") == "right"
+                            ? Side::kRight
+                            : Side::kLeft);
+  }
+  if (tag == "compare") {
+    MQP_ASSIGN_OR_RETURN(auto op, CompareOpFromName(attrs.GetView("op")));
+    return Expr::Compare(op, std::move(operands[0]), std::move(operands[1]));
+  }
+  if (tag == "and") {
+    return Expr::And(std::move(operands[0]), std::move(operands[1]));
+  }
+  if (tag == "or-expr") {
+    return Expr::Or(std::move(operands[0]), std::move(operands[1]));
+  }
+  return Expr::Not(std::move(operands[0]));
+}
+
+}  // namespace
+
+Result<ExprPtr> Expr::FromTokens(xml::TokenReader* r) {
+  std::deque<xml::AttrList> pool;
+  return ExprFromTokensAt(r, &pool, 0);
+}
+
+Result<ExprPtr> Expr::FromTokens(xml::TokenReader* r,
+                                 std::deque<xml::AttrList>* pool,
+                                 size_t depth) {
+  return ExprFromTokensAt(r, pool, depth);
 }
 
 Result<ExprPtr> Expr::FromXml(const xml::Node& node) {

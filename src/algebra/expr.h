@@ -6,6 +6,7 @@
 // use XPath-lite paths relative to the item element.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -14,6 +15,12 @@
 
 #include "common/result.h"
 #include "xml/node.h"
+
+namespace mqp::xml {
+class AttrList;
+class TokenReader;
+class TokenWriter;
+}  // namespace mqp::xml
 
 namespace mqp::algebra {
 
@@ -83,6 +90,21 @@ class Expr {
   /// Parses an expression element produced by ToXml().
   static Result<ExprPtr> FromXml(const xml::Node& node);
 
+  /// Streaming twin of ToXml: emits the same bytes without building a DOM.
+  void EmitTokens(xml::TokenWriter* w) const;
+
+  /// Streaming twin of FromXml. Precondition: the reader's current token
+  /// is the expression element's kStartElement; returns with its
+  /// kEndElement consumed.
+  static Result<ExprPtr> FromTokens(xml::TokenReader* r);
+
+  /// Pool-sharing variant for callers decoding many expressions (the
+  /// plan decoder): `pool` holds one reusable AttrList per recursion
+  /// depth and this expression uses slots from `depth` down.
+  static Result<ExprPtr> FromTokens(xml::TokenReader* r,
+                                    std::deque<xml::AttrList>* pool,
+                                    size_t depth);
+
   /// Human-readable form, e.g. "price < 10".
   std::string ToString() const;
 
@@ -101,6 +123,10 @@ class Expr {
 
  private:
   explicit Expr(Kind kind) : kind_(kind) {}
+
+  /// Single-allocation construction (make_shared); decode hot path.
+  /// Non-const so the factories can fill fields before publishing.
+  static std::shared_ptr<Expr> New(Kind kind);
 
   Kind kind_;
   std::string text_;  // field path or literal value

@@ -5,6 +5,8 @@
 
 #include "algebra/expr.h"
 #include "common/strings.h"
+#include "xml/token_reader.h"
+#include "xml/token_writer.h"
 
 namespace mqp::algebra {
 
@@ -108,6 +110,71 @@ Result<FieldHistogram> FieldHistogram::FromXml(const xml::Node& node) {
       return Status::ParseError("<histogram> has a bad bucket");
     }
     h.counts.push_back(static_cast<uint64_t>(c));
+  }
+  if (h.counts.empty()) {
+    return Status::ParseError("<histogram> has no buckets");
+  }
+  return h;
+}
+
+void FieldHistogram::EmitTokens(xml::TokenWriter* w) const {
+  w->Start("histogram");
+  w->Attr("field", field);
+  w->Attr("min", mqp::FormatDouble(min));
+  w->Attr("max", mqp::FormatDouble(max));
+  w->Attr("total", std::to_string(total));
+  for (uint64_t c : counts) {
+    w->Start("b");
+    w->Attr("c", std::to_string(c));
+    w->End();
+  }
+  w->End();
+}
+
+Result<FieldHistogram> FieldHistogram::FromTokens(xml::TokenReader* r) {
+  FieldHistogram h;
+  xml::AttrList attrs;
+  MQP_ASSIGN_OR_RETURN(xml::Token t, r->ReadAttrs(&attrs));
+  h.field = attrs.Get("field");
+  if (h.field.empty()) {
+    return Status::ParseError("<histogram> missing field attribute");
+  }
+  if (!mqp::ParseDouble(attrs.Get("min"), &h.min) ||
+      !mqp::ParseDouble(attrs.Get("max"), &h.max)) {
+    return Status::ParseError("<histogram> has bad min/max");
+  }
+  int64_t total = 0;
+  if (!mqp::ParseInt64(attrs.Get("total"), &total) || total < 0) {
+    return Status::ParseError("<histogram> has bad total");
+  }
+  h.total = static_cast<uint64_t>(total);
+  while (t.type != xml::TokenType::kEndElement) {
+    if (t.type == xml::TokenType::kStartElement) {
+      if (t.name == "b") {
+        // Buckets are the most numerous wire element; read the single
+        // "c" attribute straight off the token stream, no copies.
+        int64_t c = -1;
+        while (true) {
+          if (!r->Advance()) return r->status();
+          const xml::Token& bt = r->current();
+          if (bt.type == xml::TokenType::kAttr) {
+            if (bt.name == "c" && !mqp::ParseInt64(bt.value, &c)) c = -1;
+          } else if (bt.type == xml::TokenType::kStartElement) {
+            MQP_RETURN_IF_ERROR(r->SkipToElementEnd());
+          } else if (bt.type == xml::TokenType::kEndElement) {
+            break;
+          }  // text: ignored
+        }
+        if (c < 0) {
+          return Status::ParseError("<histogram> has a bad bucket");
+        }
+        h.counts.push_back(static_cast<uint64_t>(c));
+      } else {
+        MQP_RETURN_IF_ERROR(r->SkipToElementEnd());
+      }
+    }
+    if (!r->Advance()) return r->status();
+    t = r->current();
   }
   if (h.counts.empty()) {
     return Status::ParseError("<histogram> has no buckets");

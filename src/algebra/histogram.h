@@ -13,6 +13,11 @@
 #include "common/result.h"
 #include "xml/node.h"
 
+namespace mqp::xml {
+class TokenReader;
+class TokenWriter;
+}  // namespace mqp::xml
+
 namespace mqp::algebra {
 
 /// One data item: an immutable XML element (defined here so both the plan
@@ -48,6 +53,13 @@ struct FieldHistogram {
 
   /// Parses a <histogram> element produced by ToXml().
   static Result<FieldHistogram> FromXml(const xml::Node& node);
+
+  /// Streaming twin of ToXml: emits the same bytes without building a DOM.
+  void EmitTokens(xml::TokenWriter* w) const;
+
+  /// Streaming twin of FromXml. Precondition: current token is the
+  /// <histogram> kStartElement; returns with its kEndElement consumed.
+  static Result<FieldHistogram> FromTokens(xml::TokenReader* r);
 
   bool operator==(const FieldHistogram& other) const = default;
 };

@@ -78,28 +78,38 @@ Result<AggFunc> AggFuncFromName(std::string_view name) {
                             std::string(name) + "'");
 }
 
+PlanNodePtr PlanNode::New(OpType type) {
+  // Local class: inherits this member function's access to the private
+  // constructor, letting make_shared fuse the node and its control block
+  // into one allocation.
+  struct Mk : PlanNode {
+    explicit Mk(OpType t) : PlanNode(t) {}
+  };
+  return std::make_shared<Mk>(type);
+}
+
 PlanNodePtr PlanNode::XmlData(ItemSet items) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kXmlData));
+  auto n = New(OpType::kXmlData);
   n->items_ = std::move(items);
   return n;
 }
 
 PlanNodePtr PlanNode::Url(std::string url, std::string xpath) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kUrl));
+  auto n = New(OpType::kUrl);
   n->str_ = std::move(url);
   n->str2_ = std::move(xpath);
   return n;
 }
 
 PlanNodePtr PlanNode::UrnRef(std::string urn, std::string hint) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kUrn));
+  auto n = New(OpType::kUrn);
   n->str_ = std::move(urn);
   n->str2_ = std::move(hint);
   return n;
 }
 
 PlanNodePtr PlanNode::Select(ExprPtr predicate, PlanNodePtr input) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kSelect));
+  auto n = New(OpType::kSelect);
   n->expr_ = std::move(predicate);
   n->children_ = {std::move(input)};
   return n;
@@ -107,7 +117,7 @@ PlanNodePtr PlanNode::Select(ExprPtr predicate, PlanNodePtr input) {
 
 PlanNodePtr PlanNode::Project(std::vector<std::string> fields,
                               PlanNodePtr input) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kProject));
+  auto n = New(OpType::kProject);
   n->fields_ = std::move(fields);
   n->children_ = {std::move(input)};
   return n;
@@ -115,7 +125,7 @@ PlanNodePtr PlanNode::Project(std::vector<std::string> fields,
 
 PlanNodePtr PlanNode::Join(ExprPtr condition, PlanNodePtr left,
                            PlanNodePtr right) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kJoin));
+  auto n = New(OpType::kJoin);
   n->expr_ = std::move(condition);
   n->children_ = {std::move(left), std::move(right)};
   return n;
@@ -123,7 +133,7 @@ PlanNodePtr PlanNode::Join(ExprPtr condition, PlanNodePtr left,
 
 PlanNodePtr PlanNode::LeftOuterJoin(ExprPtr condition, PlanNodePtr left,
                                     PlanNodePtr right) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kLeftOuterJoin));
+  auto n = New(OpType::kLeftOuterJoin);
   n->expr_ = std::move(condition);
   n->children_ = {std::move(left), std::move(right)};
   return n;
@@ -131,27 +141,27 @@ PlanNodePtr PlanNode::LeftOuterJoin(ExprPtr condition, PlanNodePtr left,
 
 PlanNodePtr PlanNode::Union(std::vector<PlanNodePtr> inputs,
                             bool distinct) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kUnion));
+  auto n = New(OpType::kUnion);
   n->children_ = std::move(inputs);
   n->distinct_ = distinct;
   return n;
 }
 
 PlanNodePtr PlanNode::Or(std::vector<PlanNodePtr> alternatives) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kOr));
+  auto n = New(OpType::kOr);
   n->children_ = std::move(alternatives);
   return n;
 }
 
 PlanNodePtr PlanNode::Difference(PlanNodePtr left, PlanNodePtr right) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kDifference));
+  auto n = New(OpType::kDifference);
   n->children_ = {std::move(left), std::move(right)};
   return n;
 }
 
 PlanNodePtr PlanNode::Aggregate(AggFunc func, std::string field,
                                 std::string group_by, PlanNodePtr input) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kAggregate));
+  auto n = New(OpType::kAggregate);
   n->agg_func_ = func;
   n->str_ = std::move(field);
   n->str2_ = std::move(group_by);
@@ -161,7 +171,7 @@ PlanNodePtr PlanNode::Aggregate(AggFunc func, std::string field,
 
 PlanNodePtr PlanNode::TopN(uint64_t limit, std::string order_field,
                            bool ascending, PlanNodePtr input) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kTopN));
+  auto n = New(OpType::kTopN);
   n->limit_ = limit;
   n->str_ = std::move(order_field);
   n->ascending_ = ascending;
@@ -170,7 +180,7 @@ PlanNodePtr PlanNode::TopN(uint64_t limit, std::string order_field,
 }
 
 PlanNodePtr PlanNode::Display(std::string target, PlanNodePtr input) {
-  auto n = PlanNodePtr(new PlanNode(OpType::kDisplay));
+  auto n = New(OpType::kDisplay);
   n->str_ = std::move(target);
   n->children_ = {std::move(input)};
   return n;
@@ -181,7 +191,7 @@ PlanNodePtr PlanNode::CloneInternal(
   for (const auto& [orig, copy] : *memo) {
     if (orig == this) return copy;
   }
-  auto n = PlanNodePtr(new PlanNode(type_));
+  auto n = New(type_);
   n->items_ = items_;  // items are immutable shared_ptrs: shallow copy OK
   n->str_ = str_;
   n->str2_ = str2_;

@@ -233,6 +233,10 @@ class PlanNode {
  private:
   explicit PlanNode(OpType type) : type_(type) {}
 
+  /// Single-allocation construction (make_shared): node churn is the
+  /// decode/clone hot path.
+  static PlanNodePtr New(OpType type);
+
   PlanNodePtr CloneInternal(
       std::vector<std::pair<const PlanNode*, PlanNodePtr>>* memo) const;
 

@@ -1,22 +1,25 @@
 #include "algebra/plan_xml.h"
 
+#include <deque>
 #include <unordered_map>
 
 #include "common/strings.h"
 #include "xml/parser.h"
+#include "xml/token_reader.h"
+#include "xml/token_writer.h"
 #include "xml/writer.h"
 
 namespace mqp::algebra {
 
 namespace {
 
-bool IsExprTag(const std::string& tag) {
+bool IsExprTag(std::string_view tag) {
   return tag == "field" || tag == "literal" || tag == "compare" ||
          tag == "and" || tag == "or-expr" || tag == "not" || tag == "exists";
 }
 
 // Annotation child elements that are not operator inputs.
-bool IsAnnotationTag(const std::string& tag) { return tag == "histogram"; }
+bool IsAnnotationTag(std::string_view tag) { return tag == "histogram"; }
 
 // Counts how many times each node is referenced in the DAG.
 void CountRefs(const PlanNode* node,
@@ -48,11 +51,17 @@ class Serializer {
       ids_[&node] = id;
       out->SetAttr("node-id", std::to_string(id));
     }
-    // Annotations.
+    // Annotations. Union's distinct flag shares the "distinct" attribute
+    // with the distinct_keys annotation (the flag wins); emitting it here
+    // keeps the attribute order canonical across re-encodes.
     const Annotations& a = node.annotations();
+    const bool union_distinct =
+        node.type() == OpType::kUnion && node.distinct();
     if (a.cardinality) out->SetAttr("card", std::to_string(*a.cardinality));
     if (a.bytes) out->SetAttr("bytes", std::to_string(*a.bytes));
-    if (a.distinct_keys) {
+    if (union_distinct) {
+      out->SetAttr("distinct", "1");
+    } else if (a.distinct_keys) {
       out->SetAttr("distinct", std::to_string(*a.distinct_keys));
     }
     if (a.staleness_minutes) {
@@ -96,9 +105,6 @@ class Serializer {
         out->SetAttr("n", std::to_string(node.limit()));
         out->SetAttr("orderby", node.order_field());
         out->SetAttr("order", node.ascending() ? "asc" : "desc");
-        break;
-      case OpType::kUnion:
-        if (node.distinct()) out->SetAttr("distinct", "1");
         break;
       case OpType::kDisplay:
         out->SetAttr("target", node.target());
@@ -292,7 +298,528 @@ class Deserializer {
   }
 };
 
+// --- streaming codec -------------------------------------------------------------
+//
+// The wire hot path. Byte-identical to the DOM pair above (the reference
+// implementation behind the ablation knob); tests/codec_test.cc pins the
+// equivalence across randomized plans.
+
+bool g_use_streaming_plan_codec = true;
+
+// Streaming twin of Serializer: same ref-counting pass, emits tokens.
+class StreamSerializer {
+ public:
+  explicit StreamSerializer(xml::TokenWriter* w) : w_(w) {}
+
+  void EmitTree(const PlanNode& root) {
+    CountRefs(&root, &refs_);
+    Emit(root);
+  }
+
+ private:
+  void Emit(const PlanNode& node) {
+    auto it = ids_.find(&node);
+    if (it != ids_.end()) {
+      w_->Start("ref");
+      w_->Attr("id", std::to_string(it->second));
+      w_->End();
+      return;
+    }
+    w_->Start(OpTypeName(node.type()));
+    if (refs_[&node] > 1) {
+      const int id = next_id_++;
+      ids_[&node] = id;
+      w_->Attr("node-id", std::to_string(id));
+    }
+    // Union's distinct flag shares the "distinct" attribute with the
+    // distinct_keys annotation (the flag wins), emitted in the canonical
+    // annotation position — byte-identical to the DOM encoder.
+    const Annotations& a = node.annotations();
+    const bool union_distinct =
+        node.type() == OpType::kUnion && node.distinct();
+    if (a.cardinality) w_->Attr("card", std::to_string(*a.cardinality));
+    if (a.bytes) w_->Attr("bytes", std::to_string(*a.bytes));
+    if (union_distinct) {
+      w_->Attr("distinct", "1");
+    } else if (a.distinct_keys) {
+      w_->Attr("distinct", std::to_string(*a.distinct_keys));
+    }
+    if (a.staleness_minutes) {
+      w_->Attr("staleness", std::to_string(*a.staleness_minutes));
+    }
+    switch (node.type()) {
+      case OpType::kUrl:
+        w_->Attr("href", node.url());
+        if (!node.xpath().empty()) w_->Attr("xpath", node.xpath());
+        break;
+      case OpType::kUrn:
+        w_->Attr("name", node.urn());
+        if (!node.urn_hint().empty()) w_->Attr("hint", node.urn_hint());
+        break;
+      case OpType::kProject:
+        w_->Attr("fields", mqp::Join(node.fields(), ","));
+        break;
+      case OpType::kAggregate:
+        w_->Attr("func", AggFuncName(node.agg_func()));
+        if (!node.agg_field().empty()) w_->Attr("field", node.agg_field());
+        if (!node.group_by().empty()) w_->Attr("groupby", node.group_by());
+        break;
+      case OpType::kTopN:
+        w_->Attr("n", std::to_string(node.limit()));
+        w_->Attr("orderby", node.order_field());
+        w_->Attr("order", node.ascending() ? "asc" : "desc");
+        break;
+      case OpType::kDisplay:
+        w_->Attr("target", node.target());
+        break;
+      default:
+        break;
+    }
+    for (const auto& h : a.histograms) {
+      h.EmitTokens(w_);
+    }
+    switch (node.type()) {
+      case OpType::kXmlData:
+        for (const Item& item : node.items()) {
+          w_->Write(*item);
+        }
+        break;
+      case OpType::kSelect:
+      case OpType::kJoin:
+      case OpType::kLeftOuterJoin:
+        if (node.expr() != nullptr) node.expr()->EmitTokens(w_);
+        break;
+      default:
+        break;
+    }
+    for (const auto& c : node.children()) {
+      Emit(*c);
+    }
+    w_->End();
+  }
+
+  xml::TokenWriter* w_;
+  std::unordered_map<const PlanNode*, int> refs_;
+  std::unordered_map<const PlanNode*, int> ids_;
+  int next_id_ = 1;
+};
+
+void EmitPlanTokens(const Plan& plan, xml::TokenWriter* w) {
+  w->Start("mqp");
+  if (!plan.query_id().empty()) w->Attr("query-id", plan.query_id());
+  if (plan.submitted_at() != 0) {
+    w->Attr("submitted", mqp::FormatDouble(plan.submitted_at()));
+  }
+  if (!plan.policy().Empty()) {
+    const PlanPolicy& pol = plan.policy();
+    w->Start("policy");
+    if (pol.time_budget_seconds != 0) {
+      w->Attr("time-budget", mqp::FormatDouble(pol.time_budget_seconds));
+    }
+    w->Attr("prefer", pol.preference == AnswerPreference::kCurrent
+                          ? "current"
+                          : "complete");
+    for (const auto& s : pol.route_allow) {
+      w->Start("route-allow");
+      w->Attr("server", s);
+      w->End();
+    }
+    for (const auto& [first, then] : pol.bind_after) {
+      w->Start("bind-after");
+      w->Attr("first", first);
+      w->Attr("then", then);
+      w->End();
+    }
+    w->End();
+  }
+  if (!plan.provenance().empty()) {
+    plan.provenance().EmitTokens(w);
+  }
+  if (plan.original() != nullptr) {
+    w->Start("original");
+    StreamSerializer s(w);
+    s.EmitTree(*plan.original());
+    w->End();
+  }
+  w->Start("plan");
+  if (plan.root() != nullptr) {
+    StreamSerializer s(w);
+    if (plan.root()->type() == OpType::kDisplay) {
+      // display carries the target and one input; like the DOM path, the
+      // shared-node id space starts below it.
+      w->Start("display");
+      w->Attr("target", plan.root()->target());
+      s.EmitTree(*plan.root()->child(0));
+      w->End();
+    } else {
+      s.EmitTree(*plan.root());
+    }
+  }
+  w->End();  // plan
+  w->End();  // mqp
+}
+
+// Streaming twin of Deserializer: consumes tokens directly into
+// PlanNodes; only verbatim <data> items materialize xml::Nodes.
+class StreamDeserializer {
+ public:
+  explicit StreamDeserializer(xml::TokenReader* r) : r_(r) {}
+
+  /// Starts a fresh node-id space (each <original>/<plan> section has its
+  /// own, like the DOM path's per-section Deserializer). The attribute
+  /// pool is deliberately retained across sections.
+  void ResetIds() { by_id_.clear(); }
+
+  // Top-level operator element (display allowed). Precondition: current()
+  // is its kStartElement; returns with its kEndElement consumed.
+  Result<PlanNodePtr> ParseOp() {
+    if (r_->current().name == "display") {
+      xml::AttrList& attrs = AttrsAt(0);
+      MQP_ASSIGN_OR_RETURN(xml::Token t, r_->ReadAttrs(&attrs));
+      std::vector<PlanNodePtr> inputs;
+      while (t.type != xml::TokenType::kEndElement) {
+        if (t.type == xml::TokenType::kStartElement) {
+          MQP_ASSIGN_OR_RETURN(auto input, ParseNode(1));
+          inputs.push_back(std::move(input));
+        }
+        if (!r_->Advance()) return r_->status();
+        t = r_->current();
+      }
+      MQP_RETURN_IF_ERROR(RequireInputs("display", inputs, 1));
+      return PlanNode::Display(attrs.Get("target"), std::move(inputs[0]));
+    }
+    return ParseNode(0);
+  }
+
+ private:
+  // One reusable attribute list / input vector per recursion depth:
+  // parents hold theirs across child parses, children use deeper slots.
+  // Deques keep the references stable while the pools grow.
+  xml::AttrList& AttrsAt(size_t depth) {
+    while (attr_pool_.size() <= depth) attr_pool_.emplace_back();
+    return attr_pool_[depth];
+  }
+
+  std::vector<PlanNodePtr>& InputsAt(size_t depth) {
+    while (input_pool_.size() <= depth) input_pool_.emplace_back();
+    input_pool_[depth].clear();
+    return input_pool_[depth];
+  }
+
+  Status RequireInputs(std::string_view tag,
+                       const std::vector<PlanNodePtr>& inputs, size_t n) {
+    if (inputs.size() != n) {
+      return Status::ParseError("<" + std::string(tag) + "> expects " +
+                                std::to_string(n) + " input(s), found " +
+                                std::to_string(inputs.size()));
+    }
+    return Status::OK();
+  }
+
+  Result<PlanNodePtr> ParseNode(size_t depth) {
+    // Element names are borrowed from the input buffer, so the view
+    // survives the child-token walk below.
+    const std::string_view tag = r_->current().name;
+    xml::AttrList& attrs = AttrsAt(depth);
+    MQP_ASSIGN_OR_RETURN(xml::Token t, r_->ReadAttrs(&attrs));
+    if (tag == "ref") {
+      if (t.type != xml::TokenType::kEndElement) {
+        MQP_RETURN_IF_ERROR(r_->SkipToElementEnd());
+      }
+      const std::string id = attrs.Get("id");
+      auto it = by_id_.find(id);
+      if (it == by_id_.end()) {
+        return Status::ParseError("dangling <ref id=\"" + id + "\"/>");
+      }
+      return it->second;
+    }
+    // Child policy mirrors the DOM Deserializer: histograms are
+    // annotations everywhere; <data> treats every other element child as
+    // a verbatim item; select/join parse the first expression child and
+    // skip later ones; other operators skip expression children; url/urn
+    // ignore children entirely.
+    const bool is_data = tag == "data";
+    const bool wants_expr =
+        tag == "select" || tag == "join" || tag == "leftouterjoin";
+    const bool ignores_children = tag == "url" || tag == "urn";
+    ExprPtr expr;
+    std::vector<FieldHistogram> histograms;
+    ItemSet items;
+    std::vector<PlanNodePtr>& inputs = InputsAt(depth);
+    while (t.type != xml::TokenType::kEndElement) {
+      if (t.type == xml::TokenType::kStartElement) {
+        const std::string_view ctag = t.name;
+        if (IsAnnotationTag(ctag)) {
+          MQP_ASSIGN_OR_RETURN(auto h, FieldHistogram::FromTokens(r_));
+          histograms.push_back(std::move(h));
+        } else if (is_data) {
+          MQP_ASSIGN_OR_RETURN(auto item, r_->MaterializeSubtree());
+          items.push_back(Item(item.release()));
+        } else if (IsExprTag(ctag)) {
+          if (wants_expr && expr == nullptr) {
+            MQP_ASSIGN_OR_RETURN(
+                expr, Expr::FromTokens(r_, &attr_pool_, depth + 1));
+          } else {
+            MQP_RETURN_IF_ERROR(r_->SkipToElementEnd());
+          }
+        } else if (ignores_children) {
+          MQP_RETURN_IF_ERROR(r_->SkipToElementEnd());
+        } else {
+          MQP_ASSIGN_OR_RETURN(auto input, ParseNode(depth + 1));
+          inputs.push_back(std::move(input));
+        }
+      }
+      if (!r_->Advance()) return r_->status();
+      t = r_->current();
+    }
+    MQP_ASSIGN_OR_RETURN(
+        auto node, BuildByTag(tag, attrs, std::move(expr), std::move(items),
+                              &inputs));
+    if (!histograms.empty()) {
+      node->annotations().histograms = std::move(histograms);
+    }
+    if (!attrs.empty()) {
+      Annotations& a = node->annotations();
+      int64_t v;
+      if (const std::string* s = attrs.Find("card");
+          s != nullptr && mqp::ParseInt64(*s, &v)) {
+        a.cardinality = static_cast<uint64_t>(v);
+      }
+      if (const std::string* s = attrs.Find("bytes");
+          s != nullptr && mqp::ParseInt64(*s, &v)) {
+        a.bytes = static_cast<uint64_t>(v);
+      }
+      if (const std::string* s = attrs.Find("distinct");
+          s != nullptr && mqp::ParseInt64(*s, &v)) {
+        a.distinct_keys = static_cast<uint64_t>(v);
+      }
+      if (const std::string* s = attrs.Find("staleness");
+          s != nullptr && mqp::ParseInt64(*s, &v)) {
+        a.staleness_minutes = static_cast<int>(v);
+      }
+      if (const std::string* id = attrs.Find("node-id")) {
+        by_id_[*id] = node;
+      }
+    }
+    return node;
+  }
+
+  // `inputs` is a pooled per-depth vector: fixed-arity operators move
+  // single elements out (the slot keeps its capacity); union/or steal the
+  // whole buffer.
+  Result<PlanNodePtr> BuildByTag(std::string_view tag,
+                                 const xml::AttrList& attrs, ExprPtr expr,
+                                 ItemSet items,
+                                 std::vector<PlanNodePtr>* inputs) {
+    if (tag == "data") {
+      return PlanNode::XmlData(std::move(items));
+    }
+    if (tag == "url") {
+      return PlanNode::Url(attrs.Get("href"), attrs.Get("xpath"));
+    }
+    if (tag == "urn") {
+      return PlanNode::UrnRef(attrs.Get("name"), attrs.Get("hint"));
+    }
+    if (tag == "select") {
+      MQP_RETURN_IF_ERROR(RequireExpr(tag, expr));
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, *inputs, 1));
+      return PlanNode::Select(std::move(expr), std::move((*inputs)[0]));
+    }
+    if (tag == "project") {
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, *inputs, 1));
+      return PlanNode::Project(
+          mqp::SplitSkipEmpty(attrs.GetView("fields"), ','),
+          std::move((*inputs)[0]));
+    }
+    if (tag == "join" || tag == "leftouterjoin") {
+      MQP_RETURN_IF_ERROR(RequireExpr(tag, expr));
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, *inputs, 2));
+      return tag == "join"
+                 ? PlanNode::Join(std::move(expr), std::move((*inputs)[0]),
+                                  std::move((*inputs)[1]))
+                 : PlanNode::LeftOuterJoin(std::move(expr),
+                                           std::move((*inputs)[0]),
+                                           std::move((*inputs)[1]));
+    }
+    if (tag == "union" || tag == "or") {
+      if (inputs->empty()) {
+        return Status::ParseError("<" + std::string(tag) +
+                                  "> needs at least one input");
+      }
+      return tag == "union"
+                 ? PlanNode::Union(std::move(*inputs),
+                                   attrs.GetView("distinct") == "1")
+                 : PlanNode::Or(std::move(*inputs));
+    }
+    if (tag == "difference") {
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, *inputs, 2));
+      return PlanNode::Difference(std::move((*inputs)[0]),
+                                  std::move((*inputs)[1]));
+    }
+    if (tag == "aggregate") {
+      MQP_ASSIGN_OR_RETURN(auto func,
+                           AggFuncFromName(attrs.GetView("func", "count")));
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, *inputs, 1));
+      return PlanNode::Aggregate(func, attrs.Get("field"),
+                                 attrs.Get("groupby"),
+                                 std::move((*inputs)[0]));
+    }
+    if (tag == "topn") {
+      int64_t n = 0;
+      if (!mqp::ParseInt64(attrs.GetView("n"), &n) || n < 0) {
+        return Status::ParseError("<topn> has a bad n attribute");
+      }
+      MQP_RETURN_IF_ERROR(RequireInputs(tag, *inputs, 1));
+      return PlanNode::TopN(static_cast<uint64_t>(n), attrs.Get("orderby"),
+                            attrs.GetView("order", "asc") != "desc",
+                            std::move((*inputs)[0]));
+    }
+    return Status::ParseError("unknown operator element <" +
+                              std::string(tag) + ">");
+  }
+
+  Status RequireExpr(std::string_view tag, const ExprPtr& expr) {
+    if (expr == nullptr) {
+      return Status::ParseError("<" + std::string(tag) +
+                                "> is missing its expression");
+    }
+    return Status::OK();
+  }
+
+  xml::TokenReader* r_;
+  std::unordered_map<std::string, PlanNodePtr> by_id_;
+  std::deque<xml::AttrList> attr_pool_;
+  std::deque<std::vector<PlanNodePtr>> input_pool_;
+};
+
+// Parses an <original>/<plan> section: the first element child becomes the
+// operator tree, the rest is skipped (the DOM path breaks after the first
+// element too). Returns null for an empty section.
+Result<PlanNodePtr> ParseSection(xml::TokenReader* r, StreamDeserializer* d) {
+  xml::AttrList attrs;
+  MQP_ASSIGN_OR_RETURN(xml::Token t, r->ReadAttrs(&attrs));
+  PlanNodePtr node;
+  d->ResetIds();
+  while (t.type != xml::TokenType::kEndElement) {
+    if (t.type == xml::TokenType::kStartElement) {
+      if (node == nullptr) {
+        MQP_ASSIGN_OR_RETURN(node, d->ParseOp());
+      } else {
+        MQP_RETURN_IF_ERROR(r->SkipToElementEnd());
+      }
+    }
+    if (!r->Advance()) return r->status();
+    t = r->current();
+  }
+  return node;
+}
+
+Status ParsePolicyTokens(xml::TokenReader* r, PlanPolicy* p) {
+  xml::AttrList attrs;
+  MQP_ASSIGN_OR_RETURN(xml::Token t, r->ReadAttrs(&attrs));
+  if (const std::string* tb = attrs.Find("time-budget")) {
+    if (!mqp::ParseDouble(*tb, &p->time_budget_seconds)) {
+      return Status::ParseError("bad time-budget");
+    }
+  }
+  p->preference = attrs.GetView("prefer", "complete") == "current"
+                      ? AnswerPreference::kCurrent
+                      : AnswerPreference::kComplete;
+  while (t.type != xml::TokenType::kEndElement) {
+    if (t.type == xml::TokenType::kStartElement) {
+      xml::AttrList child;
+      const std::string ctag(t.name);
+      MQP_ASSIGN_OR_RETURN(xml::Token ct, r->ReadAttrs(&child));
+      if (ctag == "route-allow") {
+        p->route_allow.push_back(child.Get("server"));
+      } else if (ctag == "bind-after") {
+        p->bind_after.emplace_back(child.Get("first"), child.Get("then"));
+      }
+      if (ct.type != xml::TokenType::kEndElement) {
+        MQP_RETURN_IF_ERROR(r->SkipToElementEnd());
+      }
+    }
+    if (!r->Advance()) return r->status();
+    t = r->current();
+  }
+  return Status::OK();
+}
+
+Result<Plan> ParsePlanStreaming(std::string_view text) {
+  xml::TokenReader r(text);
+  MQP_ASSIGN_OR_RETURN(xml::Token t, r.Next());
+  if (t.type == xml::TokenType::kEndOfInput) {
+    return Status::ParseError("expected exactly one root element, found 0");
+  }
+  if (t.name != "mqp") {
+    return Status::ParseError("expected <mqp> root, found <" +
+                              std::string(t.name) + ">");
+  }
+  xml::AttrList attrs;
+  MQP_ASSIGN_OR_RETURN(t, r.ReadAttrs(&attrs));
+  Plan plan;
+  plan.set_query_id(attrs.Get("query-id"));
+  if (const std::string* s = attrs.Find("submitted")) {
+    double ts = 0;
+    if (!mqp::ParseDouble(*s, &ts)) {
+      return Status::ParseError("bad submitted timestamp");
+    }
+    plan.set_submitted_at(ts);
+  }
+  // First occurrence of each section wins, like the DOM path's Child()
+  // lookups; duplicates and unknown elements are skipped.
+  bool saw_policy = false, saw_prov = false, saw_orig = false,
+       saw_plan = false, plan_has_root = false;
+  StreamDeserializer d(&r);
+  while (t.type != xml::TokenType::kEndElement) {
+    if (t.type == xml::TokenType::kStartElement) {
+      if (t.name == "policy" && !saw_policy) {
+        saw_policy = true;
+        MQP_RETURN_IF_ERROR(ParsePolicyTokens(&r, &plan.policy()));
+      } else if (t.name == "provenance" && !saw_prov) {
+        saw_prov = true;
+        MQP_ASSIGN_OR_RETURN(auto p, Provenance::FromTokens(&r));
+        plan.provenance() = std::move(p);
+      } else if (t.name == "original" && !saw_orig) {
+        saw_orig = true;
+        MQP_ASSIGN_OR_RETURN(auto node, ParseSection(&r, &d));
+        if (node != nullptr) plan.set_original(std::move(node));
+      } else if (t.name == "plan" && !saw_plan) {
+        saw_plan = true;
+        MQP_ASSIGN_OR_RETURN(auto node, ParseSection(&r, &d));
+        if (node != nullptr) {
+          plan_has_root = true;
+          plan.set_root(std::move(node));
+        }
+      } else {
+        MQP_RETURN_IF_ERROR(r.SkipToElementEnd());
+      }
+    }
+    if (!r.Advance()) return r.status();
+    t = r.current();
+  }
+  // The DOM path parses the entire document before looking at it; keep
+  // the well-formedness guarantee by consuming to the end.
+  MQP_ASSIGN_OR_RETURN(t, r.Next());
+  if (t.type != xml::TokenType::kEndOfInput) {
+    return Status::ParseError("expected exactly one root element, found 2");
+  }
+  if (!saw_plan) {
+    return Status::ParseError("<mqp> is missing its <plan>");
+  }
+  if (!plan_has_root) {
+    return Status::ParseError("<plan> is empty");
+  }
+  return plan;
+}
+
 }  // namespace
+
+void set_use_streaming_plan_codec(bool on) {
+  g_use_streaming_plan_codec = on;
+}
+
+bool use_streaming_plan_codec() { return g_use_streaming_plan_codec; }
 
 std::unique_ptr<xml::Node> PlanToXml(const Plan& plan) {
   auto root = xml::Node::Element("mqp");
@@ -346,9 +873,15 @@ std::unique_ptr<xml::Node> PlanToXml(const Plan& plan) {
 }
 
 std::string SerializePlan(const Plan& plan, bool indent) {
-  xml::WriteOptions opts;
-  opts.indent = indent;
-  return xml::Serialize(*PlanToXml(plan), opts);
+  if (indent || !g_use_streaming_plan_codec) {
+    xml::WriteOptions opts;
+    opts.indent = indent;
+    return xml::Serialize(*PlanToXml(plan), opts);
+  }
+  std::string out;
+  xml::TokenWriter w(&out);
+  EmitPlanTokens(plan, &w);
+  return out;
 }
 
 Result<Plan> PlanFromXml(const xml::Node& root) {
@@ -413,12 +946,20 @@ Result<Plan> PlanFromXml(const xml::Node& root) {
 }
 
 Result<Plan> ParsePlan(std::string_view text) {
-  MQP_ASSIGN_OR_RETURN(auto doc, xml::Parse(text));
-  return PlanFromXml(*doc);
+  if (!g_use_streaming_plan_codec) {
+    MQP_ASSIGN_OR_RETURN(auto doc, xml::Parse(text));
+    return PlanFromXml(*doc);
+  }
+  return ParsePlanStreaming(text);
 }
 
 size_t PlanWireSize(const Plan& plan) {
-  return xml::SerializedSize(*PlanToXml(plan));
+  if (!g_use_streaming_plan_codec) {
+    return xml::SerializedSize(*PlanToXml(plan));
+  }
+  xml::TokenWriter w;
+  EmitPlanTokens(plan, &w);
+  return w.size();
 }
 
 }  // namespace mqp::algebra

@@ -36,20 +36,36 @@
 
 namespace mqp::algebra {
 
-/// \brief Serializes a plan to its XML wire form.
+/// \brief Serializes a plan to its XML wire form. The compact form runs
+/// the streaming codec (no intermediate DOM) unless the ablation knob is
+/// off; `indent = true` is a debugging aid and always takes the DOM path.
+/// Both paths produce byte-identical compact output.
 std::string SerializePlan(const Plan& plan, bool indent = false);
 
-/// \brief Serializes to a DOM (for embedding in larger messages).
+/// \brief Serializes to a DOM — the reference implementation the
+/// streaming encoder is equivalence-tested against (and the pretty
+/// printer's input).
 std::unique_ptr<xml::Node> PlanToXml(const Plan& plan);
 
-/// \brief Parses the XML wire form back into a Plan.
+/// \brief Parses the XML wire form back into a Plan. Runs the streaming
+/// token decoder (zero xml::Nodes built except verbatim <data> items)
+/// unless the ablation knob is off.
 Result<Plan> ParsePlan(std::string_view text);
 
-/// \brief Parses a plan from a DOM node (<mqp> element).
+/// \brief Parses a plan from a DOM node (<mqp> element) — the reference
+/// decoder behind the ablation knob.
 Result<Plan> PlanFromXml(const xml::Node& root);
 
 /// \brief Serialized size of the plan in bytes (what the network would
-/// carry); the quantity MQP optimization tries to keep small.
+/// carry); the quantity MQP optimization tries to keep small. The
+/// streaming path prices via a counting token sink without materializing.
 size_t PlanWireSize(const Plan& plan);
+
+/// \brief Ablation knob (the PR 3 pattern): when off, ParsePlan /
+/// SerializePlan / PlanWireSize run the DOM reference implementation
+/// (xml::Parse → PlanFromXml, PlanToXml → xml::Serialize) instead of the
+/// streaming codec. Defaults to on; tests and benches flip it to compare.
+void set_use_streaming_plan_codec(bool on);
+bool use_streaming_plan_codec();
 
 }  // namespace mqp::algebra

@@ -1,6 +1,8 @@
 #include "algebra/provenance.h"
 
 #include "common/strings.h"
+#include "xml/token_reader.h"
+#include "xml/token_writer.h"
 
 namespace mqp::algebra {
 
@@ -105,6 +107,60 @@ Result<Provenance> Provenance::FromXml(const xml::Node& node) {
     }
     e.staleness_minutes = static_cast<int>(staleness);
     prov.Add(std::move(e));
+  }
+  return prov;
+}
+
+void Provenance::EmitTokens(xml::TokenWriter* w) const {
+  w->Start("provenance");
+  for (const auto& e : entries_) {
+    w->Start("visit");
+    w->Attr("server", e.server);
+    w->Attr("time", mqp::FormatDouble(e.time));
+    w->Attr("action", ProvenanceActionName(e.action));
+    if (!e.detail.empty()) w->Attr("detail", e.detail);
+    if (e.staleness_minutes != 0) {
+      w->Attr("staleness", std::to_string(e.staleness_minutes));
+    }
+    w->End();
+  }
+  w->End();
+}
+
+Result<Provenance> Provenance::FromTokens(xml::TokenReader* r) {
+  Provenance prov;
+  xml::AttrList root_attrs;
+  MQP_ASSIGN_OR_RETURN(xml::Token t, r->ReadAttrs(&root_attrs));
+  xml::AttrList attrs;  // reused across visits
+  while (t.type != xml::TokenType::kEndElement) {
+    if (t.type == xml::TokenType::kStartElement) {
+      if (t.name == "visit") {
+        MQP_ASSIGN_OR_RETURN(xml::Token vt, r->ReadAttrs(&attrs));
+        ProvenanceEntry e;
+        e.server = attrs.Get("server");
+        if (!mqp::ParseDouble(attrs.Get("time", "0"), &e.time)) {
+          return Status::ParseError("bad provenance time");
+        }
+        MQP_ASSIGN_OR_RETURN(
+            e.action, ProvenanceActionFromName(attrs.Get("action")));
+        e.detail = attrs.Get("detail");
+        int64_t staleness = 0;
+        if (const std::string* s = attrs.Find("staleness")) {
+          if (!mqp::ParseInt64(*s, &staleness)) {
+            return Status::ParseError("bad provenance staleness");
+          }
+        }
+        e.staleness_minutes = static_cast<int>(staleness);
+        prov.Add(std::move(e));
+        if (vt.type != xml::TokenType::kEndElement) {
+          MQP_RETURN_IF_ERROR(r->SkipToElementEnd());
+        }
+      } else {
+        MQP_RETURN_IF_ERROR(r->SkipToElementEnd());
+      }
+    }
+    if (!r->Advance()) return r->status();
+    t = r->current();
   }
   return prov;
 }

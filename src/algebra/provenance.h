@@ -15,6 +15,11 @@
 #include "common/result.h"
 #include "xml/node.h"
 
+namespace mqp::xml {
+class TokenReader;
+class TokenWriter;
+}  // namespace mqp::xml
+
 namespace mqp::algebra {
 
 /// What a server did to the MQP during one visit.
@@ -69,6 +74,13 @@ class Provenance {
 
   /// Parses a <provenance> element.
   static Result<Provenance> FromXml(const xml::Node& node);
+
+  /// Streaming twin of ToXml: emits the same bytes without building a DOM.
+  void EmitTokens(xml::TokenWriter* w) const;
+
+  /// Streaming twin of FromXml. Precondition: current token is the
+  /// <provenance> kStartElement; returns with its kEndElement consumed.
+  static Result<Provenance> FromTokens(xml::TokenReader* r);
 
   bool operator==(const Provenance& other) const = default;
 

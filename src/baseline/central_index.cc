@@ -2,9 +2,10 @@
 
 #include "engine/operator.h"
 #include "peer/peer.h"
+#include "wire/body_codec.h"
 #include "wire/envelope.h"
-#include "xml/parser.h"
-#include "xml/writer.h"
+#include "xml/token_reader.h"
+#include "xml/token_writer.h"
 
 namespace mqp::baseline {
 
@@ -25,21 +26,25 @@ void CentralIndexServer::HandleMessage(const net::Message& msg) {
   if (!decoded.ok()) return;
   const wire::Envelope env = std::move(decoded).value();
   if (env.kind != wire::kLookupKind) return;
-  auto doc = xml::Parse(env.body());
-  if (!doc.ok()) return;
-  auto area = ns::InterestArea::Parse((*doc)->AttrOr("area", ""));
-  auto reply = xml::Node::Element("lookup-reply");
+  xml::AttrList attrs;
+  if (!wire::DecodeAttrBody(env.body(), &attrs).ok()) return;
+  auto area = ns::InterestArea::Parse(attrs.Get("area"));
+  std::string reply;
+  xml::TokenWriter w(&reply);
+  w.Start("lookup-reply");
   if (area.ok()) {
     for (const auto& e : entries_) {
       if (!e.area.Overlaps(*area)) continue;
-      xml::Node* hit = reply->AddElement("hit");
-      hit->SetAttr("server", e.server);
-      hit->SetAttr("xpath", e.xpath);
+      w.Start("hit");
+      w.Attr("server", e.server);
+      w.Attr("xpath", e.xpath);
+      w.End();
     }
   }
+  w.End();
   wire::Send(sim_, id_, msg.from,
              {wire::kLookupReplyKind, env.query_id, 0,
-              net::MakePayload(xml::Serialize(*reply))});
+              net::MakePayload(std::move(reply))});
 }
 
 CentralIndexClient::CentralIndexClient(net::Simulator* sim,
@@ -57,13 +62,16 @@ void CentralIndexClient::Run(algebra::Plan plan,
   fetched_.clear();
   outstanding_ = 0;
   lookup_req_ = "lk" + std::to_string(next_req_++);
-  auto q = xml::Node::Element("lookup");
-  q->SetAttr("area", area.ToString());
+  std::string body;
+  xml::TokenWriter w(&body);
+  w.Start("lookup");
+  w.Attr("area", area.ToString());
+  w.End();
   auto pid = sim_->Lookup(index_address_);
   if (!pid.ok()) return;
   wire::Send(sim_, id_, *pid,
              {wire::kLookupKind, lookup_req_, 0,
-              net::MakePayload(xml::Serialize(*q))});
+              net::MakePayload(std::move(body))});
 }
 
 void CentralIndexClient::HandleMessage(const net::Message& msg) {
@@ -74,30 +82,57 @@ void CentralIndexClient::HandleMessage(const net::Message& msg) {
   // reject stale replies.
   if (env.query_id != lookup_req_) return;
   if (env.kind == wire::kLookupReplyKind) {
-    auto doc = xml::Parse(env.body());
-    if (!doc.ok()) return;
-    const auto hits = (*doc)->Children("hit");
+    // Token-decode the hit list: (server, xpath) pairs, no DOM.
+    std::vector<std::pair<std::string, std::string>> hits;
+    {
+      xml::TokenReader r(env.body());
+      auto t = r.Next();
+      if (!t.ok() || t->type != xml::TokenType::kStartElement) return;
+      xml::AttrList root_attrs;
+      t = r.ReadAttrs(&root_attrs);
+      while (t.ok() && t->type != xml::TokenType::kEndElement) {
+        if (t->type == xml::TokenType::kStartElement) {
+          if (t->name == "hit") {
+            xml::AttrList attrs;
+            auto ht = r.ReadAttrs(&attrs);
+            if (!ht.ok()) return;
+            hits.emplace_back(attrs.Get("server"), attrs.Get("xpath"));
+            if (ht->type != xml::TokenType::kEndElement &&
+                !r.SkipToElementEnd().ok()) {
+              return;
+            }
+          } else if (!r.SkipToElementEnd().ok()) {
+            return;
+          }
+        }
+        t = r.Next();
+      }
+      if (!t.ok()) return;
+    }
     outcome_.servers_contacted = hits.size();
     if (hits.empty()) {
       FinishIfDone();
       return;
     }
-    for (const xml::Node* hit : hits) {
-      auto pid = sim_->Lookup(hit->AttrOr("server", ""));
+    for (const auto& [server, xpath] : hits) {
+      auto pid = sim_->Lookup(server);
       if (!pid.ok()) continue;
-      auto fetch = xml::Node::Element("fetch");
-      fetch->SetAttr("xpath", hit->AttrOr("xpath", ""));
+      std::string fetch;
+      xml::TokenWriter w(&fetch);
+      w.Start("fetch");
+      w.Attr("xpath", xpath);
+      w.End();
       ++outstanding_;
       wire::Send(sim_, id_, *pid,
                  {wire::kFetchKind, lookup_req_, 0,
-                  net::MakePayload(xml::Serialize(*fetch))});
+                  net::MakePayload(std::move(fetch))});
     }
     FinishIfDone();
   } else if (env.kind == wire::kFetchReplyKind) {
-    auto doc = xml::Parse(env.body());
-    if (!doc.ok()) return;
-    for (const xml::Node* item : (*doc)->Children("*")) {
-      fetched_.push_back(algebra::MakeItem(*item));
+    auto items = wire::DecodeItemBody(env.body());
+    if (!items.ok()) return;
+    for (auto& item : *items) {
+      fetched_.push_back(std::move(item));
     }
     if (outstanding_ > 0) --outstanding_;
     FinishIfDone();

@@ -4,9 +4,9 @@
 #include "engine/operator.h"
 #include "ns/urn.h"
 #include "peer/peer.h"
+#include "wire/body_codec.h"
 #include "wire/envelope.h"
-#include "xml/parser.h"
-#include "xml/writer.h"
+#include "xml/token_writer.h"
 
 namespace mqp::baseline {
 
@@ -83,23 +83,26 @@ void Coordinator::Run(algebra::Plan plan, Callback cb) {
     ++outcome_.sources_contacted;
     ++outstanding_;
     if (mode_ == Mode::kShipAll) {
-      auto fetch = xml::Node::Element("fetch");
-      fetch->SetAttr("xpath", e.xpath);
+      std::string body;
+      xml::TokenWriter w(&body);
+      w.Start("fetch");
+      w.Attr("xpath", e.xpath);
+      w.End();
       wire::Send(sim_, id_, *pid,
                  {wire::kFetchKind, req_, 0,
-                  net::MakePayload(xml::Serialize(*fetch))});
+                  net::MakePayload(std::move(body))});
     } else {
-      // Push the selection to the source.
+      // Push the selection to the source. The body is the sub-plan's
+      // <mqp> document itself — the old <subquery> wrapper carried
+      // nothing (correlation rides in the envelope header).
       PlanNodePtr sub = PlanNode::Url(e.server, e.xpath);
       if (site.predicate != nullptr) {
         sub = PlanNode::Select(site.predicate, std::move(sub));
       }
       algebra::Plan subplan(std::move(sub));
-      auto msg = xml::Node::Element("subquery");
-      msg->AddChild(algebra::PlanToXml(subplan));
       wire::Send(sim_, id_, *pid,
                  {wire::kSubqueryKind, req_, 0,
-                  net::MakePayload(xml::Serialize(*msg))});
+                  net::MakePayload(algebra::SerializePlan(subplan))});
     }
   }
   if (outstanding_ == 0) {
@@ -128,10 +131,10 @@ void Coordinator::HandleMessage(const net::Message& msg) {
   // Stale replies (from a previous Run) are rejected on the header alone.
   if (env.query_id != req_) return;
   if (outstanding_ == 0) return;  // already timed out
-  auto doc = xml::Parse(env.body());
-  if (!doc.ok()) return;
-  for (const xml::Node* item : (*doc)->Children("*")) {
-    gathered_.push_back(algebra::MakeItem(*item));
+  auto items = wire::DecodeItemBody(env.body());
+  if (!items.ok()) return;
+  for (auto& item : *items) {
+    gathered_.push_back(std::move(item));
   }
   --outstanding_;
   if (outstanding_ == 0) Finish();

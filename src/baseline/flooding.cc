@@ -1,10 +1,10 @@
 #include "baseline/flooding.h"
 
 #include "common/strings.h"
+#include "wire/body_codec.h"
 #include "wire/envelope.h"
 #include "workload/garage_sale.h"
-#include "xml/parser.h"
-#include "xml/writer.h"
+#include "xml/token_writer.h"
 
 namespace mqp::baseline {
 
@@ -28,11 +28,13 @@ void FloodingPeer::StartFlood(const std::string& flood_id,
   seen_.insert(flood_id);
   // The body is immutable for the flood's whole lifetime: id and horizon
   // travel in the wire header, so every re-broadcast shares this buffer.
-  auto q = xml::Node::Element("flood");
-  q->SetAttr("area", area.ToString());
-  q->SetAttr("reply-to", std::to_string(reply_to));
-  Forward(flood_id, net::MakePayload(xml::Serialize(*q)), horizon,
-          net::kNoPeer);
+  std::string body;
+  xml::TokenWriter w(&body);
+  w.Start("flood");
+  w.Attr("area", area.ToString());
+  w.Attr("reply-to", std::to_string(reply_to));
+  w.End();
+  Forward(flood_id, net::MakePayload(std::move(body)), horizon, net::kNoPeer);
 }
 
 void FloodingPeer::Forward(const std::string& flood_id,
@@ -54,25 +56,30 @@ void FloodingPeer::HandleMessage(const net::Message& msg) {
   if (env.kind != wire::kFloodKind) return;
   const std::string& flood_id = env.query_id;
   if (!seen_.insert(flood_id).second) return;  // duplicate: drop
-  auto doc = xml::Parse(env.body());
-  if (!doc.ok()) return;
-  auto area = ns::InterestArea::Parse((*doc)->AttrOr("area", ""));
+  xml::AttrList attrs;
+  if (!wire::DecodeAttrBody(env.body(), &attrs).ok()) return;
+  auto area = ns::InterestArea::Parse(attrs.Get("area"));
   if (!area.ok()) return;
   int64_t reply_to = 0;
-  (void)mqp::ParseInt64((*doc)->AttrOr("reply-to", "-1"), &reply_to);
+  (void)mqp::ParseInt64(attrs.Get("reply-to", "-1"), &reply_to);
 
   // Local match: send items that fall inside the queried area.
   if (area_.Overlaps(*area) && reply_to >= 0) {
-    auto hit = xml::Node::Element("flood-hit");
+    std::string hit;
+    xml::TokenWriter w(&hit);
+    w.Start("flood-hit");
+    size_t matched = 0;
     for (const auto& item : items_) {
       if (workload::GarageSaleGenerator::ItemInArea(*item, *area)) {
-        hit->AddChild(item->Clone());
+        w.Write(*item);
+        ++matched;
       }
     }
-    if (hit->ElementCount() > 0) {
+    w.End();
+    if (matched > 0) {
       wire::Send(sim_, id_, static_cast<net::PeerId>(reply_to),
                  {wire::kFloodHitKind, flood_id, 0,
-                  net::MakePayload(xml::Serialize(*hit))});
+                  net::MakePayload(std::move(hit))});
     }
   }
   // Decrementing the horizon touches only the header; the body is
@@ -98,11 +105,11 @@ void FloodingClient::Reset() {
 
 void FloodingClient::HandleMessage(const net::Message& msg) {
   if (msg.kind == wire::kFloodHitKind) {
-    auto doc = xml::Parse(msg.body());
-    if (!doc.ok()) return;
+    auto items = wire::DecodeItemBody(msg.body());
+    if (!items.ok()) return;
     ++hits_;
-    for (const xml::Node* item : (*doc)->Children("*")) {
-      collected_.push_back(algebra::MakeItem(*item));
+    for (auto& item : *items) {
+      collected_.push_back(std::move(item));
     }
     return;
   }

@@ -3,9 +3,8 @@
 #include <algorithm>
 
 #include "common/strings.h"
-#include "xml/node.h"
-#include "xml/parser.h"
-#include "xml/writer.h"
+#include "xml/token_reader.h"
+#include "xml/token_writer.h"
 
 namespace mqp::catalog {
 
@@ -19,43 +18,74 @@ bool Dominates(const VersionVector& a, const VersionVector& b) {
 
 namespace {
 
-// Shared "<v o='addr' s='7'/>" codec for digests and the delta piggyback.
-void AppendVectorElements(xml::Node* parent, const VersionVector& vector) {
+// Shared "<v o='addr' s='7'/>" codec for digests and the delta piggyback,
+// emitted and consumed as tokens — gossip bodies never build a DOM.
+void EmitVectorElements(xml::TokenWriter* w, const VersionVector& vector) {
   for (const auto& [origin, seq] : vector) {
-    xml::Node* v = parent->AddElement("v");
-    v->SetAttr("o", origin);
-    v->SetAttr("s", std::to_string(seq));
+    w->Start("v");
+    w->Attr("o", origin);
+    w->Attr("s", std::to_string(seq));
+    w->End();
   }
 }
 
-Result<VersionVector> ParseVectorElements(const xml::Node& parent) {
-  VersionVector vector;
-  for (const xml::Node* v : parent.Children("v")) {
-    const std::string origin = v->AttrOr("o", "");
-    int64_t seq = 0;
-    if (origin.empty() || !mqp::ParseInt64(v->AttrOr("s", ""), &seq) ||
-        seq < 0) {
-      return Status::ParseError("malformed version-vector element");
-    }
-    vector[origin] = static_cast<uint64_t>(seq);
+// Parses one <v .../> whose start token is current; `first` is the token
+// ReadAttrs stopped on.
+Status ParseVectorElement(xml::TokenReader* r, const xml::AttrList& attrs,
+                          const xml::Token& first, VersionVector* vector) {
+  const std::string origin = attrs.Get("o");
+  int64_t seq = 0;
+  if (origin.empty() || !mqp::ParseInt64(attrs.Get("s"), &seq) || seq < 0) {
+    return Status::ParseError("malformed version-vector element");
   }
-  return vector;
+  (*vector)[origin] = static_cast<uint64_t>(seq);
+  if (first.type != xml::TokenType::kEndElement) {
+    return r->SkipToElementEnd();
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
 std::string DigestToXml(const VersionVector& vector) {
-  auto root = xml::Node::Element("digest");
-  AppendVectorElements(root.get(), vector);
-  return xml::Serialize(*root);
+  std::string out;
+  xml::TokenWriter w(&out);
+  w.Start("digest");
+  EmitVectorElements(&w, vector);
+  w.End();
+  return out;
 }
 
 Result<VersionVector> DigestFromXml(const std::string& text) {
-  MQP_ASSIGN_OR_RETURN(auto doc, xml::Parse(text));
-  if (doc->name() != "digest") {
-    return Status::ParseError("not a digest: <" + doc->name() + ">");
+  xml::TokenReader r(text);
+  MQP_ASSIGN_OR_RETURN(xml::Token t, r.Next());
+  if (t.type != xml::TokenType::kStartElement) {
+    return r.Error("expected a root element");
   }
-  return ParseVectorElements(*doc);
+  if (t.name != "digest") {
+    return Status::ParseError("not a digest: <" + std::string(t.name) + ">");
+  }
+  xml::AttrList root_attrs;
+  MQP_ASSIGN_OR_RETURN(t, r.ReadAttrs(&root_attrs));
+  VersionVector vector;
+  while (t.type != xml::TokenType::kEndElement) {
+    if (t.type == xml::TokenType::kStartElement) {
+      if (t.name == "v") {
+        xml::AttrList attrs;
+        MQP_ASSIGN_OR_RETURN(xml::Token vt, r.ReadAttrs(&attrs));
+        MQP_RETURN_IF_ERROR(ParseVectorElement(&r, attrs, vt, &vector));
+      } else {
+        MQP_RETURN_IF_ERROR(r.SkipToElementEnd());
+      }
+    }
+    MQP_ASSIGN_OR_RETURN(t, r.Next());
+  }
+  // The DOM path rejected trailing content via Parse's one-root check.
+  MQP_ASSIGN_OR_RETURN(t, r.Next());
+  if (t.type != xml::TokenType::kEndOfInput) {
+    return Status::ParseError("expected exactly one root element, found 2");
+  }
+  return vector;
 }
 
 namespace {
@@ -100,71 +130,104 @@ std::string VersionedRecord::Key() const {
 }
 
 std::string CatalogDelta::ToXml() const {
-  auto root = xml::Node::Element("delta");
-  AppendVectorElements(root.get(), sender_vector);
+  std::string out;
+  xml::TokenWriter w(&out);
+  w.Start("delta");
+  EmitVectorElements(&w, sender_vector);
   for (const auto& rec : records) {
-    xml::Node* r = root->AddElement("rec");
-    r->SetAttr("o", rec.version.origin);
-    r->SetAttr("s", std::to_string(rec.version.sequence));
-    r->SetAttr("k", std::string(KindName(rec.entry.kind)));
-    if (rec.tombstone) r->SetAttr("tomb", "1");
+    w.Start("rec");
+    w.Attr("o", rec.version.origin);
+    w.Attr("s", std::to_string(rec.version.sequence));
+    w.Attr("k", KindName(rec.entry.kind));
+    if (rec.tombstone) w.Attr("tomb", "1");
     if (rec.ttl_seconds != 0) {
-      r->SetAttr("ttl", std::to_string(static_cast<int64_t>(rec.ttl_seconds)));
+      w.Attr("ttl", std::to_string(static_cast<int64_t>(rec.ttl_seconds)));
     }
-    if (rec.entry.kind == SyncEntryKind::kPresence) continue;
-    if (!rec.entry.urn.empty()) r->SetAttr("urn", rec.entry.urn);
-    r->SetAttr("level", std::string(HoldingLevelName(rec.entry.entry.level)));
-    r->SetAttr("area", rec.entry.entry.area.ToString());
-    r->SetAttr("server", rec.entry.entry.server);
-    if (!rec.entry.entry.xpath.empty()) {
-      r->SetAttr("xpath", rec.entry.entry.xpath);
+    if (rec.entry.kind != SyncEntryKind::kPresence) {
+      if (!rec.entry.urn.empty()) w.Attr("urn", rec.entry.urn);
+      w.Attr("level", HoldingLevelName(rec.entry.entry.level));
+      w.Attr("area", rec.entry.entry.area.ToString());
+      w.Attr("server", rec.entry.entry.server);
+      if (!rec.entry.entry.xpath.empty()) {
+        w.Attr("xpath", rec.entry.entry.xpath);
+      }
+      if (rec.entry.entry.delay_minutes != 0) {
+        w.Attr("delay", std::to_string(rec.entry.entry.delay_minutes));
+      }
     }
-    if (rec.entry.entry.delay_minutes != 0) {
-      r->SetAttr("delay", std::to_string(rec.entry.entry.delay_minutes));
-    }
+    w.End();
   }
-  return xml::Serialize(*root);
+  w.End();
+  return out;
 }
 
 Result<CatalogDelta> CatalogDelta::FromXml(const std::string& text) {
-  MQP_ASSIGN_OR_RETURN(auto doc, xml::Parse(text));
-  if (doc->name() != "delta") {
-    return Status::ParseError("not a delta: <" + doc->name() + ">");
+  xml::TokenReader r(text);
+  MQP_ASSIGN_OR_RETURN(xml::Token t, r.Next());
+  if (t.type != xml::TokenType::kStartElement) {
+    return r.Error("expected a root element");
   }
+  if (t.name != "delta") {
+    return Status::ParseError("not a delta: <" + std::string(t.name) + ">");
+  }
+  xml::AttrList root_attrs;
+  MQP_ASSIGN_OR_RETURN(t, r.ReadAttrs(&root_attrs));
   CatalogDelta delta;
-  MQP_ASSIGN_OR_RETURN(delta.sender_vector, ParseVectorElements(*doc));
-  for (const xml::Node* r : doc->Children("rec")) {
-    VersionedRecord rec;
-    rec.version.origin = r->AttrOr("o", "");
-    int64_t seq = 0;
-    if (rec.version.origin.empty() ||
-        !mqp::ParseInt64(r->AttrOr("s", ""), &seq) || seq < 0) {
-      return Status::ParseError("malformed record version");
-    }
-    rec.version.sequence = static_cast<uint64_t>(seq);
-    MQP_ASSIGN_OR_RETURN(rec.entry.kind, KindFromName(r->AttrOr("k", "area")));
-    rec.tombstone = r->AttrOr("tomb", "0") == "1";
-    int64_t ttl = 0;
-    (void)mqp::ParseInt64(r->AttrOr("ttl", "0"), &ttl);
-    rec.ttl_seconds = static_cast<double>(ttl);
-    if (rec.entry.kind != SyncEntryKind::kPresence) {
-      rec.entry.urn = r->AttrOr("urn", "");
-      rec.entry.entry.level = r->AttrOr("level", "base") == "index"
-                                  ? HoldingLevel::kIndex
-                                  : HoldingLevel::kBase;
-      auto area = ns::InterestArea::Parse(r->AttrOr("area", ""));
-      if (!area.ok()) return area.status();
-      rec.entry.entry.area = std::move(area).value();
-      rec.entry.entry.server = r->AttrOr("server", "");
-      rec.entry.entry.xpath = r->AttrOr("xpath", "");
-      int64_t delay = 0;
-      (void)mqp::ParseInt64(r->AttrOr("delay", "0"), &delay);
-      rec.entry.entry.delay_minutes = static_cast<int>(delay);
-      if (rec.entry.entry.server.empty()) {
-        return Status::ParseError("record missing server");
+  while (t.type != xml::TokenType::kEndElement) {
+    if (t.type == xml::TokenType::kStartElement) {
+      if (t.name == "v") {
+        xml::AttrList attrs;
+        MQP_ASSIGN_OR_RETURN(xml::Token vt, r.ReadAttrs(&attrs));
+        MQP_RETURN_IF_ERROR(
+            ParseVectorElement(&r, attrs, vt, &delta.sender_vector));
+      } else if (t.name == "rec") {
+        xml::AttrList attrs;
+        MQP_ASSIGN_OR_RETURN(xml::Token rt, r.ReadAttrs(&attrs));
+        VersionedRecord rec;
+        rec.version.origin = attrs.Get("o");
+        int64_t seq = 0;
+        if (rec.version.origin.empty() ||
+            !mqp::ParseInt64(attrs.Get("s"), &seq) || seq < 0) {
+          return Status::ParseError("malformed record version");
+        }
+        rec.version.sequence = static_cast<uint64_t>(seq);
+        MQP_ASSIGN_OR_RETURN(rec.entry.kind,
+                             KindFromName(attrs.Get("k", "area")));
+        rec.tombstone = attrs.Get("tomb", "0") == "1";
+        int64_t ttl = 0;
+        (void)mqp::ParseInt64(attrs.Get("ttl", "0"), &ttl);
+        rec.ttl_seconds = static_cast<double>(ttl);
+        if (rec.entry.kind != SyncEntryKind::kPresence) {
+          rec.entry.urn = attrs.Get("urn");
+          rec.entry.entry.level = attrs.Get("level", "base") == "index"
+                                      ? HoldingLevel::kIndex
+                                      : HoldingLevel::kBase;
+          auto area = ns::InterestArea::Parse(attrs.Get("area"));
+          if (!area.ok()) return area.status();
+          rec.entry.entry.area = std::move(area).value();
+          rec.entry.entry.server = attrs.Get("server");
+          rec.entry.entry.xpath = attrs.Get("xpath");
+          int64_t delay = 0;
+          (void)mqp::ParseInt64(attrs.Get("delay", "0"), &delay);
+          rec.entry.entry.delay_minutes = static_cast<int>(delay);
+          if (rec.entry.entry.server.empty()) {
+            return Status::ParseError("record missing server");
+          }
+        }
+        delta.records.push_back(std::move(rec));
+        if (rt.type != xml::TokenType::kEndElement) {
+          MQP_RETURN_IF_ERROR(r.SkipToElementEnd());
+        }
+      } else {
+        MQP_RETURN_IF_ERROR(r.SkipToElementEnd());
       }
     }
-    delta.records.push_back(std::move(rec));
+    MQP_ASSIGN_OR_RETURN(t, r.Next());
+  }
+  // The DOM path rejected trailing content via Parse's one-root check.
+  MQP_ASSIGN_OR_RETURN(t, r.Next());
+  if (t.type != xml::TokenType::kEndOfInput) {
+    return Status::ParseError("expected exactly one root element, found 2");
   }
   return delta;
 }

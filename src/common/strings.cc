@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <charconv>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -76,26 +77,38 @@ std::string ReplaceAll(std::string s, std::string_view from,
   return out;
 }
 
+namespace {
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
 bool ParseInt64(std::string_view s, int64_t* out) {
+  // from_chars: no temporary buffer, no locale — these run per numeric
+  // attribute on the wire decode path. A leading '+' is accepted for
+  // strtoll compatibility (from_chars alone rejects it), but only before
+  // a digit so "+-5" stays invalid.
   s = Trim(s);
+  if (s.size() >= 2 && s.front() == '+' && IsDigit(s[1])) {
+    s.remove_prefix(1);
+  }
   if (s.empty()) return false;
-  std::string buf(s);
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(buf.c_str(), &end, 10);
-  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
-  *out = static_cast<int64_t>(v);
+  int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  *out = v;
   return true;
 }
 
 bool ParseDouble(std::string_view s, double* out) {
   s = Trim(s);
+  if (s.size() >= 2 && s.front() == '+' && (IsDigit(s[1]) || s[1] == '.')) {
+    s.remove_prefix(1);
+  }
   if (s.empty()) return false;
-  std::string buf(s);
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(buf.c_str(), &end);
-  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  double v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
   *out = v;
   return true;
 }

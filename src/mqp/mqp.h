@@ -4,7 +4,10 @@
 //
 // Module map:
 //   common/     Status/Result error model, deterministic RNG, strings
-//   xml/        XML DOM, parser, serializer, XPath-lite
+//   xml/        XML DOM (the data-item model), parser, serializer,
+//               XPath-lite, and the streaming codec: pull TokenReader /
+//               emitting TokenWriter (the wire hot path — no throwaway
+//               DOM; see DESIGN.md §5)
 //   ns/         multi-hierarchic namespaces: categories (interned to dense
 //               PathIds with Euler-tour intervals), interest areas, URNs
 //   algebra/    mutant query plans: operators, expressions, XML wire format
@@ -15,7 +18,8 @@
 //               versioned entries + tombstones + CatalogDelta (dynamic
 //               maintenance)
 //   net/        discrete-event network simulator (shared-payload messages)
-//   wire/       framed messaging: envelopes + cached plan serialization
+//   wire/       framed messaging: envelopes, cached plan serialization,
+//               streaming body codecs (plan_codec, body_codec)
 //   sync/       gossip/anti-entropy catalog maintenance (digests, deltas,
 //               TTL expiry) on top of the wire layer
 //   peer/       the peer: roles, registration, the Figure-2 MQP loop
@@ -58,6 +62,7 @@
 #include "peer/verification.h"
 #include "query/parser.h"
 #include "sync/gossip.h"
+#include "wire/body_codec.h"
 #include "wire/envelope.h"
 #include "wire/plan_codec.h"
 #include "workload/cd_market.h"
@@ -67,5 +72,7 @@
 #include "workload/network_builder.h"
 #include "xml/node.h"
 #include "xml/parser.h"
+#include "xml/token_reader.h"
+#include "xml/token_writer.h"
 #include "xml/writer.h"
 #include "xml/xpath.h"

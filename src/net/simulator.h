@@ -99,6 +99,14 @@ struct NetStats {
   uint64_t plan_parses = 0;
   uint64_t forwards_without_reserialize = 0;
 
+  // Streaming-codec counters (wire/plan_codec.h): plan bodies decoded via
+  // the token reader, xml::Nodes materialized while decoding plans (only
+  // verbatim <data> items should ever count), and wall-clock nanoseconds
+  // spent decoding (steady_clock, independent of simulated time).
+  uint64_t token_decodes = 0;
+  uint64_t dom_nodes_built = 0;
+  uint64_t plan_decode_ns = 0;
+
   // Catalog-resolution counters, fed by the peers (see
   // catalog::ResolveStats): index probes and entries scanned during
   // coverage search, and binding-cache hits.

@@ -6,8 +6,10 @@
 #include "common/strings.h"
 #include "engine/operator.h"
 #include "ns/urn.h"
+#include "wire/body_codec.h"
 #include "wire/plan_codec.h"
-#include "xml/parser.h"
+#include "xml/token_reader.h"
+#include "xml/token_writer.h"
 #include "xml/writer.h"
 
 namespace mqp::peer {
@@ -83,30 +85,38 @@ std::string RolesAnnouncedLevel(const PeerRoles& roles) {
 }  // namespace
 
 std::string Peer::BuildRegisterPayload(int ttl) const {
-  auto root = xml::Node::Element("register");
-  root->SetAttr("server", address());
-  root->SetAttr("name", options_.name);
-  root->SetAttr("ttl", std::to_string(ttl));
+  std::string out;
+  xml::TokenWriter w(&out);
+  w.Start("register");
+  w.Attr("server", address());
+  w.Attr("name", options_.name);
+  w.Attr("ttl", std::to_string(ttl));
   for (const auto& [id, area] : collections_) {
-    xml::Node* e = root->AddElement("entry");
-    e->SetAttr("level", "base");
-    e->SetAttr("area", area.ToString());
-    e->SetAttr("xpath", engine::LocalStore::CollectionXPath(id));
+    w.Start("entry");
+    w.Attr("level", "base");
+    w.Attr("area", area.ToString());
+    w.Attr("xpath", engine::LocalStore::CollectionXPath(id));
+    w.End();
   }
   if (options_.roles.index || options_.roles.meta_index) {
-    xml::Node* e = root->AddElement("entry");
-    e->SetAttr("level", RolesAnnouncedLevel(options_.roles));
-    e->SetAttr("area", options_.interest.ToString());
+    w.Start("entry");
+    w.Attr("level", RolesAnnouncedLevel(options_.roles));
+    w.Attr("area", options_.interest.ToString());
+    w.End();
   }
   for (const auto& [urn, xpath] : named_published_) {
-    xml::Node* n = root->AddElement("named");
-    n->SetAttr("urn", urn);
-    n->SetAttr("xpath", xpath);
+    w.Start("named");
+    w.Attr("urn", urn);
+    w.Attr("xpath", xpath);
+    w.End();
   }
   for (const auto& st : own_statements_) {
-    root->AddElementWithText("statement", st.ToString());
+    w.Start("statement");
+    w.Text(st.ToString());
+    w.End();
   }
-  return xml::Serialize(*root);
+  w.End();
+  return out;
 }
 
 void Peer::JoinNetwork() {
@@ -231,25 +241,25 @@ void Peer::PullIndexedData(int delay_minutes) {
     pending_pulls_[req] = PendingPull{e.server, e.area, delay_minutes};
     // The request id rides in the envelope header; the body carries only
     // the fetch arguments.
-    auto fetch = xml::Node::Element("fetch");
-    fetch->SetAttr("xpath", e.xpath);
+    std::string body;
+    xml::TokenWriter w(&body);
+    w.Start("fetch");
+    w.Attr("xpath", e.xpath);
+    w.End();
     wire::Send(sim_, id_, *pid,
-               {kFetchKind, req, 0, net::MakePayload(xml::Serialize(*fetch))});
+               {kFetchKind, req, 0, net::MakePayload(std::move(body))});
   }
 }
 
 void Peer::HandleFetchReply(const wire::Envelope& env) {
-  auto doc = xml::Parse(env.body());
-  if (!doc.ok()) return;
   const std::string& req = env.query_id;
   auto it = pending_pulls_.find(req);
   if (it == pending_pulls_.end()) return;
+  auto decoded = wire::DecodeItemBody(env.body());
+  if (!decoded.ok()) return;
   PendingPull pull = std::move(it->second);
   pending_pulls_.erase(it);
-  algebra::ItemSet items;
-  for (const xml::Node* item : (*doc)->Children("*")) {
-    items.push_back(algebra::MakeItem(*item));
-  }
+  algebra::ItemSet items = std::move(decoded).value();
   // Store the replica and make it locally resolvable with the declared
   // refresh delay.
   const std::string collection_id =
@@ -306,11 +316,20 @@ void Peer::HandleMessage(const net::Message& msg) {
   if (!decoded.ok()) return;  // malformed frames are dropped
   const wire::Envelope env = std::move(decoded).value();
   if (env.kind == kMqpKind) {
+    // dom_nodes_built spans the entire hop — decode through forward — so
+    // a pure routing hop can be asserted to build zero xml::Nodes.
+    const uint64_t nodes_before = xml::DomNodesBuilt();
+    const net::NetStats& stats = sim_->stats();
+    const uint64_t decode_ns_before = stats.plan_decode_ns;
+    const uint64_t token_decodes_before = stats.token_decodes;
     auto plan = wire::ParsePlanShared(env.payload, &sim_->stats());
+    counters_.plan_decode_ns += stats.plan_decode_ns - decode_ns_before;
+    counters_.token_decodes += stats.token_decodes - token_decodes_before;
     if (!plan.ok()) return;  // malformed plans are dropped
     ++counters_.plan_parses;
     ++counters_.plans_received;
     ProcessPlan(std::move(plan).value(), env.hops);
+    counters_.dom_nodes_built += xml::DomNodesBuilt() - nodes_before;
   } else if (env.kind == kResultKind) {
     HandleResult(env);
   } else if (env.kind == kRegisterKind) {
@@ -337,11 +356,33 @@ void Peer::HandleCategoryReply(const wire::Envelope& env) {
   // requires the body.
   auto it = category_waiters_.find(env.query_id);
   if (it == category_waiters_.end()) return;
-  auto doc = xml::Parse(env.body());
-  if (!doc.ok()) return;
   std::vector<std::string> categories;
-  for (const xml::Node* c : (*doc)->Children("cat")) {
-    categories.push_back(c->InnerText());
+  {
+    xml::TokenReader r(env.body());
+    auto t = r.Next();
+    if (!t.ok() || t->type != xml::TokenType::kStartElement) return;
+    xml::AttrList attrs;
+    t = r.ReadAttrs(&attrs);
+    while (t.ok() && t->type != xml::TokenType::kEndElement) {
+      if (t->type == xml::TokenType::kStartElement) {
+        if (t->name == "cat") {
+          // Concatenate the element's text runs (InnerText equivalent;
+          // <cat> carries a single text child in practice).
+          std::string text;
+          size_t depth = r.depth();
+          while (t.ok() && r.depth() >= depth) {
+            t = r.Next();
+            if (t.ok() && t->type == xml::TokenType::kText) text += t->value;
+          }
+          if (!t.ok()) return;
+          categories.push_back(std::move(text));
+        } else if (!r.SkipToElementEnd().ok()) {
+          return;
+        }
+      }
+      t = r.Next();
+    }
+    if (!t.ok()) return;
   }
   auto cb = std::move(it->second);
   category_waiters_.erase(it);
@@ -752,7 +793,12 @@ void Peer::DeliverToTarget(Plan plan) {
 }
 
 void Peer::HandleResult(const wire::Envelope& env) {
+  const net::NetStats& stats = sim_->stats();
+  const uint64_t decode_ns_before = stats.plan_decode_ns;
+  const uint64_t token_decodes_before = stats.token_decodes;
   auto plan = wire::ParsePlanShared(env.payload, &sim_->stats());
+  counters_.plan_decode_ns += stats.plan_decode_ns - decode_ns_before;
+  counters_.token_decodes += stats.token_decodes - token_decodes_before;
   if (!plan.ok()) return;
   ++counters_.plan_parses;
   HandleResultPlan(std::move(plan).value(), env.body().size());
@@ -804,17 +850,127 @@ void Peer::HandleResultPlan(Plan plan, size_t wire_bytes) {
 
 // --- registration ---------------------------------------------------------------
 
+namespace {
+
+// A registration payload, token-decoded into plain records so handling
+// and the authoritative forward never touch a DOM.
+struct RegisterEntry {
+  std::string level;  // "base" / "index" (raw attribute, default "base")
+  std::string area;
+  std::string xpath;
+  std::string delay;
+};
+
+struct RegisterNamed {
+  std::string urn;
+  std::string xpath;
+};
+
+struct RegisterDoc {
+  std::string server;
+  std::string name;
+  int64_t ttl = 0;
+  std::vector<RegisterEntry> entries;
+  std::vector<RegisterNamed> named;
+  std::vector<std::string> statements;
+};
+
+Result<RegisterDoc> ParseRegisterBody(std::string_view body) {
+  xml::TokenReader r(body);
+  MQP_ASSIGN_OR_RETURN(xml::Token t, r.Next());
+  if (t.type != xml::TokenType::kStartElement) {
+    return r.Error("expected a root element");
+  }
+  RegisterDoc doc;
+  xml::AttrList attrs;
+  MQP_ASSIGN_OR_RETURN(t, r.ReadAttrs(&attrs));
+  doc.server = attrs.Get("server");
+  doc.name = attrs.Get("name");
+  (void)mqp::ParseInt64(attrs.Get("ttl", "0"), &doc.ttl);
+  while (t.type != xml::TokenType::kEndElement) {
+    if (t.type == xml::TokenType::kStartElement) {
+      const std::string ctag(t.name);
+      xml::AttrList child;
+      MQP_ASSIGN_OR_RETURN(xml::Token ct, r.ReadAttrs(&child));
+      if (ctag == "entry") {
+        doc.entries.push_back(RegisterEntry{
+            child.Get("level", "base"), child.Get("area"),
+            child.Get("xpath"), child.Get("delay", "0")});
+      } else if (ctag == "named") {
+        doc.named.push_back(
+            RegisterNamed{child.Get("urn"), child.Get("xpath")});
+      } else if (ctag == "statement") {
+        // InnerText semantics: collect text across nested elements until
+        // the <statement> itself closes (depth-based, so a child's end
+        // tag cannot be mistaken for the statement's).
+        std::string text;
+        if (ct.type != xml::TokenType::kEndElement) {
+          const size_t target = r.depth();  // <statement> is innermost
+          xml::Token st = ct;
+          while (true) {
+            if (st.type == xml::TokenType::kText) text += st.value;
+            if (st.type == xml::TokenType::kEndElement &&
+                r.depth() < target) {
+              break;
+            }
+            MQP_ASSIGN_OR_RETURN(st, r.Next());
+          }
+          ct = r.current();  // the statement's own end tag
+        }
+        doc.statements.push_back(std::move(text));
+      }
+      if (ct.type != xml::TokenType::kEndElement) {
+        MQP_RETURN_IF_ERROR(r.SkipToElementEnd());
+      }
+    }
+    MQP_ASSIGN_OR_RETURN(t, r.Next());
+  }
+  return doc;
+}
+
+std::string EncodeRegisterBody(const RegisterDoc& doc) {
+  std::string out;
+  xml::TokenWriter w(&out);
+  w.Start("register");
+  w.Attr("server", doc.server);
+  w.Attr("name", doc.name);
+  w.Attr("ttl", std::to_string(doc.ttl));
+  for (const auto& e : doc.entries) {
+    w.Start("entry");
+    w.Attr("level", e.level);
+    w.Attr("area", e.area);
+    if (!e.xpath.empty()) w.Attr("xpath", e.xpath);
+    if (e.delay != "0") w.Attr("delay", e.delay);
+    w.End();
+  }
+  for (const auto& n : doc.named) {
+    w.Start("named");
+    w.Attr("urn", n.urn);
+    w.Attr("xpath", n.xpath);
+    w.End();
+  }
+  for (const auto& st : doc.statements) {
+    w.Start("statement");
+    w.Text(st);
+    w.End();
+  }
+  w.End();
+  return out;
+}
+
+}  // namespace
+
 void Peer::HandleRegister(const wire::Envelope& env) {
   ++counters_.registrations_received;
   if (!options_.roles.index && !options_.roles.meta_index) return;
-  auto doc = xml::Parse(env.body());
-  if (!doc.ok()) return;
-  const xml::Node& reg = **doc;
-  const std::string sender = reg.AttrOr("server", "");
+  auto parsed = ParseRegisterBody(env.body());
+  if (!parsed.ok()) return;
+  RegisterDoc reg = std::move(parsed).value();
+  const std::string& sender = reg.server;
   if (sender.empty()) return;
   bool stored = false;
-  for (const xml::Node* e : reg.Children("entry")) {
-    auto area = ns::InterestArea::Parse(e->AttrOr("area", ""));
+  for (const RegisterEntry& e : reg.entries) {
+    auto area = ns::InterestArea::Parse(e.area);
     if (!area.ok()) continue;
     // Index/meta servers track servers whose areas overlap their own
     // (§3.2). An empty own-interest means "cover everything".
@@ -825,7 +981,7 @@ void Peer::HandleRegister(const wire::Envelope& env) {
     catalog::IndexEntry entry;
     entry.area = std::move(area).value();
     entry.server = sender;
-    const bool entry_is_index = e->AttrOr("level", "base") == "index";
+    const bool entry_is_index = e.level == "index";
     if (options_.roles.meta_index && !options_.roles.index) {
       // Meta-index servers keep only namespace-level referrals: the MQP
       // must travel to the registered server for detail (§3.2).
@@ -833,27 +989,26 @@ void Peer::HandleRegister(const wire::Envelope& env) {
     } else {
       entry.level = entry_is_index ? catalog::HoldingLevel::kIndex
                                    : catalog::HoldingLevel::kBase;
-      entry.xpath = e->AttrOr("xpath", "");
+      entry.xpath = e.xpath;
     }
     int64_t delay = 0;
-    (void)mqp::ParseInt64(e->AttrOr("delay", "0"), &delay);
+    (void)mqp::ParseInt64(e.delay, &delay);
     entry.delay_minutes = static_cast<int>(delay);
     catalog_.AddEntry(std::move(entry));
     stored = true;
   }
-  for (const xml::Node* n : reg.Children("named")) {
-    const std::string urn = n->AttrOr("urn", "");
-    if (urn.empty()) continue;
+  for (const RegisterNamed& n : reg.named) {
+    if (n.urn.empty()) continue;
     if (options_.roles.meta_index && !options_.roles.index) {
-      catalog_.AddNamedReferral(urn, sender);
+      catalog_.AddNamedReferral(n.urn, sender);
     } else {
-      catalog_.AddNamedMapping(urn, sender, n->AttrOr("xpath", ""));
+      catalog_.AddNamedMapping(n.urn, sender, n.xpath);
     }
     stored = true;
   }
   if (options_.use_intensional_statements) {
-    for (const xml::Node* s : reg.Children("statement")) {
-      auto st = catalog::IntensionalStatement::Parse(s->InnerText());
+    for (const std::string& s : reg.statements) {
+      auto st = catalog::IntensionalStatement::Parse(s);
       if (st.ok()) catalog_.AddStatement(std::move(st).value());
     }
   }
@@ -862,24 +1017,17 @@ void Peer::HandleRegister(const wire::Envelope& env) {
   // index-level entries travel by default — the meta level tracks servers,
   // not collections (§3.2); forwarding base entries too is an ablation
   // knob that collapses the hierarchy toward a central index.
-  int64_t ttl = 0;
-  (void)mqp::ParseInt64(reg.AttrOr("ttl", "0"), &ttl);
-  if (stored && options_.roles.authoritative && ttl > 0) {
-    auto fwd = reg.Clone();
-    fwd->SetAttr("ttl", std::to_string(ttl - 1));
+  if (stored && options_.roles.authoritative && reg.ttl > 0) {
+    RegisterDoc fwd = std::move(reg);
+    --fwd.ttl;
     if (!options_.forward_base_registrations) {
-      auto& children = fwd->mutable_children();
-      for (size_t i = children.size(); i > 0; --i) {
-        const xml::Node& c = *children[i - 1];
-        const bool is_base_entry =
-            c.name() == "entry" && c.AttrOr("level", "base") == "base";
-        if (is_base_entry || c.name() == "named") {
-          fwd->RemoveChild(i - 1);
-        }
-      }
+      std::erase_if(fwd.entries, [](const RegisterEntry& e) {
+        return e.level != "index";
+      });
+      fwd.named.clear();
     }
-    if (fwd->Child("entry") != nullptr || fwd->Child("named") != nullptr) {
-      const net::Payload payload = net::MakePayload(xml::Serialize(*fwd));
+    if (!fwd.entries.empty() || !fwd.named.empty()) {
+      const net::Payload payload = net::MakePayload(EncodeRegisterBody(fwd));
       for (const auto& b : bootstraps_) {
         auto pid = sim_->Lookup(b);
         if (pid.ok() && *pid != id_) {
@@ -899,83 +1047,91 @@ void Peer::RequestCategories(const std::string& server,
   const std::string req =
       options_.name + "-c" + std::to_string(next_query_++);
   category_waiters_[req] = std::move(cb);
-  auto q = xml::Node::Element("cat-query");
-  q->SetAttr("dim", dimension);
-  q->SetAttr("path", path);
-  q->SetAttr("reply-to", address());
+  std::string body;
+  xml::TokenWriter w(&body);
+  w.Start("cat-query");
+  w.Attr("dim", dimension);
+  w.Attr("path", path);
+  w.Attr("reply-to", address());
+  w.End();
   auto pid = sim_->Lookup(server);
   if (!pid.ok()) return;
   wire::Send(sim_, id_, *pid,
-             {kCategoryQueryKind, req, 0,
-              net::MakePayload(xml::Serialize(*q))});
+             {kCategoryQueryKind, req, 0, net::MakePayload(std::move(body))});
 }
 
 void Peer::HandleCategoryQuery(const wire::Envelope& env, net::PeerId from) {
   if (!options_.roles.category || hierarchies_ == nullptr) return;
-  auto doc = xml::Parse(env.body());
-  if (!doc.ok()) return;
-  const xml::Node& q = **doc;
-  auto reply = xml::Node::Element("cat-reply");
-  auto dim = hierarchies_->DimensionIndex(q.AttrOr("dim", ""));
+  xml::AttrList q;
+  if (!wire::DecodeAttrBody(env.body(), &q).ok()) return;
+  std::string reply;
+  xml::TokenWriter w(&reply);
+  w.Start("cat-reply");
+  auto dim = hierarchies_->DimensionIndex(q.Get("dim"));
   if (dim.ok()) {
-    auto path = ns::CategoryPath::Parse(q.AttrOr("path", "*"));
+    auto path = ns::CategoryPath::Parse(q.Get("path", "*"));
     if (path.ok()) {
       for (const auto& child :
            hierarchies_->dimension(*dim).ChildrenOf(*path)) {
-        reply->AddElementWithText("cat", child.ToString());
+        w.Start("cat");
+        w.Text(child.ToString());
+        w.End();
       }
     }
   }
-  auto pid = sim_->Lookup(q.AttrOr("reply-to", ""));
+  w.End();
+  auto pid = sim_->Lookup(q.Get("reply-to"));
   if (!pid.ok()) pid = Result<net::PeerId>(from);
   wire::Send(sim_, id_, *pid,
              {kCategoryReplyKind, env.query_id, 0,
-              net::MakePayload(xml::Serialize(*reply))});
+              net::MakePayload(std::move(reply))});
 }
 
 // --- fetch service (pull; used by baselines & index pull) --------------------------
 
 void Peer::HandleFetch(const wire::Envelope& env, net::PeerId from) {
-  auto doc = xml::Parse(env.body());
-  if (!doc.ok()) return;
-  const std::string xpath = (*doc)->AttrOr("xpath", "");
-  auto reply = xml::Node::Element("fetch-reply");
-  reply->SetAttr("server", address());
-  auto items = store_.Fetch(address(), xpath);
+  xml::AttrList attrs;
+  if (!wire::DecodeAttrBody(env.body(), &attrs).ok()) return;
+  std::string reply;
+  xml::TokenWriter w(&reply);
+  w.Start("fetch-reply");
+  w.Attr("server", address());
+  auto items = store_.Fetch(address(), attrs.Get("xpath"));
   if (items.ok()) {
     for (const auto& item : *items) {
-      reply->AddChild(item->Clone());
+      w.Write(*item);
     }
   }
+  w.End();
   wire::Send(sim_, id_, from,
              {kFetchReplyKind, env.query_id, 0,
-              net::MakePayload(xml::Serialize(*reply))});
+              net::MakePayload(std::move(reply))});
 }
 
 // --- subquery service (coordinator-style distributed QP, baseline C2) ------------
 
 void Peer::HandleSubquery(const wire::Envelope& env, net::PeerId from) {
-  auto doc = xml::Parse(env.body());
-  if (!doc.ok()) return;
-  auto reply = xml::Node::Element("subquery-reply");
-  reply->SetAttr("server", address());
-  const xml::Node* mqp_elem = (*doc)->Child("mqp");
-  if (mqp_elem != nullptr) {
-    auto plan = algebra::PlanFromXml(*mqp_elem);
-    if (plan.ok() && plan->root() != nullptr) {
-      auto items = engine::Evaluate(*plan->root(), &store_);
-      if (items.ok()) {
-        for (const auto& item : *items) {
-          reply->AddChild(item->Clone());
-        }
-      } else {
-        reply->SetAttr("error", items.status().ToString());
+  // The body is the sub-plan's <mqp> document itself (the coordinator
+  // stopped wrapping it; correlation rides in the envelope header).
+  std::string reply;
+  xml::TokenWriter w(&reply);
+  w.Start("subquery-reply");
+  w.Attr("server", address());
+  auto plan = algebra::ParsePlan(env.body());
+  if (plan.ok() && plan->root() != nullptr) {
+    // An evaluation failure yields an empty reply; the old error
+    // attribute was write-only diagnostics no receiver ever read.
+    auto items = engine::Evaluate(*plan->root(), &store_);
+    if (items.ok()) {
+      for (const auto& item : *items) {
+        w.Write(*item);
       }
     }
   }
+  w.End();
   wire::Send(sim_, id_, from,
              {kSubqueryReplyKind, env.query_id, 0,
-              net::MakePayload(xml::Serialize(*reply))});
+              net::MakePayload(std::move(reply))});
 }
 
 }  // namespace mqp::peer

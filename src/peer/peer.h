@@ -121,6 +121,12 @@ struct PeerCounters {
   uint64_t plan_serializations = 0;          ///< plan bodies produced here
   uint64_t plan_parses = 0;                  ///< plan bodies parsed here
   uint64_t forwards_without_reserialize = 0; ///< cache hits: buffer reused
+  // Streaming-codec counters (see wire/plan_codec.h). dom_nodes_built
+  // spans the whole plan-message handling (decode through forward/reply),
+  // so a pure routing hop asserts it at exactly zero.
+  uint64_t token_decodes = 0;                ///< plans decoded via tokens
+  uint64_t dom_nodes_built = 0;              ///< xml::Nodes built handling plans
+  uint64_t plan_decode_ns = 0;               ///< steady-clock decode time
   // Catalog-resolution counters (see catalog::ResolveStats).
   uint64_t resolve_index_probes = 0;         ///< area-index bucket probes
   uint64_t resolve_entries_scanned = 0;      ///< entries overlap-tested

@@ -1,0 +1,50 @@
+#include "wire/body_codec.h"
+
+namespace mqp::wire {
+
+Result<std::string> DecodeAttrBody(std::string_view body,
+                                   xml::AttrList* attrs) {
+  xml::TokenReader r(body);
+  MQP_ASSIGN_OR_RETURN(xml::Token t, r.Next());
+  if (t.type != xml::TokenType::kStartElement) {
+    return r.Error("expected a root element");
+  }
+  std::string name(t.name);
+  xml::AttrList local;
+  MQP_ASSIGN_OR_RETURN(t, r.ReadAttrs(attrs != nullptr ? attrs : &local));
+  if (t.type != xml::TokenType::kEndElement) {
+    MQP_RETURN_IF_ERROR(r.SkipToElementEnd());
+  }
+  // Like the DOM path's Parse: exactly one root, no trailing content.
+  MQP_ASSIGN_OR_RETURN(t, r.Next());
+  if (t.type != xml::TokenType::kEndOfInput) {
+    return Status::ParseError("expected exactly one root element, found 2");
+  }
+  return name;
+}
+
+Result<algebra::ItemSet> DecodeItemBody(std::string_view body) {
+  xml::TokenReader r(body);
+  MQP_ASSIGN_OR_RETURN(xml::Token t, r.Next());
+  if (t.type != xml::TokenType::kStartElement) {
+    return r.Error("expected a root element");
+  }
+  xml::AttrList attrs;
+  MQP_ASSIGN_OR_RETURN(t, r.ReadAttrs(&attrs));
+  algebra::ItemSet items;
+  while (t.type != xml::TokenType::kEndElement) {
+    if (t.type == xml::TokenType::kStartElement) {
+      MQP_ASSIGN_OR_RETURN(auto node, r.MaterializeSubtree());
+      items.push_back(algebra::Item(node.release()));
+    }
+    MQP_ASSIGN_OR_RETURN(t, r.Next());
+  }
+  // Like the DOM path's Parse: exactly one root, no trailing content.
+  MQP_ASSIGN_OR_RETURN(t, r.Next());
+  if (t.type != xml::TokenType::kEndOfInput) {
+    return Status::ParseError("expected exactly one root element, found 2");
+  }
+  return items;
+}
+
+}  // namespace mqp::wire

@@ -1,0 +1,31 @@
+// Streaming decoders for small XML message bodies (DESIGN.md §5).
+//
+// Most non-plan wire messages are one of two shapes: a single element
+// whose attributes carry the arguments (fetch, lookup, flood,
+// cat-query), or a wrapper element whose children are verbatim data
+// items (fetch-reply, subquery-reply, flood-hit). These helpers decode
+// both through the token reader, so no handler on the wire path builds a
+// throwaway DOM; items — the one structure that *is* modeled as
+// xml::Node — are materialized subtree-by-subtree.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "algebra/histogram.h"
+#include "common/result.h"
+#include "xml/token_reader.h"
+
+namespace mqp::wire {
+
+/// \brief Decodes the root element of `body`, filling `attrs` (may be
+/// null) and skipping the content. Returns the root tag name.
+Result<std::string> DecodeAttrBody(std::string_view body,
+                                   xml::AttrList* attrs);
+
+/// \brief Decodes a body whose root element wraps verbatim item
+/// elements; each element child materializes as one Item. Root
+/// attributes and text are ignored.
+Result<algebra::ItemSet> DecodeItemBody(std::string_view body);
+
+}  // namespace mqp::wire

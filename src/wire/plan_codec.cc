@@ -1,5 +1,9 @@
 #include "wire/plan_codec.h"
 
+#include <chrono>
+
+#include "xml/node.h"
+
 namespace mqp::wire {
 
 SerializedPlan SerializePlanShared(const algebra::Plan& plan,
@@ -17,9 +21,19 @@ SerializedPlan SerializePlanShared(const algebra::Plan& plan,
 Result<algebra::Plan> ParsePlanShared(net::Payload bytes,
                                       net::NetStats* stats) {
   if (bytes == nullptr) bytes = net::MakePayload("");
+  const uint64_t nodes_before = xml::DomNodesBuilt();
+  const auto started = std::chrono::steady_clock::now();
   MQP_ASSIGN_OR_RETURN(auto plan, algebra::ParsePlan(*bytes));
+  const auto elapsed = std::chrono::steady_clock::now() - started;
   plan.AttachWireCache(std::move(bytes));
-  if (stats != nullptr) ++stats->plan_parses;
+  if (stats != nullptr) {
+    ++stats->plan_parses;
+    if (algebra::use_streaming_plan_codec()) ++stats->token_decodes;
+    stats->dom_nodes_built += xml::DomNodesBuilt() - nodes_before;
+    stats->plan_decode_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+  }
   return plan;
 }
 

@@ -6,9 +6,14 @@
 // it from scratch. These helpers consult Plan's serialization cache
 // (algebra/plan.h): a freshly parsed plan carries the exact buffer it
 // arrived in, so forwarding it unchanged reuses that buffer — zero
-// serialization work and zero copies. All cache traffic is counted into
-// NetStats (plan_serializations / plan_parses /
-// forwards_without_reserialize) so benches and tests can observe it.
+// serialization work and zero copies. Decoding goes through the
+// streaming token codec (algebra/plan_xml.h): no intermediate DOM is
+// built, and ParsePlanShared instruments the decode (token_decodes,
+// dom_nodes_built via xml::DomNodesBuilt deltas, plan_decode_ns on the
+// steady clock). All traffic is counted into NetStats
+// (plan_serializations / plan_parses / forwards_without_reserialize /
+// token_decodes / dom_nodes_built / plan_decode_ns) so benches and tests
+// can observe it.
 #pragma once
 
 #include "algebra/plan.h"

@@ -2,6 +2,18 @@
 
 namespace mqp::xml {
 
+namespace {
+// The library is single-threaded per process (discrete-event simulation);
+// a plain counter keeps the hot path free of atomics.
+uint64_t g_dom_nodes_built = 0;
+}  // namespace
+
+namespace internal {
+void CountNodeBuilt() { ++g_dom_nodes_built; }
+}  // namespace internal
+
+uint64_t DomNodesBuilt() { return g_dom_nodes_built; }
+
 std::unique_ptr<Node> Node::Element(std::string name) {
   auto n = std::unique_ptr<Node>(new Node(NodeType::kElement));
   n->name_ = std::move(name);

@@ -6,6 +6,7 @@
 // (Comments, PIs and CDATA are accepted by the parser but not retained.)
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -15,6 +16,18 @@
 namespace mqp::xml {
 
 enum class NodeType { kElement, kText };
+
+namespace internal {
+/// Bumps the process-wide node-construction counter (see DomNodesBuilt).
+void CountNodeBuilt();
+}  // namespace internal
+
+/// \brief Process-wide monotonic count of Node objects ever constructed
+/// (elements and text, including clones). The streaming wire codec exists
+/// to keep this flat on routing hops: tests and benches snapshot it around
+/// a code path and assert on the delta (dom_nodes_built counters in
+/// PeerCounters / NetStats are fed from it).
+uint64_t DomNodesBuilt();
 
 /// \brief One node of an XML tree (element or text). Elements own their
 /// children; attribute order is preserved.
@@ -106,7 +119,7 @@ class Node {
   bool Equals(const Node& other) const;
 
  private:
-  explicit Node(NodeType type) : type_(type) {}
+  explicit Node(NodeType type) : type_(type) { internal::CountNodeBuilt(); }
 
   NodeType type_;
   std::string name_;

@@ -114,48 +114,9 @@ class ParserImpl {
 
   Result<std::string> DecodeEntity() {
     // Precondition: Peek() == '&'.
-    const size_t semi = in_.find(';', pos_);
-    if (semi == std::string_view::npos || semi - pos_ > 12) {
-      return Err("unterminated entity reference");
-    }
-    const std::string_view ent = in_.substr(pos_ + 1, semi - pos_ - 1);
-    pos_ = semi + 1;
-    if (ent == "amp") return std::string("&");
-    if (ent == "lt") return std::string("<");
-    if (ent == "gt") return std::string(">");
-    if (ent == "quot") return std::string("\"");
-    if (ent == "apos") return std::string("'");
-    if (!ent.empty() && ent[0] == '#') {
-      long code;
-      if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
-        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
-      } else {
-        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
-      }
-      if (code <= 0 || code > 0x10FFFF) {
-        return Err("invalid character reference");
-      }
-      // Encode as UTF-8.
-      std::string out;
-      const unsigned long cp = static_cast<unsigned long>(code);
-      if (cp < 0x80) {
-        out.push_back(static_cast<char>(cp));
-      } else if (cp < 0x800) {
-        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
-        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-      } else if (cp < 0x10000) {
-        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
-        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-      } else {
-        out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
-        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
-        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-      }
-      return out;
-    }
-    return Err("unknown entity &" + std::string(ent) + ";");
+    std::string out;
+    MQP_ASSIGN_OR_RETURN(pos_, DecodeEntityAt(in_, pos_, &out));
+    return out;
   }
 
   Result<std::string> ParseAttrValue() {
@@ -279,6 +240,69 @@ class ParserImpl {
 };
 
 }  // namespace
+
+Result<size_t> DecodeEntityAt(std::string_view in, size_t pos,
+                              std::string* out) {
+  auto err = [](std::string msg, size_t at) {
+    return Status::ParseError(msg + " (at byte " + std::to_string(at) + ")");
+  };
+  const size_t semi = in.find(';', pos);
+  if (semi == std::string_view::npos || semi - pos > 12) {
+    return err("unterminated entity reference", pos);
+  }
+  const std::string_view ent = in.substr(pos + 1, semi - pos - 1);
+  const size_t next = semi + 1;
+  if (ent == "amp") {
+    *out += '&';
+    return next;
+  }
+  if (ent == "lt") {
+    *out += '<';
+    return next;
+  }
+  if (ent == "gt") {
+    *out += '>';
+    return next;
+  }
+  if (ent == "quot") {
+    *out += '"';
+    return next;
+  }
+  if (ent == "apos") {
+    *out += '\'';
+    return next;
+  }
+  if (!ent.empty() && ent[0] == '#') {
+    long code;
+    if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+      code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+    } else {
+      code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+    }
+    if (code <= 0 || code > 0x10FFFF) {
+      return err("invalid character reference", next);
+    }
+    // Encode as UTF-8.
+    const unsigned long cp = static_cast<unsigned long>(code);
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+    return next;
+  }
+  return err("unknown entity &" + std::string(ent) + ";", next);
+}
 
 Result<std::unique_ptr<Node>> Parse(std::string_view input) {
   ParserImpl p(input);

@@ -31,4 +31,13 @@ std::string EscapeText(std::string_view s);
 /// \brief Escapes an attribute value (&, <, >, ", ').
 std::string EscapeAttr(std::string_view s);
 
+/// \brief Decodes the entity reference starting at `pos` in `in` (which
+/// must point at '&'): the five predefined entities plus decimal/hex
+/// character references (emitted as UTF-8). Appends the decoded bytes to
+/// `out` and returns the offset just past the ';'. The single source of
+/// entity-decoding truth, shared by the DOM parser and the streaming
+/// TokenReader; errors carry byte offsets in the parser's format.
+Result<size_t> DecodeEntityAt(std::string_view in, size_t pos,
+                              std::string* out);
+
 }  // namespace mqp::xml

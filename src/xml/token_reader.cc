@@ -1,0 +1,395 @@
+#include "xml/token_reader.h"
+
+#include <array>
+
+#include "xml/parser.h"
+
+namespace mqp::xml {
+
+namespace {
+
+// Branch-free character classes (std::isalnum & co. are out-of-line,
+// locale-aware calls — too slow for the per-byte hot loop).
+struct CharTables {
+  std::array<bool, 256> name_start{};
+  std::array<bool, 256> name_char{};
+  std::array<bool, 256> space{};
+
+  constexpr CharTables() {
+    for (int c = 'a'; c <= 'z'; ++c) name_start[c] = true;
+    for (int c = 'A'; c <= 'Z'; ++c) name_start[c] = true;
+    name_start['_'] = name_start[':'] = true;
+    name_char = name_start;
+    for (int c = '0'; c <= '9'; ++c) name_char[c] = true;
+    name_char['-'] = name_char['.'] = true;
+    for (char c : {' ', '\t', '\n', '\r', '\v', '\f'}) {
+      space[static_cast<unsigned char>(c)] = true;
+    }
+  }
+};
+
+constexpr CharTables kChars;
+
+bool IsNameStart(char c) {
+  return kChars.name_start[static_cast<unsigned char>(c)];
+}
+
+bool IsNameChar(char c) {
+  return kChars.name_char[static_cast<unsigned char>(c)];
+}
+
+bool IsSpace(char c) { return kChars.space[static_cast<unsigned char>(c)]; }
+
+}  // namespace
+
+void AttrList::Add(std::string_view key, std::string_view value) {
+  for (size_t i = 0; i < size_; ++i) {
+    if (items_[i].first == key) {
+      items_[i].second.assign(value);
+      return;
+    }
+  }
+  if (size_ < items_.size()) {
+    items_[size_].first.assign(key);
+    items_[size_].second.assign(value);
+  } else {
+    if (items_.capacity() == 0) items_.reserve(8);
+    items_.emplace_back(std::string(key), std::string(value));
+  }
+  ++size_;
+}
+
+const std::string* AttrList::Find(std::string_view key) const {
+  for (size_t i = 0; i < size_; ++i) {
+    if (items_[i].first == key) return &items_[i].second;
+  }
+  return nullptr;
+}
+
+std::string AttrList::Get(std::string_view key,
+                          std::string_view fallback) const {
+  const std::string* v = Find(key);
+  return v != nullptr ? *v : std::string(fallback);
+}
+
+Status TokenReader::Error(std::string msg) const {
+  return Status::ParseError(msg + " (at byte " + std::to_string(pos_) + ")");
+}
+
+bool TokenReader::Fail(std::string msg) {
+  status_ = Error(std::move(msg));
+  return false;
+}
+
+void TokenReader::SkipWhitespace() {
+  while (!AtEnd() && IsSpace(Peek())) ++pos_;
+}
+
+void TokenReader::SkipUntil(std::string_view end) {
+  const size_t found = in_.find(end, pos_);
+  pos_ = (found == std::string_view::npos) ? in_.size() : found + end.size();
+}
+
+void TokenReader::SkipDoctype() {
+  // Skip to the matching '>' allowing one level of [] internal subset.
+  int bracket = 0;
+  while (!AtEnd()) {
+    const char c = Peek();
+    ++pos_;
+    if (c == '[') {
+      ++bracket;
+    } else if (c == ']') {
+      --bracket;
+    } else if (c == '>' && bracket <= 0) {
+      return;
+    }
+  }
+}
+
+void TokenReader::SkipMisc() {
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '<') return;
+    if (PeekAt(1) == '?') {
+      SkipUntil("?>");
+    } else if (PeekAt(1) == '!' && PeekAt(2) == '-' && PeekAt(3) == '-') {
+      SkipUntil("-->");
+    } else if (PeekAt(1) == '!' && in_.substr(pos_, 9) == "<!DOCTYPE") {
+      SkipDoctype();
+    } else {
+      return;
+    }
+  }
+}
+
+bool TokenReader::ScanName(std::string_view* out) {
+  if (AtEnd() || !IsNameStart(Peek())) {
+    return Fail("expected name");
+  }
+  const size_t start = pos_;
+  ++pos_;
+  while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+  *out = in_.substr(start, pos_ - start);
+  return true;
+}
+
+Result<Token> TokenReader::Next() {
+  if (!Advance()) return status_;
+  return current_;
+}
+
+bool TokenReader::Advance() {
+  if (!status_.ok()) return false;
+  if (done_) {
+    current_ = Token{};
+    return true;
+  }
+  if (in_tag_) return ScanInTag();
+  if (stack_.empty()) return ScanTopLevel();
+  return ScanContent();
+}
+
+bool TokenReader::ScanTopLevel() {
+  SkipMisc();
+  if (AtEnd()) {
+    done_ = true;
+    current_ = Token{};
+    return true;
+  }
+  if (Peek() != '<') {
+    return Fail("unexpected character data at top level");
+  }
+  return ScanStartTag();
+}
+
+bool TokenReader::ScanStartTag() {
+  // Precondition: Peek() == '<' and this is (claimed to be) a start tag.
+  ++pos_;
+  std::string_view name;
+  if (!ScanName(&name)) return false;
+  stack_.push_back(name);
+  in_tag_ = true;
+  current_ = Token{TokenType::kStartElement, name, {}};
+  return true;
+}
+
+bool TokenReader::ScanInTag() {
+  SkipWhitespace();
+  if (AtEnd()) return Fail("unterminated start tag");
+  if (Peek() == '>') {
+    ++pos_;
+    in_tag_ = false;
+    return ScanContent();
+  }
+  if (Peek() == '/' && PeekAt(1) == '>') {
+    pos_ += 2;
+    in_tag_ = false;
+    current_ = Token{TokenType::kEndElement, stack_.back(), {}};
+    stack_.pop_back();
+    return true;
+  }
+  std::string_view key;
+  if (!ScanName(&key)) return false;
+  SkipWhitespace();
+  if (AtEnd() || Peek() != '=') return Fail("expected '=' after attribute");
+  ++pos_;
+  SkipWhitespace();
+  if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+    return Fail("expected quoted attribute value");
+  }
+  const char quote = Peek();
+  ++pos_;
+  const size_t start = pos_;
+  const size_t close = in_.find(quote, start);
+  if (close == std::string_view::npos) {
+    pos_ = in_.size();
+    return Fail("unterminated attribute value");
+  }
+  // Fast path: no entities — the value is a borrowed slice of the input.
+  const std::string_view raw = in_.substr(start, close - start);
+  const size_t amp_rel = raw.find('&');
+  if (amp_rel == std::string_view::npos) {
+    current_ = Token{TokenType::kAttr, key, raw};
+    pos_ = close + 1;
+    return true;
+  }
+  // Slow path: decode into scratch.
+  scratch_.assign(raw.substr(0, amp_rel));
+  pos_ = start + amp_rel;
+  while (!AtEnd() && Peek() != quote) {
+    if (Peek() == '&') {
+      auto next = DecodeEntityAt(in_, pos_, &scratch_);
+      if (!next.ok()) {
+        status_ = next.status();
+        return false;
+      }
+      pos_ = *next;
+    } else {
+      const size_t stop =
+          std::min(in_.find('&', pos_), in_.find(quote, pos_));
+      scratch_.append(in_.substr(pos_, stop - pos_));
+      pos_ = std::min(stop, in_.size());
+    }
+  }
+  if (AtEnd()) return Fail("unterminated attribute value");
+  ++pos_;  // closing quote
+  current_ = Token{TokenType::kAttr, key, scratch_};
+  return true;
+}
+
+bool TokenReader::ScanCloseTag() {
+  // Precondition: input at "</".
+  pos_ += 2;
+  std::string_view close;
+  if (!ScanName(&close)) return false;
+  const std::string_view open = stack_.back();
+  if (close != open) {
+    return Fail("mismatched close tag </" + std::string(close) + "> for <" +
+                std::string(open) + ">");
+  }
+  SkipWhitespace();
+  if (AtEnd() || Peek() != '>') return Fail("expected '>'");
+  ++pos_;
+  stack_.pop_back();
+  current_ = Token{TokenType::kEndElement, close, {}};
+  return true;
+}
+
+bool TokenReader::ScanContent() {
+  // Accumulate one text run, mirroring the DOM parser: runs coalesce
+  // across entities, CDATA, comments and PIs, and are emitted only when
+  // they contain CDATA or non-whitespace. `borrowed` tracks whether the
+  // run is still a contiguous raw slice of the input.
+  bool significant = false;
+  bool borrowed = true;
+  size_t run_start = pos_;
+  scratch_.clear();
+  auto have_text = [&]() {
+    return borrowed ? pos_ > run_start : !scratch_.empty();
+  };
+  auto to_scratch = [&]() {
+    if (borrowed) {
+      scratch_.assign(in_.substr(run_start, pos_ - run_start));
+      borrowed = false;
+    }
+  };
+  auto emit_text = [&]() {
+    current_ = Token{TokenType::kText, {},
+                     borrowed ? in_.substr(run_start, pos_ - run_start)
+                              : std::string_view(scratch_)};
+    return true;
+  };
+  while (true) {
+    if (AtEnd()) {
+      // Same message (and, like the DOM parser, no byte offset) as
+      // ParseContent's unterminated-element error.
+      status_ = Status::ParseError("unterminated element <" +
+                                   std::string(stack_.back()) + ">");
+      return false;
+    }
+    const char c = Peek();
+    if (c == '<') {
+      if (PeekAt(1) == '/') {
+        if (significant && have_text()) return emit_text();
+        return ScanCloseTag();
+      }
+      if (PeekAt(1) == '!' && PeekAt(2) == '-' && PeekAt(3) == '-') {
+        to_scratch();
+        SkipUntil("-->");
+        continue;
+      }
+      if (in_.substr(pos_, 9) == "<![CDATA[") {
+        to_scratch();
+        pos_ += 9;
+        const size_t end = in_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return Fail("unterminated CDATA section");
+        }
+        scratch_ += in_.substr(pos_, end - pos_);
+        significant = true;
+        pos_ = end + 3;
+        continue;
+      }
+      if (PeekAt(1) == '?') {
+        to_scratch();
+        SkipUntil("?>");
+        continue;
+      }
+      if (significant && have_text()) return emit_text();
+      return ScanStartTag();
+    }
+    if (c == '&') {
+      to_scratch();
+      auto next = DecodeEntityAt(in_, pos_, &scratch_);
+      if (!next.ok()) {
+        status_ = next.status();
+        return false;
+      }
+      pos_ = *next;
+      significant = true;
+      continue;
+    }
+    // Raw character chunk: consume through the next markup or entity.
+    size_t stop = in_.find_first_of("<&", pos_);
+    if (stop == std::string_view::npos) stop = in_.size();
+    if (!significant) {
+      for (size_t i = pos_; i < stop; ++i) {
+        if (!IsSpace(in_[i])) {
+          significant = true;
+          break;
+        }
+      }
+    }
+    if (!borrowed) scratch_.append(in_.substr(pos_, stop - pos_));
+    pos_ = stop;
+  }
+}
+
+Result<Token> TokenReader::ReadAttrs(AttrList* out) {
+  out->Reset();
+  while (true) {
+    if (!Advance()) return status_;
+    if (current_.type != TokenType::kAttr) return current_;
+    out->Add(current_.name, current_.value);
+  }
+}
+
+Result<std::unique_ptr<Node>> TokenReader::MaterializeSubtree() {
+  auto node = Node::Element(std::string(current_.name));
+  while (true) {
+    if (!Advance()) return status_;
+    switch (current_.type) {
+      case TokenType::kAttr:
+        node->SetAttr(current_.name, std::string(current_.value));
+        break;
+      case TokenType::kText:
+        node->AddText(std::string(current_.value));
+        break;
+      case TokenType::kStartElement: {
+        MQP_ASSIGN_OR_RETURN(auto child, MaterializeSubtree());
+        node->AddChild(std::move(child));
+        break;
+      }
+      case TokenType::kEndElement:
+        return node;
+      case TokenType::kEndOfInput:
+        return Error("unexpected end of input");  // unreachable: scan errors
+    }
+  }
+}
+
+Status TokenReader::SkipToElementEnd() {
+  if (stack_.empty()) return Error("no open element to skip");
+  const size_t target = stack_.size();
+  while (true) {
+    if (!Advance()) return status_;
+    if (current_.type == TokenType::kEndElement && stack_.size() < target) {
+      return Status::OK();
+    }
+    if (current_.type == TokenType::kEndOfInput) {
+      return Error("unexpected end of input");  // unreachable: scan errors
+    }
+  }
+}
+
+}  // namespace mqp::xml

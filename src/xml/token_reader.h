@@ -1,0 +1,163 @@
+// Pull-mode streaming XML tokenizer — the decode half of the streaming
+// codec (DESIGN.md §5).
+//
+// The DOM parser (xml/parser.h) materializes a full Node tree whose
+// strings are all owned copies; on the wire hot path that tree is built
+// once per hop and immediately discarded. TokenReader walks the same XML
+// subset and hands out a flat token stream instead:
+//
+//   StartElement(name) Attr(key,value)* (Text | StartElement...)* EndElement
+//
+// Token string_views are borrowed — either directly from the input buffer
+// (the common case: no entities) or from an internal scratch that the next
+// Next() call overwrites. Consumers must copy what they keep before
+// advancing. Entity decoding happens on demand via the parser's shared
+// DecodeEntityAt, and the whitespace rules match the DOM parser exactly
+// (whitespace-only text runs are dropped; runs coalesce across comments,
+// PIs, entities and CDATA), so a token walk observes the same logical
+// document as Parse(). Errors carry byte offsets in the same format.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace mqp::xml {
+
+enum class TokenType {
+  kStartElement,  ///< name = tag; attributes follow as kAttr tokens
+  kAttr,          ///< name = key, value = decoded attribute value
+  kText,          ///< value = decoded character data (significant runs only)
+  kEndElement,    ///< name = tag (synthesized for self-closing elements)
+  kEndOfInput,    ///< document fully consumed
+};
+
+/// \brief One token. The views stay valid only until the next Next().
+struct Token {
+  TokenType type = TokenType::kEndOfInput;
+  std::string_view name;   ///< element tag or attribute key
+  std::string_view value;  ///< attribute value or text content
+};
+
+/// \brief Attribute set collected by TokenReader::ReadAttrs. Linear
+/// lookup with last-writer-wins duplicates, mirroring Node::SetAttr.
+/// Reset() forgets the entries but keeps the slots (and their string
+/// capacity), so decoders can reuse one list per recursion depth and
+/// decode whole documents without per-element allocations.
+class AttrList {
+ public:
+  void Add(std::string_view key, std::string_view value);
+
+  /// The value for `key`, or nullptr when absent.
+  const std::string* Find(std::string_view key) const;
+
+  /// The value for `key`, or `fallback` (mirrors Node::AttrOr).
+  std::string Get(std::string_view key, std::string_view fallback = "") const;
+
+  /// Allocation-free Get for comparisons; the view borrows from the list.
+  std::string_view GetView(std::string_view key,
+                           std::string_view fallback = "") const {
+    const std::string* v = Find(key);
+    return v != nullptr ? std::string_view(*v) : fallback;
+  }
+
+  bool empty() const { return size_ == 0; }
+
+  /// Forgets the entries, keeping slot and string capacity for reuse.
+  void Reset() { size_ = 0; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+  size_t size_ = 0;  // live prefix of items_
+};
+
+/// \brief The pull tokenizer. Create one per document; call Next() until
+/// kEndOfInput. Errors are sticky: after a failure every subsequent call
+/// returns the same status.
+class TokenReader {
+ public:
+  explicit TokenReader(std::string_view input) : in_(input) {}
+
+  /// Advances to and returns the next token.
+  Result<Token> Next();
+
+  /// Advance without Result construction — the hot-loop form. Returns
+  /// false on a (sticky) error, see status(); on success current() holds
+  /// the new token (kEndOfInput at the end of the document).
+  bool Advance();
+
+  /// OK until a scan fails; then the failure, permanently.
+  const Status& status() const { return status_; }
+
+  /// The token most recently produced by Next()/Advance().
+  const Token& current() const { return current_; }
+
+  /// Current byte offset (for error reporting and diagnostics).
+  size_t offset() const { return pos_; }
+
+  /// Number of elements currently open.
+  size_t depth() const { return stack_.size(); }
+
+  /// Error in the DOM parser's format: "msg (at byte N)".
+  Status Error(std::string msg) const;
+
+  // --- convenience consumers ---------------------------------------------------
+
+  /// Collects the attribute tokens of the just-started element into `out`
+  /// (Reset first) and returns the first non-attribute token (text, child
+  /// start, or the element's end). Precondition: current() is
+  /// kStartElement. Element *names* are always borrowed from the input
+  /// buffer (never from scratch), so a name view taken here stays valid
+  /// for the reader's lifetime.
+  Result<Token> ReadAttrs(AttrList* out);
+
+  /// Consumes the current element (through its matching end tag) into a
+  /// DOM subtree — the bridge for verbatim data items, which stay modeled
+  /// as xml::Node. Precondition: current() is kStartElement. Returns with
+  /// current() == that element's kEndElement.
+  Result<std::unique_ptr<Node>> MaterializeSubtree();
+
+  /// Consumes tokens until the innermost open element's end tag. Called
+  /// right after a kStartElement it skips that whole element; called
+  /// mid-content it finishes the enclosing element. Returns with
+  /// current() == the matching kEndElement.
+  Status SkipToElementEnd();
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < in_.size() ? in_[pos_ + off] : '\0';
+  }
+
+  void SkipWhitespace();
+  void SkipUntil(std::string_view end);
+  void SkipDoctype();
+  void SkipMisc();
+
+  // The scanners set current_ and return true, or set status_ and return
+  // false — no per-token Result construction on the hot path.
+  bool Fail(std::string msg);
+  bool ScanName(std::string_view* out);
+  bool ScanInTag();
+  bool ScanContent();
+  bool ScanTopLevel();
+  bool ScanStartTag();
+  bool ScanCloseTag();
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  bool in_tag_ = false;          // between a start tag's name and its '>'
+  bool done_ = false;
+  std::vector<std::string_view> stack_;  // open element names (views into in_)
+  std::string scratch_;          // backing for decoded attr/text values
+  Token current_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace mqp::xml

@@ -250,6 +250,18 @@ TEST(WireRoutingTest, ForwardedUnchangedPlanIsNotReserialized) {
   EXPECT_EQ(relay.counters().plan_serializations, 0u);
   EXPECT_EQ(relay.counters().forwards_without_reserialize, 1u);
 
+  // Streaming codec: the pure routing hop (receive → decode → forward)
+  // built zero xml::Nodes — the throwaway DOM is gone from the hot path.
+  EXPECT_EQ(relay.counters().dom_nodes_built, 0u);
+  EXPECT_EQ(relay.counters().token_decodes, 1u);
+  EXPECT_GT(relay.counters().plan_decode_ns, 0u);
+  // The authority *does* build nodes: it binds the URN and materializes
+  // result items — the counter separates legitimate data-model work from
+  // wire-path waste.
+  EXPECT_GT(authority.counters().dom_nodes_built, 0u);
+  EXPECT_EQ(sim.stats().token_decodes, sim.stats().plan_parses);
+  EXPECT_GT(sim.stats().plan_decode_ns, 0u);
+
   // Global accounting: strictly fewer serializations than plan-carrying
   // messages (client's initial send + relay hop + returning result).
   const uint64_t plan_messages = sim.stats().messages_by_kind.at("mqp") +
