@@ -205,6 +205,15 @@ void BM_PipelinePerQueryWireWork(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(stats.token_decodes));
   state.counters["dom_nodes_built/query"] =
       benchmark::Counter(static_cast<double>(stats.dom_nodes_built));
+  // Engine visibility (PR 5): items deep-copied during evaluation (zero
+  // on the shared-store steady path), compiled-accessor key extractions,
+  // and wall-clock evaluation time.
+  state.counters["items_cloned/query"] =
+      benchmark::Counter(static_cast<double>(stats.items_cloned));
+  state.counters["accessor_hits/query"] =
+      benchmark::Counter(static_cast<double>(stats.field_accessor_hits));
+  state.counters["engine_eval_us/query"] = benchmark::Counter(
+      static_cast<double>(stats.engine_eval_ns) / 1e3);
 }
 BENCHMARK(BM_PipelinePerQueryWireWork)->Arg(0)->Arg(2)->Arg(6);
 

@@ -42,13 +42,7 @@ Result<CompareOp> CompareOpFromName(std::string_view name) {
 }
 
 int Value::Compare(const Value& other) const {
-  double a, b;
-  if (mqp::ParseDouble(text, &a) && mqp::ParseDouble(other.text, &b)) {
-    if (a < b) return -1;
-    if (a > b) return 1;
-    return 0;
-  }
-  return text.compare(other.text);
+  return mqp::CompareNumericAware(text, other.text);
 }
 
 std::shared_ptr<Expr> Expr::New(Kind kind) {

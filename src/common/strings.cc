@@ -113,6 +113,16 @@ bool ParseDouble(std::string_view s, double* out) {
   return true;
 }
 
+int CompareNumericAware(std::string_view a, std::string_view b) {
+  double da, db;
+  if (ParseDouble(a, &da) && ParseDouble(b, &db)) {
+    if (da < db) return -1;
+    if (da > db) return 1;
+    return 0;
+  }
+  return a.compare(b);
+}
+
 std::string FormatDouble(double d) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.10g", d);

@@ -32,6 +32,12 @@ bool ParseInt64(std::string_view s, int64_t* out);
 /// Parses a decimal floating-point number; returns false on garbage.
 bool ParseDouble(std::string_view s, double* out);
 
+/// <0, 0, >0 like strcmp: numeric comparison when both sides parse as
+/// numbers, else lexicographic. The single ordering shared by XPath
+/// predicates, expression Values and engine sort keys — they must agree
+/// byte for byte.
+int CompareNumericAware(std::string_view a, std::string_view b);
+
 /// Formats a double without trailing zero noise ("10", "9.99").
 std::string FormatDouble(double d);
 

@@ -1,0 +1,118 @@
+#include "engine/field_accessor.h"
+
+#include "engine/operator.h"
+
+namespace mqp::engine {
+
+namespace {
+
+bool IsPlainNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+         c == ':';
+}
+
+bool IsPlainName(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsPlainNameChar(c)) return false;
+  }
+  return true;
+}
+
+// Concatenated descendant text, mirroring Node::InnerText without the
+// intermediate strings.
+void AppendInnerText(const xml::Node& n, std::string* out) {
+  if (n.is_text()) {
+    *out += n.text();
+    return;
+  }
+  for (const auto& c : n.children()) {
+    AppendInnerText(*c, out);
+  }
+}
+
+}  // namespace
+
+FieldAccessor::FieldAccessor(std::string_view path) {
+  // Direct-walk shape: NAME ('/' NAME)* ('/@' NAME)?  — no leading or
+  // trailing slash (a trailing slash is an XPath parse error: absent).
+  std::string_view rest = path;
+  bool direct = !rest.empty() && rest.front() != '/' && rest.back() != '/';
+  std::vector<std::string> segments;
+  std::string attr;
+  while (direct && !rest.empty()) {
+    const size_t slash = rest.find('/');
+    std::string_view seg =
+        slash == std::string_view::npos ? rest : rest.substr(0, slash);
+    rest = slash == std::string_view::npos ? std::string_view()
+                                           : rest.substr(slash + 1);
+    if (!seg.empty() && seg.front() == '@') {
+      // Attribute segments are only valid in final position.
+      seg.remove_prefix(1);
+      if (!IsPlainName(seg) || !rest.empty()) {
+        direct = false;
+        break;
+      }
+      attr = std::string(seg);
+    } else if (IsPlainName(seg)) {
+      segments.push_back(std::string(seg));
+    } else {
+      direct = false;
+      break;
+    }
+  }
+  if (direct && (segments.size() + (attr.empty() ? 0 : 1)) > 0) {
+    segments_ = std::move(segments);
+    attr_ = std::move(attr);
+    return;
+  }
+  auto xp = xml::XPath::Parse(path);
+  if (xp.ok()) {
+    fallback_ = std::move(xp).value();
+  } else {
+    bad_ = true;  // matches the old behavior: unparseable field = absent
+  }
+}
+
+const xml::Node* FieldAccessor::Walk(const xml::Node& n, size_t seg) const {
+  if (seg == segments_.size()) {
+    // XPath first-match semantics: a final '@attr' step keeps only the
+    // elements carrying the attribute.
+    if (!attr_.empty() && !n.Attr(attr_).has_value()) return nullptr;
+    return &n;
+  }
+  const std::string& name = segments_[seg];
+  for (const auto& c : n.children()) {
+    if (!c->is_element() || c->name() != name) continue;
+    if (const xml::Node* hit = Walk(*c, seg + 1)) return hit;
+  }
+  return nullptr;
+}
+
+std::optional<std::string_view> FieldAccessor::Eval(
+    const xml::Node& item) const {
+  if (bad_) return std::nullopt;
+  if (fallback_.has_value()) {
+    auto values = fallback_->EvalStrings(item);
+    if (values.empty()) return std::nullopt;
+    scratch_ = std::move(values.front());
+    return std::string_view(scratch_);
+  }
+  const xml::Node* hit = Walk(item, 0);
+  if (hit == nullptr) return std::nullopt;
+  ++internal::MutableStats().field_accessor_hits;
+  if (!attr_.empty()) return *hit->Attr(attr_);
+  // Element text: borrow the single text child when there is one (the
+  // overwhelmingly common item shape); concatenate into the scratch
+  // otherwise.
+  if (hit->children().empty()) return std::string_view();
+  if (hit->children().size() == 1 && hit->children()[0]->is_text()) {
+    return std::string_view(hit->children()[0]->text());
+  }
+  scratch_.clear();
+  AppendInnerText(*hit, &scratch_);
+  return std::string_view(scratch_);
+}
+
+}  // namespace mqp::engine

@@ -1,0 +1,53 @@
+// Compiled field access: the engine's key-extraction hot path.
+//
+// Join build/probe keys, aggregate group-by/value fields and top-N order
+// keys are XPath-lite paths resolved once per *item*. The old path built a
+// fresh Expr::Field (one shared_ptr allocation) and re-parsed the XPath
+// per item; a FieldAccessor compiles the path once at operator Open() and
+// then resolves items with a direct child walk and zero allocations on
+// the steady path (the returned string_view borrows from the item, or —
+// for concatenated text — from a scratch buffer reused across calls).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/node.h"
+#include "xml/xpath.h"
+
+namespace mqp::engine {
+
+/// \brief A field path compiled for repeated evaluation against items.
+class FieldAccessor {
+ public:
+  /// Compiles `path`. Plain child chains ("price", "seller/city") and a
+  /// final attribute ("seller/@id") take the direct-walk path; anything
+  /// else (predicates, '//', a leading '/', '*') falls back to one
+  /// pre-parsed XPath — still compiled once, never per item.
+  explicit FieldAccessor(std::string_view path);
+
+  /// Resolves the first match's text, or nullopt when the field is
+  /// absent. The view is valid until the next Eval() on this accessor or
+  /// a mutation of `item` (it borrows from the item or from the
+  /// accessor's scratch buffer). Matches Expr::Field / XPath first-match
+  /// semantics exactly, including the depth-first order for nested paths.
+  std::optional<std::string_view> Eval(const xml::Node& item) const;
+
+  /// True when the direct-walk path compiled (no XPath fallback, not an
+  /// unparseable path).
+  bool compiled() const { return !bad_ && !fallback_.has_value(); }
+
+ private:
+  const xml::Node* Walk(const xml::Node& n, size_t seg) const;
+
+  std::vector<std::string> segments_;  // child-element chain (may be empty)
+  std::string attr_;                   // final '@attr' name ("" = text)
+  std::optional<xml::XPath> fallback_; // complex paths (parse kept; may be
+                                       // nullopt-with-bad_ on parse error)
+  bool bad_ = false;                   // unparseable path: always nullopt
+  mutable std::string scratch_;        // concatenated-text landing zone
+};
+
+}  // namespace mqp::engine

@@ -2,26 +2,36 @@
 //
 // Collections are addressed the way the paper's index entries do
 // (§3.2): an XPath expression over the server's data document, e.g.
-// "/data[id=245]". The store document has the shape
+// "/data[@id='245']". Logically the store still *is* that document,
 //
 //   <store>
 //     <data id="245">ITEM*</data>
 //     <data id="246">ITEM*</data>
 //   </store>
 //
-// Fetch resolves an XPath against this document: a match on a <data>
-// collection yields its items; a match on deeper elements yields those
-// elements themselves (so "/data[id=245]/item[price<10]" works too).
+// but the storage is a keyed map of shared immutable Items: the steady
+// path (a collection-id fetch, with or without trailing item steps)
+// answers straight from the map with shared refs — zero deep clones,
+// zero DOM construction. XPaths outside that shape (wildcards, '//',
+// exotic predicates) fall back to a lazily materialized DOM view of the
+// document above, rebuilt only after mutations, where the old clone-out
+// semantics apply unchanged. set_use_shared_store(false) (operator.h)
+// restores the cloning reference everywhere for ablation.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "algebra/plan.h"
 #include "common/result.h"
 #include "engine/operator.h"
 #include "xml/node.h"
+
+namespace mqp::xml {
+class XPath;
+}  // namespace mqp::xml
 
 namespace mqp::engine {
 
@@ -30,22 +40,30 @@ class LocalStore : public DataSource {
  public:
   LocalStore();
 
-  /// Adds (or extends) collection `id` with `items`.
+  /// Adds (or extends) collection `id` with `items` (shared, not copied).
+  /// Non-element items become part of the document (visible to "[.=text]"
+  /// predicates via the view) but are never emitted by readers.
   void AddCollection(const std::string& id, const algebra::ItemSet& items);
 
   /// Replaces collection `id`.
   void ReplaceCollection(const std::string& id,
                          const algebra::ItemSet& items);
 
-  /// Removes collection `id`; no-op if absent.
+  /// Removes collection `id`; no-op if absent. O(1): collections are
+  /// keyed, not scanned.
   void RemoveCollection(const std::string& id);
 
-  /// The XPath identifier for collection `id`: "/data[id=ID]".
+  /// The XPath identifier for collection `id`: "/data[@id='ID']". The id
+  /// is quoted with whichever quote character it does not contain, so ids
+  /// carrying ']', spaces or path separators survive the round trip
+  /// through XPath::Parse. (An id containing *both* quote characters is
+  /// not representable in XPath-lite; don't mint such ids.)
   static std::string CollectionXPath(const std::string& id);
 
+  /// Collection ids in insertion order.
   std::vector<std::string> CollectionIds() const;
 
-  /// Items of one collection (empty when unknown).
+  /// Items of one collection (empty when unknown). Shared refs.
   algebra::ItemSet ItemsOf(const std::string& id) const;
 
   size_t TotalItems() const;
@@ -57,7 +75,41 @@ class LocalStore : public DataSource {
                                  const std::string& xpath) override;
 
  private:
-  std::unique_ptr<xml::Node> root_;  // <store> document
+  struct Collection {
+    uint64_t seq = 0;  // insertion order (monotonic; survives removals)
+    algebra::ItemSet items;
+    // True when some item is an element named "id": the legacy predicate
+    // "[id=...]" would compare that child's text instead of the id
+    // attribute, so the keyed fast path must stand aside (see Fetch).
+    bool has_id_element_item = false;
+    // True when some item is not an element. Such items are part of the
+    // document (the DOM view carries them for "[.=text]" predicates) but
+    // are never emitted — readers walk element children.
+    bool has_non_element_item = false;
+  };
+
+  /// Collections ordered by insertion sequence, with their ids.
+  std::vector<std::pair<const std::string*, const Collection*>> Ordered()
+      const;
+
+  /// Appends `coll`'s element items to `out`, shared or cloned.
+  static void AppendItems(const Collection& coll, bool clone,
+                          algebra::ItemSet* out);
+
+  /// Answers a collection-shaped xpath from the keyed map with shared
+  /// refs; returns false when the shape doesn't apply (caller falls back
+  /// to the DOM view).
+  bool FetchFast(const xml::XPath& xp, algebra::ItemSet* out) const;
+
+  /// The DOM view of the logical <store> document, rebuilt lazily after
+  /// mutations (deep-copies every item; counts EngineStats::items_cloned).
+  const xml::Node& View() const;
+
+  std::unordered_map<std::string, Collection> collections_;
+  uint64_t next_seq_ = 0;
+  uint64_t version_ = 0;  // bumped on every mutation; invalidates view_
+  mutable std::unique_ptr<xml::Node> view_;
+  mutable uint64_t view_version_ = 0;
 };
 
 }  // namespace mqp::engine

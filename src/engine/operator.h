@@ -6,6 +6,7 @@
 // receives sub-plans selected by the policy manager).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -14,6 +15,39 @@
 #include "common/result.h"
 
 namespace mqp::engine {
+
+/// \brief Process-wide engine instrumentation (plain counters: the
+/// library is single-threaded per process). Tests, benches and the peer
+/// snapshot Stats() around an evaluation and work with the deltas, the
+/// same pattern as xml::DomNodesBuilt(); the peer mirrors its deltas into
+/// PeerCounters and NetStats.
+struct EngineStats {
+  /// Whole data items deep-copied (LocalStore view rebuilds, cloning-mode
+  /// fetches, deep-XPath materialization). Zero on the shared steady path.
+  uint64_t items_cloned = 0;
+  /// Keys resolved by a compiled FieldAccessor's direct child walk
+  /// (join build/probe, group-by, aggregate value, top-N order keys).
+  uint64_t field_accessor_hits = 0;
+  /// Probes of structural-hash tables (distinct union, difference).
+  uint64_t structural_hash_probes = 0;
+  /// Wall-clock nanoseconds inside Evaluate (steady clock, independent of
+  /// simulated time).
+  uint64_t engine_eval_ns = 0;
+};
+
+/// Cumulative engine counters (monotonic).
+const EngineStats& Stats();
+
+namespace internal {
+EngineStats& MutableStats();
+}  // namespace internal
+
+/// Ablation knob (the PR 3/4 pattern): false restores the cloning
+/// reference — LocalStore::Fetch materializes a DOM view and deep-copies
+/// every returned item, as the pre-shared-store engine did. Equivalence
+/// tests and bench C10 compare the two modes.
+void set_use_shared_store(bool on);
+bool use_shared_store();
 
 /// \brief Pull-based physical operator.
 class Operator {

@@ -1,14 +1,31 @@
 #include <algorithm>
+#include <chrono>
+#include <functional>
 #include <map>
+#include <string>
+#include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/strings.h"
+#include "engine/field_accessor.h"
 #include "engine/operator.h"
-#include "xml/writer.h"
 
 namespace mqp::engine {
+
+namespace {
+EngineStats g_stats;
+bool g_use_shared_store = true;
+}  // namespace
+
+const EngineStats& Stats() { return g_stats; }
+
+namespace internal {
+EngineStats& MutableStats() { return g_stats; }
+}  // namespace internal
+
+void set_use_shared_store(bool on) { g_use_shared_store = on; }
+bool use_shared_store() { return g_use_shared_store; }
 
 namespace {
 
@@ -138,19 +155,56 @@ std::optional<EquiKeys> ExtractEquiKeys(const ExprPtr& cond) {
   return std::nullopt;
 }
 
-std::optional<std::string> FieldOf(const xml::Node& item,
-                                   const std::string& path) {
-  const xml::Node* c = item.Child(path);
-  if (c != nullptr) return c->InnerText();
-  // Fall back to expression machinery for nested paths.
-  auto v = Expr::Field(path)->EvalValue(item);
-  if (!v) return std::nullopt;
-  return v->text;
-}
+/// A hash table over shared items keyed on xml::StructuralHash with
+/// xml::Node::StructurallyEquals verification — the engine's set
+/// semantics, replacing the old xml::Serialize string keys. Entries hold
+/// shared refs (no copies) plus a per-entry count for multiset use.
+class ItemHashTable {
+ public:
+  void Clear() { buckets_.clear(); }
+
+  /// Adds one occurrence of `item`; returns true if it was new.
+  bool Add(const Item& item) {
+    ++g_stats.structural_hash_probes;
+    auto& bucket = buckets_[xml::StructuralHash(*item)];
+    for (Entry& e : bucket) {
+      if (e.item->StructurallyEquals(*item)) {
+        ++e.count;
+        return false;
+      }
+    }
+    bucket.push_back(Entry{item, 1});
+    return true;
+  }
+
+  /// Removes one occurrence structurally equal to `item`; returns true if
+  /// one was present.
+  bool RemoveOne(const Item& item) {
+    ++g_stats.structural_hash_probes;
+    auto it = buckets_.find(xml::StructuralHash(*item));
+    if (it == buckets_.end()) return false;
+    for (Entry& e : it->second) {
+      if (e.count > 0 && e.item->StructurallyEquals(*item)) {
+        --e.count;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct Entry {
+    Item item;  // shared ref: keeps the representative alive
+    int count;
+  };
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets_;
+};
 
 /// Hash join for equi conditions; falls back to nested loops otherwise.
 /// In `left_outer` mode, left items with no match pass through unchanged
-/// (§2's A ⟖ B).
+/// (§2's A ⟖ B). Build keys are extracted once with a compiled
+/// FieldAccessor and decorated onto the build side; probes hash the
+/// borrowed key view and then borrow the matching bucket by pointer.
 class Join : public Operator {
  public:
   Join(ExprPtr cond, OperatorPtr left, OperatorPtr right,
@@ -166,6 +220,7 @@ class Join : public Operator {
     MQP_RETURN_IF_ERROR(right_->Open());
     // Materialize the right (build) side.
     build_.clear();
+    build_keys_.clear();
     hash_.clear();
     while (true) {
       MQP_ASSIGN_OR_RETURN(auto item, right_->Next());
@@ -173,41 +228,72 @@ class Join : public Operator {
       build_.push_back(*item);
     }
     if (keys_) {
+      probe_key_ = FieldAccessor(keys_->left);
+      FieldAccessor build_key(keys_->right);
+      build_keys_.resize(build_.size());
       for (size_t i = 0; i < build_.size(); ++i) {
-        auto key = FieldOf(*build_[i], keys_->right);
-        if (key) hash_[*key].push_back(i);
+        auto key = build_key.Eval(*build_[i]);
+        if (!key) continue;
+        build_keys_[i].assign(key->data(), key->size());
+        hash_[std::hash<std::string_view>{}(*key)].push_back(i);
       }
     }
-    matches_.clear();
+    matches_ = nullptr;
     match_pos_ = 0;
     return Status::OK();
   }
 
   Result<std::optional<Item>> Next() override {
     while (true) {
-      if (match_pos_ < matches_.size()) {
-        const Item& r = build_[matches_[match_pos_++]];
+      if (matches_ != nullptr && match_pos_ < matches_->size()) {
+        const Item& r = build_[(*matches_)[match_pos_++]];
         return std::optional<Item>(MergeItems(*probe_, *r));
       }
       MQP_ASSIGN_OR_RETURN(auto item, left_->Next());
       if (!item) return std::optional<Item>();
       probe_ = *item;
-      matches_.clear();
+      matches_ = nullptr;
       match_pos_ = 0;
+      size_t match_count = 0;
       if (keys_) {
-        auto key = FieldOf(*probe_, keys_->left);
+        auto key = probe_key_->Eval(*probe_);
         if (key) {
-          auto it = hash_.find(*key);
-          if (it != hash_.end()) matches_ = it->second;
-        }
-      } else {
-        for (size_t i = 0; i < build_.size(); ++i) {
-          if (cond_ == nullptr || cond_->EvalBool(*probe_, build_[i].get())) {
-            matches_.push_back(i);
+          auto it = hash_.find(std::hash<std::string_view>{}(*key));
+          if (it != hash_.end()) {
+            // Hash collisions are possible: verify the decorated build
+            // keys first, and copy candidates out only when a collision
+            // actually mixed keys into the bucket (the common bucket is
+            // borrowed by pointer, never copied).
+            bool exact = true;
+            for (size_t i : it->second) {
+              if (build_keys_[i] != *key) {
+                exact = false;
+                break;
+              }
+            }
+            if (exact) {
+              matches_ = &it->second;  // borrow the bucket: no copy
+            } else {
+              theta_matches_.clear();
+              for (size_t i : it->second) {
+                if (build_keys_[i] == *key) theta_matches_.push_back(i);
+              }
+              if (!theta_matches_.empty()) matches_ = &theta_matches_;
+            }
+            match_count = matches_ == nullptr ? 0 : matches_->size();
           }
         }
+      } else {
+        theta_matches_.clear();
+        for (size_t i = 0; i < build_.size(); ++i) {
+          if (cond_ == nullptr || cond_->EvalBool(*probe_, build_[i].get())) {
+            theta_matches_.push_back(i);
+          }
+        }
+        if (!theta_matches_.empty()) matches_ = &theta_matches_;
+        match_count = theta_matches_.size();
       }
-      if (left_outer_ && matches_.empty()) {
+      if (left_outer_ && match_count == 0) {
         return std::optional<Item>(probe_);  // unmatched left passes through
       }
     }
@@ -224,15 +310,19 @@ class Join : public Operator {
   OperatorPtr right_;
   bool left_outer_;
   std::optional<EquiKeys> keys_;
+  std::optional<FieldAccessor> probe_key_;
   ItemSet build_;
-  std::unordered_map<std::string, std::vector<size_t>> hash_;
+  std::vector<std::string> build_keys_;  // decorated once at Open()
+  std::unordered_map<uint64_t, std::vector<size_t>> hash_;
   Item probe_;
-  std::vector<size_t> matches_;
+  const std::vector<size_t>* matches_ = nullptr;  // borrowed bucket
+  std::vector<size_t> theta_matches_;  // reused storage (capacity kept)
   size_t match_pos_ = 0;
 };
 
 /// Union of n inputs: bag semantics by default, set semantics (structural
-/// deduplication) when `distinct` is set.
+/// deduplication via StructuralHash + StructurallyEquals over shared
+/// items) when `distinct` is set.
 class UnionAll : public Operator {
  public:
   UnionAll(std::vector<OperatorPtr> inputs, bool distinct)
@@ -243,7 +333,7 @@ class UnionAll : public Operator {
       MQP_RETURN_IF_ERROR(in->Open());
     }
     current_ = 0;
-    seen_.clear();
+    seen_.Clear();
     return Status::OK();
   }
 
@@ -251,7 +341,7 @@ class UnionAll : public Operator {
     while (current_ < inputs_.size()) {
       MQP_ASSIGN_OR_RETURN(auto item, inputs_[current_]->Next());
       if (item) {
-        if (distinct_ && !seen_.insert(xml::Serialize(**item)).second) {
+        if (distinct_ && !seen_.Add(*item)) {
           continue;  // duplicate of an already-produced item
         }
         return item;
@@ -269,11 +359,11 @@ class UnionAll : public Operator {
   std::vector<OperatorPtr> inputs_;
   bool distinct_;
   size_t current_ = 0;
-  std::unordered_set<std::string> seen_;
+  ItemHashTable seen_;
 };
 
 /// Multiset difference: left items minus one occurrence per matching right
-/// item (match = structural equality of the serialized form).
+/// item (match = structural equality, keyed by StructuralHash).
 class Difference : public Operator {
  public:
   Difference(OperatorPtr left, OperatorPtr right)
@@ -282,11 +372,11 @@ class Difference : public Operator {
   Status Open() override {
     MQP_RETURN_IF_ERROR(left_->Open());
     MQP_RETURN_IF_ERROR(right_->Open());
-    counts_.clear();
+    counts_.Clear();
     while (true) {
       MQP_ASSIGN_OR_RETURN(auto item, right_->Next());
       if (!item) break;
-      counts_[xml::Serialize(**item)]++;
+      counts_.Add(*item);
     }
     return Status::OK();
   }
@@ -295,11 +385,7 @@ class Difference : public Operator {
     while (true) {
       MQP_ASSIGN_OR_RETURN(auto item, left_->Next());
       if (!item) return std::optional<Item>();
-      auto it = counts_.find(xml::Serialize(**item));
-      if (it != counts_.end() && it->second > 0) {
-        --it->second;
-        continue;
-      }
+      if (counts_.RemoveOne(*item)) continue;
       return item;
     }
   }
@@ -312,7 +398,7 @@ class Difference : public Operator {
  private:
   OperatorPtr left_;
   OperatorPtr right_;
-  std::unordered_map<std::string, int> counts_;
+  ItemHashTable counts_;
 };
 
 /// Blocking aggregation with optional group-by.
@@ -333,18 +419,26 @@ class Aggregator : public Operator {
   Status Open() override {
     MQP_RETURN_IF_ERROR(input_->Open());
     groups_.clear();
+    std::optional<FieldAccessor> group_key;
+    std::optional<FieldAccessor> value_key;
+    if (!group_by_.empty()) group_key.emplace(group_by_);
+    if (!field_.empty()) value_key.emplace(field_);
     // std::map: deterministic group order.
     while (true) {
       MQP_ASSIGN_OR_RETURN(auto item, input_->Next());
       if (!item) break;
-      std::string group;
-      if (!group_by_.empty()) {
-        group = FieldOf(**item, group_by_).value_or("");
+      std::string_view group;
+      if (group_key) {
+        group = group_key->Eval(**item).value_or(std::string_view());
       }
-      State& st = groups_[group];
+      auto it = groups_.find(group);
+      if (it == groups_.end()) {
+        it = groups_.emplace(std::string(group), State{}).first;
+      }
+      State& st = it->second;
       ++st.count;
-      if (!field_.empty()) {
-        auto raw = FieldOf(**item, field_);
+      if (value_key) {
+        auto raw = value_key->Eval(**item);
         double v = 0;
         if (raw && mqp::ParseDouble(*raw, &v)) {
           st.sum += v;
@@ -409,11 +503,17 @@ class Aggregator : public Operator {
   std::string field_;
   std::string group_by_;
   OperatorPtr input_;
-  std::map<std::string, State> groups_;
-  std::map<std::string, State>::const_iterator it_;
+  // Transparent comparator: group lookup by string_view, no per-item key
+  // string until a group is actually new.
+  std::map<std::string, State, std::less<>> groups_;
+  std::map<std::string, State, std::less<>>::const_iterator it_;
 };
 
-/// Blocking order-by + limit.
+/// Blocking order-by + limit, as a bounded heap: keys are extracted once
+/// per item with a compiled accessor and decorated with the arrival
+/// sequence (the stable_sort tie-break), and only the best n entries are
+/// retained — O(N log n) instead of materialize-sort-truncate's
+/// O(N log N) with keys re-extracted per comparison.
 class TopNOp : public Operator {
  public:
   TopNOp(uint64_t n, std::string order_field, bool ascending,
@@ -425,38 +525,68 @@ class TopNOp : public Operator {
 
   Status Open() override {
     MQP_RETURN_IF_ERROR(input_->Open());
-    items_.clear();
+    heap_.clear();
+    FieldAccessor key(order_field_);
+    // `better` is a strict total order (key, then arrival), so keeping
+    // the n minimal entries under it reproduces stable_sort + truncate
+    // exactly, duplicate keys included.
+    auto better_key = [this](std::string_view a, size_t a_seq,
+                             const Entry& b) {
+      const int cmp = CompareKeys(a, b.key);
+      if (cmp != 0) return ascending_ ? cmp < 0 : cmp > 0;
+      return a_seq < b.seq;
+    };
+    auto better = [&](const Entry& a, const Entry& b) {
+      return better_key(a.key, a.seq, b);
+    };
+    size_t seq = 0;
     while (true) {
       MQP_ASSIGN_OR_RETURN(auto item, input_->Next());
       if (!item) break;
-      items_.push_back(*item);
+      const std::string_view k =
+          key.Eval(**item).value_or(std::string_view());
+      const size_t s = seq++;
+      if (heap_.size() < n_) {
+        heap_.push_back(Entry{std::string(k), s, *item});
+        std::push_heap(heap_.begin(), heap_.end(), better);
+        continue;
+      }
+      // Reject against the current worst before materializing an entry:
+      // past the warm-up, almost every item dies here allocation-free.
+      if (n_ == 0 || !better_key(k, s, heap_.front())) continue;
+      std::pop_heap(heap_.begin(), heap_.end(), better);
+      heap_.back() = Entry{std::string(k), s, *item};
+      std::push_heap(heap_.begin(), heap_.end(), better);
     }
-    auto key = [this](const Item& item) {
-      return algebra::Value{FieldOf(*item, order_field_).value_or("")};
-    };
-    std::stable_sort(items_.begin(), items_.end(),
-                     [&](const Item& a, const Item& b) {
-                       const int cmp = key(a).Compare(key(b));
-                       return ascending_ ? cmp < 0 : cmp > 0;
-                     });
-    if (items_.size() > n_) items_.resize(n_);
+    std::sort_heap(heap_.begin(), heap_.end(), better);
     pos_ = 0;
     return Status::OK();
   }
 
   Result<std::optional<Item>> Next() override {
-    if (pos_ >= items_.size()) return std::optional<Item>();
-    return std::optional<Item>(items_[pos_++]);
+    if (pos_ >= heap_.size()) return std::optional<Item>();
+    return std::optional<Item>(heap_[pos_++].item);
   }
 
   void Close() override { input_->Close(); }
 
  private:
+  struct Entry {
+    std::string key;
+    size_t seq;
+    Item item;
+  };
+
+  /// algebra::Value::Compare over borrowed views.
+  static int CompareKeys(std::string_view a, std::string_view b) {
+    return mqp::CompareNumericAware(a, b);
+  }
+
   uint64_t n_;
   std::string order_field_;
   bool ascending_;
   OperatorPtr input_;
-  ItemSet items_;
+  std::vector<Entry> heap_;
   size_t pos_ = 0;
 };
 
@@ -530,16 +660,25 @@ Result<OperatorPtr> BuildOperator(const PlanNode& plan, DataSource* source) {
 }
 
 Result<algebra::ItemSet> Evaluate(const PlanNode& plan, DataSource* source) {
-  MQP_ASSIGN_OR_RETURN(auto op, BuildOperator(plan, source));
-  MQP_RETURN_IF_ERROR(op->Open());
-  algebra::ItemSet out;
-  while (true) {
-    MQP_ASSIGN_OR_RETURN(auto item, op->Next());
-    if (!item) break;
-    out.push_back(*item);
-  }
-  op->Close();
-  return out;
+  const auto start = std::chrono::steady_clock::now();
+  auto run = [&]() -> Result<algebra::ItemSet> {
+    MQP_ASSIGN_OR_RETURN(auto op, BuildOperator(plan, source));
+    MQP_RETURN_IF_ERROR(op->Open());
+    algebra::ItemSet out;
+    while (true) {
+      MQP_ASSIGN_OR_RETURN(auto item, op->Next());
+      if (!item) break;
+      out.push_back(*item);
+    }
+    op->Close();
+    return out;
+  };
+  auto result = run();
+  g_stats.engine_eval_ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return result;
 }
 
 }  // namespace mqp::engine

@@ -4,14 +4,18 @@
 //
 // Module map:
 //   common/     Status/Result error model, deterministic RNG, strings
-//   xml/        XML DOM (the data-item model), parser, serializer,
-//               XPath-lite, and the streaming codec: pull TokenReader /
-//               emitting TokenWriter (the wire hot path — no throwaway
-//               DOM; see DESIGN.md §5)
+//   xml/        XML DOM (the data-item model) with structural hashing and
+//               epoch-cached sizes/hashes, parser, serializer, XPath-lite,
+//               and the streaming codec: pull TokenReader / emitting
+//               TokenWriter (the wire hot path — no throwaway DOM; see
+//               DESIGN.md §5)
 //   ns/         multi-hierarchic namespaces: categories (interned to dense
 //               PathIds with Euler-tour intervals), interest areas, URNs
 //   algebra/    mutant query plans: operators, expressions, XML wire format
-//   engine/     physical operators and the local collection store
+//   engine/     the zero-copy query engine (DESIGN.md §6): physical
+//               operators over shared immutable items, compiled
+//               FieldAccessors, StructuralHash set semantics, bounded-heap
+//               top-N, and the keyed shared-item LocalStore
 //   optimizer/  evaluable-sub-plan detection, cost model, rewrites, policy
 //   catalog/    distributed catalogs indexed for sublinear resolution
 //               (AreaIndex + binding cache), intensional statements,
@@ -46,6 +50,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "engine/field_accessor.h"
 #include "engine/local_store.h"
 #include "engine/operator.h"
 #include "net/simulator.h"

@@ -114,6 +114,17 @@ struct NetStats {
   uint64_t resolve_entries_scanned = 0;
   uint64_t binding_cache_hits = 0;
 
+  // Query-engine counters, fed by the peers (see engine::EngineStats):
+  // whole items deep-copied on evaluation paths (zero on the shared-store
+  // steady path), keys resolved by compiled field accessors, probes of
+  // the structural-hash set-semantics tables, and wall-clock nanoseconds
+  // spent inside engine::Evaluate (steady clock, independent of simulated
+  // time).
+  uint64_t items_cloned = 0;
+  uint64_t field_accessor_hits = 0;
+  uint64_t structural_hash_probes = 0;
+  uint64_t engine_eval_ns = 0;
+
   /// Messages counted as sent but never delivered because the sender was
   /// down at send time / the recipient was down or unknown at send time.
   uint64_t drops_from_failed = 0;

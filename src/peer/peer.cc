@@ -21,6 +21,53 @@ using algebra::PlanNodePtr;
 using algebra::ProvenanceAction;
 using algebra::ProvenanceEntry;
 
+namespace {
+
+/// Mirrors engine::Stats() deltas into PeerCounters and NetStats on scope
+/// exit (the resolve/wire counter flow pattern). Re-entrant: only the
+/// outermost scope records, so a result callback that submits a fresh
+/// query from inside ProcessPlan cannot double-count.
+class EngineTally {
+ public:
+  EngineTally(PeerCounters* counters, net::NetStats* stats, int* depth)
+      : counters_(counters),
+        stats_(stats),
+        depth_(depth),
+        before_(engine::Stats()) {
+    ++*depth_;
+  }
+
+  ~EngineTally() {
+    if (--*depth_ > 0) return;
+    const engine::EngineStats& now = engine::Stats();
+    const uint64_t cloned = now.items_cloned - before_.items_cloned;
+    const uint64_t hits =
+        now.field_accessor_hits - before_.field_accessor_hits;
+    const uint64_t probes =
+        now.structural_hash_probes - before_.structural_hash_probes;
+    const uint64_t ns = now.engine_eval_ns - before_.engine_eval_ns;
+    counters_->items_cloned += cloned;
+    counters_->field_accessor_hits += hits;
+    counters_->structural_hash_probes += probes;
+    counters_->engine_eval_ns += ns;
+    stats_->items_cloned += cloned;
+    stats_->field_accessor_hits += hits;
+    stats_->structural_hash_probes += probes;
+    stats_->engine_eval_ns += ns;
+  }
+
+  EngineTally(const EngineTally&) = delete;
+  EngineTally& operator=(const EngineTally&) = delete;
+
+ private:
+  PeerCounters* counters_;
+  net::NetStats* stats_;
+  int* depth_;
+  engine::EngineStats before_;
+};
+
+}  // namespace
+
 Peer::Peer(net::Simulator* sim, PeerOptions options)
     : sim_(sim), options_(std::move(options)) {
   id_ = sim_->Register(this);
@@ -392,6 +439,11 @@ void Peer::HandleCategoryReply(const wire::Envelope& env) {
 // --- the Figure-2 loop ---------------------------------------------------------
 
 void Peer::ProcessPlan(Plan plan, uint32_t hops) {
+  // Mirror the engine's instrumentation into the per-peer and
+  // network-wide counters (same flow as resolve/wire counters). The
+  // scope spans the whole loop: annotation fetches, locality probes and
+  // sub-plan evaluation all touch the store/engine.
+  const EngineTally tally(&counters_, &sim_->stats(), &engine_tally_depth_);
   // ResolveUrns records one kBound provenance entry per URN it binds (the
   // entry's detail is the bound URN — §5.1's "catalog improvement" data).
   const int bound = ResolveUrns(&plan);
@@ -1090,6 +1142,7 @@ void Peer::HandleCategoryQuery(const wire::Envelope& env, net::PeerId from) {
 // --- fetch service (pull; used by baselines & index pull) --------------------------
 
 void Peer::HandleFetch(const wire::Envelope& env, net::PeerId from) {
+  const EngineTally tally(&counters_, &sim_->stats(), &engine_tally_depth_);
   xml::AttrList attrs;
   if (!wire::DecodeAttrBody(env.body(), &attrs).ok()) return;
   std::string reply;
@@ -1111,6 +1164,7 @@ void Peer::HandleFetch(const wire::Envelope& env, net::PeerId from) {
 // --- subquery service (coordinator-style distributed QP, baseline C2) ------------
 
 void Peer::HandleSubquery(const wire::Envelope& env, net::PeerId from) {
+  const EngineTally tally(&counters_, &sim_->stats(), &engine_tally_depth_);
   // The body is the sub-plan's <mqp> document itself (the coordinator
   // stopped wrapping it; correlation rides in the envelope header).
   std::string reply;

@@ -131,6 +131,13 @@ struct PeerCounters {
   uint64_t resolve_index_probes = 0;         ///< area-index bucket probes
   uint64_t resolve_entries_scanned = 0;      ///< entries overlap-tested
   uint64_t binding_cache_hits = 0;           ///< resolutions answered cached
+  // Query-engine counters (see engine::EngineStats). items_cloned spans
+  // every store/engine touch this peer makes, so a filter query over a
+  // local collection asserts it at exactly zero.
+  uint64_t items_cloned = 0;                 ///< whole items deep-copied
+  uint64_t field_accessor_hits = 0;          ///< compiled key extractions
+  uint64_t structural_hash_probes = 0;       ///< set-semantics hash probes
+  uint64_t engine_eval_ns = 0;               ///< steady-clock eval time
 };
 
 /// \brief A network participant. Attach to a Simulator, publish data or
@@ -327,6 +334,7 @@ class Peer : public net::PeerNode {
   std::map<std::string, Pending> pending_;
   uint64_t next_query_ = 0;
   PeerCounters counters_;
+  int engine_tally_depth_ = 0;  // EngineTally re-entrancy guard
 };
 
 }  // namespace mqp::peer

@@ -4,15 +4,19 @@ namespace mqp::xml {
 
 namespace {
 // The library is single-threaded per process (discrete-event simulation);
-// a plain counter keeps the hot path free of atomics.
+// plain counters keep the hot paths free of atomics.
 uint64_t g_dom_nodes_built = 0;
+uint64_t g_dom_mutation_epoch = 1;  // 1 so a zero-initialized cache is stale
 }  // namespace
 
 namespace internal {
 void CountNodeBuilt() { ++g_dom_nodes_built; }
+void BumpMutationEpoch() { ++g_dom_mutation_epoch; }
 }  // namespace internal
 
 uint64_t DomNodesBuilt() { return g_dom_nodes_built; }
+
+uint64_t DomMutationEpoch() { return g_dom_mutation_epoch; }
 
 std::unique_ptr<Node> Node::Element(std::string name) {
   auto n = std::unique_ptr<Node>(new Node(NodeType::kElement));
@@ -34,6 +38,7 @@ std::unique_ptr<Node> Node::ElementWithText(std::string name,
 }
 
 void Node::SetAttr(std::string_view key, std::string value) {
+  if (cache_marked_) internal::BumpMutationEpoch();
   for (auto& [k, v] : attrs_) {
     if (k == key) {
       v = std::move(value);
@@ -56,6 +61,7 @@ std::string Node::AttrOr(std::string_view key, std::string fallback) const {
 }
 
 Node* Node::AddChild(std::unique_ptr<Node> child) {
+  if (cache_marked_) internal::BumpMutationEpoch();
   children_.push_back(std::move(child));
   return children_.back().get();
 }
@@ -116,6 +122,7 @@ std::string Node::InnerText() const {
 }
 
 std::unique_ptr<Node> Node::RemoveChild(size_t i) {
+  if (cache_marked_) internal::BumpMutationEpoch();
   auto out = std::move(children_[i]);
   children_.erase(children_.begin() + static_cast<ptrdiff_t>(i));
   return out;
@@ -123,6 +130,7 @@ std::unique_ptr<Node> Node::RemoveChild(size_t i) {
 
 std::unique_ptr<Node> Node::ReplaceChild(size_t i,
                                          std::unique_ptr<Node> child) {
+  if (cache_marked_) internal::BumpMutationEpoch();
   auto out = std::move(children_[i]);
   children_[i] = std::move(child);
   return out;
@@ -140,15 +148,72 @@ std::unique_ptr<Node> Node::Clone() const {
   return n;
 }
 
-bool Node::Equals(const Node& other) const {
+bool Node::StructurallyEquals(const Node& other) const {
+  if (this == &other) return true;  // shared items compare constantly
+  // When both hashes are cached and differ, the trees cannot be equal.
+  if (hash_epoch_ == g_dom_mutation_epoch &&
+      other.hash_epoch_ == g_dom_mutation_epoch &&
+      cached_hash_ != other.cached_hash_) {
+    return false;
+  }
   if (type_ != other.type_ || name_ != other.name_ || text_ != other.text_ ||
       attrs_ != other.attrs_ || children_.size() != other.children_.size()) {
     return false;
   }
   for (size_t i = 0; i < children_.size(); ++i) {
-    if (!children_[i]->Equals(*other.children_[i])) return false;
+    if (!children_[i]->StructurallyEquals(*other.children_[i])) return false;
   }
   return true;
+}
+
+namespace {
+
+// FNV-1a over bytes, with single-byte tags separating the fields so
+// ("ab", "c") and ("a", "bc") cannot collide trivially.
+inline uint64_t Fnv(uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t FnvTag(uint64_t h, unsigned char tag) {
+  h ^= tag;
+  h *= 0x100000001b3ull;
+  return h;
+}
+
+inline uint64_t MixHash(uint64_t h, uint64_t v) {
+  // splitmix64-style finalizer folded into the running hash: each child's
+  // (cached) subtree hash enters as one well-stirred word.
+  v += 0x9e3779b97f4a7c15ull;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  return (h ^ (v ^ (v >> 31))) * 0x100000001b3ull;
+}
+
+}  // namespace
+
+uint64_t StructuralHash(const Node& node) {
+  if (node.hash_epoch_ == g_dom_mutation_epoch) return node.cached_hash_;
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = FnvTag(h, node.is_element() ? 1 : 2);
+  h = Fnv(h, node.name());
+  h = Fnv(h, node.text());
+  for (const auto& [k, v] : node.attrs()) {
+    h = FnvTag(h, 3);
+    h = Fnv(h, k);
+    h = FnvTag(h, 4);
+    h = Fnv(h, v);
+  }
+  for (const auto& c : node.children()) {
+    h = MixHash(h, StructuralHash(*c));  // children hit their own caches
+  }
+  node.hash_epoch_ = g_dom_mutation_epoch;
+  node.cached_hash_ = h;
+  node.cache_marked_ = true;  // future mutations of this subtree bump
+  return h;
 }
 
 }  // namespace mqp::xml

@@ -20,6 +20,8 @@ enum class NodeType { kElement, kText };
 namespace internal {
 /// Bumps the process-wide node-construction counter (see DomNodesBuilt).
 void CountNodeBuilt();
+/// Bumps the process-wide mutation epoch (see DomMutationEpoch).
+void BumpMutationEpoch();
 }  // namespace internal
 
 /// \brief Process-wide monotonic count of Node objects ever constructed
@@ -28,6 +30,18 @@ void CountNodeBuilt();
 /// a code path and assert on the delta (dom_nodes_built counters in
 /// PeerCounters / NetStats are fed from it).
 uint64_t DomNodesBuilt();
+
+/// \brief Process-wide cache-invalidation epoch. Per-node caches (the
+/// lazy SerializedSize and StructuralHash caches) are tagged with the
+/// epoch they were computed in and are valid only while it has not
+/// moved. The caching walks mark every node of the cached subtree, and
+/// only mutations of *marked* nodes bump the epoch — so building fresh
+/// trees (wire decode, result materialization) never flushes the caches
+/// of stored immutable items, while any mutation that could touch a
+/// cached subtree flushes everything (coarse but sound: a node can only
+/// enter a cached subtree via AddChild/ReplaceChild on a marked parent,
+/// which bumps).
+uint64_t DomMutationEpoch();
 
 /// \brief One node of an XML tree (element or text). Elements own their
 /// children; attribute order is preserved.
@@ -49,11 +63,17 @@ class Node {
 
   /// Element tag name (empty for text nodes).
   const std::string& name() const { return name_; }
-  void set_name(std::string name) { name_ = std::move(name); }
+  void set_name(std::string name) {
+    if (cache_marked_) internal::BumpMutationEpoch();
+    name_ = std::move(name);
+  }
 
   /// Text content (text nodes only).
   const std::string& text() const { return text_; }
-  void set_text(std::string text) { text_ = std::move(text); }
+  void set_text(std::string text) {
+    if (cache_marked_) internal::BumpMutationEpoch();
+    text_ = std::move(text);
+  }
 
   // --- attributes -----------------------------------------------------------
 
@@ -87,7 +107,12 @@ class Node {
   const std::vector<std::unique_ptr<Node>>& children() const {
     return children_;
   }
-  std::vector<std::unique_ptr<Node>>& mutable_children() { return children_; }
+  std::vector<std::unique_ptr<Node>>& mutable_children() {
+    // Conservative: the caller may mutate freely (bump only matters — and
+    // only fires — when this node sits inside a cached subtree).
+    if (cache_marked_) internal::BumpMutationEpoch();
+    return children_;
+  }
 
   /// Number of element children.
   size_t ElementCount() const;
@@ -115,10 +140,18 @@ class Node {
   /// Deep copy.
   std::unique_ptr<Node> Clone() const;
 
-  /// Structural equality (name, attrs incl. order, children recursively).
-  bool Equals(const Node& other) const;
+  /// Structural equality (type, name, text, attrs incl. order, children
+  /// recursively). The companion of StructuralHash: two nodes with equal
+  /// hashes are verified with this before being treated as duplicates.
+  bool StructurallyEquals(const Node& other) const;
+
+  /// Alias retained for existing call sites.
+  bool Equals(const Node& other) const { return StructurallyEquals(other); }
 
  private:
+  friend size_t SerializedSize(const Node& node);   // lazy size cache
+  friend uint64_t StructuralHash(const Node& node); // lazy hash cache
+
   explicit Node(NodeType type) : type_(type) { internal::CountNodeBuilt(); }
 
   NodeType type_;
@@ -126,6 +159,25 @@ class Node {
   std::string text_;
   std::vector<std::pair<std::string, std::string>> attrs_;
   std::vector<std::unique_ptr<Node>> children_;
+  // Lazy caches, valid while their epoch == DomMutationEpoch().
+  // 0 = never computed (the live epoch starts at 1). cache_marked_ is set
+  // on every node a caching walk visits; mutators bump the global epoch
+  // only for marked nodes, so fresh tree construction leaves the caches
+  // of stored items untouched.
+  mutable uint64_t size_epoch_ = 0;   // serialized size (see writer.cc)
+  mutable size_t cached_size_ = 0;
+  mutable uint64_t hash_epoch_ = 0;   // structural hash
+  mutable uint64_t cached_hash_ = 0;
+  mutable bool cache_marked_ = false;
 };
+
+/// \brief Deep structural hash over (type, name, text, attrs incl. order,
+/// children recursively). Equal trees hash equal; the engine's set
+/// semantics (distinct union, difference) key hash tables on it instead
+/// of serialized strings, re-verifying candidate matches with
+/// Node::StructurallyEquals. Cached per subtree under the DOM mutation
+/// epoch (the SerializedSize pattern), so re-hashing a shared immutable
+/// item is O(1) after the first computation.
+uint64_t StructuralHash(const Node& node);
 
 }  // namespace mqp::xml

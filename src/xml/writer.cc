@@ -98,24 +98,43 @@ size_t EscapedAttrSize(const std::string& s) {
 
 }  // namespace
 
+namespace {
+uint64_t g_serialize_calls = 0;
+}
+
 std::string Serialize(const Node& node, const WriteOptions& opts) {
+  ++g_serialize_calls;
   std::string out;
   WriteNode(node, opts, 0, &out);
   return out;
 }
 
+uint64_t SerializeCalls() { return g_serialize_calls; }
+
 size_t SerializedSize(const Node& node) {
-  if (node.is_text()) return EscapedTextSize(node.text());
-  size_t n = 1 + node.name().size();  // "<name"
-  for (const auto& [k, v] : node.attrs()) {
-    n += 1 + k.size() + 2 + EscapedAttrSize(v) + 1;  // ' k="v"'
+  const uint64_t epoch = DomMutationEpoch();
+  if (node.size_epoch_ == epoch) return node.cached_size_;
+  size_t n;
+  if (node.is_text()) {
+    n = EscapedTextSize(node.text());
+  } else {
+    n = 1 + node.name().size();  // "<name"
+    for (const auto& [k, v] : node.attrs()) {
+      n += 1 + k.size() + 2 + EscapedAttrSize(v) + 1;  // ' k="v"'
+    }
+    if (node.children().empty()) {
+      n += 2;  // "/>"
+    } else {
+      n += 1;  // '>'
+      for (const auto& c : node.children()) {
+        n += SerializedSize(*c);
+      }
+      n += 3 + node.name().size();  // "</name>"
+    }
   }
-  if (node.children().empty()) return n + 2;  // "/>"
-  n += 1;  // '>'
-  for (const auto& c : node.children()) {
-    n += SerializedSize(*c);
-  }
-  n += 3 + node.name().size();  // "</name>"
+  node.size_epoch_ = epoch;
+  node.cached_size_ = n;
+  node.cache_marked_ = true;  // future mutations of this subtree bump
   return n;
 }
 

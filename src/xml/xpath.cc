@@ -15,13 +15,7 @@ bool IsStepChar(char c) {
 
 // Numeric comparison when both parse, else lexicographic.
 int Compare(const std::string& a, const std::string& b) {
-  double da, db;
-  if (mqp::ParseDouble(a, &da) && mqp::ParseDouble(b, &db)) {
-    if (da < db) return -1;
-    if (da > db) return 1;
-    return 0;
-  }
-  return a.compare(b);
+  return mqp::CompareNumericAware(a, b);
 }
 
 void CollectDescendants(const Node& n, const std::string& name,
@@ -80,8 +74,33 @@ Result<XPath> XPath::Parse(std::string_view expr) {
     }
     // Predicates.
     while (pos < s.size() && s[pos] == '[') {
-      const size_t close = s.find(']', pos);
-      if (close == std::string_view::npos) {
+      // Find the closing ']', skipping quoted literals so ids containing
+      // ']' survive ("[@id='a]b']"). A quote opens a literal only right
+      // after a comparison operator — mirroring the literal parse below —
+      // so bare literals containing an apostrophe ("[id=it's]") keep
+      // their legacy meaning.
+      size_t close = pos + 1;
+      bool after_op = false;
+      while (close < s.size() && s[close] != ']') {
+        const char c = s[close];
+        if ((c == '\'' || c == '"') && after_op) {
+          const size_t end = s.find(c, close + 1);
+          if (end == std::string_view::npos) {
+            close = s.size();  // unterminated literal: unterminated predicate
+            break;
+          }
+          close = end + 1;
+          after_op = false;
+          continue;
+        }
+        if (c == '=' || c == '<' || c == '>') {
+          after_op = true;
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          after_op = false;
+        }
+        ++close;
+      }
+      if (close >= s.size()) {
         return Status::ParseError("unterminated predicate");
       }
       std::string_view body = mqp::Trim(s.substr(pos + 1, close - pos - 1));
@@ -189,6 +208,34 @@ Result<XPath> XPath::Parse(std::string_view expr) {
 
 bool XPath::selects_attribute() const {
   return !steps_.empty() && steps_.back().is_attr;
+}
+
+std::optional<std::string> XPath::StepKeyEqLiteral(size_t i,
+                                                   std::string_view key,
+                                                   bool* attr_operand) const {
+  const Step& step = steps_[i];
+  if (step.preds.size() != 1) return std::nullopt;
+  const Predicate& p = step.preds[0];
+  if (p.is_position || p.operand_is_self || p.op != CompareOp::kEq ||
+      p.operand != key) {
+    return std::nullopt;
+  }
+  if (attr_operand != nullptr) *attr_operand = p.operand_is_attr;
+  return p.literal;
+}
+
+XPath XPath::SuffixFrom(size_t first) const {
+  // text_ is left empty: nothing reads it, and this runs per fetch on
+  // the store's steady path.
+  XPath out;
+  out.absolute_ = true;
+  out.steps_.assign(steps_.begin() + static_cast<ptrdiff_t>(first),
+                    steps_.end());
+  return out;
+}
+
+bool XPath::LiteralEquals(const std::string& a, const std::string& b) {
+  return Compare(a, b) == 0;
 }
 
 bool XPath::MatchPredicates(const Node& n,

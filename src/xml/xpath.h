@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,6 +51,55 @@ class XPath {
 
   /// True if the final step selects an attribute.
   bool selects_attribute() const;
+
+  // --- step introspection -----------------------------------------------------
+  //
+  // Used by engine::LocalStore to recognize the paper's collection-id
+  // shape ("/data[id=245]", "/data[@id='c0']/cd[price<10]") and answer it
+  // from its keyed collection map without materializing a DOM view.
+
+  /// Number of steps.
+  size_t StepCount() const { return steps_.size(); }
+
+  /// True if step `i` was reached via '//'.
+  bool StepIsDescendant(size_t i) const { return steps_[i].descendant; }
+
+  /// True if step `i` is an '@attr' step.
+  bool StepIsAttr(size_t i) const { return steps_[i].is_attr; }
+
+  /// Step `i`'s name ("*" for the wildcard step).
+  const std::string& StepName(size_t i) const { return steps_[i].name; }
+
+  /// True if step `i` carries no predicates.
+  bool StepHasNoPredicates(size_t i) const { return steps_[i].preds.empty(); }
+
+  /// True if any predicate of step `i` is a positional one ("[2]").
+  bool StepHasPositionPredicate(size_t i) const {
+    for (const Predicate& p : steps_[i].preds) {
+      if (p.is_position) return true;
+    }
+    return false;
+  }
+
+  /// If step `i`'s predicates are exactly one equality test on the
+  /// child-or-attribute operand `key`, returns the literal compared
+  /// against; nullopt otherwise. `attr_operand` (optional) receives
+  /// whether the operand was written '@key' (attribute-only, no
+  /// child-element fallback).
+  std::optional<std::string> StepKeyEqLiteral(size_t i, std::string_view key,
+                                              bool* attr_operand
+                                              = nullptr) const;
+
+  /// A new absolute XPath made of the steps from `first` on (text() is
+  /// empty — the structural form is the path). Precondition:
+  /// first < StepCount().
+  XPath SuffixFrom(size_t first) const;
+
+  /// The predicate '=' relation: numeric when both sides parse as
+  /// numbers, else exact string comparison. Exposed so callers answering
+  /// predicates out-of-band (the store's collection-id match) agree with
+  /// Eval byte for byte.
+  static bool LiteralEquals(const std::string& a, const std::string& b);
 
  private:
   enum class CompareOp { kNone, kEq, kNe, kLt, kLe, kGt, kGe };

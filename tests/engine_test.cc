@@ -315,7 +315,109 @@ TEST(LocalStoreTest, UrlLeafEvaluatesThroughStore) {
 }
 
 TEST(LocalStoreTest, CollectionXPathHelper) {
-  EXPECT_EQ(LocalStore::CollectionXPath("245"), "/data[id=245]");
+  EXPECT_EQ(LocalStore::CollectionXPath("245"), "/data[@id='245']");
+  // Ids with XPath metacharacters survive quoting.
+  EXPECT_EQ(LocalStore::CollectionXPath("a]b c"), "/data[@id='a]b c']");
+  EXPECT_EQ(LocalStore::CollectionXPath("it's"), "/data[@id=\"it's\"]");
+}
+
+TEST(LocalStoreTest, HostileCollectionIdsRoundTrip) {
+  // The satellite fix: ids containing ']', quotes, spaces or separators
+  // used to be spliced into the xpath unescaped and broke the parse.
+  for (const std::string id :
+       {"a]b", "it's", "with space", "replica:10.0.0.5:9020", "0245"}) {
+    LocalStore store;
+    store.AddCollection(id, Cds());
+    auto r = store.Fetch("", LocalStore::CollectionXPath(id));
+    ASSERT_TRUE(r.ok()) << id << ": " << r.status();
+    EXPECT_EQ(r->size(), 4u) << id;
+  }
+}
+
+TEST(LocalStoreTest, LegacyUnquotedCollectionXPathStillResolves) {
+  LocalStore store;
+  store.AddCollection("c0", Cds());
+  for (const char* form : {"/data[id=c0]", "/data[@id=c0]", "data[id=c0]",
+                           "/data[@id='c0']", "/data[id='c0']"}) {
+    auto r = store.Fetch("", form);
+    ASSERT_TRUE(r.ok()) << form;
+    EXPECT_EQ(r->size(), 4u) << form;
+  }
+}
+
+TEST(LocalStoreTest, NumericIdEqualityMatchesXPathSemantics) {
+  // XPath '=' compares numerically when both sides parse as numbers; the
+  // keyed fast path must agree ("0245" matches id "245").
+  LocalStore store;
+  store.AddCollection("245", Cds());
+  auto r = store.Fetch("", "/data[id=0245]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(LocalStoreTest, IdElementItemShadowsAttributeForm) {
+  // Legacy "[id=...]" compares the first <id> *child element* when one
+  // exists; a collection can be selected by its item text even though
+  // its id attribute differs. The keyed fast path must stand aside.
+  LocalStore store;
+  store.AddCollection("c1", {ItemFrom("<id>5</id>"), ItemFrom("<x/>")});
+  auto r = store.Fetch("", "/data[id=5]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // the whole collection, as the document says
+  // The attribute-only form is not shadowed.
+  r = store.Fetch("", "/data[@id=5]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(LocalStoreTest, TrailingAttributeStepMatchesDocumentSemantics) {
+  // "/data[@id='c0']/@id" applies the @id test to the <data> element
+  // (which carries it) and then expands the collection — not to the
+  // items. The fast path must defer to the view here.
+  LocalStore store;
+  store.AddCollection("c0", {ItemFrom("<cd><t>x</t></cd>")});
+  auto r = store.Fetch("", "/data[@id='c0']/@id");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(LocalStoreTest, NonElementItemsAreHiddenButStayInTheDocument) {
+  // The document model never emitted text-node items (readers walk
+  // element children), yet they are part of the <data> element: a
+  // "[.=text]" self predicate must still see them.
+  LocalStore store;
+  store.AddCollection("c", {Item(xml::Node::Text("loose").release()),
+                            ItemFrom("<a/>")});
+  EXPECT_EQ(store.TotalItems(), 1u);
+  EXPECT_EQ(store.ItemsOf("c").size(), 1u);
+  auto r = store.Fetch("", "/data[@id='c']");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  r = store.Fetch("", "/data[.='loose']");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);  // matched via the text item; emits <a/>
+}
+
+TEST(XPathCompatTest, BareLiteralWithApostropheKeepsLegacyMeaning) {
+  // The quote-aware predicate scanner must not treat a quote *inside* a
+  // bare literal as a string opener.
+  LocalStore store;
+  store.AddCollection("it's", Cds());
+  auto r = store.Fetch("", "/data[id=it's]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(LocalStoreTest, SharedFetchPerformsZeroClones) {
+  LocalStore store;
+  store.AddCollection("245", Cds());
+  const uint64_t cloned_before = Stats().items_cloned;
+  const uint64_t nodes_before = xml::DomNodesBuilt();
+  auto r = store.Fetch("", "/data[@id='245']");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+  EXPECT_EQ(Stats().items_cloned, cloned_before);
+  EXPECT_EQ(xml::DomNodesBuilt(), nodes_before);
 }
 
 }  // namespace

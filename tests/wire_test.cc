@@ -255,10 +255,18 @@ TEST(WireRoutingTest, ForwardedUnchangedPlanIsNotReserialized) {
   EXPECT_EQ(relay.counters().dom_nodes_built, 0u);
   EXPECT_EQ(relay.counters().token_decodes, 1u);
   EXPECT_GT(relay.counters().plan_decode_ns, 0u);
-  // The authority *does* build nodes: it binds the URN and materializes
-  // result items — the counter separates legitimate data-model work from
-  // wire-path waste.
-  EXPECT_GT(authority.counters().dom_nodes_built, 0u);
+  // The authority evaluates the bound sub-plan, yet builds zero nodes
+  // too: the shared-item store hands the engine refs into its collections
+  // and the result rides the plan as those same shared items (the
+  // receiving client is who materializes them from the wire). Its engine
+  // counters show the work happened.
+  EXPECT_EQ(authority.counters().dom_nodes_built, 0u);
+  EXPECT_EQ(authority.counters().items_cloned, 0u);
+  EXPECT_GT(authority.counters().subplans_evaluated, 0u);
+  EXPECT_GT(authority.counters().engine_eval_ns, 0u);
+  // The returning result's items are materialized into real nodes at
+  // decode time somewhere — network-wide, not on any routing hop.
+  EXPECT_GT(sim.stats().dom_nodes_built, 0u);
   EXPECT_EQ(sim.stats().token_decodes, sim.stats().plan_parses);
   EXPECT_GT(sim.stats().plan_decode_ns, 0u);
 
