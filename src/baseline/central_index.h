@@ -22,7 +22,7 @@ class CentralIndexServer : public net::PeerNode {
   explicit CentralIndexServer(net::Simulator* sim);
 
   net::PeerId id() const { return id_; }
-  std::string address() const { return net::Simulator::AddressOf(id_); }
+  const std::string& address() const { return sim_->Address(id_); }
 
   void AddEntry(const ns::InterestArea& area, const std::string& server,
                 const std::string& xpath);
@@ -57,7 +57,7 @@ class CentralIndexClient : public net::PeerNode {
   CentralIndexClient(net::Simulator* sim, std::string index_address);
 
   net::PeerId id() const { return id_; }
-  std::string address() const { return net::Simulator::AddressOf(id_); }
+  const std::string& address() const { return sim_->Address(id_); }
 
   /// Runs `plan` (whose single URN leaf must be an interest-area URN
   /// matching `area`); `cb` fires when all fetches return.

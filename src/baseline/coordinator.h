@@ -41,7 +41,7 @@ class Coordinator : public net::PeerNode {
   Coordinator(net::Simulator* sim, Mode mode, double timeout_seconds = 30);
 
   net::PeerId id() const { return id_; }
-  std::string address() const { return net::Simulator::AddressOf(id_); }
+  const std::string& address() const { return sim_->Address(id_); }
 
   /// Registers a source in the global catalog.
   void AddCatalogEntry(const ns::InterestArea& area,

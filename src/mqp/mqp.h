@@ -21,15 +21,21 @@
 //               (AreaIndex + binding cache), intensional statements,
 //               versioned entries + tombstones + CatalogDelta (dynamic
 //               maintenance)
-//   net/        discrete-event network simulator (shared-payload messages)
+//   net/        discrete-event network simulator (shared-payload
+//               messages) sized for million-peer populations (DESIGN.md
+//               §7): calendar-queue scheduler (calendar_queue) over a
+//               slab/free-list event pool (event_pool), interned message
+//               kinds with flat per-kind counters (kind_table), message
+//               model split out in message.h
 //   wire/       framed messaging: envelopes, cached plan serialization,
 //               streaming body codecs (plan_codec, body_codec)
 //   sync/       gossip/anti-entropy catalog maintenance (digests, deltas,
 //               TTL expiry) on top of the wire layer
 //   peer/       the peer: roles, registration, the Figure-2 MQP loop
 //   baseline/   Napster / Gnutella / coordinator baselines
-//   workload/   garage-sale, CD-market, gene-expression generators and
-//               the churn scenario driver
+//   workload/   garage-sale, CD-market, gene-expression generators, the
+//               churn scenario driver, and topology builders (garage-sale
+//               tree, super-peer hierarchies)
 //
 // Layering is strictly:
 //   common/xml/ns → algebra → net → wire → sync → peer/baseline → workload
@@ -53,6 +59,10 @@
 #include "engine/field_accessor.h"
 #include "engine/local_store.h"
 #include "engine/operator.h"
+#include "net/calendar_queue.h"
+#include "net/event_pool.h"
+#include "net/kind_table.h"
+#include "net/message.h"
 #include "net/simulator.h"
 #include "ns/category_path.h"
 #include "ns/hierarchy.h"

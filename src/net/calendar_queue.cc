@@ -1,0 +1,205 @@
+#include "net/calendar_queue.h"
+
+#include <algorithm>
+
+namespace mqp::net {
+
+namespace {
+
+/// Strict (time, seq) total order — the heap comparator, inverted.
+inline bool Before(const SimEvent& a, const SimEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+void CalendarQueue::Init(size_t nbuckets, double width) {
+  nbuckets_ = nbuckets;
+  mask_ = nbuckets - 1;
+  width_ = width;
+  occupied_ = 0;
+  heads_.assign(nbuckets, kNilEvent);
+  tails_.assign(nbuckets, kNilEvent);
+  dirty_.assign(nbuckets, 0);
+}
+
+void CalendarQueue::Push(EventPool& pool, uint32_t idx) {
+  ++ops_since_resize_;
+  SimEvent& ev = pool[idx];
+  const uint64_t v = VIndex(ev.time);
+  const size_t b = static_cast<size_t>(v & mask_);
+  const uint32_t tail = tails_[b];
+  ev.next = kNilEvent;
+  if (tail == kNilEvent) {
+    heads_[b] = tails_[b] = idx;
+    ++occupied_;
+  } else {
+    // Unconditional O(1) append. Both dominant traffic shapes land in
+    // order anyway (message sends at now + latency, tick storms with
+    // equal times and rising seq); when an append does break order the
+    // bucket is merely marked and sorted once, lazily, when the pop
+    // cursor reaches it.
+    if (!Before(pool[tail], ev)) dirty_[b] = 1;
+    pool[tail].next = idx;
+    tails_[b] = idx;
+  }
+  ++count_;
+  if (count_ == 1 || v < cur_vindex_) cur_vindex_ = v;
+  if (2 * occupied_ > nbuckets_ && nbuckets_ < kMaxBuckets) {
+    Resize(pool, nbuckets_ * 2);
+  }
+}
+
+uint32_t CalendarQueue::PopMin(EventPool& pool) {
+  if (count_ == 0) return kNilEvent;
+  ++ops_since_resize_;
+  size_t scanned = 0;
+  while (true) {
+    const size_t b = static_cast<size_t>(cur_vindex_ & mask_);
+    uint32_t head = heads_[b];
+    if (head != kNilEvent) {
+      if (dirty_[b]) {
+        SortBucket(pool, b);
+        head = heads_[b];
+      }
+      // The chain is now time-sorted and every chained event's vindex is
+      // congruent to b, so the head is poppable iff it belongs to the
+      // cursor's day (not a later year sharing the bucket).
+      if (VIndex(pool[head].time) == cur_vindex_) {
+        heads_[b] = pool[head].next;
+        if (heads_[b] == kNilEvent) {
+          tails_[b] = kNilEvent;
+          --occupied_;
+        }
+        pool[head].next = kNilEvent;
+        --count_;
+        if (8 * occupied_ < nbuckets_ && nbuckets_ > kMinBuckets) {
+          Resize(pool, nbuckets_ / 2);
+        }
+        return head;
+      }
+    }
+    ++cur_vindex_;
+    ++empty_steps_;
+    if (++scanned >= nbuckets_) {
+      // A whole year without an event: the queue is sparse relative to
+      // its span. Jump the cursor straight onto the minimum.
+      JumpToMin(pool);
+      scanned = 0;
+    } else if (scanned == kMaxEmptyWalk && 8 * ops_since_resize_ >= count_) {
+      // Long runs of empty days mean the days are too narrow for the
+      // live span. Re-deriving the width from the live events (not a
+      // geometric bump) lands on the true mean gap in one rebuild.
+      Resize(pool, nbuckets_);
+      scanned = 0;
+    }
+  }
+}
+
+void CalendarQueue::SortBucket(EventPool& pool, size_t b) {
+  scratch_.clear();
+  for (uint32_t cur = heads_[b]; cur != kNilEvent; cur = pool[cur].next) {
+    scratch_.push_back(cur);
+  }
+  std::sort(scratch_.begin(), scratch_.end(), [&pool](uint32_t x, uint32_t y) {
+    return Before(pool[x], pool[y]);
+  });
+  chain_sort_events_ += scratch_.size();
+  uint32_t prev = kNilEvent;
+  for (const uint32_t idx : scratch_) {
+    if (prev == kNilEvent) {
+      heads_[b] = idx;
+    } else {
+      pool[prev].next = idx;
+    }
+    prev = idx;
+  }
+  pool[prev].next = kNilEvent;
+  tails_[b] = prev;
+  dirty_[b] = 0;
+}
+
+void CalendarQueue::JumpToMin(const EventPool& pool) {
+  ++min_jumps_;
+  uint32_t best = kNilEvent;
+  for (size_t b = 0; b < nbuckets_; ++b) {
+    uint32_t cand = heads_[b];
+    if (cand == kNilEvent) continue;
+    if (dirty_[b]) {
+      // Unsorted chain: the head is not necessarily the bucket minimum.
+      for (uint32_t cur = pool[cand].next; cur != kNilEvent;
+           cur = pool[cur].next) {
+        if (Before(pool[cur], pool[cand])) cand = cur;
+      }
+    }
+    if (best == kNilEvent || Before(pool[cand], pool[best])) best = cand;
+  }
+  // count_ > 0 guarantees best != kNilEvent.
+  cur_vindex_ = VIndex(pool[best].time);
+}
+
+void CalendarQueue::Resize(EventPool& pool, size_t nbuckets,
+                           double forced_width) {
+  ++resizes_;
+  // Collect the live events.
+  std::vector<uint32_t> events;
+  events.reserve(count_);
+  for (const uint32_t head : heads_) {
+    for (uint32_t cur = head; cur != kNilEvent; cur = pool[cur].next) {
+      events.push_back(cur);
+    }
+  }
+  // Sort first: the relink below then tail-appends clean chains, and the
+  // width estimate can read adjacent separations straight off the sorted
+  // order.
+  std::sort(events.begin(), events.end(),
+            [&pool](uint32_t a, uint32_t b) { return Before(pool[a], pool[b]); });
+  // New width (Brown's estimator, adapted): the mean separation of
+  // adjacent *distinct* event times. Simulated traffic is heavily tied —
+  // uniform link latency clusters thousands of deliveries on one instant
+  // — and a naive span/count width would shred such a distribution into
+  // millions of empty days the cursor has to cross one by one. Ignoring
+  // zero gaps sizes days by cluster spacing instead, so a cluster stays
+  // one chain while neighboring clusters get days of their own. A
+  // degenerate span (all events simultaneous) keeps the current width.
+  // Floors keep VIndex well inside uint64 range for any sane simulated
+  // time.
+  double width = forced_width;
+  if (width <= 0) {
+    width = width_;
+    if (events.size() >= 2) {
+      double gap_sum = 0;
+      size_t gaps = 0;
+      for (size_t i = 1; i < events.size(); ++i) {
+        const double d = pool[events[i]].time - pool[events[i - 1]].time;
+        if (d > 0) {
+          gap_sum += d;
+          ++gaps;
+        }
+      }
+      if (gaps > 0) width = gap_sum / static_cast<double>(gaps);
+    }
+  }
+  if (!events.empty()) {
+    width = std::max(width, 1e-9);
+    width = std::max(width, pool[events.back()].time / 9.0e18);
+  }
+  Init(nbuckets, width);
+  for (const uint32_t idx : events) {
+    SimEvent& ev = pool[idx];
+    const size_t b = static_cast<size_t>(VIndex(ev.time) & mask_);
+    ev.next = kNilEvent;
+    if (tails_[b] == kNilEvent) {
+      heads_[b] = tails_[b] = idx;
+      ++occupied_;
+    } else {
+      pool[tails_[b]].next = idx;
+      tails_[b] = idx;
+    }
+  }
+  if (!events.empty()) cur_vindex_ = VIndex(pool[events.front()].time);
+  ops_since_resize_ = 0;
+}
+
+}  // namespace mqp::net

@@ -1,0 +1,116 @@
+// Slab/free-list pool of simulator events.
+//
+// At million-peer scale the simulator keeps millions of events in flight
+// at once; allocating (and type-erasing into std::function) each one
+// individually is what capped the old substrate. Pooled events are plain
+// slots in one slab, recycled through a free list: the steady path —
+// schedule a message delivery, dispatch it, recycle the slot — touches
+// the allocator zero times once the slab has grown to the high-water
+// mark. Message deliveries (the dominant event population) are stored
+// *inline* as a Message, not erased into a std::function, so no capture
+// allocation happens either.
+//
+// Layout: the scheduling node (time, seq, chain link — what the calendar
+// queue compares, walks and sorts) is split from the payload (Message /
+// callback) into parallel slabs sharing one slot index. Chain scans and
+// resize sorts then stream over 24-byte nodes instead of dragging every
+// event's ~200-byte payload through cache; the payload is touched
+// exactly twice, at enqueue and at dispatch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/message.h"
+
+namespace mqp::net {
+
+/// Null event index (end of a free-list / bucket chain).
+inline constexpr uint32_t kNilEvent = static_cast<uint32_t>(-1);
+
+/// \brief The scheduling node of one pooled event: a (time, seq)
+/// priority, an intrusive chain link, and the payload discriminant. The
+/// payload itself lives in the pool's parallel slabs under the same slot.
+struct SimEvent {
+  enum class Kind : uint8_t {
+    kCall,     ///< run fn() (timers, gossip ticks, test probes)
+    kDeliver,  ///< deliver msg to msg.to (the steady path)
+  };
+
+  double time = 0;
+  uint64_t seq = 0;          ///< FIFO tie-break for equal times
+  uint32_t next = kNilEvent; ///< free-list / calendar-bucket chain
+  Kind kind = Kind::kCall;
+};
+
+/// \brief The slab + free list. Indices (not pointers) name events: the
+/// slab may grow while events are pending, which would invalidate
+/// pointers but never indices.
+class EventPool {
+ public:
+  /// Takes a slot from the free list (a *pool hit* — no allocation) or
+  /// grows the slabs. The returned slot's msg/fn contents are whatever
+  /// the previous occupant left after being moved out; assign before use.
+  uint32_t Acquire() {
+    ++acquired_;
+    ++live_;
+    if (free_head_ != kNilEvent) {
+      ++pool_hits_;
+      const uint32_t idx = free_head_;
+      free_head_ = slab_[idx].next;
+      slab_[idx].next = kNilEvent;
+      return idx;
+    }
+    slab_.emplace_back();
+    msgs_.emplace_back();
+    fns_.emplace_back();
+    return static_cast<uint32_t>(slab_.size() - 1);
+  }
+
+  /// Returns a slot to the free list. The caller must have unlinked it
+  /// from any queue and moved its contents out (a recycled slot must
+  /// never be dispatchable — see the pool-reuse regression test).
+  void Release(uint32_t idx) {
+    SimEvent& ev = slab_[idx];
+    ev.next = free_head_;
+    free_head_ = idx;
+    --live_;
+  }
+
+  SimEvent& operator[](uint32_t idx) { return slab_[idx]; }
+  const SimEvent& operator[](uint32_t idx) const { return slab_[idx]; }
+
+  /// The kDeliver payload of slot `idx`.
+  Message& msg(uint32_t idx) { return msgs_[idx]; }
+  /// The kCall payload of slot `idx`.
+  std::function<void()>& fn(uint32_t idx) { return fns_[idx]; }
+
+  /// Events currently acquired and not yet released.
+  size_t live() const { return live_; }
+  /// Slab high-water mark, in events.
+  size_t capacity() const { return slab_.size(); }
+  /// Total Acquire() calls ever.
+  uint64_t acquired() const { return acquired_; }
+  /// Acquires served from the free list (once warm, == acquired deltas).
+  uint64_t pool_hits() const { return pool_hits_; }
+
+  /// Approximate heap footprint of the slabs (event-held strings /
+  /// payloads are accounted to their owners).
+  size_t ApproxBytes() const {
+    return slab_.capacity() * sizeof(SimEvent) +
+           msgs_.capacity() * sizeof(Message) +
+           fns_.capacity() * sizeof(std::function<void()>);
+  }
+
+ private:
+  std::vector<SimEvent> slab_;  ///< scheduling nodes (hot: scans, sorts)
+  std::vector<Message> msgs_;   ///< kDeliver payloads, same index
+  std::vector<std::function<void()>> fns_;  ///< kCall payloads, same index
+  uint32_t free_head_ = kNilEvent;
+  size_t live_ = 0;
+  uint64_t acquired_ = 0;
+  uint64_t pool_hits_ = 0;
+};
+
+}  // namespace mqp::net

@@ -1,0 +1,70 @@
+// Message model of the network substrate: peer ids, immutable shared
+// payloads, and the Message struct itself. Split out of simulator.h so
+// the event pool / calendar queue can store messages without pulling in
+// the whole simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/kind_table.h"
+
+namespace mqp::net {
+
+using PeerId = uint32_t;
+inline constexpr PeerId kNoPeer = static_cast<PeerId>(-1);
+
+/// \brief Immutable, shared message body. Multi-KB XML payloads are
+/// routed and fanned out without copying: every Message holding the same
+/// Payload shares one buffer.
+using Payload = std::shared_ptr<const std::string>;
+
+/// Wraps a string into a shared immutable payload.
+inline Payload MakePayload(std::string body) {
+  return std::make_shared<const std::string>(std::move(body));
+}
+
+/// \brief One message in flight. `kind` is a short routing tag ("mqp",
+/// "register", "result", ...); `header` is the wire layer's compact
+/// framing header (empty for raw messages); `payload` is usually
+/// serialized XML, shared rather than copied between sender, simulator
+/// queue and receiver.
+struct Message {
+  Message() = default;
+  Message(PeerId from, PeerId to, std::string kind, Payload payload,
+          size_t size_bytes = 0)
+      : from(from),
+        to(to),
+        kind(std::move(kind)),
+        payload(std::move(payload)),
+        size_bytes(size_bytes) {}
+  Message(PeerId from, PeerId to, std::string kind, std::string payload,
+          size_t size_bytes = 0)
+      : Message(from, to, std::move(kind), MakePayload(std::move(payload)),
+                size_bytes) {}
+
+  PeerId from = kNoPeer;
+  PeerId to = kNoPeer;
+  /// Interned kind (see net/kind_table.h). Senders that know it set it
+  /// (wire::Envelope::ToMessage does); Simulator::Send interns on demand,
+  /// so per-message stats updates index flat arrays, not string maps.
+  KindId kind_id = kNoKind;
+  std::string kind;
+  /// Compact wire-layer header (see wire/envelope.h); counted in
+  /// size_bytes but not part of the body.
+  std::string header;
+  Payload payload;
+  /// Wire size; Simulator::Send defaults it to header + body size (the
+  /// single place where message sizes are accounted), but senders may
+  /// override (e.g. to model framing).
+  size_t size_bytes = 0;
+
+  /// The message body ("" when payload is null).
+  const std::string& body() const {
+    static const std::string kEmpty;
+    return payload ? *payload : kEmpty;
+  }
+};
+
+}  // namespace mqp::net

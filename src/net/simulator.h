@@ -4,70 +4,30 @@
 // peers exchange messages whose delivery latency is propagation delay plus
 // serialized-size/bandwidth, and the simulator tracks the quantities the
 // paper's claims are about — messages, bytes, hops and latency.
+//
+// The scheduler is sized for million-peer populations (DESIGN.md §7): a
+// calendar queue over a slab/free-list event pool gives ~O(1) enqueue and
+// an allocation-free steady path (message deliveries are stored inline,
+// never erased into std::function). set_use_calendar_queue(false) restores
+// the original binary-heap reference scheduler; both dispatch in
+// bit-identical (time, seq) order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "net/calendar_queue.h"
+#include "net/event_pool.h"
+#include "net/kind_table.h"
+#include "net/message.h"
 
 namespace mqp::net {
-
-using PeerId = uint32_t;
-inline constexpr PeerId kNoPeer = static_cast<PeerId>(-1);
-
-/// \brief Immutable, shared message body. Multi-KB XML payloads are
-/// routed and fanned out without copying: every Message holding the same
-/// Payload shares one buffer.
-using Payload = std::shared_ptr<const std::string>;
-
-/// Wraps a string into a shared immutable payload.
-inline Payload MakePayload(std::string body) {
-  return std::make_shared<const std::string>(std::move(body));
-}
-
-/// \brief One message in flight. `kind` is a short routing tag ("mqp",
-/// "register", "result", ...); `header` is the wire layer's compact
-/// framing header (empty for raw messages); `payload` is usually
-/// serialized XML, shared rather than copied between sender, simulator
-/// queue and receiver.
-struct Message {
-  Message() = default;
-  Message(PeerId from, PeerId to, std::string kind, Payload payload,
-          size_t size_bytes = 0)
-      : from(from),
-        to(to),
-        kind(std::move(kind)),
-        payload(std::move(payload)),
-        size_bytes(size_bytes) {}
-  Message(PeerId from, PeerId to, std::string kind, std::string payload,
-          size_t size_bytes = 0)
-      : Message(from, to, std::move(kind), MakePayload(std::move(payload)),
-                size_bytes) {}
-
-  PeerId from = kNoPeer;
-  PeerId to = kNoPeer;
-  std::string kind;
-  /// Compact wire-layer header (see wire/envelope.h); counted in
-  /// size_bytes but not part of the body.
-  std::string header;
-  Payload payload;
-  /// Wire size; Simulator::Send defaults it to header + body size (the
-  /// single place where message sizes are accounted), but senders may
-  /// override (e.g. to model framing).
-  size_t size_bytes = 0;
-
-  /// The message body ("" when payload is null).
-  const std::string& body() const {
-    static const std::string kEmpty;
-    return payload ? *payload : kEmpty;
-  }
-};
 
 /// \brief Interface implemented by anything attached to the network.
 class PeerNode {
@@ -90,10 +50,11 @@ struct LinkParams {
 struct NetStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
-  // Hash maps, not ordered maps: Send updates both per message. Sort the
-  // keys yourself when printing.
-  std::unordered_map<std::string, uint64_t> messages_by_kind;
-  std::unordered_map<std::string, uint64_t> bytes_by_kind;
+  // Flat arrays over the interned kind table (net/kind_table.h), behind a
+  // map-compatible lookup API; ForEachSorted iterates kinds in stable
+  // name order without per-print rebuilds.
+  KindCounters messages_by_kind;
+  KindCounters bytes_by_kind;
 
   uint64_t plan_serializations = 0;
   uint64_t plan_parses = 0;
@@ -125,12 +86,45 @@ struct NetStats {
   uint64_t structural_hash_probes = 0;
   uint64_t engine_eval_ns = 0;
 
+  // Scheduler-substrate counters (DESIGN.md §7). events_scheduled counts
+  // every enqueued event in either scheduler mode and is therefore
+  // mode-invariant; pool hits and calendar resizes are calendar-mode
+  // mechanics (zero under the heap reference).
+  uint64_t events_scheduled = 0;
+  uint64_t event_pool_hits = 0;
+  uint64_t calendar_resizes = 0;
+
   /// Messages counted as sent but never delivered because the sender was
   /// down at send time / the recipient was down or unknown at send time.
   uint64_t drops_from_failed = 0;
   uint64_t drops_to_failed = 0;
 
-  void Clear() { *this = NetStats{}; }
+  /// Zeroes every counter while keeping the per-kind arrays' capacity —
+  /// bench reset loops must not reallocate.
+  void Clear() {
+    messages = 0;
+    bytes = 0;
+    messages_by_kind.clear();
+    bytes_by_kind.clear();
+    plan_serializations = 0;
+    plan_parses = 0;
+    forwards_without_reserialize = 0;
+    token_decodes = 0;
+    dom_nodes_built = 0;
+    plan_decode_ns = 0;
+    resolve_index_probes = 0;
+    resolve_entries_scanned = 0;
+    binding_cache_hits = 0;
+    items_cloned = 0;
+    field_accessor_hits = 0;
+    structural_hash_probes = 0;
+    engine_eval_ns = 0;
+    events_scheduled = 0;
+    event_pool_hits = 0;
+    calendar_resizes = 0;
+    drops_from_failed = 0;
+    drops_to_failed = 0;
+  }
 };
 
 /// \brief The simulator: event queue + registered peers + failure state.
@@ -139,22 +133,31 @@ class Simulator {
   Simulator() = default;
 
   /// Attaches `node` (not owned); returns its id. Addresses look like
-  /// "10.0.0.<id>:9020".
+  /// "10.0.0.<id>:9020" and are cached at registration.
   PeerId Register(PeerNode* node);
 
   /// Number of registered peers.
   size_t size() const { return nodes_.size(); }
 
-  /// The synthetic network address of a peer.
+  /// The synthetic network address of a peer (pure computation; callers
+  /// holding a simulator should prefer the cached Address()).
   static std::string AddressOf(PeerId id);
 
-  /// Reverse of AddressOf; error if malformed or unknown.
-  Result<PeerId> Lookup(const std::string& address) const;
+  /// The cached address of a registered peer — no allocation per call.
+  /// (Unregistered ids fall back to a computed scratch string.)
+  const std::string& Address(PeerId id) const;
+
+  /// Reverse of AddressOf; error if malformed or unknown. Takes a view:
+  /// resolve paths pass subfields of catalog entries without copying.
+  Result<PeerId> Lookup(std::string_view address) const;
 
   double now() const { return now_; }
 
   const LinkParams& default_link() const { return link_; }
-  void set_default_link(LinkParams link) { link_ = link; }
+  void set_default_link(LinkParams link) {
+    link_ = link;
+    inv_default_bps_ = 1.0 / link.bytes_per_second;
+  }
 
   /// Per-destination link override (e.g. a slow transatlantic peer).
   void SetLinkOverride(PeerId from, PeerId to, LinkParams link);
@@ -178,7 +181,35 @@ class Simulator {
   size_t Run(double max_time = 1e9);
 
   /// True if no events are pending.
-  bool Idle() const { return events_.empty(); }
+  bool Idle() const {
+    return use_calendar_queue_ ? calendar_.empty() : heap_.empty();
+  }
+
+  /// Pending (scheduled, not yet dispatched) events.
+  size_t pending_events() const {
+    return use_calendar_queue_ ? calendar_.size() : heap_.size();
+  }
+
+  /// Scheduler ablation knob (PR 3/4/5 style): false restores the
+  /// original single binary heap of std::function events. Only honored
+  /// while Idle() — the two queues are never mixed.
+  void set_use_calendar_queue(bool on) {
+    if (Idle()) use_calendar_queue_ = on;
+  }
+  bool use_calendar_queue() const { return use_calendar_queue_; }
+
+  /// The event pool (calendar mode); benches read hit rates and slab
+  /// high-water marks from here.
+  const EventPool& event_pool() const { return pool_; }
+
+  /// The calendar queue itself — tests and benches read its sizing
+  /// diagnostics (resizes, empty cursor steps, min-jumps).
+  const CalendarQueue& calendar_queue() const { return calendar_; }
+
+  /// Approximate heap bytes held by the substrate itself: peer tables,
+  /// cached addresses, link overrides, event slab and calendar buckets.
+  /// The scale bench divides this by size() for its bytes/peer claim.
+  size_t SubstrateBytes() const;
 
   NetStats& stats() { return stats_; }
   const NetStats& stats() const { return stats_; }
@@ -190,17 +221,23 @@ class Simulator {
   }
 
  private:
-  struct Event {
+  /// Reference-scheduler event (the original representation: one
+  /// type-erased closure per event).
+  struct HeapEvent {
     double time;
     uint64_t seq;  // FIFO tie-break for equal times
     std::function<void()> fn;
-    bool operator>(const Event& other) const {
+    bool operator>(const HeapEvent& other) const {
       if (time != other.time) return time > other.time;
       return seq > other.seq;
     }
   };
 
   double Latency(PeerId from, PeerId to, size_t bytes) const;
+
+  /// Acquires, stamps and links a pooled event; tallies substrate stats.
+  /// Returns the slot index for the caller to fill (pool msg or fn).
+  uint32_t EnqueuePooled(double when, SimEvent::Kind kind);
 
   /// Packs a (from, to) pair into one hashable key — the override lookup
   /// sits on the Send hot path.
@@ -210,9 +247,17 @@ class Simulator {
 
   std::vector<PeerNode*> nodes_;
   std::vector<bool> failed_;
+  std::vector<std::string> addresses_;  ///< id → cached "10.0.0.<id>:9020"
   std::unordered_map<uint64_t, LinkParams> link_overrides_;
   LinkParams link_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  /// 1 / link_.bytes_per_second, cached: Latency() sits on the per-event
+  /// hot path and a multiply is several times cheaper than the divide.
+  double inv_default_bps_ = 1.0 / LinkParams{}.bytes_per_second;
+  bool use_calendar_queue_ = true;
+  EventPool pool_;
+  CalendarQueue calendar_;
+  std::priority_queue<HeapEvent, std::vector<HeapEvent>, std::greater<>>
+      heap_;
   double now_ = 0;
   uint64_t seq_ = 0;
   NetStats stats_;

@@ -148,7 +148,8 @@ class Peer : public net::PeerNode {
   Peer(net::Simulator* sim, PeerOptions options);
 
   net::PeerId id() const { return id_; }
-  std::string address() const { return net::Simulator::AddressOf(id_); }
+  /// This peer's cached network address (no allocation per call).
+  const std::string& address() const { return sim_->Address(id_); }
   const PeerOptions& options() const { return options_; }
   PeerOptions& mutable_options() { return options_; }
 

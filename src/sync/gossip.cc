@@ -169,7 +169,7 @@ void SyncAgent::HandleDigest(const wire::Envelope& env, net::PeerId from) {
   // The envelope's query-id slot carries the sender's address; fall back
   // to the simulator id for raw messages.
   const std::string sender =
-      env.query_id.empty() ? net::Simulator::AddressOf(from) : env.query_id;
+      env.query_id.empty() ? sim_->Address(from) : env.query_id;
   AddPeer(sender);
   // Push: everything the sender's vector proves it is missing. When the
   // sender also has versions we lack (bidirectional gap), piggyback our
@@ -192,7 +192,7 @@ void SyncAgent::HandleDelta(const wire::Envelope& env, net::PeerId from) {
   auto delta = CatalogDelta::FromXml(env.body());
   if (!delta.ok()) return;
   const std::string sender =
-      env.query_id.empty() ? net::Simulator::AddressOf(from) : env.query_id;
+      env.query_id.empty() ? sim_->Address(from) : env.query_id;
   AddPeer(sender);
   counters_.records_applied += versioned_.Apply(*delta, sim_->now());
   // Record origins are gossip partner candidates too: membership grows

@@ -29,6 +29,9 @@ net::Message Envelope::ToMessage(net::PeerId from, net::PeerId to) const {
   msg.from = from;
   msg.to = to;
   msg.kind = kind;
+  // Pre-intern so Simulator::Send's per-kind accounting is pure array
+  // indexing (the kind vocabulary is tiny; this is a warm hash hit).
+  msg.kind_id = net::InternKind(kind);
   msg.header = EncodeHeader();
   msg.payload = payload;
   return msg;

@@ -1,6 +1,9 @@
 // Assembles the standard P2P topologies used by tests, benches and
 // examples: a client, an authoritative top-level meta-index server,
-// per-state index servers, and garage-sale sellers (paper §3).
+// per-state index servers, and garage-sale sellers (paper §3) — plus the
+// synthetic super-peer hierarchies the million-peer substrate bench
+// sweeps (ROADMAP item 1; the indexing-server-plus-peers shape of the
+// cs550 related repo is the 2-level case).
 #pragma once
 
 #include <memory>
@@ -9,6 +12,7 @@
 
 #include "net/simulator.h"
 #include "peer/peer.h"
+#include "sync/gossip.h"
 #include "workload/garage_sale.h"
 
 namespace mqp::workload {
@@ -51,5 +55,56 @@ GarageSaleNetwork BuildGarageSaleNetwork(net::Simulator* sim,
 /// overwritten by Peer::SubmitQuery.
 algebra::Plan MakeAreaQueryPlan(const ns::InterestArea& area,
                                 algebra::ExprPtr predicate = nullptr);
+
+// --- super-peer / hierarchical topologies (million-peer substrate) ------------
+
+/// \brief Knobs for BuildSuperPeerNetwork. The synthetic namespace is
+/// 2-dimensional: dim 0 is region/city ("r<i>/c<j>" under super-peer i),
+/// dim 1 is a flat category vocabulary ("g<k>"). Total population is
+/// num_super_peers * leaves_per_super + num_super_peers + 2 (root and
+/// client).
+struct SuperPeerNetworkParams {
+  size_t num_super_peers = 8;    ///< N: regions, one super-peer each
+  size_t leaves_per_super = 64;  ///< M: base servers fronted per super
+  size_t cities_per_super = 16;  ///< dim-0 fan-out inside each region
+  size_t categories = 8;         ///< dim-1 vocabulary size
+  size_t items_per_leaf = 2;
+  uint64_t seed = 42;
+  /// Intensional statements off by default: registration stays light at
+  /// million-leaf scale (flip on to exercise the §4 machinery too).
+  bool use_statements = false;
+  /// Catalog placement: when true the catalog tier (root + super-peers)
+  /// gossips versioned state among itself — leaves only ever register
+  /// upward, so sync load scales with N, not N*M.
+  bool sync_catalog_tier = false;
+  sync::SyncOptions sync;  ///< template for the catalog tier (seed varied)
+  peer::PeerOptions client_template;
+};
+
+/// \brief The assembled hierarchy. Peers are owned here; the simulator
+/// is not.
+struct SuperPeerNetwork {
+  std::vector<std::unique_ptr<peer::Peer>> owned;
+
+  peer::Peer* client = nullptr;
+  peer::Peer* root = nullptr;            ///< authoritative for [*, *]
+  std::vector<peer::Peer*> super_peers;  ///< super i: [r<i>, *], index role
+  std::vector<peer::Peer*> leaves;       ///< base servers, M per super
+};
+
+/// The region area (r<i>, *) a super-peer is authoritative for.
+ns::InterestArea SuperPeerRegion(size_t super);
+
+/// A city-level query area (r<i>.c<j>, *) inside super i's region —
+/// resolves root → super i → the leaves publishing in that city.
+ns::InterestArea SuperPeerCity(size_t super, size_t city);
+
+/// \brief Builds and joins the hierarchy: super-peers register with the
+/// root first, then all leaves register with their super-peer (one
+/// drain — at 1M leaves this is itself a scheduler stress), then the
+/// catalog tier's gossip is enabled when configured. After this returns
+/// the simulator has drained all registration traffic.
+SuperPeerNetwork BuildSuperPeerNetwork(net::Simulator* sim,
+                                       const SuperPeerNetworkParams& p);
 
 }  // namespace mqp::workload
