@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "net/simulator.h"
 #include "bench_util.h"
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,221 @@
+// C12 — multi-threaded execution runtime (src/runtime/, DESIGN.md §8).
+//
+// The same garage-sale network and multi-client query load runs on the
+// deterministic simulator and on runtime::ThreadedRuntime at 1/2/4/8
+// worker threads. Every backend must resolve every query completely and
+// return the identical item count (the correctness shape check); the
+// scaling claim — ≥3x queries/sec at 8 workers over 1 — is enforced
+// only when the hardware can express it (hardware_concurrency() ≥ 8);
+// on smaller machines the speedup row is report-only, because a 1-core
+// container cannot distinguish a scheduler from a serializer.
+//
+// Flags: --ci shrinks the load for a CI smoke slot; --json=PATH writes
+// BENCH_runtime.json for the workflow artifact.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/simulator.h"
+#include "runtime/threaded_runtime.h"
+#include "bench_util.h"
+
+using namespace mqp;
+
+namespace {
+
+double WallSeconds() {
+  using namespace std::chrono;
+  return duration_cast<duration<double>>(
+             steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct LoadParams {
+  size_t num_sellers = 32;
+  size_t items_per_seller = 8;
+  size_t num_clients = 8;
+  size_t queries_per_client = 8;
+  uint64_t seed = 11;
+};
+
+struct BackendResult {
+  std::string label;
+  double build_seconds = 0;
+  double load_seconds = 0;
+  size_t queries = 0;
+  size_t queries_ok = 0;
+  size_t items_per_query = 0;
+  double queries_per_sec = 0;
+};
+
+/// Builds the network on `transport`, attaches `num_clients` extra
+/// client peers, schedules every query at one virtual instant (so the
+/// fan-out is a single parallel drain on the threaded backend) and runs
+/// to quiescence.
+BackendResult RunBackend(net::Transport* transport, const char* label,
+                         const LoadParams& p) {
+  BackendResult r;
+  r.label = label;
+
+  workload::GarageSaleNetworkParams net_params;
+  net_params.num_sellers = p.num_sellers;
+  net_params.items_per_seller = p.items_per_seller;
+  net_params.seed = p.seed;
+
+  const double build_t0 = WallSeconds();
+  auto net = workload::BuildGarageSaleNetwork(transport, net_params);
+  r.build_seconds = WallSeconds() - build_t0;
+
+  std::vector<std::unique_ptr<peer::Peer>> clients;
+  for (size_t c = 0; c < p.num_clients; ++c) {
+    peer::PeerOptions opts;
+    opts.name = "bench-client-" + std::to_string(c);
+    opts.dimension_fields = {"location", "category"};
+    opts.interest = ns::InterestArea(
+        ns::InterestCell({ns::CategoryPath(), ns::CategoryPath()}));
+    clients.push_back(
+        std::make_unique<peer::Peer>(transport, opts));
+    clients.back()->AddBootstrap(net.top_meta->address());
+  }
+
+  const size_t expect = net.all_items.size();
+  r.items_per_query = expect;
+  const auto everything = ns::InterestArea(
+      ns::InterestCell({ns::CategoryPath(), ns::CategoryPath()}));
+
+  std::atomic<size_t> ok{0};
+  const double when = transport->now();
+  const double load_t0 = WallSeconds();
+  for (auto& client : clients) {
+    peer::Peer* cp = client.get();
+    for (size_t q = 0; q < p.queries_per_client; ++q) {
+      ++r.queries;
+      transport->ScheduleFor(cp->id(), when, [cp, &ok, expect,
+                                              &everything] {
+        cp->SubmitQuery(workload::MakeAreaQueryPlan(everything),
+                        [&ok, expect](const peer::QueryOutcome& o) {
+                          if (o.complete && o.items.size() == expect) {
+                            ok.fetch_add(1, std::memory_order_relaxed);
+                          }
+                        });
+      });
+    }
+  }
+  transport->Run();
+  r.load_seconds = WallSeconds() - load_t0;
+  r.queries_ok = ok.load();
+  r.queries_per_sec =
+      r.load_seconds > 0 ? r.queries / r.load_seconds : 0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ci = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ci") == 0) ci = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  bench::Header("C12", "threaded runtime: multi-client query throughput "
+                       "vs the deterministic simulator");
+
+  LoadParams p;
+  if (ci) {
+    p.num_sellers = 12;
+    p.items_per_seller = 4;
+    p.num_clients = 4;
+    p.queries_per_client = 4;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  bench::Row("load: %zu sellers x %zu items, %zu clients x %zu queries; "
+             "hardware_concurrency=%u",
+             p.num_sellers, p.items_per_seller, p.num_clients,
+             p.queries_per_client, hw);
+
+  std::vector<BackendResult> results;
+  {
+    net::Simulator sim;
+    results.push_back(RunBackend(&sim, "simulator", p));
+  }
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    runtime::ThreadedRuntime rt(
+        runtime::RuntimeOptions{.num_threads = threads});
+    std::string label = "threaded-" + std::to_string(threads);
+    results.push_back(RunBackend(&rt, label.c_str(), p));
+    rt.Shutdown();
+  }
+
+  bench::Row("  %-12s %9s %9s %12s %14s", "backend", "build_s", "load_s",
+             "queries/sec", "ok/queries");
+  for (const auto& r : results) {
+    bench::Row("  %-12s %9.3f %9.3f %12.1f %9zu/%-4zu", r.label.c_str(),
+               r.build_seconds, r.load_seconds, r.queries_per_sec,
+               r.queries_ok, r.queries);
+  }
+
+  bool shape_ok = true;
+  const size_t expect_items = results.front().items_per_query;
+  for (const auto& r : results) {
+    if (r.queries_ok != r.queries) {
+      bench::Row("SHAPE FAIL: %s resolved %zu/%zu queries", r.label.c_str(),
+                 r.queries_ok, r.queries);
+      shape_ok = false;
+    }
+    if (r.items_per_query != expect_items) {
+      bench::Row("SHAPE FAIL: %s returned %zu items/query vs %zu",
+                 r.label.c_str(), r.items_per_query, expect_items);
+      shape_ok = false;
+    }
+  }
+
+  const double qps1 = results[1].queries_per_sec;   // threaded-1
+  const double qps8 = results.back().queries_per_sec;  // threaded-8
+  const double speedup = qps1 > 0 ? qps8 / qps1 : 0;
+  const bool scaling_enforced = hw >= 8;
+  bench::Row("  threaded 8v1 speedup %.2fx (%s: need >= 3x on >= 8 cores)",
+             speedup, scaling_enforced ? "ENFORCED" : "report-only");
+  if (scaling_enforced && speedup < 3.0) {
+    bench::Row("SHAPE FAIL: 8-thread speedup %.2fx < 3x on %u cores",
+               speedup, hw);
+    shape_ok = false;
+  }
+
+  bench::Row("");
+  bench::Row("shape check: %s", shape_ok ? "OK" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f) {
+      std::fprintf(f, "{\n  \"bench\": \"c12_runtime\",\n");
+      std::fprintf(f, "  \"ci\": %s,\n", ci ? "true" : "false");
+      std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+      std::fprintf(f, "  \"scaling_enforced\": %s,\n",
+                   scaling_enforced ? "true" : "false");
+      std::fprintf(f, "  \"speedup_8v1\": %.3f,\n", speedup);
+      std::fprintf(f, "  \"backends\": [\n");
+      for (size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        std::fprintf(f,
+                     "    {\"label\": \"%s\", \"build_seconds\": %.4f, "
+                     "\"load_seconds\": %.4f, \"queries_per_sec\": %.2f, "
+                     "\"queries_ok\": %zu, \"queries\": %zu}%s\n",
+                     r.label.c_str(), r.build_seconds, r.load_seconds,
+                     r.queries_per_sec, r.queries_ok, r.queries,
+                     i + 1 < results.size() ? "," : "");
+      }
+      std::fprintf(f, "  ],\n");
+      std::fprintf(f, "  \"shape_ok\": %s\n}\n",
+                   shape_ok ? "true" : "false");
+      std::fclose(f);
+    }
+  }
+  return shape_ok ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 //   * napster    — central index + client-side fetch,
 //   * gnutella   — flooding with a fixed horizon.
 // We report messages, bytes, simulated latency and recall.
+#include "net/simulator.h"
 #include "bench_util.h"
 
 using namespace mqp;

@@ -7,6 +7,7 @@
 // that ships raw collections, (c) a coordinator that pushes selections.
 // We report bytes, messages and latency, then repeat with a failed source
 // to expose the robustness/latency behaviours.
+#include "net/simulator.h"
 #include "bench_util.h"
 
 using namespace mqp;

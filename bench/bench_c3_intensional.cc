@@ -5,6 +5,7 @@
 // knows both. With statements enabled the binding collapses to one server
 // ("the MQP could be routed to either R or S, but it need not go to
 // both"); without them the union visits both and ships the data twice.
+#include "net/simulator.h"
 #include "bench_util.h"
 
 using namespace mqp;

@@ -5,6 +5,7 @@
 // that may be d minutes stale, or to both for a current answer at higher
 // latency. The query's AnswerPreference picks the branch; a time budget
 // forces the fast branch when it runs low.
+#include "net/simulator.h"
 #include "bench_util.h"
 
 using namespace mqp;

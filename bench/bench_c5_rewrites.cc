@@ -6,6 +6,7 @@
 //
 // Metric: bytes the migrating plan puts on the wire — the quantity §2 says
 // MQP optimization must mind ("their size matters").
+#include "net/simulator.h"
 #include "bench_util.h"
 
 using namespace mqp;

@@ -10,6 +10,7 @@
 //     every peer re-pushing its full catalog state every round,
 //   * availability: query success rate while the network churns,
 //   * determinism: two runs with the same seed must be bit-identical.
+#include "net/simulator.h"
 #include "bench_util.h"
 
 using namespace mqp;

@@ -7,6 +7,7 @@
 // research groups and compare coverage routing against Gnutella-style
 // flooding: servers contacted, precision (contacted servers that were
 // relevant), recall (items found / items that exist), and messages.
+#include "net/simulator.h"
 #include "bench_util.h"
 
 using namespace mqp;

@@ -7,6 +7,7 @@
 // data size (items embedded in the plan).
 #include <benchmark/benchmark.h>
 
+#include "net/simulator.h"
 #include "mqp/mqp.h"
 
 using namespace mqp;

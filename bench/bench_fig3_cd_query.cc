@@ -4,6 +4,7 @@
 // favorite songs ⋈ track listings ⋈ cheap for-sale CDs. We sweep the
 // number of sellers and the price cut-off (selectivity) and report result
 // counts, simulated latency, hops and bytes moved by the migrating plan.
+#include "net/simulator.h"
 #include "bench_util.h"
 
 using namespace mqp;

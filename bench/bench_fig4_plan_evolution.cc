@@ -7,6 +7,7 @@
 // plan with partial results), and the final reduction collapses it to the
 // result. The per-hop series is the quantity MQP optimization reasons
 // about ("their size matters", §2).
+#include "net/simulator.h"
 #include "bench_util.h"
 
 using namespace mqp;

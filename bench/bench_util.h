@@ -37,7 +37,7 @@ struct QueryRun {
   uint64_t bytes = 0;
 };
 
-inline QueryRun RunAreaQuery(net::Simulator* sim, peer::Peer* client,
+inline QueryRun RunAreaQuery(net::Transport* sim, peer::Peer* client,
                              const ns::InterestArea& area,
                              algebra::ExprPtr predicate = nullptr) {
   QueryRun run;

@@ -11,7 +11,7 @@ namespace mqp::baseline {
 
 using algebra::PlanNode;
 
-CentralIndexServer::CentralIndexServer(net::Simulator* sim) : sim_(sim) {
+CentralIndexServer::CentralIndexServer(net::Transport* sim) : sim_(sim) {
   id_ = sim_->Register(this);
 }
 
@@ -47,7 +47,7 @@ void CentralIndexServer::HandleMessage(const net::Message& msg) {
               net::MakePayload(std::move(reply))});
 }
 
-CentralIndexClient::CentralIndexClient(net::Simulator* sim,
+CentralIndexClient::CentralIndexClient(net::Transport* sim,
                                        std::string index_address)
     : sim_(sim), index_address_(std::move(index_address)) {
   id_ = sim_->Register(this);

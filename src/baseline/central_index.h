@@ -19,7 +19,7 @@ namespace mqp::baseline {
 /// is mandatory and omniscient.
 class CentralIndexServer : public net::PeerNode {
  public:
-  explicit CentralIndexServer(net::Simulator* sim);
+  explicit CentralIndexServer(net::Transport* sim);
 
   net::PeerId id() const { return id_; }
   const std::string& address() const { return sim_->Address(id_); }
@@ -36,7 +36,7 @@ class CentralIndexServer : public net::PeerNode {
     std::string server;
     std::string xpath;
   };
-  net::Simulator* sim_;
+  net::Transport* sim_;
   net::PeerId id_;
   std::vector<Entry> entries_;
 };
@@ -54,7 +54,7 @@ class CentralIndexClient : public net::PeerNode {
   };
   using Callback = std::function<void(const Outcome&)>;
 
-  CentralIndexClient(net::Simulator* sim, std::string index_address);
+  CentralIndexClient(net::Transport* sim, std::string index_address);
 
   net::PeerId id() const { return id_; }
   const std::string& address() const { return sim_->Address(id_); }
@@ -68,7 +68,7 @@ class CentralIndexClient : public net::PeerNode {
  private:
   void FinishIfDone();
 
-  net::Simulator* sim_;
+  net::Transport* sim_;
   net::PeerId id_;
   std::string index_address_;
 

@@ -14,7 +14,7 @@ using algebra::OpType;
 using algebra::PlanNode;
 using algebra::PlanNodePtr;
 
-Coordinator::Coordinator(net::Simulator* sim, Mode mode,
+Coordinator::Coordinator(net::Transport* sim, Mode mode,
                          double timeout_seconds)
     : sim_(sim), mode_(mode), timeout_seconds_(timeout_seconds) {
   id_ = sim_->Register(this);
@@ -111,7 +111,7 @@ void Coordinator::Run(algebra::Plan plan, Callback cb) {
   }
   // Failure handling: a timeout bounds the wait for dead sources.
   const std::string this_req = req_;
-  sim_->Schedule(sim_->now() + timeout_seconds_, [this, this_req]() {
+  sim_->ScheduleFor(id_, sim_->now() + timeout_seconds_, [this, this_req]() {
     if (callback_ && req_ == this_req && outstanding_ > 0) {
       outcome_.sources_failed = outstanding_;
       outstanding_ = 0;

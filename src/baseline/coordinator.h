@@ -38,7 +38,7 @@ class Coordinator : public net::PeerNode {
   };
   using Callback = std::function<void(const Outcome&)>;
 
-  Coordinator(net::Simulator* sim, Mode mode, double timeout_seconds = 30);
+  Coordinator(net::Transport* sim, Mode mode, double timeout_seconds = 30);
 
   net::PeerId id() const { return id_; }
   const std::string& address() const { return sim_->Address(id_); }
@@ -63,7 +63,7 @@ class Coordinator : public net::PeerNode {
 
   void Finish();
 
-  net::Simulator* sim_;
+  net::Transport* sim_;
   net::PeerId id_;
   Mode mode_;
   double timeout_seconds_;

@@ -8,7 +8,7 @@
 
 namespace mqp::baseline {
 
-FloodingPeer::FloodingPeer(net::Simulator* sim, ns::InterestArea area,
+FloodingPeer::FloodingPeer(net::Transport* sim, ns::InterestArea area,
                            algebra::ItemSet items)
     : sim_(sim), area_(std::move(area)), items_(std::move(items)) {
   id_ = sim_->Register(this);
@@ -87,7 +87,7 @@ void FloodingPeer::HandleMessage(const net::Message& msg) {
   Forward(flood_id, env.payload, static_cast<int>(env.hops) - 1, msg.from);
 }
 
-FloodingClient::FloodingClient(net::Simulator* sim)
+FloodingClient::FloodingClient(net::Transport* sim)
     : FloodingPeer(sim, ns::InterestArea(), {}) {}
 
 void FloodingClient::Query(const ns::InterestArea& area, int horizon) {

@@ -18,7 +18,7 @@ namespace mqp::baseline {
 /// \brief One peer in the unstructured overlay.
 class FloodingPeer : public net::PeerNode {
  public:
-  FloodingPeer(net::Simulator* sim, ns::InterestArea area,
+  FloodingPeer(net::Transport* sim, ns::InterestArea area,
                algebra::ItemSet items);
 
   net::PeerId id() const { return id_; }
@@ -35,7 +35,7 @@ class FloodingPeer : public net::PeerNode {
   void HandleMessage(const net::Message& msg) override;
 
  protected:
-  net::Simulator* sim_;
+  net::Transport* sim_;
   net::PeerId id_;
 
  private:
@@ -54,7 +54,7 @@ class FloodingPeer : public net::PeerNode {
 /// \brief The querying node: floods, then collects hits.
 class FloodingClient : public FloodingPeer {
  public:
-  explicit FloodingClient(net::Simulator* sim);
+  explicit FloodingClient(net::Transport* sim);
 
   /// Issues a flood query. Collect results with CollectedItems() after the
   /// simulator drains.

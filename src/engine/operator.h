@@ -16,11 +16,14 @@
 
 namespace mqp::engine {
 
-/// \brief Process-wide engine instrumentation (plain counters: the
-/// library is single-threaded per process). Tests, benches and the peer
-/// snapshot Stats() around an evaluation and work with the deltas, the
-/// same pattern as xml::DomNodesBuilt(); the peer mirrors its deltas into
-/// PeerCounters and NetStats.
+/// \brief Per-thread engine instrumentation (plain counters, no
+/// atomics). The engine is single-threaded *per peer*: the transport
+/// serializes each peer's handlers onto one thread at a time, while
+/// shared immutable items remain readable cross-thread (DESIGN.md §8).
+/// Stats() is therefore thread-local — a handler snapshots it before and
+/// after an evaluation and works with the deltas, the same pattern as
+/// xml::DomNodesBuilt(); the peer mirrors its deltas into PeerCounters
+/// and NetStats, which the transport shards per thread.
 struct EngineStats {
   /// Whole data items deep-copied (LocalStore view rebuilds, cloning-mode
   /// fetches, deep-XPath materialization). Zero on the shared steady path.

@@ -14,7 +14,11 @@
 namespace mqp::engine {
 
 namespace {
-EngineStats g_stats;
+// Thread-local (see EngineStats): evaluations on different handler
+// threads tally independently; every consumer reads deltas on its own
+// thread. The shared-store knob stays a plain global — it is a test
+// ablation flipped only while the whole process is quiescent.
+thread_local EngineStats g_stats;
 bool g_use_shared_store = true;
 }  // namespace
 

@@ -29,6 +29,11 @@
 //               model split out in message.h
 //   wire/       framed messaging: envelopes, cached plan serialization,
 //               streaming body codecs (plan_codec, body_codec)
+//   runtime/    real execution backends behind the net::Transport
+//               interface (DESIGN.md §8): ThreadedRuntime (per-peer
+//               bounded mailboxes, thread-pool dispatch, barrier-stepped
+//               virtual time, sharded stats) and the loopback
+//               TcpTransport (length-prefixed frames, wall-clock time)
 //   sync/       gossip/anti-entropy catalog maintenance (digests, deltas,
 //               TTL expiry) on top of the wire layer
 //   peer/       the peer: roles, registration, the Figure-2 MQP loop
@@ -38,7 +43,10 @@
 //               tree, super-peer hierarchies)
 //
 // Layering is strictly:
-//   common/xml/ns → algebra → net → wire → sync → peer/baseline → workload
+//   common/xml/ns → algebra → net → wire → runtime → sync →
+//   peer/baseline → workload
+// (runtime/ implements the net/ Transport interface; peers depend only
+// on the interface, so any backend slots in.)
 #pragma once
 
 #include "algebra/expr.h"
@@ -76,6 +84,8 @@
 #include "peer/peer.h"
 #include "peer/verification.h"
 #include "query/parser.h"
+#include "runtime/tcp_transport.h"
+#include "runtime/threaded_runtime.h"
 #include "sync/gossip.h"
 #include "wire/body_codec.h"
 #include "wire/envelope.h"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -23,6 +25,9 @@ struct SvEq {
 };
 
 struct Table {
+  // Concurrent senders intern/look up under this lock: shared for the
+  // (overwhelmingly common) hit path, exclusive only on first intern.
+  mutable std::shared_mutex mu;
   std::deque<std::string> names;  // KindId → name; a deque so the strings
                                   // (and views into them) never move
   std::unordered_map<std::string, KindId, SvHash, SvEq> index;
@@ -39,6 +44,13 @@ Table& GlobalTable() {
 
 KindId InternKind(std::string_view kind) {
   Table& t = GlobalTable();
+  {
+    std::shared_lock<std::shared_mutex> lk(t.mu);
+    auto it = t.index.find(kind);
+    if (it != t.index.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lk(t.mu);
+  // Re-check: another thread may have interned between the locks.
   auto it = t.index.find(kind);
   if (it != t.index.end()) return it->second;
   const KindId id = static_cast<KindId>(t.names.size());
@@ -50,20 +62,29 @@ KindId InternKind(std::string_view kind) {
 
 KindId FindKind(std::string_view kind) {
   const Table& t = GlobalTable();
+  std::shared_lock<std::shared_mutex> lk(t.mu);
   auto it = t.index.find(kind);
   return it == t.index.end() ? kNoKind : it->second;
 }
 
 std::string_view KindNameOf(KindId id) {
   const Table& t = GlobalTable();
+  std::shared_lock<std::shared_mutex> lk(t.mu);
   if (id >= t.names.size()) return {};
+  // The view outlives the lock safely: deque slots never move and names
+  // are never erased.
   return t.names[id];
 }
 
-size_t InternedKindCount() { return GlobalTable().names.size(); }
+size_t InternedKindCount() {
+  const Table& t = GlobalTable();
+  std::shared_lock<std::shared_mutex> lk(t.mu);
+  return t.names.size();
+}
 
-const std::vector<KindId>& SortedKindIds() {
+std::vector<KindId> SortedKindIds() {
   Table& t = GlobalTable();
+  std::unique_lock<std::shared_mutex> lk(t.mu);
   if (!t.sorted_valid) {
     t.sorted.resize(t.names.size());
     for (size_t i = 0; i < t.sorted.size(); ++i) {

@@ -10,6 +10,14 @@
 // The table is process-wide: ids are assigned in first-intern order and
 // never recycled, so NetStats from different Simulator instances index
 // the same table and stay comparable.
+//
+// Thread safety: the table is guarded by a shared mutex — concurrent
+// senders on runtime::ThreadedRuntime / runtime::TcpTransport intern and
+// look up kinds freely. Ids and the name views returned by KindNameOf
+// are stable for the life of the process (names live in a deque and are
+// never erased), so holding them across interns is safe. KindCounters
+// instances themselves are NOT synchronized: each belongs to one
+// NetStats shard written by one thread (see net/transport.h).
 #pragma once
 
 #include <cstdint>
@@ -34,9 +42,10 @@ std::string_view KindNameOf(KindId id);
 /// Number of kinds interned so far.
 size_t InternedKindCount();
 
-/// All interned ids ordered by kind name. Cached; recomputed only after
-/// a new kind was interned, so printing paths pay no per-print rebuild.
-const std::vector<KindId>& SortedKindIds();
+/// All interned ids ordered by kind name. The order is cached and
+/// recomputed only after a new kind was interned; returned by value so a
+/// concurrent intern can never invalidate an iteration in progress.
+std::vector<KindId> SortedKindIds();
 
 /// \brief Per-kind counters over the interned table: a dense array
 /// indexed by KindId with a small map-compatible lookup API, so existing
@@ -82,6 +91,16 @@ class KindCounters {
   /// Zeroes all counters, keeping the array's capacity (Clear() on the
   /// bench reset path must not reallocate).
   void clear() { counts_.assign(counts_.size(), 0); }
+
+  /// Adds `other`'s counts into this (NetStats shard merge-on-read).
+  void MergeFrom(const KindCounters& other) {
+    if (other.counts_.size() > counts_.size()) {
+      counts_.resize(other.counts_.size(), 0);
+    }
+    for (size_t i = 0; i < other.counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+  }
 
   /// Visits (kind, count) pairs with count > 0 in kind-name order.
   template <typename Fn>

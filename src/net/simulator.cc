@@ -22,6 +22,11 @@ const std::string& Simulator::Address(PeerId id) const {
   if (id < addresses_.size()) return addresses_[id];
   // Unregistered id (e.g. an external probe): compute into a scratch
   // slot rather than crash; registered peers never take this path.
+  // Audited for the multi-threaded runtimes (DESIGN.md §8): thread_local
+  // means each caller owns its scratch, so even if several threads probe
+  // unregistered ids concurrently the returned references never alias.
+  // The reference is only stable until the same thread's next
+  // unregistered-id probe — callers must copy, and all do.
   thread_local std::string scratch;
   scratch = AddressOf(id);
   return scratch;

@@ -1,4 +1,6 @@
-// Discrete-event network simulator.
+// Discrete-event network simulator — the deterministic reference
+// implementation of net::Transport (see net/transport.h; the threaded
+// and TCP backends live in src/runtime/).
 //
 // Substitution for the paper's real wide-area deployment (see DESIGN.md):
 // peers exchange messages whose delivery latency is propagation delay plus
@@ -26,17 +28,9 @@
 #include "net/event_pool.h"
 #include "net/kind_table.h"
 #include "net/message.h"
+#include "net/transport.h"
 
 namespace mqp::net {
-
-/// \brief Interface implemented by anything attached to the network.
-class PeerNode {
- public:
-  virtual ~PeerNode() = default;
-
-  /// Called when a message is delivered to this node.
-  virtual void HandleMessage(const Message& msg) = 0;
-};
 
 /// \brief Link parameters (uniform by default; per-pair overrides allowed).
 struct LinkParams {
@@ -44,100 +38,19 @@ struct LinkParams {
   double bytes_per_second = 1.25e6;   ///< ~10 Mbit/s
 };
 
-/// \brief Aggregate traffic statistics. The plan_* counters are fed by
-/// the wire layer (wire/plan_codec.h): how often plans were serialized,
-/// parsed, or forwarded by reusing the buffer they arrived in.
-struct NetStats {
-  uint64_t messages = 0;
-  uint64_t bytes = 0;
-  // Flat arrays over the interned kind table (net/kind_table.h), behind a
-  // map-compatible lookup API; ForEachSorted iterates kinds in stable
-  // name order without per-print rebuilds.
-  KindCounters messages_by_kind;
-  KindCounters bytes_by_kind;
-
-  uint64_t plan_serializations = 0;
-  uint64_t plan_parses = 0;
-  uint64_t forwards_without_reserialize = 0;
-
-  // Streaming-codec counters (wire/plan_codec.h): plan bodies decoded via
-  // the token reader, xml::Nodes materialized while decoding plans (only
-  // verbatim <data> items should ever count), and wall-clock nanoseconds
-  // spent decoding (steady_clock, independent of simulated time).
-  uint64_t token_decodes = 0;
-  uint64_t dom_nodes_built = 0;
-  uint64_t plan_decode_ns = 0;
-
-  // Catalog-resolution counters, fed by the peers (see
-  // catalog::ResolveStats): index probes and entries scanned during
-  // coverage search, and binding-cache hits.
-  uint64_t resolve_index_probes = 0;
-  uint64_t resolve_entries_scanned = 0;
-  uint64_t binding_cache_hits = 0;
-
-  // Query-engine counters, fed by the peers (see engine::EngineStats):
-  // whole items deep-copied on evaluation paths (zero on the shared-store
-  // steady path), keys resolved by compiled field accessors, probes of
-  // the structural-hash set-semantics tables, and wall-clock nanoseconds
-  // spent inside engine::Evaluate (steady clock, independent of simulated
-  // time).
-  uint64_t items_cloned = 0;
-  uint64_t field_accessor_hits = 0;
-  uint64_t structural_hash_probes = 0;
-  uint64_t engine_eval_ns = 0;
-
-  // Scheduler-substrate counters (DESIGN.md §7). events_scheduled counts
-  // every enqueued event in either scheduler mode and is therefore
-  // mode-invariant; pool hits and calendar resizes are calendar-mode
-  // mechanics (zero under the heap reference).
-  uint64_t events_scheduled = 0;
-  uint64_t event_pool_hits = 0;
-  uint64_t calendar_resizes = 0;
-
-  /// Messages counted as sent but never delivered because the sender was
-  /// down at send time / the recipient was down or unknown at send time.
-  uint64_t drops_from_failed = 0;
-  uint64_t drops_to_failed = 0;
-
-  /// Zeroes every counter while keeping the per-kind arrays' capacity —
-  /// bench reset loops must not reallocate.
-  void Clear() {
-    messages = 0;
-    bytes = 0;
-    messages_by_kind.clear();
-    bytes_by_kind.clear();
-    plan_serializations = 0;
-    plan_parses = 0;
-    forwards_without_reserialize = 0;
-    token_decodes = 0;
-    dom_nodes_built = 0;
-    plan_decode_ns = 0;
-    resolve_index_probes = 0;
-    resolve_entries_scanned = 0;
-    binding_cache_hits = 0;
-    items_cloned = 0;
-    field_accessor_hits = 0;
-    structural_hash_probes = 0;
-    engine_eval_ns = 0;
-    events_scheduled = 0;
-    event_pool_hits = 0;
-    calendar_resizes = 0;
-    drops_from_failed = 0;
-    drops_to_failed = 0;
-  }
-};
-
 /// \brief The simulator: event queue + registered peers + failure state.
-class Simulator {
+/// Everything runs on the single thread that calls Run(); stats() and
+/// stats() const are therefore one and the same object.
+class Simulator : public Transport {
  public:
   Simulator() = default;
 
   /// Attaches `node` (not owned); returns its id. Addresses look like
   /// "10.0.0.<id>:9020" and are cached at registration.
-  PeerId Register(PeerNode* node);
+  PeerId Register(PeerNode* node) override;
 
   /// Number of registered peers.
-  size_t size() const { return nodes_.size(); }
+  size_t size() const override { return nodes_.size(); }
 
   /// The synthetic network address of a peer (pure computation; callers
   /// holding a simulator should prefer the cached Address()).
@@ -145,13 +58,13 @@ class Simulator {
 
   /// The cached address of a registered peer — no allocation per call.
   /// (Unregistered ids fall back to a computed scratch string.)
-  const std::string& Address(PeerId id) const;
+  const std::string& Address(PeerId id) const override;
 
   /// Reverse of AddressOf; error if malformed or unknown. Takes a view:
   /// resolve paths pass subfields of catalog entries without copying.
-  Result<PeerId> Lookup(std::string_view address) const;
+  Result<PeerId> Lookup(std::string_view address) const override;
 
-  double now() const { return now_; }
+  double now() const override { return now_; }
 
   const LinkParams& default_link() const { return link_; }
   void set_default_link(LinkParams link) {
@@ -164,24 +77,24 @@ class Simulator {
 
   /// Marks a peer down: messages to it are silently dropped (§4.2
   /// "R may be unavailable at some point").
-  void Fail(PeerId id);
-  void Recover(PeerId id);
-  bool IsFailed(PeerId id) const;
+  void Fail(PeerId id) override;
+  void Recover(PeerId id) override;
+  bool IsFailed(PeerId id) const override;
 
   /// Enqueues a message for delivery. Messages to failed or unknown
   /// peers — and messages *from* failed peers (a down peer originates no
   /// traffic) — are counted as sent but never delivered.
-  void Send(Message msg);
+  void Send(Message msg) override;
 
   /// Schedules `fn` at absolute time `when` (>= now).
-  void Schedule(double when, std::function<void()> fn);
+  void Schedule(double when, std::function<void()> fn) override;
 
   /// Runs until the event queue drains or `max_time` passes.
   /// Returns the number of events processed.
-  size_t Run(double max_time = 1e9);
+  size_t Run(double max_time = 1e9) override;
 
   /// True if no events are pending.
-  bool Idle() const {
+  bool Idle() const override {
     return use_calendar_queue_ ? calendar_.empty() : heap_.empty();
   }
 
@@ -211,8 +124,8 @@ class Simulator {
   /// The scale bench divides this by size() for its bytes/peer claim.
   size_t SubstrateBytes() const;
 
-  NetStats& stats() { return stats_; }
-  const NetStats& stats() const { return stats_; }
+  NetStats& stats() override { return stats_; }
+  const NetStats& stats() const override { return stats_; }
 
   /// Optional tap invoked for every Send (after stats are updated);
   /// benches use it to trace per-hop message sizes.

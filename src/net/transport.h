@@ -1,0 +1,240 @@
+// Transport: the abstract substrate peers run against.
+//
+// Every participant (peer::Peer, the three baselines, the sync agents)
+// is written as a message handler driven by this interface: register,
+// send, schedule, read the clock, observe failure state, tally stats.
+// Three implementations exist (DESIGN.md §8):
+//
+//   * net::Simulator      — the single-threaded discrete-event reference.
+//     Deterministic: a seed reproduces the exact event trace, so it
+//     remains the semantics oracle every other backend is tested against.
+//   * runtime::ThreadedRuntime — per-peer mailboxes drained by a thread
+//     pool; virtual time advances at quiescent barriers. Same peers, all
+//     cores (src/runtime/threaded_runtime.h).
+//   * runtime::TcpTransport    — the same peers served over real loopback
+//     sockets, wall-clock time (src/runtime/tcp_transport.h).
+//
+// Threading contract: a Transport implementation must deliver messages
+// to any single PeerNode one at a time (handlers are single-threaded
+// *per peer*, never per process), and must establish a happens-before
+// edge between consecutive handler invocations of the same peer, so
+// peer-confined state needs no locking. `stats()` (non-const) returns a
+// write shard the calling thread may mutate freely; `stats()` (const)
+// returns the merged view, exact whenever the transport is quiescent.
+// For the single-threaded simulator both are one and the same object.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "net/kind_table.h"
+#include "net/message.h"
+
+namespace mqp::net {
+
+/// \brief Interface implemented by anything attached to the network.
+class PeerNode {
+ public:
+  virtual ~PeerNode() = default;
+
+  /// Called when a message is delivered to this node. Invocations are
+  /// serialized per node (see the threading contract above).
+  virtual void HandleMessage(const Message& msg) = 0;
+};
+
+/// \brief Aggregate traffic statistics. The plan_* counters are fed by
+/// the wire layer (wire/plan_codec.h): how often plans were serialized,
+/// parsed, or forwarded by reusing the buffer they arrived in.
+///
+/// Under a multi-threaded transport each thread owns a private shard of
+/// this struct (Transport::stats() non-const) and shards are merged on
+/// read (Transport::stats() const) — counters are plain uint64_t, never
+/// atomics, so the per-message hot path stays contention-free.
+struct NetStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  // Flat arrays over the interned kind table (net/kind_table.h), behind a
+  // map-compatible lookup API; ForEachSorted iterates kinds in stable
+  // name order without per-print rebuilds.
+  KindCounters messages_by_kind;
+  KindCounters bytes_by_kind;
+
+  uint64_t plan_serializations = 0;
+  uint64_t plan_parses = 0;
+  uint64_t forwards_without_reserialize = 0;
+
+  // Streaming-codec counters (wire/plan_codec.h): plan bodies decoded via
+  // the token reader, xml::Nodes materialized while decoding plans (only
+  // verbatim <data> items should ever count), and wall-clock nanoseconds
+  // spent decoding (steady_clock, independent of simulated time).
+  uint64_t token_decodes = 0;
+  uint64_t dom_nodes_built = 0;
+  uint64_t plan_decode_ns = 0;
+
+  // Catalog-resolution counters, fed by the peers (see
+  // catalog::ResolveStats): index probes and entries scanned during
+  // coverage search, and binding-cache hits.
+  uint64_t resolve_index_probes = 0;
+  uint64_t resolve_entries_scanned = 0;
+  uint64_t binding_cache_hits = 0;
+
+  // Query-engine counters, fed by the peers (see engine::EngineStats):
+  // whole items deep-copied on evaluation paths (zero on the shared-store
+  // steady path), keys resolved by compiled field accessors, probes of
+  // the structural-hash set-semantics tables, and wall-clock nanoseconds
+  // spent inside engine::Evaluate (steady clock, independent of simulated
+  // time).
+  uint64_t items_cloned = 0;
+  uint64_t field_accessor_hits = 0;
+  uint64_t structural_hash_probes = 0;
+  uint64_t engine_eval_ns = 0;
+
+  // Scheduler-substrate counters (DESIGN.md §7). events_scheduled counts
+  // every enqueued event in either scheduler mode and is therefore
+  // mode-invariant; pool hits and calendar resizes are calendar-mode
+  // mechanics (zero under the heap reference).
+  uint64_t events_scheduled = 0;
+  uint64_t event_pool_hits = 0;
+  uint64_t calendar_resizes = 0;
+
+  // Mailbox counters (runtime::ThreadedRuntime, DESIGN.md §8): external
+  // senders that blocked on a full bounded mailbox, and worker-thread
+  // sends that bypassed the bound (a worker must never block on a full
+  // mailbox — two full peers sending to each other would deadlock).
+  uint64_t mailbox_backpressure_waits = 0;
+  uint64_t mailbox_soft_overflows = 0;
+
+  /// Messages counted as sent but never delivered because the sender was
+  /// down at send time / the recipient was down or unknown at send time.
+  uint64_t drops_from_failed = 0;
+  uint64_t drops_to_failed = 0;
+
+  /// Zeroes every counter while keeping the per-kind arrays' capacity —
+  /// bench reset loops must not reallocate.
+  void Clear() {
+    messages = 0;
+    bytes = 0;
+    messages_by_kind.clear();
+    bytes_by_kind.clear();
+    plan_serializations = 0;
+    plan_parses = 0;
+    forwards_without_reserialize = 0;
+    token_decodes = 0;
+    dom_nodes_built = 0;
+    plan_decode_ns = 0;
+    resolve_index_probes = 0;
+    resolve_entries_scanned = 0;
+    binding_cache_hits = 0;
+    items_cloned = 0;
+    field_accessor_hits = 0;
+    structural_hash_probes = 0;
+    engine_eval_ns = 0;
+    events_scheduled = 0;
+    event_pool_hits = 0;
+    calendar_resizes = 0;
+    mailbox_backpressure_waits = 0;
+    mailbox_soft_overflows = 0;
+    drops_from_failed = 0;
+    drops_to_failed = 0;
+  }
+
+  /// Adds every counter of `other` into this (shard merge-on-read).
+  void MergeFrom(const NetStats& other) {
+    messages += other.messages;
+    bytes += other.bytes;
+    messages_by_kind.MergeFrom(other.messages_by_kind);
+    bytes_by_kind.MergeFrom(other.bytes_by_kind);
+    plan_serializations += other.plan_serializations;
+    plan_parses += other.plan_parses;
+    forwards_without_reserialize += other.forwards_without_reserialize;
+    token_decodes += other.token_decodes;
+    dom_nodes_built += other.dom_nodes_built;
+    plan_decode_ns += other.plan_decode_ns;
+    resolve_index_probes += other.resolve_index_probes;
+    resolve_entries_scanned += other.resolve_entries_scanned;
+    binding_cache_hits += other.binding_cache_hits;
+    items_cloned += other.items_cloned;
+    field_accessor_hits += other.field_accessor_hits;
+    structural_hash_probes += other.structural_hash_probes;
+    engine_eval_ns += other.engine_eval_ns;
+    events_scheduled += other.events_scheduled;
+    event_pool_hits += other.event_pool_hits;
+    calendar_resizes += other.calendar_resizes;
+    mailbox_backpressure_waits += other.mailbox_backpressure_waits;
+    mailbox_soft_overflows += other.mailbox_soft_overflows;
+    drops_from_failed += other.drops_from_failed;
+    drops_to_failed += other.drops_to_failed;
+  }
+};
+
+/// \brief The substrate interface: registration + address book, clock,
+/// message send, timer schedule, failure injection, and stats.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Attaches `node` (not owned); returns its id. Must be called from
+  /// the driving thread while the transport is quiescent (before Run, or
+  /// from a scheduled callback — churn joiners do the latter).
+  virtual PeerId Register(PeerNode* node) = 0;
+
+  /// Number of registered peers.
+  virtual size_t size() const = 0;
+
+  /// The cached network address of a registered peer — no allocation
+  /// per call.
+  virtual const std::string& Address(PeerId id) const = 0;
+
+  /// Reverse of Address; error if malformed or unknown. Takes a view:
+  /// resolve paths pass subfields of catalog entries without copying.
+  virtual Result<PeerId> Lookup(std::string_view address) const = 0;
+
+  /// The transport clock, in seconds. Simulated time for the simulator
+  /// and the threaded runtime (advances at event/barrier boundaries),
+  /// wall clock since construction for the TCP transport.
+  virtual double now() const = 0;
+
+  /// Enqueues a message for delivery. Messages to failed or unknown
+  /// peers — and messages *from* failed peers (a down peer originates no
+  /// traffic) — are counted as sent but never delivered.
+  virtual void Send(Message msg) = 0;
+
+  /// Schedules `fn` at absolute time `when` (>= now).
+  virtual void Schedule(double when, std::function<void()> fn) = 0;
+
+  /// Schedules `fn` at `when`, declaring that it touches only state
+  /// confined to peer `owner`. Backends that run handlers concurrently
+  /// (the TCP transport) use the hint to serialize the callback with
+  /// `owner`'s message handlers; the default is plain Schedule.
+  virtual void ScheduleFor(PeerId owner, double when,
+                           std::function<void()> fn) {
+    (void)owner;
+    Schedule(when, std::move(fn));
+  }
+
+  /// Marks a peer down: messages to it are silently dropped (§4.2
+  /// "R may be unavailable at some point").
+  virtual void Fail(PeerId id) = 0;
+  virtual void Recover(PeerId id) = 0;
+  virtual bool IsFailed(PeerId id) const = 0;
+
+  /// Runs until the transport drains or `max_time` passes on its clock.
+  /// Returns the number of events (deliveries + timer callbacks)
+  /// processed. Must be called from the driving thread.
+  virtual size_t Run(double max_time = 1e9) = 0;
+
+  /// True if no work is pending.
+  virtual bool Idle() const = 0;
+
+  /// The calling thread's writable stats shard. Peers increment fields
+  /// directly; under a threaded backend each thread gets its own shard.
+  virtual NetStats& stats() = 0;
+
+  /// The merged read view — exact whenever the transport is quiescent.
+  virtual const NetStats& stats() const = 0;
+};
+
+}  // namespace mqp::net

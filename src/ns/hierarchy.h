@@ -66,6 +66,11 @@ class Hierarchy {
   /// The interned id space backing this hierarchy.
   const PathInterner& interner() const { return interner_; }
 
+  /// Pre-fills the interner's lazy caches so a hierarchy shared read-only
+  /// across peers can be probed from many threads (DESIGN.md §8). Call
+  /// while still single-threaded, after the last Add.
+  void Warm() const { interner_.Warm(); }
+
  private:
   void Collect(PathId id, bool leaves_only,
                std::vector<CategoryPath>* out) const;
@@ -97,6 +102,11 @@ class MultiHierarchy {
   /// Monotonic: grows whenever any dimension gains a category or a
   /// dimension is added.
   uint64_t version() const;
+
+  /// Warms every dimension (see Hierarchy::Warm).
+  void Warm() const {
+    for (const auto& d : dims_) d->Warm();
+  }
 
  private:
   std::vector<std::unique_ptr<Hierarchy>> dims_;

@@ -98,6 +98,16 @@ bool PathInterner::IsAncestorOrSame(PathId ancestor, PathId descendant) const {
          nodes_[descendant].enter < nodes_[ancestor].exit;
 }
 
+void PathInterner::Warm() const {
+  EnsureIntervals();
+  for (const Node& node : nodes_) {
+    // Touch both canonical forms; CategoryPath caches them in mutable
+    // members on first use.
+    (void)node.path.ToString();
+    (void)node.path.ToUrnString();
+  }
+}
+
 bool PathInterner::Comparable(PathId a, PathId b) const {
   EnsureIntervals();
   return (nodes_[a].enter <= nodes_[b].enter &&

@@ -13,6 +13,16 @@
 // often than they are compared). Each node also caches the canonical
 // slash/dotted strings of its path, so wire and gossip encoding of a
 // known category never re-joins segments.
+//
+// Thread safety (DESIGN.md §8): an interner is peer-confined — each
+// catalog/area index owns its own, mutated and probed only inside that
+// peer's serialized handlers. The const probes are NOT safe to share
+// across threads by themselves, because EnsureIntervals() and the
+// CategoryPath string caches fill mutable state lazily. A hierarchy (or
+// interner) that is deliberately shared read-only across peers — e.g. a
+// namespace handed to every peer at build time — must be warmed while
+// still single-threaded via Warm() / Hierarchy::Warm(); after that every
+// const member is a pure read.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +86,12 @@ class PathInterner {
 
   /// One path a prefix of the other (extents intersect).
   bool Comparable(PathId a, PathId b) const;
+
+  /// Pre-fills every lazy cache — the Euler intervals and each interned
+  /// path's canonical slash/URN strings — so a subsequently *immutable*
+  /// interner can be probed from many threads without hidden writes.
+  /// Call while still single-threaded (see the header notes).
+  void Warm() const;
 
  private:
   struct Node {

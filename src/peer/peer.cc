@@ -68,7 +68,7 @@ class EngineTally {
 
 }  // namespace
 
-Peer::Peer(net::Simulator* sim, PeerOptions options)
+Peer::Peer(net::Transport* sim, PeerOptions options)
     : sim_(sim), options_(std::move(options)) {
   id_ = sim_->Register(this);
   if (options_.name.empty()) {
@@ -352,7 +352,7 @@ std::string Peer::SubmitQuery(Plan plan, Callback cb) {
                            ProvenanceAction::kForwarded, "submitted", 0});
   }
   pending_[qid] = Pending{std::move(cb), sim_->now()};
-  sim_->Schedule(sim_->now(), [this, p = std::move(plan)]() mutable {
+  sim_->ScheduleFor(id_, sim_->now(), [this, p = std::move(plan)]() mutable {
     ProcessPlan(std::move(p), /*hops=*/0);
   });
   return qid;

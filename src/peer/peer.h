@@ -16,7 +16,7 @@
 #include "algebra/plan_xml.h"
 #include "catalog/catalog.h"
 #include "engine/local_store.h"
-#include "net/simulator.h"
+#include "net/transport.h"
 #include "ns/hierarchy.h"
 #include "ns/interest.h"
 #include "optimizer/cost.h"
@@ -140,12 +140,15 @@ struct PeerCounters {
   uint64_t engine_eval_ns = 0;               ///< steady-clock eval time
 };
 
-/// \brief A network participant. Attach to a Simulator, publish data or
-/// indexes, join, and submit queries.
+/// \brief A network participant. Attach to any net::Transport (the
+/// deterministic simulator, the threaded runtime, or the TCP
+/// transport — DESIGN.md §8), publish data or indexes, join, and
+/// submit queries. All mutable peer state is peer-confined: the
+/// transport serializes handler invocations per peer.
 class Peer : public net::PeerNode {
  public:
-  /// Registers with `sim` (which must outlive the peer).
-  Peer(net::Simulator* sim, PeerOptions options);
+  /// Registers with `net` (which must outlive the peer).
+  Peer(net::Transport* net, PeerOptions options);
 
   net::PeerId id() const { return id_; }
   /// This peer's cached network address (no allocation per call).
@@ -229,6 +232,10 @@ class Peer : public net::PeerNode {
   /// Serves `ns` (not owned) when the category role is set; also enables
   /// §3.5 approximation of unknown categories during resolution.
   void ServeHierarchies(const ns::MultiHierarchy* ns) {
+    // Warm the lazy interval/string caches now, while still on the setup
+    // thread: the namespace may be shared read-only by several peers, and
+    // warmed const probes are pure reads (DESIGN.md §8).
+    ns->Warm();
     hierarchies_ = ns;
     catalog_.set_hierarchies(ns);
   }
@@ -306,7 +313,7 @@ class Peer : public net::PeerNode {
   void AddProvenance(algebra::Plan* plan, algebra::ProvenanceAction action,
                      std::string detail, int staleness = 0);
 
-  net::Simulator* sim_;
+  net::Transport* sim_;  // the substrate (simulator or runtime backend)
   net::PeerId id_;
   PeerOptions options_;
   engine::LocalStore store_;

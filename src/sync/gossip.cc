@@ -8,7 +8,7 @@ namespace mqp::sync {
 using catalog::CatalogDelta;
 using catalog::VersionVector;
 
-SyncAgent::SyncAgent(net::Simulator* sim, net::PeerId id, std::string self,
+SyncAgent::SyncAgent(net::Transport* sim, net::PeerId id, std::string self,
                      catalog::Catalog* projection, SyncOptions options)
     : sim_(sim),
       id_(id),
@@ -93,7 +93,7 @@ void SyncAgent::ScheduleTick() {
     return;
   }
   const uint64_t epoch = epoch_;
-  sim_->Schedule(sim_->now() + options_.gossip_interval_seconds,
+  sim_->ScheduleFor(id_, sim_->now() + options_.gossip_interval_seconds,
                  [this, epoch]() {
                    if (epoch == epoch_ && running_) Tick();
                  });

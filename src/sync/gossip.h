@@ -30,7 +30,7 @@
 
 #include "catalog/versioned.h"
 #include "common/rng.h"
-#include "net/simulator.h"
+#include "net/transport.h"
 #include "wire/envelope.h"
 
 namespace mqp::sync {
@@ -72,8 +72,8 @@ class SyncAgent {
  public:
   /// `projection` is the peer's catalog (may be null in pure-state tests);
   /// `sim` must outlive the agent. `id` / `self` are the owning peer's
-  /// simulator id and address.
-  SyncAgent(net::Simulator* sim, net::PeerId id, std::string self,
+  /// transport id and address.
+  SyncAgent(net::Transport* sim, net::PeerId id, std::string self,
             catalog::Catalog* projection, SyncOptions options);
 
   const SyncOptions& options() const { return options_; }
@@ -141,7 +141,7 @@ class SyncAgent {
   void SendDeltaRaw(const std::string& target,
                     const catalog::CatalogDelta& delta, bool attach_vector);
 
-  net::Simulator* sim_;
+  net::Transport* sim_;
   net::PeerId id_;
   std::string self_;
   SyncOptions options_;

@@ -29,7 +29,7 @@ net::Message Envelope::ToMessage(net::PeerId from, net::PeerId to) const {
   msg.from = from;
   msg.to = to;
   msg.kind = kind;
-  // Pre-intern so Simulator::Send's per-kind accounting is pure array
+  // Pre-intern so Transport::Send's per-kind accounting is pure array
   // indexing (the kind vocabulary is tiny; this is a warm hash hit).
   msg.kind_id = net::InternKind(kind);
   msg.header = EncodeHeader();
@@ -73,9 +73,9 @@ Result<Envelope> DecodeEnvelope(const net::Message& msg) {
   return env;
 }
 
-void Send(net::Simulator* sim, net::PeerId from, net::PeerId to,
+void Send(net::Transport* net, net::PeerId from, net::PeerId to,
           Envelope env) {
-  sim->Send(env.ToMessage(from, to));
+  net->Send(env.ToMessage(from, to));
 }
 
 }  // namespace mqp::wire

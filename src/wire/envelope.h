@@ -1,4 +1,4 @@
-// Wire layer: framed peer-to-peer messaging on top of net::Simulator.
+// Wire layer: framed peer-to-peer messaging on top of net::Transport.
 //
 // An Envelope is what peers logically exchange: a routing kind, the query
 // (or request) id the message belongs to, a hop counter, and an immutable
@@ -14,7 +14,7 @@
 #include <string>
 
 #include "common/result.h"
-#include "net/simulator.h"
+#include "net/transport.h"
 
 namespace mqp::wire {
 
@@ -73,9 +73,9 @@ struct Envelope {
 Result<Envelope> DecodeEnvelope(const net::Message& msg);
 
 /// \brief Frames and sends: the one call sites use instead of
-/// Simulator::Send. Size accounting (header + body) stays centralized in
-/// Simulator::Send.
-void Send(net::Simulator* sim, net::PeerId from, net::PeerId to,
+/// Transport::Send. Size accounting (header + body) stays centralized in
+/// each transport's Send.
+void Send(net::Transport* net, net::PeerId from, net::PeerId to,
           Envelope env);
 
 }  // namespace mqp::wire

@@ -18,7 +18,7 @@
 
 #include "algebra/plan.h"
 #include "algebra/plan_xml.h"
-#include "net/simulator.h"
+#include "net/transport.h"
 
 namespace mqp::wire {
 

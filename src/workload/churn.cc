@@ -7,7 +7,7 @@ namespace mqp::workload {
 using peer::Peer;
 using peer::PeerOptions;
 
-ChurnScenario::ChurnScenario(net::Simulator* sim, GarageSaleNetwork* net,
+ChurnScenario::ChurnScenario(net::Transport* sim, GarageSaleNetwork* net,
                              ChurnParams params)
     : sim_(sim), net_(net), params_(std::move(params)), rng_(params_.seed) {
   if (params_.query_area.empty()) {

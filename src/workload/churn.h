@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "net/simulator.h"
+#include "net/transport.h"
 #include "ns/interest.h"
 #include "sync/gossip.h"
 #include "workload/network_builder.h"
@@ -56,7 +56,7 @@ struct ChurnStats {
 /// peers are appended to its `owned` vector).
 class ChurnScenario {
  public:
-  ChurnScenario(net::Simulator* sim, GarageSaleNetwork* net,
+  ChurnScenario(net::Transport* sim, GarageSaleNetwork* net,
                 ChurnParams params);
 
   /// Enables sync on every peer of the network (client, meta, indexes,
@@ -104,7 +104,7 @@ class ChurnScenario {
   void DoJoin(double now);
   sync::SyncOptions OptionsFor(const peer::Peer& peer) const;
 
-  net::Simulator* sim_;
+  net::Transport* sim_;
   GarageSaleNetwork* net_;
   ChurnParams params_;
   Rng rng_;

@@ -22,7 +22,7 @@ peer::Peer* GarageSaleNetwork::IndexFor(
 static const std::vector<std::string> kGarageSaleFields = {"location",
                                                            "category"};
 
-GarageSaleNetwork BuildGarageSaleNetwork(net::Simulator* sim,
+GarageSaleNetwork BuildGarageSaleNetwork(net::Transport* sim,
                                          const GarageSaleNetworkParams& p) {
   GarageSaleNetwork net;
   net.generator = GarageSaleGenerator(p.seed);
@@ -126,7 +126,7 @@ ns::InterestArea SuperPeerCity(size_t super, size_t city) {
        ns::CategoryPath()}));
 }
 
-SuperPeerNetwork BuildSuperPeerNetwork(net::Simulator* sim,
+SuperPeerNetwork BuildSuperPeerNetwork(net::Transport* sim,
                                        const SuperPeerNetworkParams& p) {
   SuperPeerNetwork net;
   const size_t population =

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "net/simulator.h"
+#include "net/transport.h"
 #include "peer/peer.h"
 #include "sync/gossip.h"
 #include "workload/garage_sale.h"
@@ -46,7 +46,7 @@ struct GarageSaleNetwork {
 
 /// \brief Builds and *joins* the network: after this returns the simulator
 /// has drained all registration traffic.
-GarageSaleNetwork BuildGarageSaleNetwork(net::Simulator* sim,
+GarageSaleNetwork BuildGarageSaleNetwork(net::Transport* sim,
                                          const GarageSaleNetworkParams& p);
 
 /// \brief Convenience: an interest-area query plan,
@@ -104,7 +104,7 @@ ns::InterestArea SuperPeerCity(size_t super, size_t city);
 /// drain — at 1M leaves this is itself a scheduler stress), then the
 /// catalog tier's gossip is enabled when configured. After this returns
 /// the simulator has drained all registration traffic.
-SuperPeerNetwork BuildSuperPeerNetwork(net::Simulator* sim,
+SuperPeerNetwork BuildSuperPeerNetwork(net::Transport* sim,
                                        const SuperPeerNetworkParams& p);
 
 }  // namespace mqp::workload

@@ -1,22 +1,35 @@
 #include "xml/node.h"
 
+#include <atomic>
+
 namespace mqp::xml {
 
 namespace {
-// The library is single-threaded per process (discrete-event simulation);
-// plain counters keep the hot paths free of atomics.
-uint64_t g_dom_nodes_built = 0;
-uint64_t g_dom_mutation_epoch = 1;  // 1 so a zero-initialized cache is stale
+// The library is single-threaded *per peer*, not per process: under
+// runtime::ThreadedRuntime / runtime::TcpTransport many peers run
+// concurrently, each confined to one handler thread at a time, while
+// shared immutable items are read (and lazily hashed) cross-thread
+// (DESIGN.md §8). So the build counter is thread-local (handlers
+// snapshot deltas on their own thread) and the mutation epoch — a
+// process-wide cache-invalidation stamp — is a relaxed atomic: bumps
+// and reads need no ordering beyond the cache fields' own
+// acquire/release publication (see node.h).
+thread_local uint64_t g_dom_nodes_built = 0;
+std::atomic<uint64_t> g_dom_mutation_epoch{1};  // 1: zero-init caches stale
 }  // namespace
 
 namespace internal {
 void CountNodeBuilt() { ++g_dom_nodes_built; }
-void BumpMutationEpoch() { ++g_dom_mutation_epoch; }
+void BumpMutationEpoch() {
+  g_dom_mutation_epoch.fetch_add(1, std::memory_order_relaxed);
+}
 }  // namespace internal
 
 uint64_t DomNodesBuilt() { return g_dom_nodes_built; }
 
-uint64_t DomMutationEpoch() { return g_dom_mutation_epoch; }
+uint64_t DomMutationEpoch() {
+  return g_dom_mutation_epoch.load(std::memory_order_relaxed);
+}
 
 std::unique_ptr<Node> Node::Element(std::string name) {
   auto n = std::unique_ptr<Node>(new Node(NodeType::kElement));
@@ -38,7 +51,9 @@ std::unique_ptr<Node> Node::ElementWithText(std::string name,
 }
 
 void Node::SetAttr(std::string_view key, std::string value) {
-  if (cache_marked_) internal::BumpMutationEpoch();
+  if (cache_marked_.load(std::memory_order_relaxed)) {
+    internal::BumpMutationEpoch();
+  }
   for (auto& [k, v] : attrs_) {
     if (k == key) {
       v = std::move(value);
@@ -61,7 +76,9 @@ std::string Node::AttrOr(std::string_view key, std::string fallback) const {
 }
 
 Node* Node::AddChild(std::unique_ptr<Node> child) {
-  if (cache_marked_) internal::BumpMutationEpoch();
+  if (cache_marked_.load(std::memory_order_relaxed)) {
+    internal::BumpMutationEpoch();
+  }
   children_.push_back(std::move(child));
   return children_.back().get();
 }
@@ -122,7 +139,9 @@ std::string Node::InnerText() const {
 }
 
 std::unique_ptr<Node> Node::RemoveChild(size_t i) {
-  if (cache_marked_) internal::BumpMutationEpoch();
+  if (cache_marked_.load(std::memory_order_relaxed)) {
+    internal::BumpMutationEpoch();
+  }
   auto out = std::move(children_[i]);
   children_.erase(children_.begin() + static_cast<ptrdiff_t>(i));
   return out;
@@ -130,7 +149,9 @@ std::unique_ptr<Node> Node::RemoveChild(size_t i) {
 
 std::unique_ptr<Node> Node::ReplaceChild(size_t i,
                                          std::unique_ptr<Node> child) {
-  if (cache_marked_) internal::BumpMutationEpoch();
+  if (cache_marked_.load(std::memory_order_relaxed)) {
+    internal::BumpMutationEpoch();
+  }
   auto out = std::move(children_[i]);
   children_[i] = std::move(child);
   return out;
@@ -151,10 +172,14 @@ std::unique_ptr<Node> Node::Clone() const {
 bool Node::StructurallyEquals(const Node& other) const {
   if (this == &other) return true;  // shared items compare constantly
   // When both hashes are cached and differ, the trees cannot be equal.
-  if (hash_epoch_ == g_dom_mutation_epoch &&
-      other.hash_epoch_ == g_dom_mutation_epoch &&
-      cached_hash_ != other.cached_hash_) {
-    return false;
+  {
+    const uint64_t epoch = DomMutationEpoch();
+    if (hash_epoch_.load(std::memory_order_acquire) == epoch &&
+        other.hash_epoch_.load(std::memory_order_acquire) == epoch &&
+        cached_hash_.load(std::memory_order_relaxed) !=
+            other.cached_hash_.load(std::memory_order_relaxed)) {
+      return false;
+    }
   }
   if (type_ != other.type_ || name_ != other.name_ || text_ != other.text_ ||
       attrs_ != other.attrs_ || children_.size() != other.children_.size()) {
@@ -196,7 +221,10 @@ inline uint64_t MixHash(uint64_t h, uint64_t v) {
 }  // namespace
 
 uint64_t StructuralHash(const Node& node) {
-  if (node.hash_epoch_ == g_dom_mutation_epoch) return node.cached_hash_;
+  const uint64_t epoch = DomMutationEpoch();
+  if (node.hash_epoch_.load(std::memory_order_acquire) == epoch) {
+    return node.cached_hash_.load(std::memory_order_relaxed);
+  }
   uint64_t h = 0xcbf29ce484222325ull;
   h = FnvTag(h, node.is_element() ? 1 : 2);
   h = Fnv(h, node.name());
@@ -210,9 +238,11 @@ uint64_t StructuralHash(const Node& node) {
   for (const auto& c : node.children()) {
     h = MixHash(h, StructuralHash(*c));  // children hit their own caches
   }
-  node.hash_epoch_ = g_dom_mutation_epoch;
-  node.cached_hash_ = h;
-  node.cache_marked_ = true;  // future mutations of this subtree bump
+  // Value first, epoch last (release): a reader that sees the fresh
+  // epoch is guaranteed to see the hash it stamps.
+  node.cached_hash_.store(h, std::memory_order_relaxed);
+  node.hash_epoch_.store(epoch, std::memory_order_release);
+  node.cache_marked_.store(true, std::memory_order_relaxed);  // mutations bump
   return h;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -64,14 +65,18 @@ class Node {
   /// Element tag name (empty for text nodes).
   const std::string& name() const { return name_; }
   void set_name(std::string name) {
-    if (cache_marked_) internal::BumpMutationEpoch();
+    if (cache_marked_.load(std::memory_order_relaxed)) {
+      internal::BumpMutationEpoch();
+    }
     name_ = std::move(name);
   }
 
   /// Text content (text nodes only).
   const std::string& text() const { return text_; }
   void set_text(std::string text) {
-    if (cache_marked_) internal::BumpMutationEpoch();
+    if (cache_marked_.load(std::memory_order_relaxed)) {
+      internal::BumpMutationEpoch();
+    }
     text_ = std::move(text);
   }
 
@@ -110,7 +115,9 @@ class Node {
   std::vector<std::unique_ptr<Node>>& mutable_children() {
     // Conservative: the caller may mutate freely (bump only matters — and
     // only fires — when this node sits inside a cached subtree).
-    if (cache_marked_) internal::BumpMutationEpoch();
+    if (cache_marked_.load(std::memory_order_relaxed)) {
+      internal::BumpMutationEpoch();
+    }
     return children_;
   }
 
@@ -164,11 +171,21 @@ class Node {
   // on every node a caching walk visits; mutators bump the global epoch
   // only for marked nodes, so fresh tree construction leaves the caches
   // of stored items untouched.
-  mutable uint64_t size_epoch_ = 0;   // serialized size (see writer.cc)
-  mutable size_t cached_size_ = 0;
-  mutable uint64_t hash_epoch_ = 0;   // structural hash
-  mutable uint64_t cached_hash_ = 0;
-  mutable bool cache_marked_ = false;
+  //
+  // Thread safety (DESIGN.md §8): a tree is either peer-confined (one
+  // thread reads and mutates it, serialized by the transport) or a
+  // shared immutable item (many threads read, nobody mutates). The
+  // caches must therefore survive concurrent *fills* on shared items:
+  // the value is stored first, then the epoch is published with release
+  // ordering, and readers load the epoch with acquire before trusting
+  // the value. Racing fills write identical bytes (hash and size are
+  // pure functions of the immutable tree), so whichever store lands
+  // last is as good as the first.
+  mutable std::atomic<uint64_t> size_epoch_{0};  // serialized size
+  mutable std::atomic<size_t> cached_size_{0};   // (see writer.cc)
+  mutable std::atomic<uint64_t> hash_epoch_{0};  // structural hash
+  mutable std::atomic<uint64_t> cached_hash_{0};
+  mutable std::atomic<bool> cache_marked_{false};
 };
 
 /// \brief Deep structural hash over (type, name, text, attrs incl. order,

@@ -1,5 +1,7 @@
 #include "xml/writer.h"
 
+#include <atomic>
+
 #include "xml/parser.h"
 
 namespace mqp::xml {
@@ -99,7 +101,9 @@ size_t EscapedAttrSize(const std::string& s) {
 }  // namespace
 
 namespace {
-uint64_t g_serialize_calls = 0;
+// Thread-local: each handler thread counts its own serializations (the
+// delta-snapshot pattern, same as xml::DomNodesBuilt()).
+thread_local uint64_t g_serialize_calls = 0;
 }
 
 std::string Serialize(const Node& node, const WriteOptions& opts) {
@@ -113,7 +117,9 @@ uint64_t SerializeCalls() { return g_serialize_calls; }
 
 size_t SerializedSize(const Node& node) {
   const uint64_t epoch = DomMutationEpoch();
-  if (node.size_epoch_ == epoch) return node.cached_size_;
+  if (node.size_epoch_.load(std::memory_order_acquire) == epoch) {
+    return node.cached_size_.load(std::memory_order_relaxed);
+  }
   size_t n;
   if (node.is_text()) {
     n = EscapedTextSize(node.text());
@@ -132,9 +138,10 @@ size_t SerializedSize(const Node& node) {
       n += 3 + node.name().size();  // "</name>"
     }
   }
-  node.size_epoch_ = epoch;
-  node.cached_size_ = n;
-  node.cache_marked_ = true;  // future mutations of this subtree bump
+  // Value first, epoch last (release) — see the cache notes in node.h.
+  node.cached_size_.store(n, std::memory_order_relaxed);
+  node.size_epoch_.store(epoch, std::memory_order_release);
+  node.cache_marked_.store(true, std::memory_order_relaxed);
   return n;
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "net/simulator.h"
 #include "baseline/central_index.h"
 #include "baseline/coordinator.h"
 #include "baseline/flooding.h"

@@ -1,4 +1,5 @@
 // End-to-end tests: full P2P networks exchanging serialized MQPs.
+#include "net/simulator.h"
 #include "common/strings.h"
 #include <gtest/gtest.h>
 

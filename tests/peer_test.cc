@@ -2,6 +2,7 @@
 // plan policies on the wire, counters, and verification utilities.
 #include <gtest/gtest.h>
 
+#include "net/simulator.h"
 #include "peer/peer.h"
 #include "peer/verification.h"
 #include "workload/cd_market.h"

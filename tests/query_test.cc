@@ -2,6 +2,7 @@
 // execution over a simulated network.
 #include <gtest/gtest.h>
 
+#include "net/simulator.h"
 #include "common/strings.h"
 #include "engine/operator.h"
 #include "query/parser.h"

@@ -2,6 +2,7 @@
 // never crash, and keep independent queries correlated correctly.
 #include <gtest/gtest.h>
 
+#include "net/simulator.h"
 #include "common/strings.h"
 #include "peer/peer.h"
 #include "workload/network_builder.h"

@@ -2,6 +2,7 @@
 // semantics, gossip/anti-entropy convergence, TTL expiry and churn.
 #include <gtest/gtest.h>
 
+#include "net/simulator.h"
 #include "catalog/versioned.h"
 #include "peer/peer.h"
 #include "sync/gossip.h"
@@ -344,7 +345,7 @@ TEST(SyncAgentTest, GracefulDepartureTombstonesPropagate) {
 }
 
 // Builds a garage-sale network with sync enabled on every peer.
-workload::GarageSaleNetwork BuildSyncedNetwork(net::Simulator* sim,
+workload::GarageSaleNetwork BuildSyncedNetwork(net::Transport* sim,
                                                size_t sellers, uint64_t seed,
                                                double horizon) {
   workload::GarageSaleNetworkParams params;

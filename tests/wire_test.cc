@@ -2,6 +2,7 @@
 // cache, and the no-reserialize guarantee for pure routing hops.
 #include <gtest/gtest.h>
 
+#include "net/simulator.h"
 #include "peer/peer.h"
 #include "wire/envelope.h"
 #include "wire/plan_codec.h"

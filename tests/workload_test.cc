@@ -2,6 +2,7 @@
 // helpers, and the standard network builder.
 #include <gtest/gtest.h>
 
+#include "net/simulator.h"
 #include "common/strings.h"
 #include "workload/cd_market.h"
 #include "workload/garage_sale.h"
