@@ -1,0 +1,355 @@
+// C13 — reliable query execution under injected faults (DESIGN.md §9).
+//
+// A garage-sale network runs behind a net::FaultInjector applying a
+// seeded drop plan plus scheduled seller crash/restart events while a
+// client issues a steady stream of interest-area queries. The sweep is
+// fault rate {0, 2, 5, 10}% x retry policy {off, on}:
+//   * off: the reliability layer is disabled fleet-wide — no deadline on
+//     the wire, no retries, no failover; the deadline only reaps the
+//     pending entry so every query still returns (ablation baseline),
+//   * on: deadline + bounded exponential backoff + alternative-binding
+//     failover + duplicate suppression (the full §9 machinery).
+// A separate degradation run crashes an in-area seller for longer than
+// the query deadline: timed-out queries must still deliver the items
+// the surviving sellers answered (QueryOutcome.complete == false with a
+// non-empty item set).
+//
+// Shape checks (enforced, nonzero exit on failure):
+//   * >= 99% completion at 5% drop with retries+failover on,
+//   * retries-on success strictly above retries-off at 5% drop,
+//   * the degradation run delivers at least one partial result.
+//
+// Flags: --ci shrinks the query count for a CI smoke slot; --json=PATH
+// writes BENCH_reliability.json for the workflow artifact.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/fault_injector.h"
+#include "net/simulator.h"
+#include "bench_util.h"
+
+using namespace mqp;
+
+namespace {
+
+struct Cell {
+  double drop_rate = 0;
+  bool retries = false;
+  size_t submitted = 0;
+  size_t complete = 0;
+  size_t partial = 0;    // returned incomplete but with items
+  size_t timed_out = 0;
+  uint64_t retries_launched = 0;
+  uint64_t failovers = 0;
+  uint64_t duplicates_suppressed = 0;
+  uint64_t fault_drops = 0;
+  double p50_latency = 0;  // virtual seconds, completed queries only
+  double p99_latency = 0;
+  double bytes_per_complete = 0;
+
+  double success_pct() const {
+    return submitted == 0 ? 0.0
+                          : 100.0 * static_cast<double>(complete) /
+                                static_cast<double>(submitted);
+  }
+};
+
+void SetReliability(workload::GarageSaleNetwork* net, bool enabled) {
+  std::vector<peer::Peer*> all;
+  all.push_back(net->client);
+  all.push_back(net->top_meta);
+  all.insert(all.end(), net->index_servers.begin(),
+             net->index_servers.end());
+  all.insert(all.end(), net->sellers.begin(), net->sellers.end());
+  for (peer::Peer* p : all) {
+    p->mutable_options().reliability.enabled = enabled;
+  }
+}
+
+bool SellerInArea(const workload::Seller& s, const ns::InterestArea& area) {
+  for (const auto& c : area.cells()) {
+    if (c.Covers(s.cell)) return true;
+  }
+  return false;
+}
+
+/// Sellers publishing inside `area`, in network order.
+std::vector<size_t> InAreaSellers(const workload::GarageSaleNetwork& net,
+                                  const ns::InterestArea& area) {
+  std::vector<size_t> idx;
+  for (size_t i = 0; i < net.seller_specs.size(); ++i) {
+    if (SellerInArea(net.seller_specs[i], area)) idx.push_back(i);
+  }
+  return idx;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t i = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[i];
+}
+
+Cell RunCell(double drop_rate, bool retries, size_t num_queries,
+             uint64_t seed) {
+  Cell cell;
+  cell.drop_rate = drop_rate;
+  cell.retries = retries;
+
+  net::Simulator sim;
+  net::FaultPlan plan;
+  plan.seed = seed;
+  plan.spec.drop_rate = drop_rate;
+  net::FaultInjector fi(&sim, plan);
+
+  workload::GarageSaleNetworkParams params;
+  params.num_sellers = 20;
+  params.items_per_seller = 4;
+  params.seed = seed;
+  auto net = workload::BuildGarageSaleNetwork(&fi, params);
+  SetReliability(&net, retries);
+
+  const auto area = *ns::InterestArea::Parse("(USA.OR,*)");
+  // Crash two in-area sellers mid-run; each restart lands inside the
+  // retry budget (deadline 120s > 60s downtime) so retries bridge the
+  // outage. The windows are far apart: a query whose deadline spans two
+  // back-to-back outages of *different* sellers has no complete answer
+  // to find, which would measure the plan, not the retry policy.
+  auto in_area = InAreaSellers(net, area);
+  if (!in_area.empty()) {
+    fi.mutable_plan().crashes.push_back(
+        {net.sellers[in_area[0]]->id(), 40.0, 100.0});
+  }
+  if (in_area.size() > 1) {
+    fi.mutable_plan().crashes.push_back(
+        {net.sellers[in_area[1]]->id(), 400.0, 460.0});
+  }
+  fi.Arm();
+
+  std::vector<double> latencies;
+  const double interval = 10.0;
+  for (size_t q = 0; q < num_queries; ++q) {
+    const double at = interval * static_cast<double>(q + 1);
+    fi.Schedule(at, [&, at]() {
+      ++cell.submitted;
+      net.client->SubmitQuery(
+          workload::MakeAreaQueryPlan(area),
+          [&, at](const peer::QueryOutcome& o) {
+            if (o.complete) {
+              ++cell.complete;
+              latencies.push_back(fi.now() - at);
+            } else if (!o.items.empty()) {
+              ++cell.partial;
+            }
+            if (o.timed_out) ++cell.timed_out;
+          });
+    });
+  }
+  fi.Run();
+
+  const auto& st = fi.stats();
+  cell.retries_launched = st.query_retries;
+  cell.failovers = st.failovers;
+  cell.duplicates_suppressed = st.duplicates_suppressed;
+  cell.fault_drops = st.fault_drops;
+  cell.p50_latency = Percentile(latencies, 0.50);
+  cell.p99_latency = Percentile(latencies, 0.99);
+  cell.bytes_per_complete =
+      cell.complete == 0
+          ? 0.0
+          : static_cast<double>(st.bytes) / static_cast<double>(cell.complete);
+  return cell;
+}
+
+struct DegradationRun {
+  size_t submitted = 0;
+  size_t partials_with_items = 0;  // complete=false AND items non-empty
+  size_t timed_out = 0;
+  uint64_t partials_delivered = 0;  // NetStats counter
+};
+
+/// Crashes an in-area seller for longer than the deadline while the
+/// others stay up: every query overlapping the outage must time out yet
+/// still carry the surviving sellers' items.
+DegradationRun RunDegradation(uint64_t seed) {
+  DegradationRun run;
+  net::Simulator sim;
+  net::FaultPlan plan;
+  plan.seed = seed;
+  net::FaultInjector fi(&sim, plan);
+
+  workload::GarageSaleNetworkParams params;
+  params.num_sellers = 20;
+  params.items_per_seller = 4;
+  params.seed = seed;
+  auto net = workload::BuildGarageSaleNetwork(&fi, params);
+  SetReliability(&net, true);
+
+  // Pick a state with at least two sellers so one can crash while the
+  // rest keep answering.
+  ns::InterestArea area;
+  std::vector<size_t> in_area;
+  for (const char* a : {"(USA.OR,*)", "(USA.WA,*)", "(USA.CA,*)"}) {
+    area = *ns::InterestArea::Parse(a);
+    in_area = InAreaSellers(net, area);
+    if (in_area.size() >= 2) break;
+  }
+  if (in_area.size() < 2) return run;  // seed can't express the scenario
+
+  // Down at 20s, back at 400s — far beyond any query's 120s deadline.
+  fi.mutable_plan().crashes.push_back(
+      {net.sellers[in_area[0]]->id(), 20.0, 400.0});
+  fi.Arm();
+
+  for (size_t q = 0; q < 6; ++q) {
+    const double at = 30.0 + 10.0 * static_cast<double>(q);
+    fi.Schedule(at, [&]() {
+      ++run.submitted;
+      net.client->SubmitQuery(workload::MakeAreaQueryPlan(area),
+                              [&](const peer::QueryOutcome& o) {
+                                if (!o.complete && !o.items.empty()) {
+                                  ++run.partials_with_items;
+                                }
+                                if (o.timed_out) ++run.timed_out;
+                              });
+    });
+  }
+  fi.Run();
+  run.partials_delivered = fi.stats().partials_delivered;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ci = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ci") == 0) ci = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  bench::Header("C13", "reliable query execution: fault rate x retry "
+                       "policy sweep over a seeded drop+crash plan");
+
+  const size_t num_queries = ci ? 60 : 120;
+  const uint64_t seed = 1300;
+  bench::Row("load: 20 sellers, %zu queries @10s, deadline 120s, seeded "
+             "drop plan + 2 crash/restart events",
+             num_queries);
+  bench::Row("  %-7s %-8s %9s %9s %9s %9s %8s %8s %9s %9s %12s",
+             "drop", "retries", "complete", "partial", "timeout",
+             "success", "retries", "failover", "p50_s", "p99_s",
+             "bytes/query");
+
+  std::vector<Cell> cells;
+  for (double rate : {0.0, 0.02, 0.05, 0.10}) {
+    for (bool retries : {false, true}) {
+      Cell c = RunCell(rate, retries, num_queries, seed);
+      bench::Row("  %4.0f%%   %-7s %5zu/%-3zu %9zu %9zu %8.1f%% %8llu "
+                 "%8llu %9.2f %9.2f %12.0f",
+                 100 * c.drop_rate, retries ? "on" : "off", c.complete,
+                 c.submitted, c.partial, c.timed_out, c.success_pct(),
+                 static_cast<unsigned long long>(c.retries_launched),
+                 static_cast<unsigned long long>(c.failovers),
+                 c.p50_latency, c.p99_latency, c.bytes_per_complete);
+      cells.push_back(c);
+    }
+  }
+
+  DegradationRun deg = RunDegradation(seed);
+  bench::Row("");
+  bench::Row("degradation (in-area seller down past every deadline): "
+             "%zu queries, %zu timed out, %zu delivered partial items "
+             "(net counter %llu)",
+             deg.submitted, deg.timed_out, deg.partials_with_items,
+             static_cast<unsigned long long>(deg.partials_delivered));
+
+  auto cell_at = [&](double rate, bool retries) -> const Cell& {
+    for (const auto& c : cells) {
+      if (c.drop_rate == rate && c.retries == retries) return c;
+    }
+    return cells.front();
+  };
+
+  bool shape_ok = true;
+  const Cell& on5 = cell_at(0.05, true);
+  const Cell& off5 = cell_at(0.05, false);
+  if (on5.success_pct() < 99.0) {
+    bench::Row("SHAPE FAIL: %.1f%% success at 5%% drop with retries "
+               "(need >= 99%%)",
+               on5.success_pct());
+    shape_ok = false;
+  }
+  if (on5.complete <= off5.complete) {
+    bench::Row("SHAPE FAIL: retries on (%zu complete) not strictly above "
+               "retries off (%zu) at 5%% drop",
+               on5.complete, off5.complete);
+    shape_ok = false;
+  }
+  for (const auto& c : cells) {
+    if (!c.retries) {
+      const Cell& on = cell_at(c.drop_rate, true);
+      if (on.complete < c.complete) {
+        bench::Row("SHAPE FAIL: retries regress success at %.0f%% drop",
+                   100 * c.drop_rate);
+        shape_ok = false;
+      }
+    }
+  }
+  if (deg.partials_with_items == 0 || deg.partials_delivered == 0) {
+    bench::Row("SHAPE FAIL: deadline-expired queries delivered no partial "
+               "results");
+    shape_ok = false;
+  }
+
+  bench::Row("");
+  bench::Row("shape check: %s", shape_ok ? "OK" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f) {
+      std::fprintf(f, "{\n  \"bench\": \"c13_reliability\",\n");
+      std::fprintf(f, "  \"ci\": %s,\n", ci ? "true" : "false");
+      std::fprintf(f, "  \"queries_per_cell\": %zu,\n", num_queries);
+      std::fprintf(f, "  \"cells\": [\n");
+      for (size_t i = 0; i < cells.size(); ++i) {
+        const auto& c = cells[i];
+        std::fprintf(
+            f,
+            "    {\"drop_rate\": %.2f, \"retries\": %s, "
+            "\"complete\": %zu, \"submitted\": %zu, \"partial\": %zu, "
+            "\"timed_out\": %zu, \"success_pct\": %.2f, "
+            "\"retries_launched\": %llu, \"failovers\": %llu, "
+            "\"duplicates_suppressed\": %llu, \"fault_drops\": %llu, "
+            "\"p50_latency\": %.3f, \"p99_latency\": %.3f, "
+            "\"bytes_per_complete\": %.1f}%s\n",
+            c.drop_rate, c.retries ? "true" : "false", c.complete,
+            c.submitted, c.partial, c.timed_out, c.success_pct(),
+            static_cast<unsigned long long>(c.retries_launched),
+            static_cast<unsigned long long>(c.failovers),
+            static_cast<unsigned long long>(c.duplicates_suppressed),
+            static_cast<unsigned long long>(c.fault_drops),
+            c.p50_latency, c.p99_latency, c.bytes_per_complete,
+            i + 1 < cells.size() ? "," : "");
+      }
+      std::fprintf(f, "  ],\n");
+      std::fprintf(f,
+                   "  \"degradation\": {\"submitted\": %zu, "
+                   "\"timed_out\": %zu, \"partials_with_items\": %zu, "
+                   "\"partials_delivered\": %llu},\n",
+                   deg.submitted, deg.timed_out, deg.partials_with_items,
+                   static_cast<unsigned long long>(deg.partials_delivered));
+      std::fprintf(f, "  \"shape_ok\": %s\n}\n",
+                   shape_ok ? "true" : "false");
+      std::fclose(f);
+      bench::Row("wrote %s", json_path.c_str());
+    } else {
+      bench::Row("could not open %s", json_path.c_str());
+    }
+  }
+  return shape_ok ? 0 : 1;
+}

@@ -29,7 +29,7 @@ struct ChurnRun {
   std::string fingerprint;
 };
 
-ChurnRun RunOnce(uint64_t seed, size_t sellers) {
+ChurnRun RunOnce(uint64_t seed, size_t sellers, bool reliable) {
   net::Simulator sim;
   workload::GarageSaleNetworkParams params;
   params.num_sellers = sellers;
@@ -38,6 +38,7 @@ ChurnRun RunOnce(uint64_t seed, size_t sellers) {
   auto net = workload::BuildGarageSaleNetwork(&sim, params);
 
   workload::ChurnParams churn;
+  churn.reliable_queries = reliable;
   churn.seed = seed;
   churn.duration_seconds = 240;
   churn.event_interval_seconds = 8;
@@ -116,8 +117,9 @@ int main() {
                       "churn (gossip/anti-entropy vs full re-registration)");
   for (size_t sellers : {12, 24, 48}) {
     const uint64_t seed = 7000 + sellers;
-    ChurnRun a = RunOnce(seed, sellers);
-    ChurnRun b = RunOnce(seed, sellers);
+    ChurnRun a = RunOnce(seed, sellers, /*reliable=*/false);
+    ChurnRun b = RunOnce(seed, sellers, /*reliable=*/false);
+    ChurnRun rel = RunOnce(seed, sellers, /*reliable=*/true);
     const bool identical = a.fingerprint == b.fingerprint &&
                            !a.fingerprint.empty() &&
                            a.total_messages == b.total_messages &&
@@ -129,14 +131,23 @@ int main() {
                "depart=%zu join=%zu (%.0f%% of peers failed/departed)",
                sellers, a.peers_at_start, a.stats.fails, a.stats.recovers,
                a.stats.departs, a.stats.joins, 100 * fail_frac);
-    bench::Row("  queries: %zu submitted, %zu returned, %zu complete "
-               "(%.0f%% success under churn)",
+    auto success = [](const ChurnRun& r) {
+      return r.stats.queries_submitted == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(r.stats.queries_complete) /
+                       static_cast<double>(r.stats.queries_submitted);
+    };
+    bench::Row("  queries (retries OFF): %zu submitted, %zu returned, "
+               "%zu complete (%.0f%% success under churn)",
                a.stats.queries_submitted, a.stats.queries_returned,
-               a.stats.queries_complete,
-               a.stats.queries_submitted == 0
-                   ? 0.0
-                   : 100.0 * static_cast<double>(a.stats.queries_complete) /
-                         static_cast<double>(a.stats.queries_submitted));
+               a.stats.queries_complete, success(a));
+    bench::Row("  queries (retries ON):  %zu submitted, %zu returned, "
+               "%zu complete (%.0f%% success), %zu retries, %zu partial, "
+               "%zu timed out",
+               rel.stats.queries_submitted, rel.stats.queries_returned,
+               rel.stats.queries_complete, success(rel),
+               rel.stats.query_retries, rel.stats.queries_partial,
+               rel.stats.queries_timed_out);
     bench::Row("  convergence: %d gossip round(s) after the churn window",
                a.convergence_rounds);
     bench::Row("  gossip traffic: %llu msgs, %llu bytes; naive full "

@@ -390,6 +390,49 @@ Result<ItemSet> Plan::ResultItems() const {
 
 namespace {
 
+// The conservative partial-collection walk behind Plan::PartialItems.
+// Only operators whose pending siblings cannot invalidate already-
+// reduced data pass items through; everything else yields nothing.
+void CollectPartial(const PlanNode& n, ItemSet* out) {
+  switch (n.type()) {
+    case OpType::kXmlData:
+      out->insert(out->end(), n.items().begin(), n.items().end());
+      return;
+    case OpType::kDisplay:
+      if (!n.children().empty()) CollectPartial(*n.child(0), out);
+      return;
+    case OpType::kUnion:
+      // Bag union: every input contributes independently, so whatever
+      // has reduced is final regardless of the stragglers.
+      for (const auto& c : n.children()) CollectPartial(*c, out);
+      return;
+    case OpType::kOr:
+      // Conjoint union (§4.2): any one input suffices, and mixing two
+      // alternatives would double-count — take the first constant one.
+      for (const auto& c : n.children()) {
+        if (c->IsConstant()) {
+          out->insert(out->end(), c->items().begin(), c->items().end());
+          return;
+        }
+      }
+      return;
+    default:
+      // A pending Select/Join/Aggregate/... could still reject or
+      // reshape anything beneath it: claim nothing.
+      return;
+  }
+}
+
+}  // namespace
+
+ItemSet Plan::PartialItems() const {
+  ItemSet out;
+  if (root_ != nullptr) CollectPartial(*root_, &out);
+  return out;
+}
+
+namespace {
+
 // FNV-1a style mixer; collisions only risk a stale cache, and stamps are
 // globally unique, so a collision needs two distinct DAG states hashing
 // identically across a 64-bit space.

@@ -269,6 +269,12 @@ struct PlanPolicy {
   /// When non-empty, the MQP may only be routed to these addresses.
   std::vector<std::string> route_allow;
 
+  /// Addresses the MQP should route *around* (DESIGN.md §9): the client
+  /// retry layer stamps its suspicion list here so a retried plan skips
+  /// servers the previous attempt found dead. Advisory, not a hard
+  /// filter — a hop ignores it when every candidate is excluded.
+  std::vector<std::string> route_avoid;
+
   /// Ordering constraints: each pair {first, then} means the URN `then`
   /// must not be bound while the URN `first` is still unresolved in the
   /// plan.
@@ -280,8 +286,8 @@ struct PlanPolicy {
   AnswerPreference preference = AnswerPreference::kComplete;
 
   bool Empty() const {
-    return route_allow.empty() && bind_after.empty() &&
-           time_budget_seconds == 0 &&
+    return route_allow.empty() && route_avoid.empty() &&
+           bind_after.empty() && time_budget_seconds == 0 &&
            preference == AnswerPreference::kComplete;
   }
   bool operator==(const PlanPolicy&) const = default;
@@ -317,6 +323,16 @@ class Plan {
 
   /// The result items of a fully evaluated plan.
   Result<ItemSet> ResultItems() const;
+
+  /// Best-effort items of a *partially* evaluated plan (DESIGN.md §9):
+  /// the constant data already reduced under the root, collected only
+  /// through operators that cannot invalidate it (Union merges its
+  /// inputs; Or needs any one input, so its first constant alternative
+  /// stands alone). Anything still pending under a Select/Join/etc.
+  /// contributes nothing — a filter not yet applied could reject every
+  /// item, so guessing would overclaim. Fully evaluated plans return
+  /// exactly ResultItems().
+  ItemSet PartialItems() const;
 
   /// Deep copy (root, original, provenance).
   Plan Clone() const;

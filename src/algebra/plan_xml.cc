@@ -424,6 +424,11 @@ void EmitPlanTokens(const Plan& plan, xml::TokenWriter* w) {
       w->Attr("server", s);
       w->End();
     }
+    for (const auto& s : pol.route_avoid) {
+      w->Start("route-avoid");
+      w->Attr("server", s);
+      w->End();
+    }
     for (const auto& [first, then] : pol.bind_after) {
       w->Start("bind-after");
       w->Attr("first", first);
@@ -732,6 +737,8 @@ Status ParsePolicyTokens(xml::TokenReader* r, PlanPolicy* p) {
       MQP_ASSIGN_OR_RETURN(xml::Token ct, r->ReadAttrs(&child));
       if (ctag == "route-allow") {
         p->route_allow.push_back(child.Get("server"));
+      } else if (ctag == "route-avoid") {
+        p->route_avoid.push_back(child.Get("server"));
       } else if (ctag == "bind-after") {
         p->bind_after.emplace_back(child.Get("first"), child.Get("then"));
       }
@@ -839,6 +846,9 @@ std::unique_ptr<xml::Node> PlanToXml(const Plan& plan) {
     for (const auto& s : pol.route_allow) {
       p->AddElement("route-allow")->SetAttr("server", s);
     }
+    for (const auto& s : pol.route_avoid) {
+      p->AddElement("route-avoid")->SetAttr("server", s);
+    }
     for (const auto& [first, then] : pol.bind_after) {
       auto* ba = p->AddElement("bind-after");
       ba->SetAttr("first", first);
@@ -910,6 +920,9 @@ Result<Plan> PlanFromXml(const xml::Node& root) {
                        : AnswerPreference::kComplete;
     for (const xml::Node* ra : pol->Children("route-allow")) {
       p.route_allow.push_back(ra->AttrOr("server", ""));
+    }
+    for (const xml::Node* ra : pol->Children("route-avoid")) {
+      p.route_avoid.push_back(ra->AttrOr("server", ""));
     }
     for (const xml::Node* ba : pol->Children("bind-after")) {
       p.bind_after.emplace_back(ba->AttrOr("first", ""),

@@ -15,6 +15,24 @@ int BindingAlternative::MaxStaleness() const {
   return max;
 }
 
+Binding Binding::WithoutServers(
+    const std::function<bool(const std::string& server)>& excluded) const {
+  Binding out;
+  out.urn = urn;
+  out.dimension_fields = dimension_fields;
+  for (const BindingAlternative& alt : alternatives) {
+    bool touches_excluded = false;
+    for (const SourceRef& s : alt.sources) {
+      if (excluded(s.server)) {
+        touches_excluded = true;
+        break;
+      }
+    }
+    if (!touches_excluded) out.alternatives.push_back(alt);
+  }
+  return out;
+}
+
 std::string Binding::ToString() const {
   std::string out;
   for (size_t i = 0; i < alternatives.size(); ++i) {

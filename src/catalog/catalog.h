@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -66,6 +67,16 @@ struct Binding {
   std::vector<std::string> dimension_fields;
 
   bool empty() const { return alternatives.empty(); }
+
+  /// The binding with every alternative touching an excluded server
+  /// removed — the failover step (DESIGN.md §9): a resolving peer drops
+  /// alternatives routed through dead or suspect servers and binds via
+  /// the next one. An alternative is kept only if *none* of its sources
+  /// is excluded (the union of a partial alternative would silently
+  /// under-answer). May return an empty binding; callers fall back to
+  /// the unfiltered one in that case.
+  Binding WithoutServers(
+      const std::function<bool(const std::string& server)>& excluded) const;
 
   /// Renders like the paper, e.g.
   /// "base[(P,CDs)]@R{30} | base[(P,CDs)]@R + base[(P,CDs)]@S".

@@ -26,7 +26,10 @@
 //               §7): calendar-queue scheduler (calendar_queue) over a
 //               slab/free-list event pool (event_pool), interned message
 //               kinds with flat per-kind counters (kind_table), message
-//               model split out in message.h
+//               model split out in message.h; FaultInjector, a seeded
+//               deterministic fault-plan decorator over any Transport
+//               (content-hashed drop/dup/delay fates, scheduled
+//               crash/restart, link flaps — DESIGN.md §9)
 //   wire/       framed messaging: envelopes, cached plan serialization,
 //               streaming body codecs (plan_codec, body_codec)
 //   runtime/    real execution backends behind the net::Transport
@@ -36,7 +39,11 @@
 //               TcpTransport (length-prefixed frames, wall-clock time)
 //   sync/       gossip/anti-entropy catalog maintenance (digests, deltas,
 //               TTL expiry) on top of the wire layer
-//   peer/       the peer: roles, registration, the Figure-2 MQP loop
+//   peer/       the peer: roles, registration, the Figure-2 MQP loop,
+//               and the client reliability layer (DESIGN.md §9:
+//               deadlines, retries with seeded backoff, suspicion-list
+//               failover over binding alternatives, partial-result
+//               degradation)
 //   baseline/   Napster / Gnutella / coordinator baselines
 //   workload/   garage-sale, CD-market, gene-expression generators, the
 //               churn scenario driver, and topology builders (garage-sale
@@ -69,6 +76,7 @@
 #include "engine/operator.h"
 #include "net/calendar_queue.h"
 #include "net/event_pool.h"
+#include "net/fault_injector.h"
 #include "net/kind_table.h"
 #include "net/message.h"
 #include "net/simulator.h"

@@ -127,7 +127,12 @@ void Simulator::Send(Message msg) {
     const PeerId to = msg.to;
     Schedule(when, [this, dest, to, m = std::move(msg)]() {
       // Re-check at delivery time: the peer may have failed in transit.
-      if (!IsFailed(to)) dest->HandleMessage(m);
+      // Counted in drops_to_failed like every backend (DESIGN.md §9).
+      if (!IsFailed(to)) {
+        dest->HandleMessage(m);
+      } else {
+        stats_.drops_to_failed++;
+      }
     });
   }
 }
@@ -173,7 +178,12 @@ size_t Simulator::Run(double max_time) {
       pool_.Release(idx);
       if (kind == SimEvent::Kind::kDeliver) {
         // Re-check at delivery time: the peer may have failed in transit.
-        if (!IsFailed(msg.to)) nodes_[msg.to]->HandleMessage(msg);
+        // Counted in drops_to_failed like every backend (DESIGN.md §9).
+        if (!IsFailed(msg.to)) {
+          nodes_[msg.to]->HandleMessage(msg);
+        } else {
+          stats_.drops_to_failed++;
+        }
       } else {
         fn();
       }

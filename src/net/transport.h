@@ -108,9 +108,32 @@ struct NetStats {
   uint64_t mailbox_soft_overflows = 0;
 
   /// Messages counted as sent but never delivered because the sender was
-  /// down at send time / the recipient was down or unknown at send time.
+  /// down at send time / the recipient was down or unknown at send time
+  /// *or failed while the message was in flight* (every backend counts
+  /// the in-transit case in drops_to_failed too — DESIGN.md §9).
   uint64_t drops_from_failed = 0;
   uint64_t drops_to_failed = 0;
+
+  // Fault-injection counters (net/fault_injector.h): messages the armed
+  // injector dropped, duplicated, or delayed per the seeded fault plan.
+  // Dropped messages still count in messages/bytes (same contract as the
+  // drops_* counters above: counted as sent, never delivered).
+  uint64_t fault_drops = 0;
+  uint64_t fault_dups = 0;
+  uint64_t fault_delays = 0;
+
+  // Query-reliability counters, fed by the peers (peer::Peer's client
+  // retry layer, DESIGN.md §9): retries launched, queries finished
+  // without a complete result (deadline or retry budget exhausted),
+  // alternatives/candidates skipped past a dead or suspect server while
+  // the query still made progress, late results discarded because the
+  // query already completed, and incomplete outcomes delivered with a
+  // non-empty partial item set.
+  uint64_t query_retries = 0;
+  uint64_t query_timeouts = 0;
+  uint64_t failovers = 0;
+  uint64_t duplicates_suppressed = 0;
+  uint64_t partials_delivered = 0;
 
   /// Zeroes every counter while keeping the per-kind arrays' capacity —
   /// bench reset loops must not reallocate.
@@ -139,6 +162,14 @@ struct NetStats {
     mailbox_soft_overflows = 0;
     drops_from_failed = 0;
     drops_to_failed = 0;
+    fault_drops = 0;
+    fault_dups = 0;
+    fault_delays = 0;
+    query_retries = 0;
+    query_timeouts = 0;
+    failovers = 0;
+    duplicates_suppressed = 0;
+    partials_delivered = 0;
   }
 
   /// Adds every counter of `other` into this (shard merge-on-read).
@@ -167,6 +198,14 @@ struct NetStats {
     mailbox_soft_overflows += other.mailbox_soft_overflows;
     drops_from_failed += other.drops_from_failed;
     drops_to_failed += other.drops_to_failed;
+    fault_drops += other.fault_drops;
+    fault_dups += other.fault_dups;
+    fault_delays += other.fault_delays;
+    query_retries += other.query_retries;
+    query_timeouts += other.query_timeouts;
+    failovers += other.failovers;
+    duplicates_suppressed += other.duplicates_suppressed;
+    partials_delivered += other.partials_delivered;
   }
 };
 

@@ -77,6 +77,9 @@ Peer::Peer(net::Transport* sim, PeerOptions options)
   catalog_.set_dimension_fields(options_.dimension_fields);
   catalog_.SetAuthority(options_.interest, options_.roles.authoritative);
   catalog_.set_owner(address());
+  // Per-peer jitter stream: the configured seed spread by peer id, so a
+  // fleet sharing one ReliabilityOptions still staggers its retries.
+  reliability_rng_ = mqp::Rng(options_.reliability.seed * 1000003ULL + id_ + 1);
 }
 
 void Peer::PublishCollection(const std::string& collection_id,
@@ -351,10 +354,38 @@ std::string Peer::SubmitQuery(Plan plan, Callback cb) {
     plan.provenance().Add({address(), sim_->now(),
                            ProvenanceAction::kForwarded, "submitted", 0});
   }
-  pending_[qid] = Pending{std::move(cb), sim_->now()};
-  sim_->ScheduleFor(id_, sim_->now(), [this, p = std::move(plan)]() mutable {
-    ProcessPlan(std::move(p), /*hops=*/0);
-  });
+  const ReliabilityOptions& rel = options_.reliability;
+  Pending pend;
+  pend.callback = std::move(cb);
+  pend.submitted_at = sim_->now();
+  if (rel.query_deadline_seconds > 0) {
+    pend.deadline = sim_->now() + rel.query_deadline_seconds;
+  }
+  if (rel.enabled) {
+    // Retain the exact submitted plan (target set, provenance seeded):
+    // every retry restarts from these bytes, not from whatever mutated
+    // copy is stranded somewhere in the network.
+    pend.original = std::make_shared<const Plan>(plan.Clone());
+  }
+  const double deadline = pend.deadline;
+  pending_[qid] = std::move(pend);
+  if (rel.enabled) {
+    double when = sim_->now() + Backoff(0);
+    if (deadline > 0 && (rel.max_retries == 0 || when > deadline)) {
+      when = deadline;
+    }
+    ArmQueryTimer(qid, when);
+  } else if (deadline > 0) {
+    // Reliability ablated: no retries and no deadline on the wire, but
+    // the pending entry is still reaped (the state-leak fix stands).
+    ArmQueryTimer(qid, deadline);
+  }
+  const double wire_deadline = rel.enabled ? deadline : 0;
+  sim_->ScheduleFor(id_, sim_->now(),
+                    [this, p = std::move(plan), wire_deadline]() mutable {
+                      ProcessPlan(std::move(p), /*hops=*/0, wire_deadline,
+                                  /*attempt=*/0);
+                    });
   return qid;
 }
 
@@ -375,7 +406,7 @@ void Peer::HandleMessage(const net::Message& msg) {
     if (!plan.ok()) return;  // malformed plans are dropped
     ++counters_.plan_parses;
     ++counters_.plans_received;
-    ProcessPlan(std::move(plan).value(), env.hops);
+    ProcessPlan(std::move(plan).value(), env.hops, env.deadline, env.attempt);
     counters_.dom_nodes_built += xml::DomNodesBuilt() - nodes_before;
   } else if (env.kind == kResultKind) {
     HandleResult(env);
@@ -438,7 +469,8 @@ void Peer::HandleCategoryReply(const wire::Envelope& env) {
 
 // --- the Figure-2 loop ---------------------------------------------------------
 
-void Peer::ProcessPlan(Plan plan, uint32_t hops) {
+void Peer::ProcessPlan(Plan plan, uint32_t hops, double deadline,
+                       uint32_t attempt) {
   // Mirror the engine's instrumentation into the per-peer and
   // network-wide counters (same flow as resolve/wire counters). The
   // scope spans the whole loop: annotation fetches, locality probes and
@@ -461,7 +493,7 @@ void Peer::ProcessPlan(Plan plan, uint32_t hops) {
                     optimizer::MaxStalenessMinutes(*plan.root()));
     }
   }
-  RouteOrDeliver(std::move(plan), hops);
+  RouteOrDeliver(std::move(plan), hops, deadline, attempt);
 }
 
 namespace {
@@ -552,8 +584,10 @@ int Peer::ResolveUrns(Plan* plan) {
       }
       continue;
     }
-    auto binding = catalog_.Resolve(urn_text);
-    if (!binding.ok()) continue;
+    auto resolved = catalog_.Resolve(urn_text);
+    if (!resolved.ok()) continue;
+    catalog::Binding binding_value = std::move(resolved).value();
+    catalog::Binding* binding = &binding_value;
     if (binding->empty()) {
       // §3.3: an authoritative server *knows about all base servers within
       // its area of interest* — if it has nothing for a covered request,
@@ -583,6 +617,31 @@ int Peer::ResolveUrns(Plan* plan) {
         }
       }
       continue;
+    }
+    // Failover (DESIGN.md §9): drop alternatives routed through servers
+    // the plan was told to avoid, currently under suspicion, or known
+    // dead to the transport, binding via the next alternative instead.
+    // When *every* alternative is excluded the original binding stands —
+    // the client learns the culprit from the unanswered leaves.
+    if (options_.reliability.enabled && binding->alternatives.size() > 1) {
+      const auto& avoid = plan->policy().route_avoid;
+      catalog::Binding filtered =
+          binding->WithoutServers([&](const std::string& server) {
+            if (server == address()) return false;
+            if (std::find(avoid.begin(), avoid.end(), server) !=
+                avoid.end()) {
+              return true;
+            }
+            if (IsSuspect(server)) return true;
+            auto spid = sim_->Lookup(server);
+            return spid.ok() && sim_->IsFailed(*spid);
+          });
+      if (!filtered.empty() &&
+          filtered.alternatives.size() < binding->alternatives.size()) {
+        ++counters_.failovers;
+        sim_->stats().failovers++;
+        binding_value = std::move(filtered);
+      }
     }
     // Skip no-op bindings: a single referral pointing at ourselves (we
     // failed to resolve locally) or at the hint the node already carries.
@@ -735,6 +794,35 @@ void Peer::AddProvenance(Plan* plan, ProvenanceAction action,
       {address(), sim_->now(), action, std::move(detail), staleness});
 }
 
+namespace {
+
+// Short human-readable digest of the leaves a plan never got answered
+// (for the §9 degradation provenance marker): up to four leaf names,
+// then "+N" for the rest.
+std::string UnansweredSummary(const Plan& plan, const std::string& self) {
+  std::vector<std::string> names;
+  if (plan.root() != nullptr) {
+    for (const PlanNode* u : plan.root()->UrlLeaves()) {
+      if (u->url() != self) names.push_back(u->url());
+    }
+    for (const PlanNode* u : plan.root()->UrnLeaves()) {
+      names.push_back(u->urn());
+    }
+  }
+  std::string out;
+  const size_t shown = names.size() < 4 ? names.size() : 4;
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) out += ',';
+    out += names[i];
+  }
+  if (names.size() > shown) {
+    out += "+" + std::to_string(names.size() - shown);
+  }
+  return out;
+}
+
+}  // namespace
+
 net::Payload Peer::PlanBody(const Plan& plan) {
   auto serialized = wire::SerializePlanShared(plan, &sim_->stats());
   if (serialized.reused) {
@@ -745,10 +833,24 @@ net::Payload Peer::PlanBody(const Plan& plan) {
   return std::move(serialized.bytes);
 }
 
-void Peer::RouteOrDeliver(Plan plan, uint32_t hops) {
+void Peer::RouteOrDeliver(Plan plan, uint32_t hops, double deadline,
+                          uint32_t attempt) {
   if (plan.root() == nullptr) return;
   if (plan.IsFullyEvaluated()) {
-    DeliverToTarget(std::move(plan));
+    DeliverToTarget(std::move(plan), deadline, attempt);
+    return;
+  }
+  // Deadline expired in flight: stop routing, reduce whatever is
+  // reducible here, and return the plan as-is — a partial answer with
+  // provenance naming what went unanswered beats silence (DESIGN.md §9).
+  if (deadline > 0 && sim_->now() >= deadline) {
+    ForceEvaluate(&plan);
+    if (!plan.IsFullyEvaluated() && options_.record_provenance) {
+      AddProvenance(&plan, ProvenanceAction::kForwarded,
+                    "deadline-expired unanswered:" +
+                        UnansweredSummary(plan, address()));
+    }
+    DeliverToTarget(std::move(plan), deadline, attempt);
     return;
   }
   // Gather candidate next hops: servers of remote URL leaves, resolver
@@ -778,6 +880,38 @@ void Peer::RouteOrDeliver(Plan plan, uint32_t hops) {
       return std::find(allow.begin(), allow.end(), kv.first) == allow.end();
     });
   }
+  // Reliability failover (DESIGN.md §9), two grades. Hard: candidates the
+  // transport knows are down are dropped unconditionally (the stand-in
+  // for a refused connection) and go on the suspicion list. Soft: the
+  // plan's route_avoid stamp and the local suspicion list are advisory —
+  // honored only while at least one candidate survives, because a stale
+  // suspicion must never strand a plan that still has somewhere to go.
+  bool routed_around = false;
+  if (options_.reliability.enabled && !candidates.empty()) {
+    for (auto cit = candidates.begin(); cit != candidates.end();) {
+      auto cpid = sim_->Lookup(cit->first);
+      if (cpid.ok() && sim_->IsFailed(*cpid)) {
+        Suspect(cit->first);
+        cit = candidates.erase(cit);
+        routed_around = true;
+      } else {
+        ++cit;
+      }
+    }
+    if (!candidates.empty()) {
+      const auto& avoid = plan.policy().route_avoid;
+      std::map<std::string, int> kept;
+      for (const auto& [addr, score] : candidates) {
+        const bool avoided =
+            std::find(avoid.begin(), avoid.end(), addr) != avoid.end();
+        if (!avoided && !IsSuspect(addr)) kept.emplace(addr, score);
+      }
+      if (!kept.empty() && kept.size() < candidates.size()) {
+        candidates = std::move(kept);
+        routed_around = true;
+      }
+    }
+  }
   // The wire-layer hop count guards routing loops even when provenance
   // recording is off (provenance-size alone used to be the only brake).
   const bool over_hop_limit =
@@ -787,11 +921,15 @@ void Peer::RouteOrDeliver(Plan plan, uint32_t hops) {
     // Dead end: finish whatever is finishable here (deferment no longer
     // helps a plan with nowhere to go), then return it to its target.
     if (ForceEvaluate(&plan) > 0 && plan.IsFullyEvaluated()) {
-      DeliverToTarget(std::move(plan));
+      DeliverToTarget(std::move(plan), deadline, attempt);
       return;
     }
     ++counters_.plans_dead_ended;
-    DeliverToTarget(std::move(plan));
+    if (!plan.IsFullyEvaluated() && options_.record_provenance) {
+      AddProvenance(&plan, ProvenanceAction::kForwarded,
+                    "dead-end unanswered:" + UnansweredSummary(plan, self));
+    }
+    DeliverToTarget(std::move(plan), deadline, attempt);
     return;
   }
   // Prefer unvisited servers; then the candidate that can make the most
@@ -815,22 +953,29 @@ void Peer::RouteOrDeliver(Plan plan, uint32_t hops) {
     // Everything promising was already visited and we are nearly out of
     // hops: give up gracefully with a partial answer.
     ++counters_.plans_dead_ended;
-    DeliverToTarget(std::move(plan));
+    DeliverToTarget(std::move(plan), deadline, attempt);
     return;
   }
   auto pid = sim_->Lookup(best);
   if (!pid.ok()) {
     ++counters_.plans_dead_ended;
-    DeliverToTarget(std::move(plan));
+    DeliverToTarget(std::move(plan), deadline, attempt);
     return;
+  }
+  if (routed_around) {
+    // The plan made it past at least one dead/suspect server and is
+    // still moving: one failover per routing decision.
+    ++counters_.failovers;
+    sim_->stats().failovers++;
   }
   ++counters_.plans_forwarded;
   net::Payload body = PlanBody(plan);
   wire::Send(sim_, id_, *pid,
-             {kMqpKind, plan.query_id(), hops + 1, std::move(body)});
+             {kMqpKind, plan.query_id(), hops + 1, std::move(body), deadline,
+              attempt});
 }
 
-void Peer::DeliverToTarget(Plan plan) {
+void Peer::DeliverToTarget(Plan plan, double deadline, uint32_t attempt) {
   const std::string target = plan.target();
   auto pid = sim_->Lookup(target);
   if (!pid.ok()) return;  // no deliverable target: drop
@@ -840,8 +985,11 @@ void Peer::DeliverToTarget(Plan plan) {
     return;
   }
   ++counters_.results_delivered;
+  // The attempt number rides along so each retry's result is a distinct
+  // byte string under content-hash fault injection.
   wire::Send(sim_, id_, *pid,
-             {kResultKind, plan.query_id(), 0, std::move(body)});
+             {kResultKind, plan.query_id(), 0, std::move(body), deadline,
+              attempt});
 }
 
 void Peer::HandleResult(const wire::Envelope& env) {
@@ -858,7 +1006,16 @@ void Peer::HandleResult(const wire::Envelope& env) {
 
 void Peer::HandleResultPlan(Plan plan, size_t wire_bytes) {
   auto it = pending_.find(plan.query_id());
-  if (it == pending_.end()) return;  // unknown or duplicate
+  if (it == pending_.end()) {
+    // Unknown — or a late duplicate for a query that already finished
+    // (a retry raced the original, or the fault plan duplicated the
+    // result): count the suppression, deliver nothing twice.
+    if (completed_set_.count(plan.query_id()) > 0) {
+      ++counters_.duplicates_suppressed;
+      sim_->stats().duplicates_suppressed++;
+    }
+    return;
+  }
   // §3.4 caching: each kBound provenance entry names the exact URN the
   // server resolved — under the completeness gate, a binder either covered
   // that area or was authoritative for it, so (area → server) is a sound
@@ -883,21 +1040,215 @@ void Peer::HandleResultPlan(Plan plan, size_t wire_bytes) {
       }
     }
   }
+  Pending& p = it->second;
+  const bool complete = plan.IsFullyEvaluated();
+  const ReliabilityOptions& rel = options_.reliability;
+  if (!complete && rel.enabled) {
+    // An attempt came back short. Quarantine the servers that went
+    // unanswered, keep the best partial seen so far, and retry after a
+    // backoff (the same pacing as a timeout: an immediate relaunch would
+    // burn the retry budget before a crashed server restarts) — unless
+    // the deadline or retry budget is spent, in which case the best
+    // partial goes out now.
+    const std::string qid = plan.query_id();
+    SuspectUnansweredLeaves(plan);
+    QueryOutcome partial;
+    partial.query_id = qid;
+    partial.complete = false;
+    partial.items = plan.PartialItems();
+    partial.provenance = plan.provenance();
+    partial.submitted_at = p.submitted_at;
+    partial.completed_at = sim_->now();
+    partial.result_bytes = wire_bytes;
+    partial.final_plan = std::move(plan);
+    if (p.best_partial == nullptr ||
+        partial.items.size() > p.best_partial->items.size()) {
+      p.best_partial = std::make_unique<QueryOutcome>(std::move(partial));
+    }
+    const double now = sim_->now();
+    const bool budget_left = p.original != nullptr &&
+                             p.attempt + 1 <= rel.max_retries &&
+                             (p.deadline == 0 || now < p.deadline);
+    if (budget_left) {
+      ++p.generation;  // stale timers from this attempt no-op
+      double when = now + Backoff(p.attempt);
+      if (p.deadline > 0 && when > p.deadline) when = p.deadline;
+      ArmQueryTimer(qid, when);
+      return;
+    }
+    GiveUp(qid);
+    return;
+  }
   QueryOutcome outcome;
   outcome.query_id = plan.query_id();
-  outcome.complete = plan.IsFullyEvaluated();
+  outcome.complete = complete;
   if (outcome.complete) {
     auto items = plan.ResultItems();
     if (items.ok()) outcome.items = std::move(items).value();
   }
   outcome.provenance = plan.provenance();
-  outcome.submitted_at = it->second.submitted_at;
+  outcome.submitted_at = p.submitted_at;
   outcome.completed_at = sim_->now();
   outcome.result_bytes = wire_bytes;
+  outcome.attempts = p.attempt + 1;
   outcome.final_plan = std::move(plan);
-  Callback cb = std::move(it->second.callback);
+  Callback cb = std::move(p.callback);
+  RememberCompleted(outcome.query_id);
   pending_.erase(it);
   if (cb) cb(outcome);
+}
+
+// --- client reliability (DESIGN.md §9) ------------------------------------------
+
+double Peer::Backoff(uint32_t attempt) {
+  const ReliabilityOptions& rel = options_.reliability;
+  double base = rel.retry_timeout_seconds;
+  for (uint32_t i = 0; i < attempt; ++i) {
+    base *= rel.backoff_factor;
+    if (base >= rel.max_backoff_seconds) break;
+  }
+  if (base > rel.max_backoff_seconds) base = rel.max_backoff_seconds;
+  if (rel.retry_jitter > 0) {
+    const double u = reliability_rng_.NextDouble();
+    base *= 1.0 + rel.retry_jitter * (2.0 * u - 1.0);
+  }
+  return base;
+}
+
+void Peer::Suspect(const std::string& server) {
+  if (!options_.reliability.enabled) return;
+  if (server.empty() || server == address()) return;
+  suspects_[server] = sim_->now() + options_.reliability.suspicion_ttl_seconds;
+}
+
+bool Peer::IsSuspect(const std::string& server) {
+  auto it = suspects_.find(server);
+  if (it == suspects_.end()) return false;
+  if (it->second <= sim_->now()) {
+    suspects_.erase(it);  // quarantine over: forgive lazily
+    return false;
+  }
+  return true;
+}
+
+void Peer::SuspectUnansweredLeaves(const Plan& plan) {
+  if (plan.root() == nullptr) return;
+  // The leaves still unresolved in a returned plan name exactly the
+  // servers whose answers never arrived — the confirmed casualties, as
+  // opposed to every server the route touched.
+  for (const PlanNode* u : plan.root()->UrlLeaves()) {
+    if (u->url() != address()) Suspect(u->url());
+  }
+  for (const PlanNode* u : plan.root()->UrnLeaves()) {
+    if (!u->urn_hint().empty() && u->urn_hint() != address()) {
+      Suspect(u->urn_hint());
+    }
+  }
+}
+
+void Peer::ArmQueryTimer(const std::string& query_id, double when) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  const uint64_t gen = it->second.generation;
+  sim_->ScheduleFor(id_, when, [this, qid = query_id, gen] {
+    OnQueryTimer(qid, gen);
+  });
+}
+
+void Peer::OnQueryTimer(const std::string& query_id, uint64_t generation) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;       // already finished
+  Pending& p = it->second;
+  if (p.generation != generation) return;  // superseded by a newer event
+  const ReliabilityOptions& rel = options_.reliability;
+  const double now = sim_->now();
+  if (!rel.enabled || p.original == nullptr ||
+      (p.deadline > 0 && now >= p.deadline) ||
+      p.attempt + 1 > rel.max_retries) {
+    GiveUp(query_id);
+    return;
+  }
+  StartAttempt(query_id, p.attempt + 1);
+}
+
+void Peer::StartAttempt(const std::string& query_id, uint32_t attempt) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  p.attempt = attempt;
+  ++p.generation;
+  ++counters_.query_retries;
+  sim_->stats().query_retries++;
+  Plan plan = p.original->Clone();
+  if (options_.record_provenance) {
+    AddProvenance(&plan, ProvenanceAction::kForwarded,
+                  "retry " + std::to_string(attempt));
+  }
+  // Stamp the current (unexpired) suspicion list into the plan so every
+  // hop of this attempt resolves and routes around the casualties the
+  // previous attempts discovered.
+  auto& avoid = plan.policy().route_avoid;
+  avoid.clear();
+  const double now = sim_->now();
+  for (auto sit = suspects_.begin(); sit != suspects_.end();) {
+    if (sit->second <= now) {
+      sit = suspects_.erase(sit);
+    } else {
+      avoid.push_back(sit->first);  // map order: deterministic stamp
+      ++sit;
+    }
+  }
+  const double deadline = p.deadline;
+  double when = now + Backoff(attempt);
+  if (deadline > 0) {
+    // The last allowed attempt gets the whole remaining budget: giving
+    // up one backoff step after launching it would discard a result
+    // that is still legitimately in flight.
+    if (attempt >= options_.reliability.max_retries || when > deadline) {
+      when = deadline;
+    }
+  }
+  ArmQueryTimer(query_id, when);
+  // Last: processing may complete the query synchronously (local data),
+  // erasing the pending entry `p` points into.
+  ProcessPlan(std::move(plan), /*hops=*/0, deadline, attempt);
+}
+
+void Peer::GiveUp(const std::string& query_id) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  ++counters_.query_timeouts;
+  sim_->stats().query_timeouts++;
+  QueryOutcome outcome;
+  if (p.best_partial != nullptr) {
+    outcome = std::move(*p.best_partial);
+  } else {
+    outcome.query_id = query_id;
+    outcome.submitted_at = p.submitted_at;
+  }
+  outcome.complete = false;
+  outcome.timed_out = true;
+  outcome.attempts = p.attempt + 1;
+  outcome.completed_at = sim_->now();
+  if (!outcome.items.empty()) {
+    ++counters_.partials_delivered;
+    sim_->stats().partials_delivered++;
+  }
+  Callback cb = std::move(p.callback);
+  RememberCompleted(query_id);
+  pending_.erase(it);
+  if (cb) cb(outcome);
+}
+
+void Peer::RememberCompleted(const std::string& query_id) {
+  if (!completed_set_.insert(query_id).second) return;
+  completed_ring_.push_back(query_id);
+  constexpr size_t kCompletedRingCap = 128;
+  if (completed_ring_.size() > kCompletedRingCap) {
+    completed_set_.erase(completed_ring_.front());
+    completed_ring_.pop_front();
+  }
 }
 
 // --- registration ---------------------------------------------------------------

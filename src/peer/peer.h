@@ -6,15 +6,18 @@
 //   evaluable sub-plans → evaluate & reduce → route or deliver.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "algebra/plan.h"
 #include "algebra/plan_xml.h"
 #include "catalog/catalog.h"
+#include "common/rng.h"
 #include "engine/local_store.h"
 #include "net/transport.h"
 #include "ns/hierarchy.h"
@@ -47,6 +50,40 @@ struct PeerRoles {
   bool meta_index = false;  ///< tracks servers by interest area only
   bool category = false;    ///< answers hierarchy-structure queries
   bool authoritative = false;  ///< strives to know all servers in its area
+};
+
+/// \brief Client-side query-reliability knobs (DESIGN.md §9). With
+/// `enabled` false the peer behaves exactly as before the reliability
+/// layer existed — no retries, no failover filtering, no deadline on the
+/// wire — except that a nonzero deadline still reaps the pending entry
+/// (the state-leak fix stands even when the layer is ablated).
+struct ReliabilityOptions {
+  bool enabled = true;
+
+  /// Per-query deadline budget in seconds from submission (0 = none:
+  /// the query may pend forever, the pre-reliability behaviour).
+  double query_deadline_seconds = 120;
+
+  /// Base per-attempt timeout before the first retry fires.
+  double retry_timeout_seconds = 4;
+  /// Exponential-backoff multiplier and cap for subsequent attempts.
+  double backoff_factor = 2.0;
+  double max_backoff_seconds = 30;
+  /// Uniform jitter fraction on each backoff (0.2 → ±20%), drawn from a
+  /// per-peer seeded Rng so schedules stay deterministic.
+  double retry_jitter = 0.2;
+  /// Retries after the initial attempt (total attempts = 1 + max_retries).
+  /// Deep enough that with the default backoff ladder the deadline, not
+  /// this count, is what normally ends a hopeless query.
+  uint32_t max_retries = 8;
+
+  /// How long a server stays quarantined on the suspicion list after a
+  /// failed interaction; suspect servers lose routing ties and their
+  /// binding alternatives are skipped while fresher ones exist.
+  double suspicion_ttl_seconds = 60;
+
+  /// Seeds the per-peer jitter stream (combined with the peer id).
+  uint64_t seed = 1;
 };
 
 /// \brief Per-peer configuration.
@@ -93,6 +130,9 @@ struct PeerOptions {
   /// Test hook for §5.1 spoofing: URNs whose text contains this substring
   /// are bound to the empty set with normal-looking provenance.
   std::string spoof_urn_substring;
+
+  /// Client-side reliability: deadlines, retries, failover, partials.
+  ReliabilityOptions reliability;
 };
 
 /// \brief What a client gets back for a submitted query.
@@ -105,6 +145,12 @@ struct QueryOutcome {
   double completed_at = 0;
   size_t result_bytes = 0;      ///< wire size of the returning MQP
   algebra::Plan final_plan;     ///< full returning plan (for verification)
+  /// Attempts launched for this query (1 = no retries needed).
+  uint32_t attempts = 1;
+  /// True when the deadline/retry budget ran out: `items` then holds the
+  /// best *partial* result any attempt produced (possibly empty), with
+  /// provenance marking what went unanswered — degradation, not silence.
+  bool timed_out = false;
 };
 
 /// \brief Simple counters exposed for tests and benches.
@@ -138,6 +184,13 @@ struct PeerCounters {
   uint64_t field_accessor_hits = 0;          ///< compiled key extractions
   uint64_t structural_hash_probes = 0;       ///< set-semantics hash probes
   uint64_t engine_eval_ns = 0;               ///< steady-clock eval time
+  // Query-reliability counters (DESIGN.md §9), mirrored into
+  // net::NetStats as they happen.
+  uint64_t query_retries = 0;          ///< retry attempts launched
+  uint64_t query_timeouts = 0;         ///< queries finished incomplete
+  uint64_t failovers = 0;              ///< dead/suspect servers routed around
+  uint64_t duplicates_suppressed = 0;  ///< late results for finished queries
+  uint64_t partials_delivered = 0;     ///< incomplete outcomes with items
 };
 
 /// \brief A network participant. Attach to any net::Transport (the
@@ -254,8 +307,20 @@ class Peer : public net::PeerNode {
 
   /// Submits a query. The plan's display target is overwritten to this
   /// peer; processing starts locally and the result arrives via `cb` once
-  /// the MQP returns. Returns the assigned query id.
+  /// the MQP returns — or, with reliability enabled, once the deadline or
+  /// retry budget runs out (then with whatever partial result the best
+  /// attempt produced). Returns the assigned query id.
   std::string SubmitQuery(algebra::Plan plan, Callback cb);
+
+  /// Queries submitted here still awaiting an outcome. With a deadline
+  /// configured this returns to zero once every query resolves or is
+  /// reaped — the pending map must not grow across a churn loop.
+  size_t pending_queries() const { return pending_.size(); }
+
+  /// True while `server` sits on the suspicion list (failed interaction
+  /// within the TTL). Suspect servers are routed around when any
+  /// alternative exists.
+  bool IsSuspect(const std::string& server);
 
   // --- net::PeerNode -------------------------------------------------------------
 
@@ -263,8 +328,11 @@ class Peer : public net::PeerNode {
 
  private:
   // The Figure-2 processing loop. `hops` is the wire-layer hop count the
-  // plan arrived with (0 for locally submitted queries).
-  void ProcessPlan(algebra::Plan plan, uint32_t hops = 0);
+  // plan arrived with (0 for locally submitted queries); `deadline` and
+  // `attempt` are the envelope's reliability fields (0 on fault-free
+  // legacy traffic) and travel with the plan to the next hop.
+  void ProcessPlan(algebra::Plan plan, uint32_t hops = 0, double deadline = 0,
+                   uint32_t attempt = 0);
 
   /// Resolution stage; returns how many URNs were bound.
   int ResolveUrns(algebra::Plan* plan);
@@ -283,12 +351,14 @@ class Peer : public net::PeerNode {
   int ForceEvaluate(algebra::Plan* plan);
 
   /// Routes an unfinished plan onward, or delivers it if done/stuck.
-  void RouteOrDeliver(algebra::Plan plan, uint32_t hops);
+  void RouteOrDeliver(algebra::Plan plan, uint32_t hops, double deadline = 0,
+                      uint32_t attempt = 0);
 
   /// Serializes via the wire-layer cache, tallying per-peer counters.
   net::Payload PlanBody(const algebra::Plan& plan);
 
-  void DeliverToTarget(algebra::Plan plan);
+  void DeliverToTarget(algebra::Plan plan, double deadline = 0,
+                       uint32_t attempt = 0);
   void HandleResult(const wire::Envelope& env);
   void HandleResultPlan(algebra::Plan plan, size_t wire_bytes);
   void HandleRegister(const wire::Envelope& env);
@@ -335,11 +405,46 @@ class Peer : public net::PeerNode {
   std::vector<std::string> replicas_;                 // collection ids
   uint64_t next_pull_ = 0;
 
+  // --- client reliability (DESIGN.md §9) ---------------------------------------
+
+  /// Backoff before retry `attempt` (0-based), jittered and capped.
+  double Backoff(uint32_t attempt);
+  /// Quarantines `server` on the suspicion list for the configured TTL.
+  void Suspect(const std::string& server);
+  /// Launches retry attempt `attempt` of `p`'s query from its retained
+  /// original, routing around current suspects.
+  void StartAttempt(const std::string& query_id, uint32_t attempt);
+  /// Arms the pending query's single retry/deadline timer; `generation`
+  /// guards against stale firings (each result/retry bumps it).
+  void ArmQueryTimer(const std::string& query_id, double when);
+  void OnQueryTimer(const std::string& query_id, uint64_t generation);
+  /// Finishes an exhausted query with its best partial outcome.
+  void GiveUp(const std::string& query_id);
+  /// Records a finished query id so late duplicate results are counted,
+  /// not re-delivered (bounded ring, oldest evicted).
+  void RememberCompleted(const std::string& query_id);
+  /// Suspects the servers named by still-unresolved leaves of a returned
+  /// incomplete plan (the hops that went unanswered).
+  void SuspectUnansweredLeaves(const algebra::Plan& plan);
+
   struct Pending {
     Callback callback;
     double submitted_at = 0;
+    double deadline = 0;    ///< absolute; 0 = none
+    uint32_t attempt = 0;   ///< attempts launched - 1
+    uint64_t generation = 0;  ///< bumps on every retry/result; stale timers no-op
+    /// Retained for retries (reliability only; null otherwise).
+    std::shared_ptr<const algebra::Plan> original;
+    /// Best incomplete outcome any attempt returned (most items wins).
+    std::unique_ptr<QueryOutcome> best_partial;
   };
   std::map<std::string, Pending> pending_;
+  /// Recently finished query ids (duplicate-result suppression).
+  std::deque<std::string> completed_ring_;
+  std::set<std::string> completed_set_;
+  /// Suspicion list: server address → quarantine expiry time.
+  std::map<std::string, double> suspects_;
+  mqp::Rng reliability_rng_{1};
   uint64_t next_query_ = 0;
   PeerCounters counters_;
   int engine_tally_depth_ = 0;  // EngineTally re-entrancy guard

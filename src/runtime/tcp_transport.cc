@@ -321,8 +321,14 @@ void TcpTransport::Deliver(net::Message msg) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (msg.to >= slots_.size()) return;
-    if (failed_[msg.to]) return;  // went down while the frame was in flight
-    slot = &slots_[msg.to];
+    slot = failed_[msg.to] ? nullptr : &slots_[msg.to];
+  }
+  if (slot == nullptr) {
+    // Went down while the frame was in flight: counted in
+    // drops_to_failed like every backend (DESIGN.md §9).
+    ShardForThisThread().drops_to_failed++;
+    PublishShard();
+    return;
   }
   {
     std::lock_guard<std::mutex> dl(slot->deliver_mu);

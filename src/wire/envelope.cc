@@ -1,5 +1,6 @@
 #include "wire/envelope.h"
 
+#include <cmath>
 #include <limits>
 
 #include "common/strings.h"
@@ -8,18 +9,35 @@ namespace mqp::wire {
 
 namespace {
 constexpr char kVersionTag[] = "w1";
+constexpr char kVersionTag2[] = "w2";
+
+// The wire carries the deadline as integral milliseconds: fixed point
+// keeps encode∘decode an identity (no float-formatting drift between
+// backends) while millisecond resolution is far below any link latency.
+int64_t DeadlineMs(double deadline) {
+  return static_cast<int64_t>(std::llround(deadline * 1000.0));
+}
 }  // namespace
 
 std::string Envelope::EncodeHeader() const {
   std::string h;
   h.reserve(8 + kind.size() + query_id.size());
-  h += kVersionTag;
+  // Fault-free traffic (no deadline, first attempt) keeps the legacy w1
+  // bytes — reliability must not change a byte of the steady-state wire.
+  const bool extended = deadline != 0 || attempt != 0;
+  h += extended ? kVersionTag2 : kVersionTag;
   h += '|';
   h += kind;
   h += '|';
   h += query_id;
   h += '|';
   h += std::to_string(hops);
+  if (extended) {
+    h += '|';
+    h += std::to_string(DeadlineMs(deadline));
+    h += '|';
+    h += std::to_string(attempt);
+  }
   h += '\n';
   return h;
 }
@@ -48,7 +66,12 @@ Result<Envelope> DecodeEnvelope(const net::Message& msg) {
   std::string_view h = msg.header;
   if (!h.empty() && h.back() == '\n') h.remove_suffix(1);
   const size_t p1 = h.find('|');
-  if (p1 == std::string_view::npos || h.substr(0, p1) != kVersionTag) {
+  if (p1 == std::string_view::npos) {
+    return Status::ParseError("bad wire header version");
+  }
+  const std::string_view version = h.substr(0, p1);
+  const bool extended = version == kVersionTag2;
+  if (!extended && version != kVersionTag) {
     return Status::ParseError("bad wire header version");
   }
   const size_t p2 = h.find('|', p1 + 1);
@@ -56,16 +79,43 @@ Result<Envelope> DecodeEnvelope(const net::Message& msg) {
     return Status::ParseError("truncated wire header");
   }
   // The query id is user-influenced (peer names feed it) and may itself
-  // contain '|'; kind never does and hops is numeric, so the id is
-  // everything between the second and the *last* delimiter.
-  const size_t p3 = h.rfind('|');
-  if (p3 <= p2) {
+  // contain '|'; kind never does and the trailing fields are numeric, so
+  // the id is everything between the second delimiter and the first of
+  // the trailing delimiters counted from the right (one for w1's hops,
+  // three for w2's hops|deadline-ms|attempt).
+  size_t p3 = h.rfind('|');
+  if (extended) {
+    // Peel attempt and deadline-ms off the right; hops stays at p3.
+    const size_t pa = p3;
+    if (pa == std::string_view::npos || pa <= p2) {
+      return Status::ParseError("truncated wire header");
+    }
+    const size_t pd = h.rfind('|', pa - 1);
+    if (pd == std::string_view::npos || pd <= p2) {
+      return Status::ParseError("truncated wire header");
+    }
+    int64_t attempt = 0;
+    int64_t deadline_ms = 0;
+    if (!mqp::ParseInt64(h.substr(pa + 1), &attempt) || attempt < 0 ||
+        attempt >
+            static_cast<int64_t>(std::numeric_limits<uint32_t>::max()) ||
+        !mqp::ParseInt64(h.substr(pd + 1, pa - pd - 1), &deadline_ms) ||
+        deadline_ms < 0) {
+      return Status::ParseError("bad wire header reliability fields");
+    }
+    env.attempt = static_cast<uint32_t>(attempt);
+    env.deadline = static_cast<double>(deadline_ms) / 1000.0;
+    p3 = h.rfind('|', pd - 1);
+  }
+  if (p3 == std::string_view::npos || p3 <= p2) {
     return Status::ParseError("truncated wire header");
   }
   env.kind = std::string(h.substr(p1 + 1, p2 - p1 - 1));
   env.query_id = std::string(h.substr(p2 + 1, p3 - p2 - 1));
   int64_t hops = 0;
-  if (!mqp::ParseInt64(h.substr(p3 + 1), &hops) || hops < 0 ||
+  size_t hops_len = extended ? h.find('|', p3 + 1) - (p3 + 1)
+                             : std::string_view::npos;
+  if (!mqp::ParseInt64(h.substr(p3 + 1, hops_len), &hops) || hops < 0 ||
       hops > static_cast<int64_t>(std::numeric_limits<uint32_t>::max())) {
     return Status::ParseError("bad wire header hop count");
   }

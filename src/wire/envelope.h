@@ -8,6 +8,15 @@
 // update hop counts without touching the payload at all. The payload is a
 // net::Payload (shared_ptr<const string>): enqueueing, delivering and
 // fanning a message out to many destinations never copies the body.
+//
+// Reliability metadata (PR 8, DESIGN.md §9) travels in an extended "w2"
+// header — "w2|kind|query-id|hops|deadline-ms|attempt\n" — emitted only
+// when a deadline or retry attempt is set, so fault-free traffic keeps
+// the exact w1 bytes it always had. The deadline is an absolute
+// transport-clock time in integral milliseconds (fixed point keeps the
+// header canonical: encode∘decode is the identity); the attempt counter
+// makes each retry a *different* byte string, which matters because
+// net::FaultInjector decides fates by content hash.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +57,12 @@ struct Envelope {
   /// *up* from 0; floods count the remaining horizon *down*.
   uint32_t hops = 0;
   net::Payload payload;  ///< immutable shared body (null = empty)
+  /// Absolute deadline on the transport clock, in seconds (0 = none).
+  /// Carried on the wire in integral milliseconds; forwarding peers stop
+  /// routing and deliver what they have once now() passes it.
+  double deadline = 0;
+  /// Client retry attempt this message belongs to (0 = first try).
+  uint32_t attempt = 0;
 
   /// The body ("" when payload is null).
   const std::string& body() const {

@@ -14,6 +14,12 @@ ChurnScenario::ChurnScenario(net::Transport* sim, GarageSaleNetwork* net,
     params_.query_area = *ns::InterestArea::Parse("(USA,*)");
   }
   up_sellers_ = net_->sellers;
+  // One knob for the whole fleet: the ablation is only meaningful when
+  // forwarding peers stop failing over too, not just the client. The
+  // deadline (and the pending-reap it drives) stays either way.
+  for (Peer* p : AllPeers()) {
+    p->mutable_options().reliability.enabled = params_.reliable_queries;
+  }
 }
 
 sync::SyncOptions ChurnScenario::OptionsFor(const Peer& peer) const {
@@ -87,6 +93,7 @@ void ChurnScenario::DoJoin(double now) {
   opts.dimension_fields = {"location", "category"};
   opts.interest = ns::InterestArea(spec.cell);
   opts.roles.base = true;
+  opts.reliability.enabled = params_.reliable_queries;
   net_->owned.push_back(std::make_unique<Peer>(sim_, opts));
   Peer* joiner = net_->owned.back().get();
   auto items = net_->generator.MakeItems(spec, params_.items_per_joiner);
@@ -127,6 +134,10 @@ void ChurnScenario::ScheduleQueries() {
                                 [this](const peer::QueryOutcome& o) {
                                   ++stats_.queries_returned;
                                   if (o.complete) ++stats_.queries_complete;
+                                  if (!o.complete && !o.items.empty()) {
+                                    ++stats_.queries_partial;
+                                  }
+                                  if (o.timed_out) ++stats_.queries_timed_out;
                                 });
     });
   }
@@ -142,6 +153,7 @@ void ChurnScenario::Prepare() {
 const ChurnStats& ChurnScenario::Run() {
   Prepare();
   sim_->Run();
+  stats_.query_retries = net_->client->counters().query_retries;
   return stats_;
 }
 

@@ -39,6 +39,13 @@ struct ChurnParams {
   ns::InterestArea query_area;  ///< default: (USA,*)
   uint64_t seed = 7;
   sync::SyncOptions sync;  ///< template; per-peer seeds/horizons derived
+
+  /// Run the client's queries through the reliability layer (DESIGN.md
+  /// §9: deadline + retry + failover). Off by default so the classic
+  /// churn trace — and the sim-vs-threaded equivalence suites pinned to
+  /// it — keeps its exact pre-reliability behaviour; benches flip it to
+  /// show the before/after query-success story.
+  bool reliable_queries = false;
 };
 
 /// \brief What happened during a run.
@@ -50,6 +57,9 @@ struct ChurnStats {
   size_t queries_submitted = 0;
   size_t queries_returned = 0;  ///< callback fired at all
   size_t queries_complete = 0;  ///< returned with a fully evaluated plan
+  size_t queries_partial = 0;   ///< incomplete but carrying items
+  size_t queries_timed_out = 0; ///< deadline/retry budget exhausted
+  size_t query_retries = 0;     ///< client retry attempts launched
 };
 
 /// \brief Drives churn over a built GarageSaleNetwork (not owned; joined

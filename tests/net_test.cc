@@ -117,6 +117,9 @@ TEST(SimulatorTest, FailureInTransitDropsDelivery) {
   sim.Fail(b.id());  // fails before the event fires
   sim.Run();
   EXPECT_TRUE(b.received.empty());
+  // The in-transit skip is accounted, not silent (parity with the
+  // threaded runtime's in-flight drop counting — DESIGN.md §9).
+  EXPECT_EQ(sim.stats().drops_to_failed, 1u);
 }
 
 TEST(SimulatorTest, ScheduleRunsInTimeOrder) {
