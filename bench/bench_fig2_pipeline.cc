@@ -218,6 +218,53 @@ void BM_PipelinePerQueryWireWork(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelinePerQueryWireWork)->Arg(0)->Arg(2)->Arg(6);
 
+void TopKWireBytes(benchmark::State& state, bool distributed) {
+  // Per-query bytes-on-wire for a top-k-by-price interest-area query,
+  // distributed sessions vs the ship-everything reference (flip the
+  // ablation knob). range(0) = k. Compare bytes/query across the two.
+  const auto k = static_cast<uint64_t>(state.range(0));
+  const bool saved = optimizer::use_distributed_topk();
+  optimizer::set_use_distributed_topk(distributed);
+  net::Simulator sim;
+  workload::GarageSaleNetworkParams params;
+  params.num_sellers = 8;
+  params.items_per_seller = 200;
+  params.seed = 7;
+  auto net = workload::BuildGarageSaleNetwork(&sim, params);
+  const auto area = *ns::InterestArea::Parse("(USA,*)");
+
+  for (auto _ : state) {
+    sim.stats().Clear();
+    bool done = false;
+    net.client->SubmitQuery(
+        workload::MakeTopKQueryPlan(area, "price", /*ascending=*/true, k),
+        [&](const peer::QueryOutcome&) { done = true; });
+    sim.Run();
+    if (!done) state.SkipWithError("query did not complete");
+  }
+  optimizer::set_use_distributed_topk(saved);
+
+  const auto& stats = sim.stats();
+  state.counters["bytes/query"] =
+      benchmark::Counter(static_cast<double>(stats.bytes));
+  state.counters["topk_batches/query"] =
+      benchmark::Counter(static_cast<double>(stats.topk_batches));
+  state.counters["rows_pruned/query"] =
+      benchmark::Counter(static_cast<double>(stats.topk_rows_pruned));
+  state.counters["bytes_saved/query"] =
+      benchmark::Counter(static_cast<double>(stats.topk_bytes_saved));
+}
+
+void BM_TopKPerQueryWireBytes(benchmark::State& state) {
+  TopKWireBytes(state, /*distributed=*/true);
+}
+BENCHMARK(BM_TopKPerQueryWireBytes)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_TopKPerQueryWireBytesAblated(benchmark::State& state) {
+  TopKWireBytes(state, /*distributed=*/false);
+}
+BENCHMARK(BM_TopKPerQueryWireBytesAblated)->Arg(1)->Arg(10)->Arg(100);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -169,10 +169,12 @@ PlanNodePtr PlanNode::Aggregate(AggFunc func, std::string field,
   return n;
 }
 
-PlanNodePtr PlanNode::TopN(uint64_t limit, std::string order_field,
-                           bool ascending, PlanNodePtr input) {
+PlanNodePtr PlanNode::TopN(std::optional<uint64_t> limit,
+                           std::string order_field, bool ascending,
+                           PlanNodePtr input) {
   auto n = New(OpType::kTopN);
-  n->limit_ = limit;
+  n->has_limit_ = limit.has_value();
+  n->limit_ = limit.value_or(0);
   n->str_ = std::move(order_field);
   n->ascending_ = ascending;
   n->children_ = {std::move(input)};
@@ -199,6 +201,7 @@ PlanNodePtr PlanNode::CloneInternal(
   n->fields_ = fields_;
   n->agg_func_ = agg_func_;
   n->limit_ = limit_;
+  n->has_limit_ = has_limit_;
   n->ascending_ = ascending_;
   n->distinct_ = distinct_;
   n->annotations_ = annotations_;
@@ -242,6 +245,7 @@ void PlanNode::MorphTo(const PlanNode& other) {
   fields_ = std::move(copy->fields_);
   agg_func_ = copy->agg_func_;
   limit_ = copy->limit_;
+  has_limit_ = copy->has_limit_;
   ascending_ = copy->ascending_;
   distinct_ = copy->distinct_;
   annotations_ = copy->annotations_;
@@ -292,7 +296,8 @@ std::vector<const PlanNode*> PlanNode::UrlLeaves() const {
 bool PlanNode::Equals(const PlanNode& other, bool compare_annotations) const {
   if (type_ != other.type_ || str_ != other.str_ || str2_ != other.str2_ ||
       fields_ != other.fields_ || agg_func_ != other.agg_func_ ||
-      limit_ != other.limit_ || ascending_ != other.ascending_ ||
+      limit_ != other.limit_ || has_limit_ != other.has_limit_ ||
+      ascending_ != other.ascending_ ||
       distinct_ != other.distinct_ ||
       children_.size() != other.children_.size() ||
       items_.size() != other.items_.size()) {
@@ -340,8 +345,8 @@ std::string PlanNode::Summary() const {
       return std::string(AggFuncName(agg_func_)) + "(" + str_ + ")" +
              (str2_.empty() ? "" : " group by " + str2_);
     case OpType::kTopN:
-      return "top" + std::to_string(limit_) + " by " + str_ +
-             (ascending_ ? " asc" : " desc");
+      return (has_limit_ ? "top" + std::to_string(limit_) : "sort") +
+             " by " + str_ + (ascending_ ? " asc" : " desc");
     case OpType::kDisplay:
       return "display(target=" + str_ + ")";
   }

@@ -55,6 +55,29 @@ enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
 std::string_view AggFuncName(AggFunc f);
 Result<AggFunc> AggFuncFromName(std::string_view name);
 
+/// \brief A distributed top-k bound riding on a remote sub-plan
+/// (ROADMAP item 2, ADiT-style threshold termination): the consumer's
+/// order spec and k, the per-request batch window into the holder's
+/// score-sorted stream, and — once the consumer's heap is full — the
+/// current k-th entry, against which the holder prunes rows that can no
+/// longer win. `leaf` is the sub-plan's position in the consumer's
+/// union order; with `bound_leaf` it makes the tie-break on equal keys
+/// exact (the consumer's heap breaks ties by arrival order, which is
+/// (leaf, within-leaf sequence)). Bounds only ever tighten, so a holder
+/// may prune rows failing the bound permanently.
+struct TopKBound {
+  std::string order_field;
+  bool ascending = true;
+  uint64_t k = 0;
+  uint64_t batch = 0;      ///< max rows in this reply; 0 = everything
+  uint64_t cont = 0;       ///< continuation: rows already shipped
+  uint32_t leaf = 0;       ///< this sub-plan's leaf index at the consumer
+  bool has_bound = false;  ///< k-th entry known (consumer heap full)
+  std::string bound_key;   ///< k-th entry's order key (raw bytes)
+  uint32_t bound_leaf = 0; ///< k-th entry's leaf index
+  bool operator==(const TopKBound&) const = default;
+};
+
 /// \brief Optional statistics a server may attach to a node instead of
 /// evaluating it (paper §5.1 "accumulating catalog and statistics
 /// information"), plus the currency bound of §4.3.
@@ -64,6 +87,7 @@ struct Annotations {
   std::optional<uint64_t> distinct_keys; ///< distinct join-key values
   std::optional<int> staleness_minutes;  ///< data may be this many minutes old
   std::vector<FieldHistogram> histograms;  ///< per-field distributions
+  std::optional<TopKBound> topk;  ///< distributed top-k bound (ROADMAP 2)
 
   /// The histogram for `field`, or nullptr.
   const FieldHistogram* HistogramFor(std::string_view field) const {
@@ -75,7 +99,7 @@ struct Annotations {
 
   bool Empty() const {
     return !cardinality && !bytes && !distinct_keys &&
-           !staleness_minutes && histograms.empty();
+           !staleness_minutes && histograms.empty() && !topk;
   }
   bool operator==(const Annotations&) const = default;
 };
@@ -118,8 +142,12 @@ class PlanNode {
   static PlanNodePtr Difference(PlanNodePtr left, PlanNodePtr right);
   static PlanNodePtr Aggregate(AggFunc func, std::string field,
                                std::string group_by, PlanNodePtr input);
-  static PlanNodePtr TopN(uint64_t n, std::string order_field, bool ascending,
-                          PlanNodePtr input);
+  /// Order by `order_field`, keep the best `n` — or, with nullopt, keep
+  /// everything (a pure ORDER BY). Unboundedness is explicit state, not a
+  /// sentinel value: bounds ship over the wire for distributed top-k, so
+  /// "very large n" must stay distinguishable from "no n at all".
+  static PlanNodePtr TopN(std::optional<uint64_t> n, std::string order_field,
+                          bool ascending, PlanNodePtr input);
   static PlanNodePtr Display(std::string target, PlanNodePtr input);
 
   OpType type() const { return type_; }
@@ -168,7 +196,9 @@ class PlanNode {
   const std::string& agg_field() const { return str_; }
   const std::string& group_by() const { return str2_; }
 
-  /// kTopN.
+  /// kTopN. `limit()` is only meaningful when `has_limit()`; an
+  /// unbounded TopN (plain ORDER BY) sorts without truncating.
+  bool has_limit() const { return has_limit_; }
   uint64_t limit() const { return limit_; }
   const std::string& order_field() const { return str_; }
   bool ascending() const { return ascending_; }
@@ -253,6 +283,7 @@ class PlanNode {
   std::vector<std::string> fields_;
   AggFunc agg_func_ = AggFunc::kCount;
   uint64_t limit_ = 0;
+  bool has_limit_ = false;
   bool ascending_ = true;
   bool distinct_ = false;
   Annotations annotations_;

@@ -21,6 +21,59 @@ bool IsExprTag(std::string_view tag) {
 // Annotation child elements that are not operator inputs.
 bool IsAnnotationTag(std::string_view tag) { return tag == "histogram"; }
 
+// The distributed top-k bound rides as tk-* attributes (DESIGN.md §10).
+// Both encoders emit through this helper in the same canonical position,
+// keeping the DOM and streaming codecs byte-identical.
+template <typename AttrFn>
+void EmitTopKAttrs(const Annotations& a, AttrFn&& attr) {
+  if (!a.topk) return;
+  const TopKBound& t = *a.topk;
+  attr("tk-field", t.order_field);
+  attr("tk-order", std::string(t.ascending ? "asc" : "desc"));
+  attr("tk-k", std::to_string(t.k));
+  if (t.batch != 0) attr("tk-batch", std::to_string(t.batch));
+  if (t.cont != 0) attr("tk-cont", std::to_string(t.cont));
+  if (t.leaf != 0) attr("tk-leaf", std::to_string(t.leaf));
+  if (t.has_bound) {
+    // tk-bkey may legitimately be the empty string (a missing order
+    // field evaluates to ""), so presence — not non-emptiness — flags
+    // the bound.
+    attr("tk-bkey", t.bound_key);
+    attr("tk-bleaf", std::to_string(t.bound_leaf));
+  }
+}
+
+// `find` returns the attribute value or nullopt; shared by both decoders.
+template <typename FindFn>
+void ParseTopKAttrs(Annotations* a, FindFn&& find) {
+  const auto field = find("tk-field");
+  if (!field) return;
+  TopKBound t;
+  t.order_field = std::string(*field);
+  int64_t v = 0;
+  if (const auto s = find("tk-order")) t.ascending = *s != "desc";
+  if (const auto s = find("tk-k"); s && mqp::ParseInt64(*s, &v) && v >= 0) {
+    t.k = static_cast<uint64_t>(v);
+  }
+  if (const auto s = find("tk-batch"); s && mqp::ParseInt64(*s, &v) && v >= 0) {
+    t.batch = static_cast<uint64_t>(v);
+  }
+  if (const auto s = find("tk-cont"); s && mqp::ParseInt64(*s, &v) && v >= 0) {
+    t.cont = static_cast<uint64_t>(v);
+  }
+  if (const auto s = find("tk-leaf"); s && mqp::ParseInt64(*s, &v) && v >= 0) {
+    t.leaf = static_cast<uint32_t>(v);
+  }
+  if (const auto s = find("tk-bkey")) {
+    t.has_bound = true;
+    t.bound_key = std::string(*s);
+  }
+  if (const auto s = find("tk-bleaf"); s && mqp::ParseInt64(*s, &v) && v >= 0) {
+    t.bound_leaf = static_cast<uint32_t>(v);
+  }
+  a->topk = std::move(t);
+}
+
 // Counts how many times each node is referenced in the DAG.
 void CountRefs(const PlanNode* node,
                std::unordered_map<const PlanNode*, int>* refs) {
@@ -67,6 +120,9 @@ class Serializer {
     if (a.staleness_minutes) {
       out->SetAttr("staleness", std::to_string(*a.staleness_minutes));
     }
+    EmitTopKAttrs(a, [&](std::string_view key, std::string value) {
+      out->SetAttr(key, std::move(value));
+    });
     for (const auto& h : a.histograms) {
       out->AddChild(h.ToXml());
     }
@@ -102,7 +158,7 @@ class Serializer {
         }
         break;
       case OpType::kTopN:
-        out->SetAttr("n", std::to_string(node.limit()));
+        if (node.has_limit()) out->SetAttr("n", std::to_string(node.limit()));
         out->SetAttr("orderby", node.order_field());
         out->SetAttr("order", node.ascending() ? "asc" : "desc");
         break;
@@ -153,6 +209,7 @@ class Deserializer {
     if (auto s = elem.Attr("staleness"); s && mqp::ParseInt64(*s, &v)) {
       a.staleness_minutes = static_cast<int>(v);
     }
+    ParseTopKAttrs(&a, [&](std::string_view key) { return elem.Attr(key); });
     for (const xml::Node* h : elem.Children("histogram")) {
       MQP_ASSIGN_OR_RETURN(auto hist, FieldHistogram::FromXml(*h));
       a.histograms.push_back(std::move(hist));
@@ -265,14 +322,17 @@ class Deserializer {
                                  std::move(inputs[0]));
     }
     if (tag == "topn") {
-      int64_t n = 0;
-      if (!mqp::ParseInt64(elem.AttrOr("n", ""), &n) || n < 0) {
-        return Status::ParseError("<topn> has a bad n attribute");
+      std::optional<uint64_t> limit;
+      if (const auto s = elem.Attr("n")) {
+        int64_t n = 0;
+        if (!mqp::ParseInt64(*s, &n) || n < 0) {
+          return Status::ParseError("<topn> has a bad n attribute");
+        }
+        limit = static_cast<uint64_t>(n);
       }
       MQP_ASSIGN_OR_RETURN(auto inputs, ParseInputs(elem));
       MQP_RETURN_IF_ERROR(RequireInputs(tag, inputs, 1));
-      return PlanNode::TopN(static_cast<uint64_t>(n),
-                            elem.AttrOr("orderby", ""),
+      return PlanNode::TopN(limit, elem.AttrOr("orderby", ""),
                             elem.AttrOr("order", "asc") != "desc",
                             std::move(inputs[0]));
     }
@@ -347,6 +407,9 @@ class StreamSerializer {
     if (a.staleness_minutes) {
       w_->Attr("staleness", std::to_string(*a.staleness_minutes));
     }
+    EmitTopKAttrs(a, [&](std::string_view key, std::string value) {
+      w_->Attr(key, value);
+    });
     switch (node.type()) {
       case OpType::kUrl:
         w_->Attr("href", node.url());
@@ -365,7 +428,7 @@ class StreamSerializer {
         if (!node.group_by().empty()) w_->Attr("groupby", node.group_by());
         break;
       case OpType::kTopN:
-        w_->Attr("n", std::to_string(node.limit()));
+        if (node.has_limit()) w_->Attr("n", std::to_string(node.limit()));
         w_->Attr("orderby", node.order_field());
         w_->Attr("order", node.ascending() ? "asc" : "desc");
         break;
@@ -602,6 +665,12 @@ class StreamDeserializer {
           s != nullptr && mqp::ParseInt64(*s, &v)) {
         a.staleness_minutes = static_cast<int>(v);
       }
+      ParseTopKAttrs(&a, [&](std::string_view key)
+                             -> std::optional<std::string_view> {
+        const std::string* s = attrs.Find(key);
+        if (s == nullptr) return std::nullopt;
+        return std::string_view(*s);
+      });
       if (const std::string* id = attrs.Find("node-id")) {
         by_id_[*id] = node;
       }
@@ -670,12 +739,16 @@ class StreamDeserializer {
                                  std::move((*inputs)[0]));
     }
     if (tag == "topn") {
-      int64_t n = 0;
-      if (!mqp::ParseInt64(attrs.GetView("n"), &n) || n < 0) {
-        return Status::ParseError("<topn> has a bad n attribute");
+      std::optional<uint64_t> limit;
+      if (const std::string* s = attrs.Find("n")) {
+        int64_t n = 0;
+        if (!mqp::ParseInt64(*s, &n) || n < 0) {
+          return Status::ParseError("<topn> has a bad n attribute");
+        }
+        limit = static_cast<uint64_t>(n);
       }
       MQP_RETURN_IF_ERROR(RequireInputs(tag, *inputs, 1));
-      return PlanNode::TopN(static_cast<uint64_t>(n), attrs.Get("orderby"),
+      return PlanNode::TopN(limit, attrs.Get("orderby"),
                             attrs.GetView("order", "asc") != "desc",
                             std::move((*inputs)[0]));
     }

@@ -36,6 +36,11 @@ struct EngineStats {
   /// Wall-clock nanoseconds inside Evaluate (steady clock, independent of
   /// simulated time).
   uint64_t engine_eval_ns = 0;
+  /// Rows a distributed top-k proved dead without shipping: bound-cut
+  /// tails at bounded fetch/subquery servers (engine/topk_heap.h) plus
+  /// migration-path truncations. Never incremented by plain TopNOp, so
+  /// the ablated ship-everything reference stays at zero.
+  uint64_t topk_rows_pruned = 0;
 };
 
 /// Cumulative engine counters (monotonic).

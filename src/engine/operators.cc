@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "engine/field_accessor.h"
 #include "engine/operator.h"
+#include "engine/topk_heap.h"
 
 namespace mqp::engine {
 
@@ -513,14 +514,17 @@ class Aggregator : public Operator {
   std::map<std::string, State, std::less<>>::const_iterator it_;
 };
 
-/// Blocking order-by + limit, as a bounded heap: keys are extracted once
+/// Blocking order-by + limit over a TopKHeap: keys are extracted once
 /// per item with a compiled accessor and decorated with the arrival
 /// sequence (the stable_sort tie-break), and only the best n entries are
 /// retained — O(N log n) instead of materialize-sort-truncate's
-/// O(N log N) with keys re-extracted per comparison.
+/// O(N log N) with keys re-extracted per comparison. An absent limit
+/// (plain ORDER BY) keeps everything. The same heap — and the same
+/// (key, leaf, idx) total order — drives the distributed top-k
+/// coordinator, which is what makes the two paths bit-identical.
 class TopNOp : public Operator {
  public:
-  TopNOp(uint64_t n, std::string order_field, bool ascending,
+  TopNOp(std::optional<uint64_t> n, std::string order_field, bool ascending,
          OperatorPtr input)
       : n_(n),
         order_field_(std::move(order_field)),
@@ -529,68 +533,34 @@ class TopNOp : public Operator {
 
   Status Open() override {
     MQP_RETURN_IF_ERROR(input_->Open());
-    heap_.clear();
+    TopKHeap heap(n_, ascending_);
     FieldAccessor key(order_field_);
-    // `better` is a strict total order (key, then arrival), so keeping
-    // the n minimal entries under it reproduces stable_sort + truncate
-    // exactly, duplicate keys included.
-    auto better_key = [this](std::string_view a, size_t a_seq,
-                             const Entry& b) {
-      const int cmp = CompareKeys(a, b.key);
-      if (cmp != 0) return ascending_ ? cmp < 0 : cmp > 0;
-      return a_seq < b.seq;
-    };
-    auto better = [&](const Entry& a, const Entry& b) {
-      return better_key(a.key, a.seq, b);
-    };
-    size_t seq = 0;
+    uint64_t seq = 0;
     while (true) {
       MQP_ASSIGN_OR_RETURN(auto item, input_->Next());
       if (!item) break;
       const std::string_view k =
           key.Eval(**item).value_or(std::string_view());
-      const size_t s = seq++;
-      if (heap_.size() < n_) {
-        heap_.push_back(Entry{std::string(k), s, *item});
-        std::push_heap(heap_.begin(), heap_.end(), better);
-        continue;
-      }
-      // Reject against the current worst before materializing an entry:
-      // past the warm-up, almost every item dies here allocation-free.
-      if (n_ == 0 || !better_key(k, s, heap_.front())) continue;
-      std::pop_heap(heap_.begin(), heap_.end(), better);
-      heap_.back() = Entry{std::string(k), s, *item};
-      std::push_heap(heap_.begin(), heap_.end(), better);
+      heap.Push(k, 0, seq++, *item);
     }
-    std::sort_heap(heap_.begin(), heap_.end(), better);
+    out_ = heap.Finish();
     pos_ = 0;
     return Status::OK();
   }
 
   Result<std::optional<Item>> Next() override {
-    if (pos_ >= heap_.size()) return std::optional<Item>();
-    return std::optional<Item>(heap_[pos_++].item);
+    if (pos_ >= out_.size()) return std::optional<Item>();
+    return std::optional<Item>(out_[pos_++]);
   }
 
   void Close() override { input_->Close(); }
 
  private:
-  struct Entry {
-    std::string key;
-    size_t seq;
-    Item item;
-  };
-
-  /// algebra::Value::Compare over borrowed views.
-  static int CompareKeys(std::string_view a, std::string_view b) {
-    return mqp::CompareNumericAware(a, b);
-  }
-
-  uint64_t n_;
+  std::optional<uint64_t> n_;
   std::string order_field_;
   bool ascending_;
   OperatorPtr input_;
-  std::vector<Entry> heap_;
+  ItemSet out_;
   size_t pos_ = 0;
 };
 
@@ -653,8 +623,10 @@ Result<OperatorPtr> BuildOperator(const PlanNode& plan, DataSource* source) {
     }
     case OpType::kTopN: {
       MQP_ASSIGN_OR_RETURN(auto input, BuildOperator(*plan.child(0), source));
-      return OperatorPtr(new TopNOp(plan.limit(), plan.order_field(),
-                                    plan.ascending(), std::move(input)));
+      return OperatorPtr(new TopNOp(
+          plan.has_limit() ? std::optional<uint64_t>(plan.limit())
+                           : std::nullopt,
+          plan.order_field(), plan.ascending(), std::move(input)));
     }
     case OpType::kDisplay:
       // Display is a routing pseudo-operator; evaluate its input.

@@ -1,0 +1,162 @@
+#include "engine/topk_heap.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+#include "engine/field_accessor.h"
+#include "engine/operator.h"
+
+namespace mqp::engine {
+
+namespace {
+
+/// The shared total order's key leg: negative when `a` sorts before `b`
+/// for this direction.
+int DirectedCompare(std::string_view a, std::string_view b, bool ascending) {
+  const int cmp = mqp::CompareNumericAware(a, b);
+  return ascending ? cmp : -cmp;
+}
+
+}  // namespace
+
+bool TopKPruned(std::string_view key, uint32_t leaf, bool ascending,
+                const TopKBoundRef& bound) {
+  if (!bound.present) return false;
+  const int cmp = DirectedCompare(key, bound.key, ascending);
+  if (cmp != 0) return cmp > 0;
+  // Equal key: the bound entry wins ties against its own leaf (remaining
+  // items there have larger idx) and against any larger leaf.
+  return leaf >= bound.leaf;
+}
+
+TopKHeap::TopKHeap(std::optional<uint64_t> k, bool ascending)
+    : k_(k), ascending_(ascending) {}
+
+bool TopKHeap::BetterKey(std::string_view key, uint32_t leaf, uint64_t idx,
+                         const Entry& than) const {
+  const int cmp = DirectedCompare(key, than.key, ascending_);
+  if (cmp != 0) return cmp < 0;
+  if (leaf != than.leaf) return leaf < than.leaf;
+  return idx < than.idx;
+}
+
+void TopKHeap::Push(std::string_view key, uint32_t leaf, uint64_t idx,
+                    const algebra::Item& item) {
+  auto better = [this](const Entry& a, const Entry& b) {
+    return BetterKey(a.key, a.leaf, a.idx, b);
+  };
+  if (!k_ || heap_.size() < *k_) {
+    heap_.push_back(Entry{std::string(key), leaf, idx, item});
+    if (k_) std::push_heap(heap_.begin(), heap_.end(), better);
+    return;
+  }
+  // Reject against the current worst before materializing an entry.
+  if (*k_ == 0 || !BetterKey(key, leaf, idx, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), better);
+  heap_.back() = Entry{std::string(key), leaf, idx, item};
+  std::push_heap(heap_.begin(), heap_.end(), better);
+}
+
+bool TopKHeap::full() const { return k_ && heap_.size() >= *k_; }
+
+TopKBoundRef TopKHeap::Bound() const {
+  TopKBoundRef b;
+  if (!full() || heap_.empty()) return b;
+  b.present = true;
+  b.key = heap_.front().key;
+  b.leaf = heap_.front().leaf;
+  return b;
+}
+
+bool TopKHeap::WouldAccept(std::string_view key, uint32_t leaf) const {
+  if (k_ && *k_ == 0) return false;
+  if (!full()) return true;
+  return !TopKPruned(key, leaf, ascending_, Bound());
+}
+
+algebra::ItemSet TopKHeap::Finish() {
+  std::sort(heap_.begin(), heap_.end(), [this](const Entry& a, const Entry& b) {
+    return BetterKey(a.key, a.leaf, a.idx, b);
+  });
+  algebra::ItemSet out;
+  out.reserve(heap_.size());
+  for (Entry& e : heap_) out.push_back(std::move(e.item));
+  heap_.clear();
+  return out;
+}
+
+namespace {
+
+/// Score-orders `items` (stable on original index) and returns the index
+/// one past the last eligible row: min(first bound-pruned position, k).
+/// TopKPruned is monotone along the sorted order for a fixed leaf, so
+/// the cut is a prefix boundary.
+struct EligiblePrefix {
+  std::vector<size_t> order;  // items indices, score order
+  std::vector<std::string> keys;
+  size_t cut = 0;
+};
+
+EligiblePrefix ScoreOrder(const algebra::ItemSet& items, const TopKSpec& spec,
+                          const TopKBoundRef& bound, uint32_t leaf) {
+  EligiblePrefix p;
+  FieldAccessor key(spec.field);
+  p.keys.reserve(items.size());
+  for (const algebra::Item& item : items) {
+    p.keys.emplace_back(key.Eval(*item).value_or(std::string_view()));
+  }
+  p.order.resize(items.size());
+  std::iota(p.order.begin(), p.order.end(), size_t{0});
+  std::stable_sort(p.order.begin(), p.order.end(),
+                   [&](size_t a, size_t b) {
+                     const int cmp = DirectedCompare(p.keys[a], p.keys[b],
+                                                     spec.ascending);
+                     if (cmp != 0) return cmp < 0;
+                     return a < b;
+                   });
+  size_t cut = std::min<size_t>(items.size(), spec.k);
+  for (size_t i = 0; i < cut; ++i) {
+    if (TopKPruned(p.keys[p.order[i]], leaf, spec.ascending, bound)) {
+      cut = i;
+      break;
+    }
+  }
+  p.cut = cut;
+  return p;
+}
+
+}  // namespace
+
+TopKSlice BoundedPrefix(const algebra::ItemSet& items, const TopKSpec& spec,
+                        const TopKBoundRef& bound, uint32_t leaf,
+                        uint64_t cont, uint64_t batch) {
+  EligiblePrefix p = ScoreOrder(items, spec, bound, leaf);
+  TopKSlice s;
+  s.total = items.size();
+  const size_t begin = std::min<size_t>(cont, p.cut);
+  const size_t end = batch == 0 ? p.cut
+                                : std::min<size_t>(begin + batch, p.cut);
+  s.ship.assign(p.order.begin() + begin, p.order.begin() + end);
+  s.next_cont = end;
+  s.more = end < p.cut;
+  if (s.more) s.next_key = p.keys[p.order[end]];
+  if (!s.more) {
+    s.pruned = items.size() - p.cut;
+    internal::MutableStats().topk_rows_pruned += s.pruned;
+  }
+  return s;
+}
+
+algebra::ItemSet TopKTruncate(const algebra::ItemSet& items,
+                              const TopKSpec& spec, const TopKBoundRef& bound,
+                              uint32_t leaf) {
+  EligiblePrefix p = ScoreOrder(items, spec, bound, leaf);
+  algebra::ItemSet out;
+  out.reserve(p.cut);
+  for (size_t i = 0; i < p.cut; ++i) out.push_back(items[p.order[i]]);
+  internal::MutableStats().topk_rows_pruned += items.size() - p.cut;
+  return out;
+}
+
+}  // namespace mqp::engine

@@ -14,9 +14,12 @@
 //   algebra/    mutant query plans: operators, expressions, XML wire format
 //   engine/     the zero-copy query engine (DESIGN.md §6): physical
 //               operators over shared immutable items, compiled
-//               FieldAccessors, StructuralHash set semantics, bounded-heap
-//               top-N, and the keyed shared-item LocalStore
-//   optimizer/  evaluable-sub-plan detection, cost model, rewrites, policy
+//               FieldAccessors, StructuralHash set semantics, the keyed
+//               shared-item LocalStore, and the shared top-k machinery
+//               (topk_heap: the (key, leaf, idx) total order, bound
+//               refs, score-ordered prefix slices — DESIGN.md §10)
+//   optimizer/  evaluable-sub-plan detection, cost model, rewrites
+//               (including the top-k bound pushdown), policy
 //   catalog/    distributed catalogs indexed for sublinear resolution
 //               (AreaIndex + binding cache), intensional statements,
 //               versioned entries + tombstones + CatalogDelta (dynamic
@@ -40,10 +43,12 @@
 //   sync/       gossip/anti-entropy catalog maintenance (digests, deltas,
 //               TTL expiry) on top of the wire layer
 //   peer/       the peer: roles, registration, the Figure-2 MQP loop,
-//               and the client reliability layer (DESIGN.md §9:
-//               deadlines, retries with seeded backoff, suspicion-list
-//               failover over binding alternatives, partial-result
-//               degradation)
+//               the client reliability layer (DESIGN.md §9: deadlines,
+//               retries with seeded backoff, suspicion-list failover
+//               over binding alternatives, partial-result degradation),
+//               and distributed top-k merge sessions (DESIGN.md §10:
+//               bounded score-ordered batches, threshold early
+//               termination, adaptive windows)
 //   baseline/   Napster / Gnutella / coordinator baselines
 //   workload/   garage-sale, CD-market, gene-expression generators, the
 //               churn scenario driver, and topology builders (garage-sale
@@ -74,6 +79,7 @@
 #include "engine/field_accessor.h"
 #include "engine/local_store.h"
 #include "engine/operator.h"
+#include "engine/topk_heap.h"
 #include "net/calendar_queue.h"
 #include "net/event_pool.h"
 #include "net/fault_injector.h"

@@ -135,6 +135,25 @@ struct NetStats {
   uint64_t duplicates_suppressed = 0;
   uint64_t partials_delivered = 0;
 
+  // Distributed top-k counters (DESIGN.md §10), fed by the peers:
+  // bounded reply batches merged by top-k coordinators, rows proven dead
+  // without shipping (server bound cuts + coordinator early-termination
+  // leftovers), bytes the bounded protocol avoided shipping relative to
+  // the full collections, and sources terminated before exhaustion
+  // because no remaining row could beat the k-th bound. All zero when
+  // the ablation knob (optimizer::set_use_distributed_topk) is off.
+  uint64_t topk_batches = 0;
+  uint64_t topk_rows_pruned = 0;
+  uint64_t topk_bytes_saved = 0;
+  uint64_t topk_early_terminations = 0;
+
+  // Reply-demux hygiene counters (peer::Peer::HandleFetchReply and the
+  // subquery/top-k demux): reply bodies that failed to decode, and
+  // replies whose correlation id matched no pending request or top-k
+  // session. Both are asserted zero by the happy-path suites.
+  uint64_t reply_decode_failures = 0;
+  uint64_t unmatched_replies = 0;
+
   /// Zeroes every counter while keeping the per-kind arrays' capacity —
   /// bench reset loops must not reallocate.
   void Clear() {
@@ -170,6 +189,12 @@ struct NetStats {
     failovers = 0;
     duplicates_suppressed = 0;
     partials_delivered = 0;
+    topk_batches = 0;
+    topk_rows_pruned = 0;
+    topk_bytes_saved = 0;
+    topk_early_terminations = 0;
+    reply_decode_failures = 0;
+    unmatched_replies = 0;
   }
 
   /// Adds every counter of `other` into this (shard merge-on-read).
@@ -206,6 +231,12 @@ struct NetStats {
     failovers += other.failovers;
     duplicates_suppressed += other.duplicates_suppressed;
     partials_delivered += other.partials_delivered;
+    topk_batches += other.topk_batches;
+    topk_rows_pruned += other.topk_rows_pruned;
+    topk_bytes_saved += other.topk_bytes_saved;
+    topk_early_terminations += other.topk_early_terminations;
+    reply_decode_failures += other.reply_decode_failures;
+    unmatched_replies += other.unmatched_replies;
   }
 };
 

@@ -218,7 +218,9 @@ CostEstimate CostModel::Estimate(const PlanNode& node) const {
     case OpType::kTopN: {
       CostEstimate in = Estimate(*node.child(0));
       const double rows =
-          std::min(in.rows, static_cast<double>(node.limit()));
+          node.has_limit()
+              ? std::min(in.rows, static_cast<double>(node.limit()))
+              : in.rows;
       const double w = in.rows > 0 ? in.bytes / in.rows
                                    : params_.avg_item_bytes;
       return {rows, rows * w};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 namespace mqp::optimizer {
 
@@ -298,6 +299,81 @@ int SplitDifferenceOverUnion(PlanNode* root, const Locality& locality) {
 int ApplyAbsorption(PlanNode* root, const Locality& locality,
                     const CostModel& cost) {
   return ReorderAll(root, locality, &cost);
+}
+
+namespace {
+
+bool g_use_distributed_topk = true;
+
+/// A remote single-server unit: a sub-plan one non-local peer can answer
+/// as a whole — no routing pseudo-operators, no unresolved names, every
+/// URL leaf on the same server, and that server is not us.
+bool IsRemoteSingleServerUnit(const PlanNode& node, const Locality& locality,
+                              std::string* server) {
+  if (node.type() == OpType::kDisplay || node.type() == OpType::kUrn ||
+      node.type() == OpType::kOr) {
+    return false;
+  }
+  if (node.type() == OpType::kUrl) {
+    if (locality.is_local_url(node)) return false;
+    if (server->empty()) {
+      *server = node.url();
+    } else if (*server != node.url()) {
+      return false;
+    }
+    return true;
+  }
+  for (const auto& c : node.children()) {
+    if (!IsRemoteSingleServerUnit(*c, locality, server)) return false;
+  }
+  return true;
+}
+
+int StampTopK(PlanNode* node, const algebra::TopKBound& bound,
+              const Locality& locality) {
+  // Descend through non-distinct unions only: each branch keeps its own
+  // full contribution under concatenating union, so per-branch bounds
+  // are sound; a distinct union could need more than k rows per branch.
+  if (node->type() == OpType::kUnion && !node->distinct()) {
+    int count = 0;
+    for (const auto& c : node->children()) {
+      count += StampTopK(c.get(), bound, locality);
+    }
+    return count;
+  }
+  if (node->type() == OpType::kXmlData) return 0;  // preloaded at the heap
+  std::string server;
+  if (!IsRemoteSingleServerUnit(*node, locality, &server) || server.empty()) {
+    return 0;
+  }
+  // Const read first: the mutating annotations() accessor bumps the
+  // node's stamp, which would invalidate the wire cache on every hop.
+  if (std::as_const(*node).annotations().topk == bound) return 0;
+  node->annotations().topk = bound;
+  return 1;
+}
+
+}  // namespace
+
+void set_use_distributed_topk(bool on) { g_use_distributed_topk = on; }
+bool use_distributed_topk() { return g_use_distributed_topk; }
+
+int PushTopKBounds(PlanNode* root, const Locality& locality) {
+  if (!g_use_distributed_topk) return 0;
+  int count = 0;
+  ForEachNodePostOrder(root, [&](PlanNode* node) {
+    if (node->type() != OpType::kTopN || !node->has_limit() ||
+        node->limit() == 0 || node->order_field().empty() ||
+        node->children().empty()) {
+      return;
+    }
+    algebra::TopKBound bound;
+    bound.order_field = node->order_field();
+    bound.ascending = node->ascending();
+    bound.k = node->limit();
+    count += StampTopK(node->child(0).get(), bound, locality);
+  });
+  return count;
 }
 
 }  // namespace mqp::optimizer

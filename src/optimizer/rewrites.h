@@ -70,6 +70,26 @@ int ConsolidateJoins(algebra::PlanNode* root, const Locality& locality);
 int ApplyAbsorption(algebra::PlanNode* root, const Locality& locality,
                     const CostModel& cost);
 
+/// Ablation knob (the PR 3/4 pattern): false disables PushTopKBounds,
+/// restoring the ship-everything reference — remote leaves return full
+/// result sets and TopN truncates at the consumer. Flip only while the
+/// process is quiescent.
+void set_use_distributed_topk(bool on);
+bool use_distributed_topk();
+
+/// \brief Distributed top-k bound pushdown (DESIGN.md §10): for each
+/// bounded TopN(k, field), descends through non-distinct Union nodes and
+/// stamps a TopKBound annotation (order_field, ascending, k) on every
+/// maximal remote single-server sub-plan — no Display/Urn nodes, at
+/// least one URL leaf, all URL leaves on one non-local server. The
+/// hosting peer's top-k coordinator turns annotated sub-plans into
+/// bounded, score-ordered, batched fetch/subquery requests. Distinct
+/// unions block the descent (per-branch truncation could collapse
+/// duplicates below k distinct rows). Returns the number of sub-plans
+/// stamped; already-stamped nodes are left untouched (no wire-cache
+/// churn). No-op when use_distributed_topk() is false.
+int PushTopKBounds(algebra::PlanNode* root, const Locality& locality);
+
 /// \brief §4.2 Example 3's transformation: E − (A ∪ B) → (E − A) − B,
 /// applied when some union branch is locally evaluable — the partially
 /// evaluated difference "may be much smaller than res(E) itself".

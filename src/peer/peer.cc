@@ -1,9 +1,13 @@
 #include "peer/peer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <unordered_set>
+#include <utility>
 
 #include "common/strings.h"
+#include "engine/field_accessor.h"
 #include "engine/operator.h"
 #include "ns/urn.h"
 #include "wire/body_codec.h"
@@ -46,14 +50,17 @@ class EngineTally {
     const uint64_t probes =
         now.structural_hash_probes - before_.structural_hash_probes;
     const uint64_t ns = now.engine_eval_ns - before_.engine_eval_ns;
+    const uint64_t pruned = now.topk_rows_pruned - before_.topk_rows_pruned;
     counters_->items_cloned += cloned;
     counters_->field_accessor_hits += hits;
     counters_->structural_hash_probes += probes;
     counters_->engine_eval_ns += ns;
+    counters_->topk_rows_pruned += pruned;
     stats_->items_cloned += cloned;
     stats_->field_accessor_hits += hits;
     stats_->structural_hash_probes += probes;
     stats_->engine_eval_ns += ns;
+    stats_->topk_rows_pruned += pruned;
   }
 
   EngineTally(const EngineTally&) = delete;
@@ -304,16 +311,27 @@ void Peer::PullIndexedData(int delay_minutes) {
 void Peer::HandleFetchReply(const wire::Envelope& env) {
   const std::string& req = env.query_id;
   auto it = pending_pulls_.find(req);
-  if (it == pending_pulls_.end()) return;
+  if (it == pending_pulls_.end()) {
+    // Not an index pull — bounded top-k fetches reuse the fetch-reply
+    // kind, correlated by the "#tk" request-id suffix.
+    HandleBoundedReply(env);
+    return;
+  }
   auto decoded = wire::DecodeItemBody(env.body());
-  if (!decoded.ok()) return;
+  if (!decoded.ok()) {
+    ++counters_.reply_decode_failures;
+    sim_->stats().reply_decode_failures++;
+    return;
+  }
   PendingPull pull = std::move(it->second);
   pending_pulls_.erase(it);
   algebra::ItemSet items = std::move(decoded).value();
   // Store the replica and make it locally resolvable with the declared
-  // refresh delay.
+  // refresh delay. The id comes from a monotonic mint, never from
+  // replicas_.size(): after a DropReplica the count shrinks, and reusing
+  // the freed id would silently overwrite a live collection.
   const std::string collection_id =
-      "replica-" + std::to_string(replicas_.size());
+      "replica-" + std::to_string(next_replica_++);
   store_.ReplaceCollection(collection_id, items);
   replicas_.push_back(collection_id);
   catalog::IndexEntry entry;
@@ -337,6 +355,13 @@ void Peer::HandleFetchReply(const wire::Envelope& env) {
   rhs.delay_minutes = pull.delay_minutes;
   st.rhs.push_back(std::move(rhs));
   AddOwnStatement(std::move(st));
+}
+
+void Peer::DropReplica(const std::string& collection_id) {
+  auto it = std::find(replicas_.begin(), replicas_.end(), collection_id);
+  if (it == replicas_.end()) return;
+  replicas_.erase(it);
+  store_.RemoveCollection(collection_id);
 }
 
 std::string Peer::SubmitQuery(Plan plan, Callback cb) {
@@ -420,6 +445,10 @@ void Peer::HandleMessage(const net::Message& msg) {
     HandleSubquery(env, msg.from);
   } else if (env.kind == kFetchReplyKind) {
     HandleFetchReply(env);
+  } else if (env.kind == kSubqueryReplyKind) {
+    // The peer only sends subqueries as bounded top-k requests; every
+    // subquery reply goes through the top-k demux.
+    HandleBoundedReply(env);
   } else if (env.kind == kCategoryReplyKind) {
     HandleCategoryReply(env);
   } else if (env.kind == kSyncDigestKind) {
@@ -695,6 +724,9 @@ void Peer::ApplyRewrites(Plan* plan) {
   if (options_.enable_consolidation) {
     optimizer::ConsolidateJoins(root, locality);
   }
+  // Last, after pushdown has shaped the union branches: stamp top-k
+  // bounds on remote single-server sub-plans (no-op when ablated).
+  optimizer::PushTopKBounds(root, locality);
 }
 
 int Peer::EvaluateSubplans(Plan* plan) {
@@ -721,7 +753,9 @@ int Peer::EvaluateSubplans(Plan* plan) {
       }
       auto items = engine::Evaluate(*decision.subplan, &store_);
       if (!items.ok()) continue;  // leave the sub-plan for another server
-      decision.subplan->MorphToData(std::move(items).value());
+      algebra::ItemSet data = std::move(items).value();
+      TruncateForTopK(*decision.subplan, &data);
+      decision.subplan->MorphToData(std::move(data));
       ++reduced;
     }
     worklist = std::move(next);
@@ -741,7 +775,9 @@ int Peer::ForceEvaluate(Plan* plan) {
   for (PlanNode* node : candidates) {
     auto items = engine::Evaluate(*node, &store_);
     if (!items.ok()) continue;
-    node->MorphToData(std::move(items).value());
+    algebra::ItemSet data = std::move(items).value();
+    TruncateForTopK(*node, &data);
+    node->MorphToData(std::move(data));
     ++reduced;
   }
   counters_.subplans_evaluated += reduced;
@@ -853,6 +889,11 @@ void Peer::RouteOrDeliver(Plan plan, uint32_t hops, double deadline,
     DeliverToTarget(std::move(plan), deadline, attempt);
     return;
   }
+  // Distributed top-k (DESIGN.md §10): if the remainder is a TopN over
+  // bound-stamped remote sub-plans, pull score-ordered prefixes here
+  // instead of forwarding the whole plan. The session owns the plan until
+  // the bound proves no remote row can still win.
+  if (MaybeStartTopKSession(&plan, hops, deadline, attempt)) return;
   // Gather candidate next hops: servers of remote URL leaves, resolver
   // hints of URN leaves, bootstrap servers for unhinted URNs.
   std::map<std::string, int> candidates;
@@ -1492,15 +1533,92 @@ void Peer::HandleCategoryQuery(const wire::Envelope& env, net::PeerId from) {
 
 // --- fetch service (pull; used by baselines & index pull) --------------------------
 
+namespace {
+
+// Parses the tk-* request attributes shared by bounded fetches and
+// subquery annotations into a (spec, bound, leaf, cont, batch) tuple.
+struct TopKRequest {
+  engine::TopKSpec spec;
+  engine::TopKBoundRef bound;
+  uint32_t leaf = 0;
+  uint64_t cont = 0;
+  uint64_t batch = 0;
+};
+
+uint64_t AttrU64(const xml::AttrList& attrs, std::string_view key,
+                 uint64_t fallback) {
+  const std::string* s = attrs.Find(key);
+  if (s == nullptr) return fallback;
+  int64_t v = 0;
+  if (!mqp::ParseInt64(*s, &v) || v < 0) return fallback;
+  return static_cast<uint64_t>(v);
+}
+
+bool ParseTopKRequest(const xml::AttrList& attrs, TopKRequest* out) {
+  const std::string* field = attrs.Find("tk-field");
+  if (field == nullptr || field->empty()) return false;
+  out->spec.field = *field;
+  out->spec.ascending = attrs.Get("tk-order", "asc") != "desc";
+  out->spec.k = AttrU64(attrs, "tk-k", 0);
+  out->batch = AttrU64(attrs, "tk-batch", 0);
+  out->cont = AttrU64(attrs, "tk-cont", 0);
+  out->leaf = static_cast<uint32_t>(AttrU64(attrs, "tk-leaf", 0));
+  if (const std::string* bkey = attrs.Find("tk-bkey")) {
+    out->bound.present = true;
+    out->bound.key = *bkey;
+    out->bound.leaf = static_cast<uint32_t>(AttrU64(attrs, "tk-bleaf", 0));
+  }
+  return out->spec.k > 0;
+}
+
+// Emits a bounded top-k reply: the slice's continuation attributes on the
+// wrapper element, then the shipped items in score order. The reply
+// echoes the request's deadline/attempt so PR 8's fault plans treat each
+// (cont, attempt) slice as a distinct, idempotently retryable exchange.
+void SendTopKReply(net::Transport* sim, net::PeerId self, net::PeerId to,
+                   const char* root_tag, const std::string& server,
+                   const wire::Envelope& env, const algebra::ItemSet& items,
+                   const engine::TopKSlice& slice) {
+  std::string reply;
+  xml::TokenWriter w(&reply);
+  w.Start(root_tag);
+  w.Attr("server", server);
+  w.Attr("tk", "1");
+  w.Attr("total", std::to_string(slice.total));
+  w.Attr("cont", std::to_string(slice.next_cont));
+  w.Attr("more", slice.more ? "1" : "0");
+  if (slice.more) w.Attr("next", slice.next_key);
+  for (size_t idx : slice.ship) {
+    w.Write(*items[idx]);
+  }
+  w.End();
+  wire::Send(sim, self, to,
+             {env.kind == kFetchKind ? kFetchReplyKind : kSubqueryReplyKind,
+              env.query_id, 0, net::MakePayload(std::move(reply)),
+              env.deadline, env.attempt});
+}
+
+}  // namespace
+
 void Peer::HandleFetch(const wire::Envelope& env, net::PeerId from) {
   const EngineTally tally(&counters_, &sim_->stats(), &engine_tally_depth_);
   xml::AttrList attrs;
   if (!wire::DecodeAttrBody(env.body(), &attrs).ok()) return;
+  auto items = store_.Fetch(address(), attrs.Get("xpath"));
+  TopKRequest req;
+  if (items.ok() && ParseTopKRequest(attrs, &req)) {
+    // Bounded path: ship only the score-ordered prefix the coordinator's
+    // current bound leaves eligible, from the continuation offset on.
+    const engine::TopKSlice slice = engine::BoundedPrefix(
+        *items, req.spec, req.bound, req.leaf, req.cont, req.batch);
+    SendTopKReply(sim_, id_, from, "fetch-reply", address(), env, *items,
+                  slice);
+    return;
+  }
   std::string reply;
   xml::TokenWriter w(&reply);
   w.Start("fetch-reply");
   w.Attr("server", address());
-  auto items = store_.Fetch(address(), attrs.Get("xpath"));
   if (items.ok()) {
     for (const auto& item : *items) {
       w.Write(*item);
@@ -1518,11 +1636,36 @@ void Peer::HandleSubquery(const wire::Envelope& env, net::PeerId from) {
   const EngineTally tally(&counters_, &sim_->stats(), &engine_tally_depth_);
   // The body is the sub-plan's <mqp> document itself (the coordinator
   // stopped wrapping it; correlation rides in the envelope header).
+  auto plan = algebra::ParsePlan(env.body());
+  if (!plan.ok()) {
+    ++counters_.reply_decode_failures;
+    sim_->stats().reply_decode_failures++;
+  } else if (plan->root() != nullptr) {
+    // A bound-stamped root marks a bounded top-k request: evaluate the
+    // sub-plan, then ship only the eligible score-ordered slice.
+    const auto& topk = std::as_const(*plan->root()).annotations().topk;
+    if (topk.has_value() && topk->k > 0 && !topk->order_field.empty()) {
+      auto items = engine::Evaluate(*plan->root(), &store_);
+      if (items.ok()) {
+        engine::TopKSpec spec{topk->order_field, topk->ascending, topk->k};
+        engine::TopKBoundRef bound;
+        if (topk->has_bound) {
+          bound.present = true;
+          bound.key = topk->bound_key;
+          bound.leaf = topk->bound_leaf;
+        }
+        const engine::TopKSlice slice = engine::BoundedPrefix(
+            *items, spec, bound, topk->leaf, topk->cont, topk->batch);
+        SendTopKReply(sim_, id_, from, "subquery-reply", address(), env,
+                      *items, slice);
+        return;
+      }
+    }
+  }
   std::string reply;
   xml::TokenWriter w(&reply);
   w.Start("subquery-reply");
   w.Attr("server", address());
-  auto plan = algebra::ParsePlan(env.body());
   if (plan.ok() && plan->root() != nullptr) {
     // An evaluation failure yields an empty reply; the old error
     // attribute was write-only diagnostics no receiver ever read.
@@ -1537,6 +1680,431 @@ void Peer::HandleSubquery(const wire::Envelope& env, net::PeerId from) {
   wire::Send(sim_, id_, from,
              {kSubqueryReplyKind, env.query_id, 0,
               net::MakePayload(std::move(reply))});
+}
+
+// --- distributed top-k coordinator (DESIGN.md §10) ---------------------------------
+
+namespace {
+
+// DFS through non-distinct unions, collecting the TopN input's frontier
+// in left-to-right order (the leaf numbering every participant shares).
+// False on a repeated node: DAG sharing makes leaf positions ambiguous.
+bool CollectTopKFrontier(const PlanNodePtr& node,
+                         std::unordered_set<const PlanNode*>* seen,
+                         std::vector<PlanNodePtr>* out) {
+  if (!seen->insert(node.get()).second) return false;
+  if (node->type() == OpType::kUnion && !node->distinct()) {
+    for (const auto& c : node->children()) {
+      if (!CollectTopKFrontier(c, seen, out)) return false;
+    }
+    return true;
+  }
+  out->push_back(node);
+  return true;
+}
+
+}  // namespace
+
+void Peer::TruncateForTopK(const PlanNode& node, algebra::ItemSet* items) {
+  const auto& topk = std::as_const(node).annotations().topk;
+  if (!topk.has_value() || topk->k == 0 || topk->order_field.empty()) return;
+  const engine::TopKSpec spec{topk->order_field, topk->ascending, topk->k};
+  engine::TopKBoundRef bound;
+  if (topk->has_bound) {
+    bound.present = true;
+    bound.key = topk->bound_key;
+    bound.leaf = topk->bound_leaf;
+  }
+  *items = engine::TopKTruncate(*items, spec, bound, topk->leaf);
+}
+
+bool Peer::MaybeStartTopKSession(Plan* plan, uint32_t hops, double deadline,
+                                 uint32_t attempt) {
+  if (!optimizer::use_distributed_topk()) return false;
+  if (plan->root() == nullptr || plan->query_id().empty()) return false;
+  // Find the consumer TopN under the display/projection wrappers.
+  PlanNode* topn = plan->root().get();
+  while (topn->type() == OpType::kDisplay ||
+         topn->type() == OpType::kProject) {
+    if (topn->children().size() != 1) return false;
+    topn = topn->child(0).get();
+  }
+  if (topn->type() != OpType::kTopN || !topn->has_limit() ||
+      topn->limit() == 0 || topn->order_field().empty() ||
+      topn->children().empty()) {
+    return false;
+  }
+  std::unordered_set<const PlanNode*> seen;
+  std::vector<PlanNodePtr> frontier;
+  if (!CollectTopKFrontier(topn->child(0), &seen, &frontier)) return false;
+  // Classify the frontier: constants pre-load the merge; bound-stamped
+  // remote sub-plans become streamed sources; anything else (an
+  // unresolved URN, an unstamped remote branch, a distinct union) means
+  // this peer cannot finish the merge — route the plan normally.
+  const engine::TopKSpec spec{topn->order_field(), topn->ascending(),
+                              topn->limit()};
+  TopKSession s;
+  s.spec = spec;
+  s.heap = std::make_unique<engine::TopKHeap>(spec.k, spec.ascending);
+  engine::FieldAccessor key(spec.field);
+  std::vector<uint64_t> cards;
+  uint64_t total_card = 0;
+  bool all_cards = true;
+  for (size_t li = 0; li < frontier.size(); ++li) {
+    const PlanNodePtr& node = frontier[li];
+    const auto leaf = static_cast<uint32_t>(li);
+    if (node->IsConstant()) {
+      uint64_t idx = 0;
+      for (const auto& item : node->items()) {
+        s.heap->Push(key.Eval(*item).value_or(std::string_view()), leaf,
+                     idx++, item);
+      }
+      continue;
+    }
+    const auto& topk = std::as_const(*node).annotations().topk;
+    if (!topk.has_value() || topk->order_field != spec.field ||
+        topk->ascending != spec.ascending || topk->k != spec.k) {
+      return false;
+    }
+    TopKSource src;
+    src.node = node;
+    src.leaf = leaf;
+    if (node->type() == OpType::kUrl) {
+      src.is_fetch = true;
+      src.server = node->url();
+      src.xpath = node->xpath();
+    } else {
+      if (!node->UrnLeaves().empty()) return false;
+      for (const PlanNode* u : node->UrlLeaves()) {
+        if (src.server.empty()) {
+          src.server = u->url();
+        } else if (src.server != u->url()) {
+          return false;
+        }
+      }
+    }
+    if (src.server.empty()) return false;
+    const auto& card = std::as_const(*node).annotations().cardinality;
+    if (card.has_value()) {
+      cards.push_back(*card);
+      total_card += *card;
+    } else {
+      cards.push_back(0);
+      all_cards = false;
+    }
+    s.sources.push_back(std::move(src));
+  }
+  if (s.sources.empty()) return false;
+  // Every source server must be reachable right now; otherwise leave the
+  // plan to normal routing and its failover machinery.
+  for (const auto& src : s.sources) {
+    auto pid = sim_->Lookup(src.server);
+    if (!pid.ok() || sim_->IsFailed(*pid)) return false;
+  }
+  // Initial windows: each source's expected contribution to the top k —
+  // proportional to catalog cardinalities when every source carries one,
+  // else an even split — oversampled 2x (a second round costs a full
+  // RTT, so mild over-asking is the cheaper error) and capped at k (no
+  // source ever needs to ship more; its k+1-th row is beaten by k
+  // same-leaf rows).
+  const size_t fan = s.sources.size();
+  for (size_t i = 0; i < fan; ++i) {
+    uint64_t b;
+    if (all_cards && total_card > 0) {
+      b = static_cast<uint64_t>(
+          std::llround(2.0 * static_cast<double>(spec.k) *
+                       static_cast<double>(cards[i]) /
+                       static_cast<double>(total_card)));
+    } else {
+      b = (2 * spec.k + fan - 1) / fan;
+    }
+    s.sources[i].batch = std::clamp<uint64_t>(b, 1, spec.k);
+  }
+  const std::string qid = plan->query_id();
+  s.plan = std::move(*plan);
+  s.topn = topn;
+  s.hops = hops;
+  s.deadline = deadline;
+  s.attempt = attempt;
+  s.generation = next_topk_generation_++;
+  // A retry supersedes the previous attempt's session outright; the old
+  // attempt's in-flight replies die on the attempt check.
+  topk_sessions_.erase(qid);
+  auto [it, inserted] = topk_sessions_.emplace(qid, std::move(s));
+  if (deadline > 0) {
+    const uint64_t gen = it->second.generation;
+    sim_->ScheduleFor(id_, deadline,
+                      [this, qid, gen]() { OnTopKDeadline(qid, gen); });
+  }
+  const size_t n = it->second.sources.size();
+  for (size_t i = 0; i < n; ++i) {
+    SendTopKRequest(qid, i);
+  }
+  return true;
+}
+
+void Peer::SendTopKRequest(const std::string& query_id, size_t idx) {
+  auto it = topk_sessions_.find(query_id);
+  if (it == topk_sessions_.end()) return;
+  TopKSession& s = it->second;
+  TopKSource& src = s.sources[idx];
+  auto pid = sim_->Lookup(src.server);
+  if (!pid.ok()) return;  // stalled source: the deadline timer cleans up
+  // The correlation id carries the session, the source, and the
+  // continuation offset — a retried slice is idempotent because a reply
+  // for any cont other than the source's current one is dropped.
+  const std::string rid = query_id + "#tk" + std::to_string(src.leaf) + "." +
+                          std::to_string(src.cont);
+  const engine::TopKBoundRef bound =
+      s.heap->full() ? s.heap->Bound() : engine::TopKBoundRef{};
+  if (src.is_fetch) {
+    std::string body;
+    xml::TokenWriter w(&body);
+    w.Start("fetch");
+    w.Attr("xpath", src.xpath);
+    w.Attr("tk-field", s.spec.field);
+    w.Attr("tk-order", s.spec.ascending ? "asc" : "desc");
+    w.Attr("tk-k", std::to_string(s.spec.k));
+    w.Attr("tk-batch", std::to_string(src.batch));
+    w.Attr("tk-cont", std::to_string(src.cont));
+    w.Attr("tk-leaf", std::to_string(src.leaf));
+    if (bound.present) {
+      w.Attr("tk-bkey", bound.key);
+      w.Attr("tk-bleaf", std::to_string(bound.leaf));
+    }
+    w.End();
+    wire::Send(sim_, id_, *pid,
+               {kFetchKind, rid, 0, net::MakePayload(std::move(body)),
+                s.deadline, s.attempt});
+    return;
+  }
+  // Subquery source: refresh the annotation's continuation state and
+  // bound, then ship the sub-plan document itself.
+  algebra::TopKBound ann;
+  ann.order_field = s.spec.field;
+  ann.ascending = s.spec.ascending;
+  ann.k = s.spec.k;
+  ann.batch = src.batch;
+  ann.cont = src.cont;
+  ann.leaf = src.leaf;
+  if (bound.present) {
+    ann.has_bound = true;
+    ann.bound_key = bound.key;
+    ann.bound_leaf = bound.leaf;
+  }
+  if (std::as_const(*src.node).annotations().topk != ann) {
+    src.node->annotations().topk = std::move(ann);
+  }
+  algebra::Plan sub;
+  sub.set_root(src.node);
+  wire::Send(sim_, id_, *pid,
+             {kSubqueryKind, rid, 0,
+              net::MakePayload(algebra::SerializePlan(sub)), s.deadline,
+              s.attempt});
+}
+
+void Peer::HandleBoundedReply(const wire::Envelope& env) {
+  const std::string& rid = env.query_id;
+  const size_t marker = rid.rfind("#tk");
+  const auto count_unmatched = [this]() {
+    ++counters_.unmatched_replies;
+    sim_->stats().unmatched_replies++;
+  };
+  if (marker == std::string::npos) {
+    count_unmatched();
+    return;
+  }
+  const std::string qid = rid.substr(0, marker);
+  const std::string suffix = rid.substr(marker + 3);
+  const size_t dot = suffix.find('.');
+  int64_t leaf = -1;
+  int64_t cont = -1;
+  if (dot == std::string::npos ||
+      !mqp::ParseInt64(suffix.substr(0, dot), &leaf) ||
+      !mqp::ParseInt64(suffix.substr(dot + 1), &cont) || leaf < 0 ||
+      cont < 0) {
+    count_unmatched();
+    return;
+  }
+  auto it = topk_sessions_.find(qid);
+  if (it == topk_sessions_.end()) {
+    // Late replies for a recently finished session are expected noise
+    // (the terminating round's losers); anything else is unaccounted.
+    if (topk_done_set_.count(qid) == 0) count_unmatched();
+    return;
+  }
+  TopKSession& s = it->second;
+  if (env.attempt != s.attempt) return;  // a superseded attempt's reply
+  size_t idx = s.sources.size();
+  for (size_t i = 0; i < s.sources.size(); ++i) {
+    if (s.sources[i].leaf == static_cast<uint32_t>(leaf)) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == s.sources.size()) {
+    count_unmatched();
+    return;
+  }
+  const TopKSource& src = s.sources[idx];
+  // Duplicate or stale slice (a fault-plan re-delivery, or a reply that
+  // raced its own retry): the continuation offset identifies the one
+  // slice the source is waiting for.
+  if (src.done || src.cont != static_cast<uint64_t>(cont)) return;
+  MergeTopKBatch(qid, idx, env);
+}
+
+void Peer::MergeTopKBatch(const std::string& query_id, size_t idx,
+                          const wire::Envelope& env) {
+  const EngineTally tally(&counters_, &sim_->stats(), &engine_tally_depth_);
+  auto sit = topk_sessions_.find(query_id);
+  if (sit == topk_sessions_.end()) return;
+  TopKSession& s = sit->second;
+  TopKSource& src = s.sources[idx];
+  auto decoded = wire::DecodeItemBodyWithAttrs(env.body());
+  if (!decoded.ok()) {
+    ++counters_.reply_decode_failures;
+    sim_->stats().reply_decode_failures++;
+    return;  // the session stalls; the deadline timer (or a retry) recovers
+  }
+  const wire::ItemBody body = std::move(decoded).value();
+  engine::FieldAccessor key(s.spec.field);
+  uint64_t accepted = 0;
+  uint64_t seq = 0;
+  for (const auto& item : body.items) {
+    const std::string_view k = key.Eval(*item).value_or(std::string_view());
+    if (s.heap->WouldAccept(k, src.leaf)) ++accepted;
+    s.heap->Push(k, src.leaf, src.cont + seq, item);
+    ++seq;
+  }
+  const uint64_t shipped = body.items.size();
+  src.received_rows += shipped;
+  src.received_bytes += env.body().size();
+  src.total = AttrU64(body.attrs, "total", src.total);
+  src.cont = AttrU64(body.attrs, "cont", src.cont + shipped);
+  const bool more = AttrU64(body.attrs, "more", 0) != 0;
+  ++counters_.topk_batches;
+  sim_->stats().topk_batches++;
+  if (!more) {
+    src.done = true;
+  } else if (s.heap->full()) {
+    // Threshold test (the ADiT termination): the server's next eligible
+    // key rides in the reply — if the heap's k-th entry already beats
+    // it, nothing further from this source can win. The server never
+    // sees the terminal slice, so the rows it still holds are credited
+    // here (disjoint from BoundedPrefix's terminal-slice credit).
+    const std::string* next = body.attrs.Find("next");
+    if (next != nullptr && !s.heap->WouldAccept(*next, src.leaf)) {
+      src.done = true;
+      src.terminated_early = true;
+      ++counters_.topk_early_terminations;
+      sim_->stats().topk_early_terminations++;
+      if (src.total > src.received_rows) {
+        const uint64_t pruned = src.total - src.received_rows;
+        counters_.topk_rows_pruned += pruned;
+        sim_->stats().topk_rows_pruned += pruned;
+      }
+    }
+  }
+  if (!src.done) {
+    // Adapt the next window. With a full heap, a catalog histogram for
+    // the order field turns the bound into a direct estimate of how many
+    // rows at the server can still win; without one, fall back to
+    // multiplicative adaptation on the observed acceptance rate.
+    const uint64_t cap = s.spec.k > 0 ? s.spec.k : 1;
+    const uint64_t lo = std::min<uint64_t>(4, cap);
+    uint64_t batch = src.batch;
+    bool refined = false;
+    if (s.heap->full() && src.total > 0) {
+      const engine::TopKBoundRef bound = s.heap->Bound();
+      const algebra::FieldHistogram* hist =
+          std::as_const(*src.node).annotations().HistogramFor(s.spec.field);
+      if (hist != nullptr) {
+        char* end = nullptr;
+        const double v = std::strtod(bound.key.c_str(), &end);
+        if (end != bound.key.c_str() && *end == '\0') {
+          double frac = s.spec.ascending
+                            ? hist->FractionBelow(v)
+                            : 1.0 - hist->FractionBelow(v) -
+                                  hist->FractionEquals(v);
+          if (frac < 0) frac = 0;
+          const auto useful = static_cast<uint64_t>(
+              std::llround(frac * static_cast<double>(src.total)));
+          batch = useful > src.received_rows ? useful - src.received_rows
+                                             : lo;
+          refined = true;
+        }
+      }
+    }
+    if (!refined && shipped > 0) {
+      if (accepted * 2 >= shipped) {
+        batch = src.batch * 2;
+      } else if (accepted * 10 < shipped) {
+        batch = src.batch / 2;
+      }
+    }
+    src.batch = std::clamp<uint64_t>(batch, lo, cap);
+    SendTopKRequest(query_id, idx);
+    return;
+  }
+  for (const auto& other : s.sources) {
+    if (!other.done) return;
+  }
+  FinishTopKSession(query_id);
+}
+
+void Peer::FinishTopKSession(const std::string& query_id) {
+  auto it = topk_sessions_.find(query_id);
+  if (it == topk_sessions_.end()) return;
+  TopKSession s = std::move(it->second);
+  topk_sessions_.erase(it);
+  RememberTopKDone(query_id);
+  // Estimate what the bound kept off the wire: unshipped rows per source,
+  // priced at that source's observed bytes-per-row (cost-model fallback
+  // when a source shipped nothing). Benches measure real wire bytes; the
+  // counter is the per-query attribution.
+  for (const auto& src : s.sources) {
+    if (src.total <= src.received_rows) continue;
+    const uint64_t unshipped = src.total - src.received_rows;
+    const double per_row =
+        src.received_rows > 0
+            ? static_cast<double>(src.received_bytes) /
+                  static_cast<double>(src.received_rows)
+            : options_.cost.avg_item_bytes;
+    const auto saved = static_cast<uint64_t>(
+        std::llround(per_row * static_cast<double>(unshipped)));
+    counters_.topk_bytes_saved += saved;
+    sim_->stats().topk_bytes_saved += saved;
+  }
+  // The heap holds exactly the reference TopN's answer; morphing the TopN
+  // to it and re-entering the Figure-2 loop finishes the plan (remaining
+  // wrappers evaluate over constants, then delivery).
+  s.topn->MorphToData(s.heap->Finish());
+  ProcessPlan(std::move(s.plan), s.hops, s.deadline, s.attempt);
+}
+
+void Peer::OnTopKDeadline(const std::string& query_id, uint64_t generation) {
+  auto it = topk_sessions_.find(query_id);
+  if (it == topk_sessions_.end() || it->second.generation != generation) {
+    return;  // the session finished (or was superseded) before the timer
+  }
+  TopKSession s = std::move(it->second);
+  topk_sessions_.erase(it);
+  RememberTopKDone(query_id);
+  // The TopN stays unmorphed — ProcessPlan's deadline branch force-
+  // evaluates what it can and delivers the partial (PR 8 semantics: the
+  // client's retry machinery sees an incomplete plan and takes over).
+  ProcessPlan(std::move(s.plan), s.hops, s.deadline, s.attempt);
+}
+
+void Peer::RememberTopKDone(const std::string& query_id) {
+  if (!topk_done_set_.insert(query_id).second) return;
+  topk_done_ring_.push_back(query_id);
+  constexpr size_t kTopKDoneRingCap = 128;
+  if (topk_done_ring_.size() > kTopKDoneRingCap) {
+    topk_done_set_.erase(topk_done_ring_.front());
+    topk_done_ring_.pop_front();
+  }
 }
 
 }  // namespace mqp::peer

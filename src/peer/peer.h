@@ -19,6 +19,7 @@
 #include "catalog/catalog.h"
 #include "common/rng.h"
 #include "engine/local_store.h"
+#include "engine/topk_heap.h"
 #include "net/transport.h"
 #include "ns/hierarchy.h"
 #include "ns/interest.h"
@@ -191,6 +192,16 @@ struct PeerCounters {
   uint64_t failovers = 0;              ///< dead/suspect servers routed around
   uint64_t duplicates_suppressed = 0;  ///< late results for finished queries
   uint64_t partials_delivered = 0;     ///< incomplete outcomes with items
+  // Distributed top-k counters (DESIGN.md §10), mirrored into
+  // net::NetStats as they happen. All zero with the ablation knob
+  // (optimizer::set_use_distributed_topk) off.
+  uint64_t topk_batches = 0;            ///< bounded reply batches merged
+  uint64_t topk_rows_pruned = 0;        ///< rows proven dead, never shipped
+  uint64_t topk_bytes_saved = 0;        ///< est. bytes the bounds avoided
+  uint64_t topk_early_terminations = 0; ///< sources cut before exhaustion
+  // Reply-demux hygiene (asserted zero by the happy-path suites).
+  uint64_t reply_decode_failures = 0;  ///< malformed reply/subquery bodies
+  uint64_t unmatched_replies = 0;      ///< replies matching no request
 };
 
 /// \brief A network participant. Attach to any net::Transport (the
@@ -279,6 +290,14 @@ class Peer : public net::PeerNode {
 
   /// Number of replica collections created by PullIndexedData.
   size_t replica_count() const { return replicas_.size(); }
+
+  /// Drops a replica created by PullIndexedData (e.g. when its source
+  /// leaves the network). Replica ids are minted from a monotonic
+  /// counter, so a dropped id is never reused by a later pull.
+  void DropReplica(const std::string& collection_id);
+
+  /// Distributed top-k merge sessions currently coordinated here.
+  size_t topk_sessions() const { return topk_sessions_.size(); }
 
   // --- category-server API ------------------------------------------------------
 
@@ -369,6 +388,67 @@ class Peer : public net::PeerNode {
   void HandleSubquery(const wire::Envelope& env, net::PeerId from);
   std::string BuildRegisterPayload(int ttl) const;
 
+  // --- distributed top-k coordinator (DESIGN.md §10) ---------------------------
+
+  /// One remote contributor to a top-k merge: an annotated sub-plan the
+  /// coordinator streams score-ordered batches from.
+  struct TopKSource {
+    algebra::PlanNodePtr node;  ///< the annotated sub-plan (in the plan DAG)
+    std::string server;         ///< the peer answering for this sub-plan
+    bool is_fetch = false;      ///< bare URL leaf → bounded fetch
+    std::string xpath;          ///< fetch-path collection selector
+    uint32_t leaf = 0;          ///< tie-break position under the TopN
+    uint64_t cont = 0;          ///< continuation: rows received so far
+    uint64_t batch = 0;         ///< next request's window size
+    uint64_t total = 0;         ///< server-reported collection size
+    uint64_t received_rows = 0;
+    uint64_t received_bytes = 0;
+    bool done = false;
+    bool terminated_early = false;
+  };
+
+  /// An in-flight top-k merge: the parked plan, its consumer TopN, the
+  /// shared-order heap, and one TopKSource per remote sub-plan.
+  struct TopKSession {
+    algebra::Plan plan;
+    algebra::PlanNode* topn = nullptr;  ///< stable across Plan moves
+    engine::TopKSpec spec;
+    std::unique_ptr<engine::TopKHeap> heap;
+    std::vector<TopKSource> sources;
+    uint32_t hops = 0;
+    double deadline = 0;   ///< absolute; 0 = none
+    uint32_t attempt = 0;  ///< reliability attempt the session serves
+    uint64_t generation = 0;  ///< guards the deadline cleanup timer
+  };
+
+  /// Parks the plan in a merge session when its consumer TopN sits over
+  /// annotated remote sub-plans (plus constants); sends the first round
+  /// of bounded requests. False = not a top-k shape, route normally.
+  bool MaybeStartTopKSession(algebra::Plan* plan, uint32_t hops,
+                             double deadline, uint32_t attempt);
+  /// Sends the next bounded request for `sources[idx]`, carrying the
+  /// heap's current k-th bound and the adapted batch size.
+  void SendTopKRequest(const std::string& query_id, size_t idx);
+  /// Demux for bounded fetch/subquery replies ("qid#tk<leaf>.<cont>"
+  /// correlation ids); counts decode failures and unmatched replies.
+  void HandleBoundedReply(const wire::Envelope& env);
+  /// Merges one decoded batch into the session's heap; tightens the
+  /// bound, terminates or re-requests the source, finishes the session
+  /// when every source is done.
+  void MergeTopKBatch(const std::string& query_id, size_t idx,
+                      const wire::Envelope& env);
+  /// Morphs the TopN to the heap's result and resumes the Figure-2 loop.
+  void FinishTopKSession(const std::string& query_id);
+  /// Deadline cleanup: delivers the plan as a partial (TopN unmorphed).
+  void OnTopKDeadline(const std::string& query_id, uint64_t generation);
+  /// Records a finished session id so late in-flight replies are dropped
+  /// silently instead of counting as unmatched.
+  void RememberTopKDone(const std::string& query_id);
+  /// Drops rows a bound-stamped sub-plan can never contribute before the
+  /// result is folded into the plan (the local-evaluation analog of the
+  /// server-side bounded prefix).
+  void TruncateForTopK(const algebra::PlanNode& node, algebra::ItemSet* items);
+
   /// The single construction points for this peer's syncable facts —
   /// record identity is the exact field tuple, so Publish* and
   /// OwnSyncEntries must build byte-identical entries.
@@ -404,6 +484,14 @@ class Peer : public net::PeerNode {
   std::map<std::string, PendingPull> pending_pulls_;  // req → pull
   std::vector<std::string> replicas_;                 // collection ids
   uint64_t next_pull_ = 0;
+  /// Monotonic replica-id mint: survives DropReplica, so ids never reuse.
+  uint64_t next_replica_ = 0;
+
+  std::map<std::string, TopKSession> topk_sessions_;  // query id → session
+  /// Recently finished session ids (late-reply suppression).
+  std::deque<std::string> topk_done_ring_;
+  std::set<std::string> topk_done_set_;
+  uint64_t next_topk_generation_ = 0;
 
   // --- client reliability (DESIGN.md §9) ---------------------------------------
 

@@ -1,6 +1,7 @@
 #include "query/parser.h"
 
 #include <cctype>
+#include <optional>
 
 #include "common/strings.h"
 #include "ns/urn.h"
@@ -207,8 +208,9 @@ class ParserImpl {
       if (order_field.empty()) {
         return Err("LIMIT requires ORDER BY (results are otherwise unordered)");
       }
-      root = PlanNode::TopN(has_limit ? limit : UINT64_MAX / 2, order_field,
-                            ascending, std::move(root));
+      root = PlanNode::TopN(has_limit ? std::optional<uint64_t>(limit)
+                                      : std::nullopt,
+                            order_field, ascending, std::move(root));
     }
     // Projection applies last — above TopN — so ordering on a
     // non-projected field still works.

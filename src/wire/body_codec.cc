@@ -1,5 +1,7 @@
 #include "wire/body_codec.h"
 
+#include <utility>
+
 namespace mqp::wire {
 
 Result<std::string> DecodeAttrBody(std::string_view body,
@@ -24,18 +26,23 @@ Result<std::string> DecodeAttrBody(std::string_view body,
 }
 
 Result<algebra::ItemSet> DecodeItemBody(std::string_view body) {
+  MQP_ASSIGN_OR_RETURN(ItemBody decoded, DecodeItemBodyWithAttrs(body));
+  return std::move(decoded.items);
+}
+
+Result<ItemBody> DecodeItemBodyWithAttrs(std::string_view body) {
   xml::TokenReader r(body);
   MQP_ASSIGN_OR_RETURN(xml::Token t, r.Next());
   if (t.type != xml::TokenType::kStartElement) {
     return r.Error("expected a root element");
   }
-  xml::AttrList attrs;
-  MQP_ASSIGN_OR_RETURN(t, r.ReadAttrs(&attrs));
-  algebra::ItemSet items;
+  ItemBody out;
+  out.root = std::string(t.name);
+  MQP_ASSIGN_OR_RETURN(t, r.ReadAttrs(&out.attrs));
   while (t.type != xml::TokenType::kEndElement) {
     if (t.type == xml::TokenType::kStartElement) {
       MQP_ASSIGN_OR_RETURN(auto node, r.MaterializeSubtree());
-      items.push_back(algebra::Item(node.release()));
+      out.items.push_back(algebra::Item(node.release()));
     }
     MQP_ASSIGN_OR_RETURN(t, r.Next());
   }
@@ -44,7 +51,7 @@ Result<algebra::ItemSet> DecodeItemBody(std::string_view body) {
   if (t.type != xml::TokenType::kEndOfInput) {
     return Status::ParseError("expected exactly one root element, found 2");
   }
-  return items;
+  return out;
 }
 
 }  // namespace mqp::wire

@@ -28,4 +28,17 @@ Result<std::string> DecodeAttrBody(std::string_view body,
 /// attributes and text are ignored.
 Result<algebra::ItemSet> DecodeItemBody(std::string_view body);
 
+/// An item-wrapper body together with its root tag and attributes —
+/// bounded top-k replies carry the continuation protocol (total, cont,
+/// more, next, tbytes) as root attributes around the item payload.
+struct ItemBody {
+  std::string root;
+  xml::AttrList attrs;
+  algebra::ItemSet items;
+};
+
+/// \brief Like DecodeItemBody, but also returns the root tag and its
+/// attributes.
+Result<ItemBody> DecodeItemBodyWithAttrs(std::string_view body);
+
 }  // namespace mqp::wire

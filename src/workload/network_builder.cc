@@ -249,4 +249,18 @@ algebra::Plan MakeAreaQueryPlan(const ns::InterestArea& area,
   return algebra::Plan(PlanNode::Display("", std::move(body)));
 }
 
+algebra::Plan MakeTopKQueryPlan(const ns::InterestArea& area,
+                                std::string order_field, bool ascending,
+                                uint64_t k, algebra::ExprPtr predicate) {
+  using algebra::PlanNode;
+  algebra::PlanNodePtr body =
+      PlanNode::UrnRef(ns::AreaToUrn(area).ToString());
+  if (predicate != nullptr) {
+    body = PlanNode::Select(std::move(predicate), std::move(body));
+  }
+  body = PlanNode::TopN(k, std::move(order_field), ascending,
+                        std::move(body));
+  return algebra::Plan(PlanNode::Display("", std::move(body)));
+}
+
 }  // namespace mqp::workload

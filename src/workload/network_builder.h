@@ -56,6 +56,16 @@ GarageSaleNetwork BuildGarageSaleNetwork(net::Transport* sim,
 algebra::Plan MakeAreaQueryPlan(const ns::InterestArea& area,
                                 algebra::ExprPtr predicate = nullptr);
 
+/// \brief Convenience: a top-k interest-area query,
+/// topn(k, order_field)(select(predicate)(urn:InterestArea:<area>)) under
+/// a display — the shape the distributed top-k rewrite (DESIGN.md §10)
+/// turns into bounded, score-ordered remote fetches. Pass a null
+/// predicate to rank everything in the area.
+algebra::Plan MakeTopKQueryPlan(const ns::InterestArea& area,
+                                std::string order_field, bool ascending,
+                                uint64_t k,
+                                algebra::ExprPtr predicate = nullptr);
+
 // --- super-peer / hierarchical topologies (million-peer substrate) ------------
 
 /// \brief Knobs for BuildSuperPeerNetwork. The synthetic namespace is

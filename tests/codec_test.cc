@@ -4,6 +4,8 @@
 // errors on malformed inputs from both paths.
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "algebra/plan.h"
 #include "algebra/plan_xml.h"
 #include "catalog/versioned.h"
@@ -125,6 +127,22 @@ void MaybeAnnotate(Rng* rng, PlanNode* node) {
     }
     a.histograms.push_back(std::move(h));
   }
+  if (rng->NextBool(0.2)) {
+    algebra::TopKBound tk;
+    tk.order_field = rng->NextWord(4);
+    tk.ascending = rng->NextBool();
+    tk.k = 1 + rng->NextBelow(50);
+    tk.batch = rng->NextBelow(20);
+    tk.cont = rng->NextBelow(100);
+    tk.leaf = static_cast<uint32_t>(rng->NextBelow(8));
+    if (rng->NextBool(0.5)) {
+      tk.has_bound = true;
+      tk.bound_key = std::to_string(rng->NextBelow(1000)) + "." +
+                     std::to_string(rng->NextBelow(10));
+      tk.bound_leaf = static_cast<uint32_t>(rng->NextBelow(8));
+    }
+    a.topk = std::move(tk);
+  }
 }
 
 // Random operator DAG. `pool` holds previously built nodes; with some
@@ -196,9 +214,14 @@ PlanNodePtr RandomNode(Rng* rng, int depth, bool with_items,
             RandomNode(rng, depth - 1, with_items, pool));
         break;
       default:
-        node = PlanNode::TopN(rng->NextBelow(50), rng->NextWord(4),
-                              rng->NextBool(),
-                              RandomNode(rng, depth - 1, with_items, pool));
+        // Sometimes unbounded (plain ORDER BY): no n attribute on the
+        // wire, distinct from every finite limit including 0.
+        node = PlanNode::TopN(
+            rng->NextBool(0.2)
+                ? std::nullopt
+                : std::optional<uint64_t>(rng->NextBelow(50)),
+            rng->NextWord(4), rng->NextBool(),
+            RandomNode(rng, depth - 1, with_items, pool));
         break;
     }
   }
