@@ -26,6 +26,8 @@ struct ChurnRun {
   uint64_t naive_bytes = 0;  // full re-push every round, same schedule
   uint64_t total_messages = 0;
   uint64_t total_bytes = 0;
+  uint64_t queries_shed = 0;
+  uint64_t mailbox_soft_overflows = 0;
   std::string fingerprint;
 };
 
@@ -107,6 +109,8 @@ ChurnRun RunOnce(uint64_t seed, size_t sellers, bool reliable) {
       msgs_by_kind(wire::kSyncDigestKind) + msgs_by_kind(wire::kSyncDeltaKind);
   run.total_messages = st.messages;
   run.total_bytes = st.bytes;
+  run.queries_shed = st.queries_shed;
+  run.mailbox_soft_overflows = st.mailbox_soft_overflows;
   return run;
 }
 
@@ -150,6 +154,11 @@ int main() {
                rel.stats.queries_timed_out);
     bench::Row("  convergence: %d gossip round(s) after the churn window",
                a.convergence_rounds);
+    bench::Row("  overload: %llu queries shed, %llu mailbox soft "
+               "overflows (churn is a fault workload, not a flash crowd "
+               "— both should stay 0)",
+               static_cast<unsigned long long>(rel.queries_shed),
+               static_cast<unsigned long long>(rel.mailbox_soft_overflows));
     bench::Row("  gossip traffic: %llu msgs, %llu bytes; naive full "
                "re-push on the same schedule: %llu bytes (%.1fx more)",
                static_cast<unsigned long long>(a.gossip_messages),

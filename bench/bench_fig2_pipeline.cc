@@ -215,6 +215,13 @@ void BM_PipelinePerQueryWireWork(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(stats.field_accessor_hits));
   state.counters["engine_eval_us/query"] = benchmark::Counter(
       static_cast<double>(stats.engine_eval_ns) / 1e3);
+  // Overload visibility (DESIGN.md §11): both must stay zero on this
+  // uncongested path — a nonzero here means the defenses or the
+  // threaded runtime's backpressure leaked into the reference pipeline.
+  state.counters["queries_shed/query"] =
+      benchmark::Counter(static_cast<double>(stats.queries_shed));
+  state.counters["mailbox_soft_overflows/query"] = benchmark::Counter(
+      static_cast<double>(stats.mailbox_soft_overflows));
 }
 BENCHMARK(BM_PipelinePerQueryWireWork)->Arg(0)->Arg(2)->Arg(6);
 

@@ -314,12 +314,17 @@ struct PlanPolicy {
   /// Target evaluation time in seconds (0 = unconstrained).
   double time_budget_seconds = 0;
 
+  /// Scheduling priority under overload (DESIGN.md §11). 0 = best-effort;
+  /// higher values are shed later. Admission control sheds priority-0
+  /// traffic first and only refuses higher priorities past a hard ceiling.
+  uint32_t priority = 0;
+
   AnswerPreference preference = AnswerPreference::kComplete;
 
   bool Empty() const {
     return route_allow.empty() && route_avoid.empty() &&
            bind_after.empty() && time_budget_seconds == 0 &&
-           preference == AnswerPreference::kComplete;
+           priority == 0 && preference == AnswerPreference::kComplete;
   }
   bool operator==(const PlanPolicy&) const = default;
 };

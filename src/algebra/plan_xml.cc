@@ -479,6 +479,9 @@ void EmitPlanTokens(const Plan& plan, xml::TokenWriter* w) {
     if (pol.time_budget_seconds != 0) {
       w->Attr("time-budget", mqp::FormatDouble(pol.time_budget_seconds));
     }
+    if (pol.priority != 0) {
+      w->Attr("priority", std::to_string(pol.priority));
+    }
     w->Attr("prefer", pol.preference == AnswerPreference::kCurrent
                           ? "current"
                           : "complete");
@@ -800,6 +803,13 @@ Status ParsePolicyTokens(xml::TokenReader* r, PlanPolicy* p) {
       return Status::ParseError("bad time-budget");
     }
   }
+  if (const std::string* pr = attrs.Find("priority")) {
+    int64_t v = 0;
+    if (!mqp::ParseInt64(*pr, &v) || v < 0) {
+      return Status::ParseError("bad priority");
+    }
+    p->priority = static_cast<uint32_t>(v);
+  }
   p->preference = attrs.GetView("prefer", "complete") == "current"
                       ? AnswerPreference::kCurrent
                       : AnswerPreference::kComplete;
@@ -913,6 +923,9 @@ std::unique_ptr<xml::Node> PlanToXml(const Plan& plan) {
     if (pol.time_budget_seconds != 0) {
       p->SetAttr("time-budget", mqp::FormatDouble(pol.time_budget_seconds));
     }
+    if (pol.priority != 0) {
+      p->SetAttr("priority", std::to_string(pol.priority));
+    }
     p->SetAttr("prefer", pol.preference == AnswerPreference::kCurrent
                              ? "current"
                              : "complete");
@@ -987,6 +1000,13 @@ Result<Plan> PlanFromXml(const xml::Node& root) {
       if (!mqp::ParseDouble(*tb, &p.time_budget_seconds)) {
         return Status::ParseError("bad time-budget");
       }
+    }
+    if (auto pr = pol->Attr("priority")) {
+      int64_t v = 0;
+      if (!mqp::ParseInt64(*pr, &v) || v < 0) {
+        return Status::ParseError("bad priority");
+      }
+      p.priority = static_cast<uint32_t>(v);
     }
     p.preference = pol->AttrOr("prefer", "complete") == "current"
                        ? AnswerPreference::kCurrent

@@ -20,6 +20,8 @@ std::string_view ProvenanceActionName(ProvenanceAction a) {
       return "evaluated";
     case ProvenanceAction::kSpoofed:
       return "spoofed";
+    case ProvenanceAction::kShed:
+      return "shed";
   }
   return "forwarded";
 }
@@ -31,6 +33,7 @@ Result<ProvenanceAction> ProvenanceActionFromName(std::string_view name) {
   if (name == "reoptimized") return ProvenanceAction::kReoptimized;
   if (name == "evaluated") return ProvenanceAction::kEvaluated;
   if (name == "spoofed") return ProvenanceAction::kSpoofed;
+  if (name == "shed") return ProvenanceAction::kShed;
   return Status::ParseError("unknown provenance action '" +
                             std::string(name) + "'");
 }

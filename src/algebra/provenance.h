@@ -30,6 +30,7 @@ enum class ProvenanceAction {
   kReoptimized,  ///< rewrote the plan
   kEvaluated,    ///< reduced a sub-plan to constant data
   kSpoofed,      ///< test hook: recorded a deliberately false entry
+  kShed,         ///< refused under overload; plan returned unevaluated
 };
 
 std::string_view ProvenanceActionName(ProvenanceAction a);

@@ -6,6 +6,7 @@
 // receives sub-plans selected by the policy manager).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -41,6 +42,10 @@ struct EngineStats {
   /// migration-path truncations. Never incremented by plain TopNOp, so
   /// the ablated ship-everything reference stays at zero.
   uint64_t topk_rows_pruned = 0;
+  /// Evaluations aborted mid-stream because their ScopedEvalBudget ran
+  /// dry (DESIGN.md §11): the operator checkpoint that crossed the limit
+  /// failed the evaluation with kTimeout so a partial could be delivered.
+  uint64_t budget_aborts = 0;
 };
 
 /// Cumulative engine counters (monotonic).
@@ -56,6 +61,58 @@ EngineStats& MutableStats();
 /// tests and bench C10 compare the two modes.
 void set_use_shared_store(bool on);
 bool use_shared_store();
+
+/// \brief Per-evaluation resource budget (DESIGN.md §11). The peer
+/// installs one thread-locally (ScopedEvalBudget) around each engine
+/// entry — sub-plan evaluation, fetch/subquery service — after
+/// converting a query's remaining deadline into a deterministic row
+/// allowance. Operators charge the budget at their checkpoints (source
+/// scans, join outputs, the Evaluate drain); the first charge past a
+/// limit fails the evaluation with kTimeout, counted in
+/// EngineStats::budget_aborts, so the caller delivers a partial promptly
+/// instead of burning the core. Zero fields are unlimited.
+struct EvalLimits {
+  /// Rows produced across row checkpoints (source-scan and join output).
+  uint64_t max_rows = 0;
+  /// Serialized bytes of rows delivered from Evaluate's drain.
+  uint64_t max_bytes = 0;
+  /// Wall-clock cap on one evaluation (steady clock, probed every 128
+  /// rows). Non-deterministic by nature — simulated backends use the row
+  /// allowance instead; this backstops wall-clock runtimes.
+  double max_eval_seconds = 0;
+};
+
+namespace internal {
+/// Thread-local active-budget bookkeeping behind ScopedEvalBudget.
+struct BudgetState {
+  bool active = false;
+  bool rows_limited = false;
+  bool bytes_limited = false;
+  bool time_limited = false;
+  bool exhausted = false;
+  uint64_t rows_left = 0;
+  uint64_t bytes_left = 0;
+  uint32_t probe_countdown = 0;
+  std::chrono::steady_clock::time_point deadline{};
+};
+BudgetState& Budget();
+}  // namespace internal
+
+/// RAII: installs `limits` as the calling thread's active evaluation
+/// budget. Guards nest; the innermost wins and destruction restores the
+/// enclosing budget (or no budget). Default-constructed EvalLimits
+/// installs "unlimited", which is how a scope opts out beneath an outer
+/// budget.
+class ScopedEvalBudget {
+ public:
+  explicit ScopedEvalBudget(const EvalLimits& limits);
+  ~ScopedEvalBudget();
+  ScopedEvalBudget(const ScopedEvalBudget&) = delete;
+  ScopedEvalBudget& operator=(const ScopedEvalBudget&) = delete;
+
+ private:
+  internal::BudgetState saved_;
+};
 
 /// \brief Pull-based physical operator.
 class Operator {

@@ -11,6 +11,7 @@
 #include "engine/field_accessor.h"
 #include "engine/operator.h"
 #include "engine/topk_heap.h"
+#include "xml/writer.h"
 
 namespace mqp::engine {
 
@@ -21,16 +22,82 @@ namespace {
 // ablation flipped only while the whole process is quiescent.
 thread_local EngineStats g_stats;
 bool g_use_shared_store = true;
+// The active evaluation budget (DESIGN.md §11); inactive by default so
+// unbudgeted evaluations pay one boolean test per checkpoint.
+thread_local internal::BudgetState g_budget;
+
+// Steady-clock probes are amortized: the wall-clock limit is only
+// consulted every this many row charges.
+constexpr uint32_t kTimeProbeInterval = 128;
+
+Status BudgetExhausted() {
+  if (!g_budget.exhausted) {
+    g_budget.exhausted = true;
+    ++g_stats.budget_aborts;  // first trip only: one abort per budget
+  }
+  return Status::Timeout("evaluation budget exhausted");
+}
+
+// Charges one produced row against the active budget.
+Status ChargeRow() {
+  internal::BudgetState& b = g_budget;
+  if (!b.active) return Status::OK();
+  if (b.exhausted) return Status::Timeout("evaluation budget exhausted");
+  if (b.rows_limited) {
+    if (b.rows_left == 0) return BudgetExhausted();
+    --b.rows_left;
+  }
+  if (b.time_limited && --b.probe_countdown == 0) {
+    b.probe_countdown = kTimeProbeInterval;
+    if (std::chrono::steady_clock::now() >= b.deadline) {
+      return BudgetExhausted();
+    }
+  }
+  return Status::OK();
+}
+
+// Charges a delivered item's serialized size against the byte limit.
+Status ChargeItemBytes(const algebra::Item& item) {
+  internal::BudgetState& b = g_budget;
+  if (!b.active || !b.bytes_limited) return Status::OK();
+  if (b.exhausted) return Status::Timeout("evaluation budget exhausted");
+  const uint64_t bytes = xml::SerializedSize(*item);
+  if (bytes > b.bytes_left) return BudgetExhausted();
+  b.bytes_left -= bytes;
+  return Status::OK();
+}
 }  // namespace
 
 const EngineStats& Stats() { return g_stats; }
 
 namespace internal {
 EngineStats& MutableStats() { return g_stats; }
+
+BudgetState& Budget() { return g_budget; }
 }  // namespace internal
 
 void set_use_shared_store(bool on) { g_use_shared_store = on; }
 bool use_shared_store() { return g_use_shared_store; }
+
+ScopedEvalBudget::ScopedEvalBudget(const EvalLimits& limits)
+    : saved_(g_budget) {
+  internal::BudgetState b;
+  b.rows_limited = limits.max_rows > 0;
+  b.rows_left = limits.max_rows;
+  b.bytes_limited = limits.max_bytes > 0;
+  b.bytes_left = limits.max_bytes;
+  b.time_limited = limits.max_eval_seconds > 0;
+  if (b.time_limited) {
+    b.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(limits.max_eval_seconds));
+  }
+  b.probe_countdown = kTimeProbeInterval;
+  b.active = b.rows_limited || b.bytes_limited || b.time_limited;
+  g_budget = b;
+}
+
+ScopedEvalBudget::~ScopedEvalBudget() { g_budget = saved_; }
 
 namespace {
 
@@ -53,6 +120,7 @@ class DataScan : public Operator {
 
   Result<std::optional<Item>> Next() override {
     if (pos_ >= items_.size()) return std::optional<Item>();
+    MQP_RETURN_IF_ERROR(ChargeRow());
     return std::optional<Item>(items_[pos_++]);
   }
 
@@ -251,6 +319,8 @@ class Join : public Operator {
   Result<std::optional<Item>> Next() override {
     while (true) {
       if (matches_ != nullptr && match_pos_ < matches_->size()) {
+        // Joins can amplify: charge merged outputs, not just source rows.
+        MQP_RETURN_IF_ERROR(ChargeRow());
         const Item& r = build_[(*matches_)[match_pos_++]];
         return std::optional<Item>(MergeItems(*probe_, *r));
       }
@@ -644,6 +714,7 @@ Result<algebra::ItemSet> Evaluate(const PlanNode& plan, DataSource* source) {
     while (true) {
       MQP_ASSIGN_OR_RETURN(auto item, op->Next());
       if (!item) break;
+      MQP_RETURN_IF_ERROR(ChargeItemBytes(*item));
       out.push_back(*item);
     }
     op->Close();

@@ -48,11 +48,14 @@
 //               over binding alternatives, partial-result degradation),
 //               and distributed top-k merge sessions (DESIGN.md §10:
 //               bounded score-ordered batches, threshold early
-//               termination, adaptive windows)
+//               termination, adaptive windows), plus overload protection
+//               (DESIGN.md §11: admission control, priority-aware RED
+//               shedding over a virtual service-time model, per-query
+//               evaluation budgets, cooperative cancellation)
 //   baseline/   Napster / Gnutella / coordinator baselines
 //   workload/   garage-sale, CD-market, gene-expression generators, the
-//               churn scenario driver, and topology builders (garage-sale
-//               tree, super-peer hierarchies)
+//               churn and flash-crowd scenario drivers, and topology
+//               builders (garage-sale tree, super-peer hierarchies)
 //
 // Layering is strictly:
 //   common/xml/ns → algebra → net → wire → runtime → sync →
@@ -106,6 +109,7 @@
 #include "wire/plan_codec.h"
 #include "workload/cd_market.h"
 #include "workload/churn.h"
+#include "workload/flash_crowd.h"
 #include "workload/garage_sale.h"
 #include "workload/gene_expression.h"
 #include "workload/network_builder.h"

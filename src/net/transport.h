@@ -154,6 +154,28 @@ struct NetStats {
   uint64_t reply_decode_failures = 0;
   uint64_t unmatched_replies = 0;
 
+  // Overload-protection counters (DESIGN.md §11), fed by the peers:
+  // queries refused by admission control (shed replies returned
+  // unevaluated), evaluations aborted mid-stream by an expired
+  // per-query resource budget (engine::EngineStats::budget_aborts),
+  // cancel messages fanned out when a query completed / timed out / was
+  // shed, and remote top-k merge sessions or queued plans a received
+  // cancel reaped. All zero when peer::set_use_overload_protection is
+  // off.
+  uint64_t queries_shed = 0;
+  uint64_t budget_aborts = 0;
+  uint64_t cancels_sent = 0;
+  uint64_t cancelled_sessions_reaped = 0;
+
+  // TcpTransport outbound backpressure (DESIGN.md §11, parity with the
+  // mailbox counters above): external senders that blocked on a full
+  // bounded per-connection send queue, and transport-internal threads
+  // (readers/timers relaying) that bypassed the bound instead — they
+  // must never block, or two full peers relaying to each other would
+  // deadlock the transport.
+  uint64_t tcp_send_queue_waits = 0;
+  uint64_t tcp_send_soft_overflows = 0;
+
   /// Zeroes every counter while keeping the per-kind arrays' capacity —
   /// bench reset loops must not reallocate.
   void Clear() {
@@ -195,6 +217,12 @@ struct NetStats {
     topk_early_terminations = 0;
     reply_decode_failures = 0;
     unmatched_replies = 0;
+    queries_shed = 0;
+    budget_aborts = 0;
+    cancels_sent = 0;
+    cancelled_sessions_reaped = 0;
+    tcp_send_queue_waits = 0;
+    tcp_send_soft_overflows = 0;
   }
 
   /// Adds every counter of `other` into this (shard merge-on-read).
@@ -237,6 +265,12 @@ struct NetStats {
     topk_early_terminations += other.topk_early_terminations;
     reply_decode_failures += other.reply_decode_failures;
     unmatched_replies += other.unmatched_replies;
+    queries_shed += other.queries_shed;
+    budget_aborts += other.budget_aborts;
+    cancels_sent += other.cancels_sent;
+    cancelled_sessions_reaped += other.cancelled_sessions_reaped;
+    tcp_send_queue_waits += other.tcp_send_queue_waits;
+    tcp_send_soft_overflows += other.tcp_send_soft_overflows;
   }
 };
 

@@ -51,16 +51,19 @@ class EngineTally {
         now.structural_hash_probes - before_.structural_hash_probes;
     const uint64_t ns = now.engine_eval_ns - before_.engine_eval_ns;
     const uint64_t pruned = now.topk_rows_pruned - before_.topk_rows_pruned;
+    const uint64_t aborts = now.budget_aborts - before_.budget_aborts;
     counters_->items_cloned += cloned;
     counters_->field_accessor_hits += hits;
     counters_->structural_hash_probes += probes;
     counters_->engine_eval_ns += ns;
     counters_->topk_rows_pruned += pruned;
+    counters_->budget_aborts += aborts;
     stats_->items_cloned += cloned;
     stats_->field_accessor_hits += hits;
     stats_->structural_hash_probes += probes;
     stats_->engine_eval_ns += ns;
     stats_->topk_rows_pruned += pruned;
+    stats_->budget_aborts += aborts;
   }
 
   EngineTally(const EngineTally&) = delete;
@@ -73,7 +76,33 @@ class EngineTally {
   engine::EngineStats before_;
 };
 
+// FNV-1a, the shed coin's hash: the coin must be a pure function of
+// (seed, query id, attempt), identical across backends and standard
+// libraries (std::hash is implementation-defined, so it cannot be the
+// coin).
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Fnv1a(uint64_t h, std::string_view s) {
+  for (const unsigned char c : s) {
+    h = (h ^ c) * kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((v >> (8 * i)) & 0xffu)) * kFnvPrime;
+  }
+  return h;
+}
+
+bool g_use_overload_protection = true;
+
 }  // namespace
+
+void set_use_overload_protection(bool on) { g_use_overload_protection = on; }
+bool use_overload_protection() { return g_use_overload_protection; }
 
 Peer::Peer(net::Transport* sim, PeerOptions options)
     : sim_(sim), options_(std::move(options)) {
@@ -365,6 +394,33 @@ void Peer::DropReplica(const std::string& collection_id) {
 }
 
 std::string Peer::SubmitQuery(Plan plan, Callback cb) {
+  const OverloadOptions& ov = options_.overload;
+  if (OverloadActive() && ov.max_pending_queries > 0) {
+    // Client-side admission (DESIGN.md §11): a bounded pending budget.
+    // Priority-0 submissions are refused at the watermark; higher
+    // priorities may overshoot up to the ceiling before they too are
+    // refused. Nothing is sent — the caller hears `shed` synchronously
+    // and can retry later or degrade.
+    size_t limit = ov.max_pending_queries;
+    if (plan.policy().priority > 0) {
+      limit = std::max<size_t>(
+          limit, static_cast<size_t>(static_cast<double>(limit) *
+                                     ov.high_priority_ceiling));
+    }
+    if (pending_.size() >= limit) {
+      std::string shed_qid =
+          options_.name + "-q" + std::to_string(next_query_++);
+      ++counters_.queries_shed;
+      sim_->stats().queries_shed++;
+      QueryOutcome outcome;
+      outcome.query_id = shed_qid;
+      outcome.shed = true;
+      outcome.submitted_at = sim_->now();
+      outcome.completed_at = sim_->now();
+      if (cb) cb(outcome);
+      return shed_qid;
+    }
+  }
   std::string qid = options_.name + "-q" + std::to_string(next_query_++);
   plan.set_query_id(qid);
   plan.set_submitted_at(sim_->now());
@@ -419,20 +475,9 @@ void Peer::HandleMessage(const net::Message& msg) {
   if (!decoded.ok()) return;  // malformed frames are dropped
   const wire::Envelope env = std::move(decoded).value();
   if (env.kind == kMqpKind) {
-    // dom_nodes_built spans the entire hop — decode through forward — so
-    // a pure routing hop can be asserted to build zero xml::Nodes.
-    const uint64_t nodes_before = xml::DomNodesBuilt();
-    const net::NetStats& stats = sim_->stats();
-    const uint64_t decode_ns_before = stats.plan_decode_ns;
-    const uint64_t token_decodes_before = stats.token_decodes;
-    auto plan = wire::ParsePlanShared(env.payload, &sim_->stats());
-    counters_.plan_decode_ns += stats.plan_decode_ns - decode_ns_before;
-    counters_.token_decodes += stats.token_decodes - token_decodes_before;
-    if (!plan.ok()) return;  // malformed plans are dropped
-    ++counters_.plan_parses;
-    ++counters_.plans_received;
-    ProcessPlan(std::move(plan).value(), env.hops, env.deadline, env.attempt);
-    counters_.dom_nodes_built += xml::DomNodesBuilt() - nodes_before;
+    HandleMqp(env);
+  } else if (env.kind == kCancelKind) {
+    HandleCancel(env);
   } else if (env.kind == kResultKind) {
     HandleResult(env);
   } else if (env.kind == kRegisterKind) {
@@ -505,12 +550,29 @@ void Peer::ProcessPlan(Plan plan, uint32_t hops, double deadline,
   // scope spans the whole loop: annotation fetches, locality probes and
   // sub-plan evaluation all touch the store/engine.
   const EngineTally tally(&counters_, &sim_->stats(), &engine_tally_depth_);
+  // Under the overload service model a plan whose deadline already passed
+  // skips the whole resolve/optimize pass: RouteOrDeliver's deadline
+  // branch salvages what it can under the floor budget and delivers the
+  // partial — nobody is waiting for a better answer (DESIGN.md §11).
+  if (OverloadActive() && options_.overload.service_rate_qps > 0 &&
+      deadline > 0 && sim_->now() >= deadline) {
+    RouteOrDeliver(std::move(plan), hops, deadline, attempt);
+    return;
+  }
   // ResolveUrns records one kBound provenance entry per URN it binds (the
   // entry's detail is the bound URN — §5.1's "catalog improvement" data).
   const int bound = ResolveUrns(&plan);
   AnnotateLocalUrls(&plan);
   ApplyRewrites(&plan);
-  const int reduced = EvaluateSubplans(&plan);
+  int reduced = 0;
+  {
+    // Sub-plan evaluation runs under the query's remaining-deadline row
+    // allowance: a budget expiring mid-scan aborts the evaluation with
+    // kTimeout, the sub-plan stays unreduced, and the partial flows out
+    // through the normal incomplete-plan machinery.
+    const engine::ScopedEvalBudget budget(EvalLimitsFor(deadline));
+    reduced = EvaluateSubplans(&plan);
+  }
   if (options_.record_provenance) {
     if (reduced > 0) {
       AddProvenance(&plan, ProvenanceAction::kEvaluated,
@@ -880,7 +942,17 @@ void Peer::RouteOrDeliver(Plan plan, uint32_t hops, double deadline,
   // reducible here, and return the plan as-is — a partial answer with
   // provenance naming what went unanswered beats silence (DESIGN.md §9).
   if (deadline > 0 && sim_->now() >= deadline) {
-    ForceEvaluate(&plan);
+    {
+      // Past-deadline salvage is floor-budgeted when budgets are
+      // configured: reduce the cheap parts, never burn the core scanning
+      // a large collection nobody is still waiting for (DESIGN.md §11).
+      engine::EvalLimits lim;
+      if (OverloadActive() && options_.overload.budget_rows_per_second > 0) {
+        lim.max_rows = options_.overload.min_budget_rows;
+      }
+      const engine::ScopedEvalBudget budget(lim);
+      ForceEvaluate(&plan);
+    }
     if (!plan.IsFullyEvaluated() && options_.record_provenance) {
       AddProvenance(&plan, ProvenanceAction::kForwarded,
                     "deadline-expired unanswered:" +
@@ -1009,6 +1081,11 @@ void Peer::RouteOrDeliver(Plan plan, uint32_t hops, double deadline,
     ++counters_.failovers;
     sim_->stats().failovers++;
   }
+  if (auto pit = pending_.find(plan.query_id()); pit != pending_.end()) {
+    // This peer is the query's own client: remember the first hop so a
+    // later cancel fan-out can reach the work (DESIGN.md §11).
+    pit->second.contacted.insert(best);
+  }
   ++counters_.plans_forwarded;
   net::Payload body = PlanBody(plan);
   wire::Send(sim_, id_, *pid,
@@ -1093,6 +1170,12 @@ void Peer::HandleResultPlan(Plan plan, size_t wire_bytes) {
     // partial goes out now.
     const std::string qid = plan.query_id();
     SuspectUnansweredLeaves(plan);
+    // Shed markers are authoritative refusals (DESIGN.md §11):
+    // quarantine the shedding servers so the retry binds and routes
+    // around the hot spot instead of queueing behind it again.
+    for (const auto& e : plan.provenance().entries()) {
+      if (e.action == ProvenanceAction::kShed) Suspect(e.server);
+    }
     QueryOutcome partial;
     partial.query_id = qid;
     partial.complete = false;
@@ -1134,6 +1217,12 @@ void Peer::HandleResultPlan(Plan plan, size_t wire_bytes) {
   outcome.attempts = p.attempt + 1;
   outcome.final_plan = std::move(plan);
   Callback cb = std::move(p.callback);
+  if (OverloadActive() && p.attempt > 0) {
+    // A retried query may have superseded attempts still live in the
+    // network; reap them. Fault-free single-attempt traffic skips this,
+    // keeping its wire traces byte-identical.
+    SendCancels(outcome.query_id, p);
+  }
   RememberCompleted(outcome.query_id);
   pending_.erase(it);
   if (cb) cb(outcome);
@@ -1277,6 +1366,9 @@ void Peer::GiveUp(const std::string& query_id) {
     sim_->stats().partials_delivered++;
   }
   Callback cb = std::move(p.callback);
+  // Giving up abandons every in-flight attempt: tell the servers that
+  // hold its work to stop (DESIGN.md §11).
+  if (OverloadActive()) SendCancels(query_id, p);
   RememberCompleted(query_id);
   pending_.erase(it);
   if (cb) cb(outcome);
@@ -1634,6 +1726,10 @@ void Peer::HandleFetch(const wire::Envelope& env, net::PeerId from) {
 
 void Peer::HandleSubquery(const wire::Envelope& env, net::PeerId from) {
   const EngineTally tally(&counters_, &sim_->stats(), &engine_tally_depth_);
+  // Subquery evaluation honors the requesting query's remaining deadline
+  // (DESIGN.md §11); an exhausted budget yields the empty reply below,
+  // which the coordinator's deadline/retry machinery already handles.
+  const engine::ScopedEvalBudget budget(EvalLimitsFor(env.deadline));
   // The body is the sub-plan's <mqp> document itself (the coordinator
   // stopped wrapping it; correlation rides in the envelope header).
   auto plan = algebra::ParsePlan(env.body());
@@ -1821,6 +1917,13 @@ bool Peer::MaybeStartTopKSession(Plan* plan, uint32_t hops, double deadline,
     s.sources[i].batch = std::clamp<uint64_t>(b, 1, spec.k);
   }
   const std::string qid = plan->query_id();
+  if (auto pit = pending_.find(qid); pit != pending_.end()) {
+    // Coordinating our own query: the streamed sources hold per-slice
+    // work a cancel should reach.
+    for (const auto& src : s.sources) {
+      pit->second.contacted.insert(src.server);
+    }
+  }
   s.plan = std::move(*plan);
   s.topn = topn;
   s.hops = hops;
@@ -2105,6 +2208,189 @@ void Peer::RememberTopKDone(const std::string& query_id) {
     topk_done_set_.erase(topk_done_ring_.front());
     topk_done_ring_.pop_front();
   }
+}
+
+// --- overload protection (DESIGN.md §11) -------------------------------------------
+
+bool Peer::OverloadActive() const {
+  return use_overload_protection() && options_.overload.enabled;
+}
+
+void Peer::HandleMqp(const wire::Envelope& env) {
+  // dom_nodes_built spans the entire hop — decode through forward — so a
+  // pure routing hop can be asserted to build zero xml::Nodes.
+  const uint64_t nodes_before = xml::DomNodesBuilt();
+  const net::NetStats& stats = sim_->stats();
+  const uint64_t decode_ns_before = stats.plan_decode_ns;
+  const uint64_t token_decodes_before = stats.token_decodes;
+  auto parsed = wire::ParsePlanShared(env.payload, &sim_->stats());
+  counters_.plan_decode_ns += stats.plan_decode_ns - decode_ns_before;
+  counters_.token_decodes += stats.token_decodes - token_decodes_before;
+  if (!parsed.ok()) return;  // malformed plans are dropped
+  ++counters_.plan_parses;
+  ++counters_.plans_received;
+  Plan plan = std::move(parsed).value();
+  const OverloadOptions& ov = options_.overload;
+  if (OverloadActive() && cancelled_set_.count(plan.query_id()) > 0) {
+    // The client already tore this query down; servicing it is waste.
+    ++counters_.cancelled_sessions_reaped;
+    sim_->stats().cancelled_sessions_reaped++;
+    counters_.dom_nodes_built += xml::DomNodesBuilt() - nodes_before;
+    return;
+  }
+  if (ov.service_rate_qps <= 0) {
+    // No service-time model: process at arrival (the pre-§11 path —
+    // default traces stay byte-identical).
+    ProcessPlan(std::move(plan), env.hops, env.deadline, env.attempt);
+    counters_.dom_nodes_built += xml::DomNodesBuilt() - nodes_before;
+    return;
+  }
+  // The modeled core serves one plan per 1/rate seconds; arrivals queue
+  // behind busy_until_. The model runs even when the protection is
+  // ablated — it is the hardware, not the policy; the policy is deciding
+  // *not* to join a hopeless queue.
+  const double now = sim_->now();
+  const double start = std::max(now, busy_until_);
+  if (OverloadActive() && env.deadline > 0 &&
+      start + 1.0 / ov.service_rate_qps > env.deadline) {
+    // Even served next, this plan's results would leave past its
+    // deadline. Refuse instead of burning a core slot on a query nobody
+    // will wait for: the partial evaluated so far goes back *now* —
+    // before the client's own deadline fires — and the kShed marker
+    // quarantines this hop so a retry binds elsewhere.
+    ShedPlan(std::move(plan), env.deadline, env.attempt);
+    counters_.dom_nodes_built += xml::DomNodesBuilt() - nodes_before;
+    return;
+  }
+  if (OverloadActive() &&
+      ShouldShed(start - now, plan.policy().priority, plan.query_id(),
+                 env.attempt)) {
+    ShedPlan(std::move(plan), env.deadline, env.attempt);
+    counters_.dom_nodes_built += xml::DomNodesBuilt() - nodes_before;
+    return;
+  }
+  // The plan occupies the core for [start, start + 1/rate) and its
+  // results leave at service *completion* — a lone plan on an idle peer
+  // still costs one service time, not zero (M/D/1, not a pure queue).
+  busy_until_ = start + 1.0 / ov.service_rate_qps;
+  sim_->ScheduleFor(
+      id_, busy_until_,
+      [this, p = std::move(plan), hops = env.hops, deadline = env.deadline,
+       attempt = env.attempt]() mutable {
+        if (OverloadActive() && cancelled_set_.count(p.query_id()) > 0) {
+          // Cancelled while queued: reap instead of serving.
+          ++counters_.cancelled_sessions_reaped;
+          sim_->stats().cancelled_sessions_reaped++;
+          return;
+        }
+        const uint64_t nb = xml::DomNodesBuilt();
+        ProcessPlan(std::move(p), hops, deadline, attempt);
+        counters_.dom_nodes_built += xml::DomNodesBuilt() - nb;
+      });
+  counters_.dom_nodes_built += xml::DomNodesBuilt() - nodes_before;
+}
+
+bool Peer::ShouldShed(double projected_delay, uint32_t priority,
+                      const std::string& query_id, uint32_t attempt) {
+  const OverloadOptions& ov = options_.overload;
+  if (ov.shed_delay_seconds <= 0) return false;
+  if (priority > 0) {
+    // High-priority traffic is refused only past the hard ceiling —
+    // beyond it, admitting more would starve everything already queued.
+    return projected_delay >=
+           ov.shed_delay_seconds * ov.high_priority_ceiling;
+  }
+  if (projected_delay >= ov.shed_delay_seconds) return true;
+  const double knee = ov.early_shed_fraction * ov.shed_delay_seconds;
+  if (projected_delay <= knee) return false;
+  // RED-style gray zone: shed with probability ramping linearly from 0
+  // at the knee to 1 at the watermark, so pressure is released gradually
+  // instead of oscillating around a hard edge. The coin is a pure
+  // function of (seed, query id, attempt) — every backend, and every
+  // rerun, flips it the same way.
+  const double p = (projected_delay - knee) / (ov.shed_delay_seconds - knee);
+  uint64_t h = Fnv1a(kFnvOffset, ov.seed);
+  h = Fnv1a(h, query_id);
+  h = Fnv1a(h, static_cast<uint64_t>(attempt));
+  const double coin = static_cast<double>(h % 1000000ULL) / 1e6;
+  return coin < p;
+}
+
+void Peer::ShedPlan(Plan plan, double deadline, uint32_t attempt) {
+  ++counters_.queries_shed;
+  sim_->stats().queries_shed++;
+  // The marker is recorded even when provenance is otherwise ablated: it
+  // is the wire signal the client's failover keys on (quarantine the hot
+  // server, rebind elsewhere), not an audit note.
+  AddProvenance(&plan, ProvenanceAction::kShed, "overload");
+  DeliverToTarget(std::move(plan), deadline, attempt);
+}
+
+engine::EvalLimits Peer::EvalLimitsFor(double deadline) const {
+  engine::EvalLimits lim;
+  if (!OverloadActive()) return lim;
+  const OverloadOptions& ov = options_.overload;
+  lim.max_eval_seconds = ov.max_eval_seconds;
+  if (ov.budget_rows_per_second > 0 && deadline > 0) {
+    // Remaining virtual time converts to a deterministic row allowance
+    // (a wall-clock cap would differ run to run); the floor keeps tiny
+    // salvage evaluations finishable even at the deadline's edge.
+    const double remaining = deadline - sim_->now();
+    uint64_t rows = 0;
+    if (remaining > 0) {
+      rows = static_cast<uint64_t>(
+          remaining * static_cast<double>(ov.budget_rows_per_second));
+    }
+    lim.max_rows = std::max(rows, ov.min_budget_rows);
+  }
+  return lim;
+}
+
+void Peer::SendCancels(const std::string& query_id, const Pending& p) {
+  // Fan out to every server this query's attempts touched: the first
+  // hops it was forwarded to, plus everything the best partial's
+  // provenance names (servers later hops pulled in).
+  std::set<std::string> targets = p.contacted;
+  if (p.best_partial != nullptr) {
+    for (const auto& e : p.best_partial->provenance.entries()) {
+      targets.insert(e.server);
+    }
+  }
+  targets.erase(address());
+  for (const auto& t : targets) {
+    auto pid = sim_->Lookup(t);
+    if (!pid.ok() || *pid == id_) continue;
+    ++counters_.cancels_sent;
+    sim_->stats().cancels_sent++;
+    wire::Send(sim_, id_, *pid, {kCancelKind, query_id, 0, net::Payload()});
+  }
+}
+
+void Peer::HandleCancel(const wire::Envelope& env) {
+  if (!OverloadActive()) return;
+  const std::string& qid = env.query_id;
+  if (qid.empty()) return;
+  // Idempotent under FaultInjector duplication: only the first copy of a
+  // cancel does any work.
+  if (!RememberCancelled(qid)) return;
+  auto it = topk_sessions_.find(qid);
+  if (it != topk_sessions_.end()) {
+    topk_sessions_.erase(it);
+    RememberTopKDone(qid);
+    ++counters_.cancelled_sessions_reaped;
+    sim_->stats().cancelled_sessions_reaped++;
+  }
+}
+
+bool Peer::RememberCancelled(const std::string& query_id) {
+  if (!cancelled_set_.insert(query_id).second) return false;
+  cancelled_ring_.push_back(query_id);
+  constexpr size_t kCancelledRingCap = 256;
+  if (cancelled_ring_.size() > kCancelledRingCap) {
+    cancelled_set_.erase(cancelled_ring_.front());
+    cancelled_ring_.pop_front();
+  }
+  return true;
 }
 
 }  // namespace mqp::peer

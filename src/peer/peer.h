@@ -19,6 +19,7 @@
 #include "catalog/catalog.h"
 #include "common/rng.h"
 #include "engine/local_store.h"
+#include "engine/operator.h"
 #include "engine/topk_heap.h"
 #include "net/transport.h"
 #include "ns/hierarchy.h"
@@ -43,6 +44,7 @@ inline constexpr auto kSubqueryKind = wire::kSubqueryKind;
 inline constexpr auto kSubqueryReplyKind = wire::kSubqueryReplyKind;
 inline constexpr auto kSyncDigestKind = wire::kSyncDigestKind;
 inline constexpr auto kSyncDeltaKind = wire::kSyncDeltaKind;
+inline constexpr auto kCancelKind = wire::kCancelKind;
 
 /// \brief Which §3.2 roles this peer performs (freely composable).
 struct PeerRoles {
@@ -84,6 +86,61 @@ struct ReliabilityOptions {
   double suspicion_ttl_seconds = 60;
 
   /// Seeds the per-peer jitter stream (combined with the peer id).
+  uint64_t seed = 1;
+};
+
+/// \brief Overload-protection knobs (DESIGN.md §11). ANDed with the
+/// global peer::set_use_overload_protection ablation: with either off,
+/// the peer accepts every query, never sheds, never aborts an
+/// evaluation, and never cancels — the pre-overload reference. The
+/// defaults are inert (no service-time model, no row budgets), so a
+/// peer that never configures this struct behaves byte-identically to
+/// before the layer existed.
+struct OverloadOptions {
+  bool enabled = true;
+
+  /// Modeled service rate for remote plan processing, in queries per
+  /// virtual second. 0 keeps handlers instantaneous in virtual time —
+  /// the pre-overload behaviour. When set, each admitted remote plan
+  /// occupies this peer for 1/rate seconds and later arrivals queue
+  /// behind it (deferred via transport timers), which is what gives
+  /// overload a latency consequence on simulated backends. The queue's
+  /// projected delay is also what admission control sheds on. Applies
+  /// in ablated mode too: it models the peer's capacity, not the
+  /// protection.
+  double service_rate_qps = 0;
+
+  /// Projected-queueing-delay watermark (seconds) past which
+  /// best-effort (priority-0) plans are refused outright.
+  double shed_delay_seconds = 2.0;
+  /// RED-style gray zone: past `early_shed_fraction * shed_delay_seconds`
+  /// best-effort plans are shed probabilistically (linearly ramping to
+  /// certainty at the watermark), by a seeded coin that is a pure
+  /// function of (seed, query id, attempt) — bit-identical across
+  /// backends, the FaultInjector pattern.
+  double early_shed_fraction = 0.5;
+  /// Higher-priority plans (policy priority > 0) are refused only past
+  /// this multiple of the watermark.
+  double high_priority_ceiling = 4.0;
+
+  /// Client-side admission: refuse SubmitQuery outright (outcome
+  /// `shed`, complete=false) while this many queries are already
+  /// pending here. 0 = unlimited.
+  size_t max_pending_queries = 0;
+
+  /// Deadline → row-allowance conversion for the per-query engine
+  /// budget: an evaluation may produce (remaining deadline seconds ×
+  /// this rate) rows before it aborts with a partial. 0 disables row
+  /// budgets (the default).
+  uint64_t budget_rows_per_second = 0;
+  /// Allowance floor so an almost-expired query still makes progress —
+  /// also the whole allowance for post-deadline salvage evaluation.
+  uint64_t min_budget_rows = 256;
+  /// Wall-clock backstop per evaluation (engine::EvalLimits), for
+  /// runtimes without a virtual clock. 0 = none.
+  double max_eval_seconds = 0;
+
+  /// Seeds the shed-coin stream (combined with the query id + attempt).
   uint64_t seed = 1;
 };
 
@@ -134,7 +191,20 @@ struct PeerOptions {
 
   /// Client-side reliability: deadlines, retries, failover, partials.
   ReliabilityOptions reliability;
+
+  /// Overload protection: admission control, per-query resource
+  /// budgets, priority shedding, cooperative cancellation (DESIGN.md
+  /// §11).
+  OverloadOptions overload;
 };
+
+/// Global ablation knob (DESIGN.md §11), ANDed with each peer's
+/// OverloadOptions.enabled: false disables admission control, engine
+/// budgets, and cancellation everywhere — the reference the overload
+/// bench compares against. The service-time model (service_rate_qps)
+/// stays on either way: it represents the hardware, not the protection.
+void set_use_overload_protection(bool on);
+bool use_overload_protection();
 
 /// \brief What a client gets back for a submitted query.
 struct QueryOutcome {
@@ -152,6 +222,9 @@ struct QueryOutcome {
   /// best *partial* result any attempt produced (possibly empty), with
   /// provenance marking what went unanswered — degradation, not silence.
   bool timed_out = false;
+  /// True when client-side admission control refused the query at
+  /// submission (DESIGN.md §11): nothing was sent, `items` is empty.
+  bool shed = false;
 };
 
 /// \brief Simple counters exposed for tests and benches.
@@ -202,6 +275,13 @@ struct PeerCounters {
   // Reply-demux hygiene (asserted zero by the happy-path suites).
   uint64_t reply_decode_failures = 0;  ///< malformed reply/subquery bodies
   uint64_t unmatched_replies = 0;      ///< replies matching no request
+  // Overload-protection counters (DESIGN.md §11), mirrored into
+  // net::NetStats as they happen. All zero with the ablation knob
+  // (peer::set_use_overload_protection) off.
+  uint64_t queries_shed = 0;            ///< plans refused by admission control
+  uint64_t budget_aborts = 0;           ///< evaluations cut by their budget
+  uint64_t cancels_sent = 0;            ///< cancel fan-out messages sent
+  uint64_t cancelled_sessions_reaped = 0;  ///< sessions/queued plans reaped
 };
 
 /// \brief A network participant. Attach to any net::Transport (the
@@ -346,12 +426,40 @@ class Peer : public net::PeerNode {
   void HandleMessage(const net::Message& msg) override;
 
  private:
+  struct Pending;  // defined below (client reliability state)
+
   // The Figure-2 processing loop. `hops` is the wire-layer hop count the
   // plan arrived with (0 for locally submitted queries); `deadline` and
   // `attempt` are the envelope's reliability fields (0 on fault-free
   // legacy traffic) and travel with the plan to the next hop.
   void ProcessPlan(algebra::Plan plan, uint32_t hops = 0, double deadline = 0,
                    uint32_t attempt = 0);
+
+  // --- overload protection (DESIGN.md §11) -------------------------------------
+
+  /// True when both the global knob and this peer's options enable the
+  /// protection layer.
+  bool OverloadActive() const;
+  /// Decode + admission control + service-time deferral for an arriving
+  /// remote plan; admitted plans reach ProcessPlan when the modeled
+  /// queue drains to them.
+  void HandleMqp(const wire::Envelope& env);
+  /// Deterministic admission decision for an arriving plan, given the
+  /// projected queueing delay (pure in (seed, query id, attempt)).
+  bool ShouldShed(double projected_delay, uint32_t priority,
+                  const std::string& query_id, uint32_t attempt);
+  /// Returns the plan unevaluated with a `shed` provenance marker so the
+  /// PR 8 client retries elsewhere or degrades.
+  void ShedPlan(algebra::Plan plan, double deadline, uint32_t attempt);
+  /// The engine budget for one evaluation under `deadline` (unlimited
+  /// when budgets are off or no deadline applies).
+  engine::EvalLimits EvalLimitsFor(double deadline) const;
+  /// Cancel fan-out to every server this query touched; idempotent on
+  /// the receiver.
+  void SendCancels(const std::string& query_id, const Pending& p);
+  void HandleCancel(const wire::Envelope& env);
+  /// Marks a query id cancelled (bounded ring); true if newly marked.
+  bool RememberCancelled(const std::string& query_id);
 
   /// Resolution stage; returns how many URNs were bound.
   int ResolveUrns(algebra::Plan* plan);
@@ -525,6 +633,10 @@ class Peer : public net::PeerNode {
     std::shared_ptr<const algebra::Plan> original;
     /// Best incomplete outcome any attempt returned (most items wins).
     std::unique_ptr<QueryOutcome> best_partial;
+    /// First-hop servers each attempt was forwarded to — the cancel
+    /// fan-out targets (DESIGN.md §11), joined with the provenance of
+    /// the best partial at send time.
+    std::set<std::string> contacted;
   };
   std::map<std::string, Pending> pending_;
   /// Recently finished query ids (duplicate-result suppression).
@@ -536,6 +648,17 @@ class Peer : public net::PeerNode {
   uint64_t next_query_ = 0;
   PeerCounters counters_;
   int engine_tally_depth_ = 0;  // EngineTally re-entrancy guard
+
+  // --- overload protection (DESIGN.md §11) -------------------------------------
+
+  /// Virtual time until which this peer's modeled core is busy; the
+  /// service-time model queues admitted plans behind it. Never read when
+  /// service_rate_qps is 0.
+  double busy_until_ = 0;
+  /// Recently cancelled query ids (bounded ring): queued plans and late
+  /// traffic for these are dropped instead of serviced.
+  std::deque<std::string> cancelled_ring_;
+  std::set<std::string> cancelled_set_;
 };
 
 }  // namespace mqp::peer

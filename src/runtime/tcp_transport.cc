@@ -28,6 +28,12 @@ struct TlsShard {
 };
 thread_local TlsShard tls_shard;
 
+// True on threads the transport itself owns (readers, timer): those
+// threads must never block on a full send queue — a reader parked on
+// peer B's outbox stops draining peer A's inbox, and two such parks
+// facing each other deadlock the fabric. They soft-overflow instead.
+thread_local bool tls_transport_thread = false;
+
 void PutU32(std::string* out, uint32_t v) {
   char b[4];
   std::memcpy(b, &v, 4);
@@ -217,13 +223,67 @@ void TcpTransport::Send(net::Message msg) {
   std::memcpy(frame.data(), &rest, 4);
 
   {
-    std::lock_guard<std::mutex> wl(conn->write_mu);
-    if (!WriteFull(conn->fd, frame.data(), frame.size())) {
+    std::unique_lock<std::mutex> wl(conn->mu);
+    if (conn->closed || conn->write_failed) {
       // Receiver hung up (shutdown race); treat like a down destination.
       shard.drops_to_failed++;
+      PublishShard();
+      return;
+    }
+    const size_t cap = options_.send_queue_cap;
+    if (cap > 0 && conn->queue.size() >= cap) {
+      if (tls_transport_thread) {
+        shard.tcp_send_soft_overflows++;
+      } else {
+        shard.tcp_send_queue_waits++;
+        conn->can_write.wait(wl, [&] {
+          return conn->queue.size() < cap || conn->closed ||
+                 conn->write_failed;
+        });
+        if (conn->closed || conn->write_failed) {
+          shard.drops_to_failed++;
+          PublishShard();
+          return;
+        }
+      }
+    }
+    conn->queue.push_back(std::move(frame));
+  }
+  conn->has_data.notify_one();
+  PublishShard();
+}
+
+void TcpTransport::WriterLoop(Connection* conn) {
+  tls_transport_thread = true;
+  std::unique_lock<std::mutex> lk(conn->mu);
+  while (true) {
+    conn->has_data.wait(
+        lk, [&] { return !conn->queue.empty() || conn->closed; });
+    if (conn->queue.empty()) return;  // closed and drained
+    if (conn->closed) {
+      // Shutdown dropped the socket out from under us; whatever is
+      // still queued will never arrive.
+      ShardForThisThread().drops_to_failed += conn->queue.size();
+      conn->queue.clear();
+      conn->can_write.notify_all();
+      return;
+    }
+    std::string frame = std::move(conn->queue.front());
+    conn->queue.pop_front();
+    conn->can_write.notify_one();
+    const int fd = conn->fd;
+    lk.unlock();
+    const bool wrote = WriteFull(fd, frame.data(), frame.size());
+    lk.lock();
+    if (!wrote && !conn->write_failed) {
+      // Receiver hung up: this frame and everything behind it are gone.
+      conn->write_failed = true;
+      ShardForThisThread().drops_to_failed += conn->queue.size() + 1;
+      conn->queue.clear();
+      conn->can_write.notify_all();
+      PublishShard();
     }
   }
-  PublishShard();
 }
 
 TcpTransport::Connection* TcpTransport::ConnectionTo(net::PeerId to) {
@@ -259,8 +319,12 @@ TcpTransport::Connection* TcpTransport::ConnectionTo(net::PeerId to) {
     return it->second.get();
   }
   it->second = std::make_unique<Connection>();
-  it->second->fd = fd;
-  return it->second.get();
+  Connection* conn = it->second.get();
+  conn->fd = fd;
+  // The Connection lives behind a unique_ptr in outbound_ and outlives
+  // its writer: Shutdown joins the writer before destroying the map.
+  conn->writer = std::thread([this, conn] { WriterLoop(conn); });
+  return conn;
 }
 
 void TcpTransport::AcceptLoop(net::PeerId id) {
@@ -282,6 +346,7 @@ void TcpTransport::AcceptLoop(net::PeerId id) {
 }
 
 void TcpTransport::ReaderLoop(net::PeerId id, int fd) {
+  tls_transport_thread = true;
   char head[4];
   std::string rest;
   while (ReadFull(fd, head, 4)) {
@@ -354,6 +419,7 @@ void TcpTransport::ScheduleFor(net::PeerId owner, double when,
 }
 
 void TcpTransport::TimerLoop() {
+  tls_transport_thread = true;
   std::unique_lock<std::mutex> lock(timer_mu_);
   while (!stopping_.load(std::memory_order_relaxed)) {
     if (timer_heap_.empty()) {
@@ -469,9 +535,12 @@ void TcpTransport::Shutdown() {
   }
   if (timer_thread_.joinable()) timer_thread_.join();
 
-  // Shut the sockets down first (unblocks accept/recv), then join.
+  // Shut the sockets down first (unblocks accept/recv and any writer
+  // mid-send), then join. Connection fds close only after their writer
+  // thread is joined, so a writer never races a closed-and-reused fd.
   std::vector<std::thread> accepters;
   std::vector<std::thread> readers;
+  std::vector<std::thread> writers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (PeerSlot& slot : slots_) {
@@ -485,13 +554,28 @@ void TcpTransport::Shutdown() {
       }
     }
     for (auto& [id, conn] : outbound_) {
+      {
+        std::lock_guard<std::mutex> cl(conn->mu);
+        conn->closed = true;
+      }
+      conn->has_data.notify_all();
+      conn->can_write.notify_all();
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+      if (conn->writer.joinable()) {
+        writers.push_back(std::move(conn->writer));
+      }
+    }
+    readers.swap(reader_threads_);
+  }
+  for (std::thread& t : writers) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, conn] : outbound_) {
       if (conn->fd >= 0) {
-        ::shutdown(conn->fd, SHUT_RDWR);
         ::close(conn->fd);
         conn->fd = -1;
       }
     }
-    readers.swap(reader_threads_);
   }
   for (std::thread& t : accepters) t.join();
   // Reader sockets are owned by the readers themselves; shutting down

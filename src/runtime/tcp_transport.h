@@ -8,13 +8,25 @@
 // entries and Lookup exactly like the simulator's virtual ones.
 //
 // Threading model. One accept thread per peer; one reader thread per
-// accepted connection; one timer thread for Schedule/ScheduleFor. The
-// Transport contract (handlers single-threaded per peer) is enforced
-// with a per-peer delivery mutex: readers and timer callbacks lock the
-// destination peer's mutex around HandleMessage / the callback, so
-// concurrent connections to one peer serialize while distinct peers
-// proceed in parallel. Stats are sharded per thread and merged on read,
-// as in ThreadedRuntime.
+// accepted connection; one writer thread per outbound connection; one
+// timer thread for Schedule/ScheduleFor. The Transport contract
+// (handlers single-threaded per peer) is enforced with a per-peer
+// delivery mutex: readers and timer callbacks lock the destination
+// peer's mutex around HandleMessage / the callback, so concurrent
+// connections to one peer serialize while distinct peers proceed in
+// parallel. Stats are sharded per thread and merged on read, as in
+// ThreadedRuntime.
+//
+// Outbound backpressure (DESIGN.md §11, parity with ThreadedRuntime's
+// mailboxes). Send enqueues the framed message on the connection's
+// bounded queue and returns; the writer thread drains it to the socket.
+// When the queue is full, an *external* sender blocks until the writer
+// frees space (counted in NetStats::tcp_send_queue_waits), while a
+// transport-internal thread — a reader mid-delivery or the timer thread
+// — never blocks: it over-admits past the cap and counts
+// tcp_send_soft_overflows, because parking the thread that drains peer
+// A's inbox until peer B's outbox drains is how distributed deadlocks
+// are built.
 //
 // Frame format (all integers little-endian uint32):
 //   [rest-length][from][to][kind-len][kind][header-len][header]
@@ -61,6 +73,10 @@ struct TcpOptions {
   /// Shutdown() waits at most this long for in-flight work to drain
   /// before closing sockets out from under the readers.
   double drain_timeout_seconds = 5.0;
+  /// Per-connection outbound queue bound, in frames (0 = unbounded, the
+  /// pre-§11 behavior). External senders block at the cap; transport
+  /// threads soft-overflow past it (see the header notes).
+  size_t send_queue_cap = 1024;
 };
 
 /// \brief Loopback-TCP transport: per-peer listening sockets, framed
@@ -124,7 +140,13 @@ class TcpTransport : public net::Transport {
 
   struct Connection {
     int fd = -1;
-    std::mutex write_mu;  ///< one frame at a time per connection
+    std::mutex mu;  ///< guards queue/closed/write_failed
+    std::condition_variable has_data;   ///< frame queued, or closing
+    std::condition_variable can_write;  ///< space freed, or closing
+    std::deque<std::string> queue;      ///< framed messages, FIFO
+    bool closed = false;        ///< shutdown: writer exits when drained
+    bool write_failed = false;  ///< peer hung up: enqueues become drops
+    std::thread writer;
   };
 
   struct Timer {
@@ -140,6 +162,7 @@ class TcpTransport : public net::Transport {
 
   void AcceptLoop(net::PeerId id);
   void ReaderLoop(net::PeerId id, int fd);
+  void WriterLoop(Connection* conn);
   void TimerLoop();
 
   /// The cached (or freshly connected) outbound connection to `to`;

@@ -46,6 +46,11 @@ inline constexpr char kFloodHitKind[] = "flood-hit";
 // record deltas they pull.
 inline constexpr char kSyncDigestKind[] = "sync-digest";
 inline constexpr char kSyncDeltaKind[] = "sync-delta";
+// Cooperative cancellation (DESIGN.md §11): fanned out by the client once
+// a query completes, times out, or is shed, so remote peers reap pending
+// work (open top-k merge sessions, queued plans) instead of running it to
+// natural death. Body is empty; the query id is the whole message.
+inline constexpr char kCancelKind[] = "cancel";
 
 /// \brief One wire-layer message: routing metadata + shared body.
 struct Envelope {

@@ -1,0 +1,154 @@
+#include "workload/flash_crowd.h"
+
+#include <cctype>
+#include <cmath>
+#include <utility>
+
+namespace mqp::workload {
+namespace {
+
+std::vector<peer::Peer*> AllPeers(GarageSaleNetwork* net) {
+  std::vector<peer::Peer*> all;
+  all.push_back(net->client);
+  all.push_back(net->top_meta);
+  for (auto* p : net->index_servers) all.push_back(p);
+  for (auto* p : net->sellers) all.push_back(p);
+  return all;
+}
+
+}  // namespace
+
+FlashCrowdScenario::FlashCrowdScenario(net::Transport* sim,
+                                       FlashCrowdParams params)
+    : sim_(sim), params_(std::move(params)), rng_(params_.seed) {
+  if (params_.hot_area.cells().empty()) {
+    params_.hot_area = *ns::InterestArea::Parse("(USA.OR,*)");
+  }
+}
+
+void FlashCrowdScenario::Prepare() {
+  if (prepared_) return;
+  prepared_ = true;
+
+  // Build with default options so registration traffic is instantaneous
+  // — the service-time model describes the crowd hitting an *already
+  // built* network, not a slow bring-up.
+  GarageSaleNetworkParams gp;
+  gp.num_sellers = params_.num_sellers;
+  gp.items_per_seller = params_.items_per_seller;
+  gp.seed = params_.seed;
+  gp.client_template.reliability.enabled = true;
+  gp.client_template.reliability.query_deadline_seconds =
+      params_.query_deadline_seconds;
+  gp.client_template.reliability.max_retries = params_.max_retries;
+  gp.client_template.reliability.seed = params_.seed;
+  net_ = BuildGarageSaleNetwork(sim_, gp);
+
+  // Now switch on the virtual service-time model fleet-wide. The
+  // defenses follow `protection`; the load model does not — an ablated
+  // fleet is just as slow, only undefended.
+  peer::OverloadOptions ov = params_.overload;
+  ov.service_rate_qps = params_.service_rate_qps;
+  ov.enabled = params_.protection;
+  ov.seed = params_.seed;
+  for (auto* p : AllPeers(&net_)) {
+    p->mutable_options().overload = ov;
+    p->mutable_options().reliability.enabled = true;
+  }
+
+  const double offered = offered_qps();
+  const auto n = static_cast<size_t>(
+      std::llround(offered * params_.duration_seconds));
+  marks_.assign(n, '?');
+  hp_flags_.assign(n, false);
+  const double start = sim_->now();
+  for (size_t i = 0; i < n; ++i) {
+    const bool hp = rng_.NextBool(params_.high_priority_fraction);
+    hp_flags_[i] = hp;
+    const double at = start + static_cast<double>(i) / offered;
+    sim_->Schedule(at, [this, i, hp] { Submit(i, hp); });
+  }
+}
+
+void FlashCrowdScenario::Submit(size_t index, bool high_priority) {
+  algebra::Plan plan = MakeAreaQueryPlan(params_.hot_area);
+  plan.policy().priority = high_priority ? 1 : 0;
+  net_.client->SubmitQuery(std::move(plan),
+                           [this, index](const peer::QueryOutcome& outcome) {
+                             Record(index, outcome);
+                           });
+}
+
+void FlashCrowdScenario::Record(size_t index,
+                                const peer::QueryOutcome& outcome) {
+  char mark = 'x';
+  if (outcome.shed) {
+    mark = 's';
+  } else if (outcome.complete) {
+    mark = 'c';
+    const double latency = outcome.completed_at - outcome.submitted_at;
+    stats_.latencies.push_back(latency);
+    if (hp_flags_[index]) stats_.hp_latencies.push_back(latency);
+  } else if (outcome.timed_out) {
+    mark = outcome.items.empty() ? 't' : 'p';
+  }
+  if (hp_flags_[index]) {
+    mark = static_cast<char>(std::toupper(static_cast<unsigned char>(mark)));
+  }
+  marks_[index] = mark;
+}
+
+const FlashCrowdStats& FlashCrowdScenario::Run() {
+  Prepare();
+  const double until = sim_->now() + horizon();
+  sim_->Run(until);
+  Collect();
+  return stats_;
+}
+
+void FlashCrowdScenario::Collect() {
+  stats_.submitted = marks_.size();
+  stats_.decision_trace.assign(marks_.begin(), marks_.end());
+  for (size_t i = 0; i < marks_.size(); ++i) {
+    const bool hp = hp_flags_[i];
+    if (hp) stats_.hp_submitted++;
+    switch (std::tolower(static_cast<unsigned char>(marks_[i]))) {
+      case 'c':
+        stats_.complete++;
+        if (hp) stats_.hp_complete++;
+        break;
+      case 's':
+        stats_.shed++;
+        if (hp) stats_.hp_shed++;
+        break;
+      case 'p':
+        stats_.partial++;
+        stats_.timed_out++;
+        if (hp) stats_.hp_timed_out++;
+        break;
+      case 't':
+        stats_.timed_out++;
+        if (hp) stats_.hp_timed_out++;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Const stats() is the merged fleet-wide view — on the threaded
+  // runtime the non-const overload is only the calling thread's shard.
+  const net::NetStats& ns = std::as_const(*sim_).stats();
+  stats_.queries_shed = ns.queries_shed;
+  stats_.budget_aborts = ns.budget_aborts;
+  stats_.cancels_sent = ns.cancels_sent;
+  stats_.cancelled_sessions_reaped = ns.cancelled_sessions_reaped;
+
+  stats_.leaked_pending = 0;
+  stats_.leaked_sessions = 0;
+  for (auto* p : AllPeers(&net_)) {
+    stats_.leaked_pending += p->pending_queries();
+    stats_.leaked_sessions += p->topk_sessions();
+  }
+}
+
+}  // namespace mqp::workload
